@@ -1,0 +1,85 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+The paper fixes several knobs without ablation (4x-Nyquist subsampling,
+``max_cycles=2``, SVHT truncation, 6-9 levels); these benchmarks quantify
+what each choice buys on the same synthetic workload so a downstream user
+can judge the trade-offs:
+
+* subsampling factor (``nyquist_factor``) — runtime vs reconstruction error;
+* number of levels — runtime vs error;
+* SVHT on/off — retained modes and error;
+* amplitude fitting ("first" snapshot vs full "window" least squares).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MrDMDConfig, compute_mrdmd
+
+from conftest import scaled
+
+
+@pytest.fixture(scope="module")
+def ablation_matrix(sc_log_generator):
+    return sc_log_generator.generate_matrix(scaled(128, 1000), scaled(4_000, 20_000))
+
+
+def _error(tree, data) -> float:
+    return float(np.linalg.norm(data - tree.reconstruct(data.shape[1])) / np.linalg.norm(data))
+
+
+@pytest.mark.parametrize("nyquist_factor", [2, 4, 8])
+def test_ablation_nyquist_factor(benchmark, ablation_matrix, nyquist_factor):
+    """Higher oversampling = less subsampling = slower but (slightly) more accurate."""
+    data = ablation_matrix
+    config = MrDMDConfig(max_levels=5, nyquist_factor=nyquist_factor)
+    tree = benchmark.pedantic(lambda: compute_mrdmd(data, 15.0, config),
+                              rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["nyquist_factor"] = nyquist_factor
+    benchmark.extra_info["relative_error"] = round(_error(tree, data), 4)
+    benchmark.extra_info["total_modes"] = tree.total_modes
+
+
+@pytest.mark.parametrize("max_levels", [2, 4, 6, 8])
+def test_ablation_levels(benchmark, ablation_matrix, max_levels):
+    """More levels capture faster dynamics at higher cost (Sec. IV's observation)."""
+    data = ablation_matrix
+    config = MrDMDConfig(max_levels=max_levels)
+    tree = benchmark.pedantic(lambda: compute_mrdmd(data, 15.0, config),
+                              rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["max_levels"] = max_levels
+    benchmark.extra_info["relative_error"] = round(_error(tree, data), 4)
+    benchmark.extra_info["total_modes"] = tree.total_modes
+
+
+@pytest.mark.parametrize("use_svht", [True, False])
+def test_ablation_svht(benchmark, ablation_matrix, use_svht):
+    """SVHT rank selection vs full rank: fewer modes for nearly the same error."""
+    data = ablation_matrix
+    config = MrDMDConfig(max_levels=5, use_svht=use_svht)
+    tree = benchmark.pedantic(lambda: compute_mrdmd(data, 15.0, config),
+                              rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["use_svht"] = use_svht
+    benchmark.extra_info["relative_error"] = round(_error(tree, data), 4)
+    benchmark.extra_info["total_modes"] = tree.total_modes
+
+
+@pytest.mark.parametrize("amplitude_method", ["first", "window"])
+def test_ablation_amplitude_method(benchmark, ablation_matrix, amplitude_method):
+    """Window-fitted amplitudes vs the classic first-snapshot fit."""
+    data = ablation_matrix
+    config = MrDMDConfig(max_levels=5, amplitude_method=amplitude_method)
+    tree = benchmark.pedantic(lambda: compute_mrdmd(data, 15.0, config),
+                              rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["amplitude_method"] = amplitude_method
+    benchmark.extra_info["relative_error"] = round(_error(tree, data), 4)
+
+
+def test_ablation_levels_reduce_error(ablation_matrix):
+    """Non-timed check: deeper trees do not reconstruct worse."""
+    data = ablation_matrix
+    shallow = compute_mrdmd(data, 15.0, MrDMDConfig(max_levels=2))
+    deep = compute_mrdmd(data, 15.0, MrDMDConfig(max_levels=6))
+    assert _error(deep, data) <= _error(shallow, data) * 1.05

@@ -1,0 +1,103 @@
+"""Figs. 3 & 5 (case study 1): reconstruction quality and the mrDMD spectrum.
+
+Paper protocol: 871 nodes used by two projects, 1,000 snapshots for the
+initial mrDMD fit (12.49 s), a 1,000-snapshot incremental update (~7.6 s),
+6 levels, spectrum restricted to 0-60 Hz.  Reported results: the
+reconstruction is visibly denoised (Fig. 3) with a Frobenius error of
+3958.58, and the spectrum concentrates its amplitude at low frequencies
+(Fig. 5).
+
+Reproduced claims: the initial fit and incremental update complete, the
+reconstruction is smoother than the raw data (positive noise-reduction
+ratio) with a small relative error, and the spectrum's dominant frequency is
+in the slow band.  The Frobenius number itself scales with problem size, so
+the benchmark reports it in ``extra_info`` rather than asserting a value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MrDMDConfig
+from repro.core.reconstruction import evaluate_reconstruction
+from repro.pipeline import OnlineAnalysisPipeline, PipelineConfig, build_case_study_1
+
+from conftest import scaled
+
+
+@pytest.fixture(scope="module")
+def case1():
+    return build_case_study_1(
+        scale=scaled(0.05, 1.0),
+        n_timesteps=scaled(1_000, 2_000),
+        initial_steps=scaled(500, 1_000),
+    )
+
+
+@pytest.fixture(scope="module")
+def case1_pipeline(case1):
+    config = PipelineConfig(
+        mrdmd=MrDMDConfig(max_levels=6),
+        baseline_range=case1.baseline_range,
+        frequency_range=(0.0, 60.0),
+    )
+    pipeline = OnlineAnalysisPipeline.from_stream(case1.stream, config)
+    pipeline.ingest(case1.initial_block())
+    pipeline.ingest(case1.streaming_block())
+    return pipeline
+
+
+def test_fig3_initial_fit(benchmark, case1):
+    """Initial mrDMD fit of case study 1 (paper: 12.49 s at full scale)."""
+    config = PipelineConfig(mrdmd=MrDMDConfig(max_levels=6), baseline_range=case1.baseline_range)
+
+    def run():
+        pipeline = OnlineAnalysisPipeline.from_stream(case1.stream, config)
+        pipeline.ingest(case1.initial_block())
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["paper_seconds"] = 12.49
+
+
+def test_fig3_incremental_update(benchmark, case1):
+    """Incremental update of case study 1 (paper: ~7.6 s at full scale)."""
+    config = PipelineConfig(mrdmd=MrDMDConfig(max_levels=6), baseline_range=case1.baseline_range)
+    pipeline = OnlineAnalysisPipeline.from_stream(case1.stream, config)
+    pipeline.ingest(case1.initial_block())
+    chunk = case1.streaming_block()
+
+    benchmark.pedantic(lambda: pipeline.ingest(chunk), rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["paper_seconds"] = 7.6
+
+
+def test_fig3_reconstruction_quality(benchmark, case1, case1_pipeline):
+    """Fig. 3's claim: the I-mrDMD reconstruction removes high-frequency noise."""
+    def run():
+        return evaluate_reconstruction(
+            case1_pipeline.model.tree,
+            case1.stream.values,
+            frequency_range=(0.0, 60.0),
+        )
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert report.noise_reduction > 0.2
+    assert report.relative < 0.1
+    benchmark.extra_info["frobenius_error"] = round(report.frobenius, 2)
+    benchmark.extra_info["paper_frobenius_full_scale"] = 3958.58
+    benchmark.extra_info["noise_reduction"] = round(report.noise_reduction, 3)
+
+
+def test_fig5_spectrum_generation(benchmark, case1_pipeline):
+    """Fig. 5: computing the (0-60 Hz filtered) mrDMD spectrum."""
+    spectrum = benchmark.pedantic(
+        lambda: case1_pipeline.spectrum(label="case 1"),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    assert spectrum.n_modes > 0
+    # Case-study sampling is 15 s, so every resolvable frequency is far below
+    # 60 Hz and the amplitude mass sits at the slow end of the axis.
+    assert spectrum.dominant_frequency() < 0.05
+    benchmark.extra_info["n_modes"] = spectrum.n_modes
+    benchmark.extra_info["dominant_frequency_hz"] = float(spectrum.dominant_frequency())
+    benchmark.extra_info["centroid_frequency_hz"] = float(spectrum.centroid_frequency())

@@ -1,0 +1,122 @@
+"""Table I: initial-fit vs partial-fit completion time (SC Log / GPU Metrics).
+
+Paper protocol: N = 1,000 series, T in {2,000, 5,000, 10,000, 16,000} time
+points, then add 1,000 new time points incrementally; 6 levels for SC Log,
+7 for GPU Metrics.  Paper numbers (seconds):
+
+    SC Log       T=2k 3.62/3.77   5k 5.84/4.27   10k 7.63/4.18   16k 10.40/4.33
+    GPU Metrics  T=2k 7.32/8.65   5k 20.91/10.58  10k 28.92/12.95  16k 62.80/18.62
+
+Reproduced shape: the initial fit grows roughly monotonically with T while
+the partial fit stays roughly flat (and far below the initial fit at the
+largest T).  Absolute seconds are hardware- and scale-dependent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IncrementalMrDMD, MrDMDConfig
+
+from conftest import scaled
+
+SC_LOG_LEVELS = 6
+GPU_LEVELS = 7
+CHUNK = 1_000
+TIME_POINTS = [scaled(1_000, 2_000), scaled(2_000, 5_000), scaled(4_000, 10_000), scaled(8_000, 16_000)]
+PAPER_ROWS = {
+    "SC Log": {2_000: (3.621, 3.767), 5_000: (5.842, 4.269), 10_000: (7.631, 4.184), 16_000: (10.396, 4.326)},
+    "GPU Metrics": {2_000: (7.315, 8.654), 5_000: (20.914, 10.583), 10_000: (28.916, 12.953), 16_000: (62.800, 18.619)},
+}
+
+
+def _fit_then_partial(data, dt, total, levels):
+    model = IncrementalMrDMD(dt=dt, config=MrDMDConfig(max_levels=levels))
+    model.fit(data[:, :total])
+    return model
+
+
+@pytest.mark.parametrize("total", TIME_POINTS)
+def test_table1_sc_log_initial_fit(benchmark, sc_log_matrix, total):
+    """SC Log column 'Initial Fit': batch fit over the first ``total`` steps."""
+    data = sc_log_matrix
+    config = MrDMDConfig(max_levels=SC_LOG_LEVELS)
+
+    def run():
+        IncrementalMrDMD(dt=15.0, config=config).fit(data[:, :total])
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["dataset"] = "SC Log"
+    benchmark.extra_info["T"] = total
+    benchmark.extra_info["column"] = "initial_fit"
+    benchmark.extra_info["paper_seconds"] = PAPER_ROWS["SC Log"].get(total, None)
+
+
+@pytest.mark.parametrize("total", TIME_POINTS)
+def test_table1_sc_log_partial_fit(benchmark, sc_log_matrix, total):
+    """SC Log column 'Partial Fit': incremental addition of 1,000 steps."""
+    data = sc_log_matrix
+    chunk = min(CHUNK, data.shape[1] - total)
+    model = _fit_then_partial(data, 15.0, total, SC_LOG_LEVELS)
+
+    def run():
+        model.partial_fit(data[:, total : total + chunk])
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["dataset"] = "SC Log"
+    benchmark.extra_info["T"] = total
+    benchmark.extra_info["column"] = "partial_fit"
+    benchmark.extra_info["paper_seconds"] = PAPER_ROWS["SC Log"].get(total, None)
+
+
+@pytest.mark.parametrize("total", TIME_POINTS)
+def test_table1_gpu_metrics_initial_fit(benchmark, gpu_metrics_matrix, total):
+    """GPU Metrics column 'Initial Fit' (7 levels, 3-second cadence)."""
+    data = gpu_metrics_matrix
+    config = MrDMDConfig(max_levels=GPU_LEVELS)
+
+    def run():
+        IncrementalMrDMD(dt=3.0, config=config).fit(data[:, :total])
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["dataset"] = "GPU Metrics"
+    benchmark.extra_info["T"] = total
+    benchmark.extra_info["column"] = "initial_fit"
+    benchmark.extra_info["paper_seconds"] = PAPER_ROWS["GPU Metrics"].get(total, None)
+
+
+@pytest.mark.parametrize("total", TIME_POINTS)
+def test_table1_gpu_metrics_partial_fit(benchmark, gpu_metrics_matrix, total):
+    """GPU Metrics column 'Partial Fit'."""
+    data = gpu_metrics_matrix
+    chunk = min(CHUNK, data.shape[1] - total)
+    model = _fit_then_partial(data, 3.0, total, GPU_LEVELS)
+
+    def run():
+        model.partial_fit(data[:, total : total + chunk])
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["dataset"] = "GPU Metrics"
+    benchmark.extra_info["T"] = total
+    benchmark.extra_info["column"] = "partial_fit"
+    benchmark.extra_info["paper_seconds"] = PAPER_ROWS["GPU Metrics"].get(total, None)
+
+
+def test_table1_shape_initial_grows_partial_flat(sc_log_matrix):
+    """Non-timed assertion of Table I's qualitative shape (runs once)."""
+    import time
+
+    data = sc_log_matrix
+    config = MrDMDConfig(max_levels=SC_LOG_LEVELS)
+    initial, partial = [], []
+    for total in (TIME_POINTS[0], TIME_POINTS[-1]):
+        chunk = min(CHUNK, data.shape[1] - total)
+        model = IncrementalMrDMD(dt=15.0, config=config)
+        t0 = time.perf_counter()
+        model.fit(data[:, :total])
+        initial.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        model.partial_fit(data[:, total : total + chunk])
+        partial.append(time.perf_counter() - t0)
+    assert initial[-1] > initial[0]
+    assert partial[-1] < initial[-1]

@@ -1,0 +1,59 @@
+"""Shared fixtures and scale knobs for the benchmark harness.
+
+Every table/figure of the paper's evaluation has a corresponding
+``bench_*.py`` module here.  Absolute problem sizes are scaled down from the
+paper's (their substrate is a 4,392-node Cray and a Polaris node; ours is a
+CI container) but every benchmark preserves the *structure* of the original
+experiment — who is compared against whom, what grows, what should stay
+flat — and records the paper's reference numbers in ``extra_info`` so the
+generated report can be read side by side with the paper.
+
+Set ``REPRO_BENCH_SCALE`` (default ``small``) to ``paper`` to run the
+full-size experiments (hours of CPU time; needs tens of GB of RAM).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.telemetry import TelemetryGenerator, polaris_machine, theta_machine
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def scaled(small: int, paper: int) -> int:
+    """Pick the small-scale or paper-scale value of a size parameter."""
+    return paper if SCALE == "paper" else small
+
+
+@pytest.fixture(scope="session")
+def sc_log_generator() -> TelemetryGenerator:
+    """Environment-log-like ("SC Log") telemetry source."""
+    machine = theta_machine(racks_per_row=2, node_limit=256)
+    return TelemetryGenerator(machine, seed=101, utilization_target=0.5)
+
+
+@pytest.fixture(scope="session")
+def gpu_metrics_generator() -> TelemetryGenerator:
+    """GPU-metrics-like telemetry source (Polaris, 3-second cadence)."""
+    machine = polaris_machine(node_limit=64)
+    return TelemetryGenerator(machine, seed=103, utilization_target=0.6)
+
+
+@pytest.fixture(scope="session")
+def sc_log_matrix(sc_log_generator) -> np.ndarray:
+    """A reusable SC-Log matrix large enough for the Table I rows."""
+    n_series = scaled(200, 1000)
+    n_steps = scaled(9_000, 17_000)
+    return sc_log_generator.generate_matrix(n_series, n_steps)
+
+
+@pytest.fixture(scope="session")
+def gpu_metrics_matrix(gpu_metrics_generator) -> np.ndarray:
+    """A reusable GPU-metrics matrix for the Table I rows."""
+    n_series = scaled(200, 1000)
+    n_steps = scaled(9_000, 17_000)
+    return gpu_metrics_generator.generate_matrix(n_series, n_steps)

@@ -1,0 +1,69 @@
+"""repro — reproduction of "An Incremental Multi-Level, Multi-Scale Approach
+to Assessment of Multifidelity HPC Systems" (SC 2024).
+
+The package is organised as:
+
+* :mod:`repro.core` — DMD / mrDMD / incremental SVD / **I-mrDMD** numerics,
+  the mrDMD spectrum, and the baseline z-score analysis (the paper's
+  contribution);
+* :mod:`repro.telemetry` — synthetic multifidelity environment-log substrate
+  (Theta XC40 / Polaris-shaped sensor data with multi-timescale dynamics,
+  anomaly injection, and streaming replay);
+* :mod:`repro.joblog` — job-log substrate (workload generator + scheduler
+  simulator);
+* :mod:`repro.hwlog` — hardware-error-log substrate;
+* :mod:`repro.align` — temporal/per-node alignment of the three log types;
+* :mod:`repro.viz` — rack-layout grammar, Turbo colormap, SVG/ASCII views,
+  time-series and spectrum exports;
+* :mod:`repro.compare` — PCA / incremental PCA / t-SNE / UMAP-lite /
+  Aligned-UMAP-lite comparison methods (Figs. 8/9);
+* :mod:`repro.pipeline` — the online analysis pipeline and case-study
+  drivers tying everything together;
+* :mod:`repro.util` — timers, validation, chunking and parallel helpers.
+
+Quickstart::
+
+    import numpy as np
+    from repro import IncrementalMrDMD
+    from repro.telemetry import TelemetryGenerator, theta_machine
+
+    gen = TelemetryGenerator(theta_machine(racks=2), seed=7)
+    stream = gen.generate(n_timesteps=2000)
+    model = IncrementalMrDMD(dt=stream.dt, max_levels=6)
+    model.fit(stream.values[:, :1000])
+    model.partial_fit(stream.values[:, 1000:])
+    reconstruction = model.reconstruct()
+"""
+
+from .core import (
+    BaselineModel,
+    BaselineSpec,
+    DMDResult,
+    IncrementalMrDMD,
+    IncrementalSVD,
+    MrDMDConfig,
+    MrDMDSpectrum,
+    MrDMDTree,
+    ZScoreCategory,
+    ZScoreResult,
+    compute_dmd,
+    compute_mrdmd,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineModel",
+    "BaselineSpec",
+    "DMDResult",
+    "IncrementalMrDMD",
+    "IncrementalSVD",
+    "MrDMDConfig",
+    "MrDMDSpectrum",
+    "MrDMDTree",
+    "ZScoreCategory",
+    "ZScoreResult",
+    "compute_dmd",
+    "compute_mrdmd",
+    "__version__",
+]

@@ -1,0 +1,141 @@
+"""Correlation of environment-log patterns with hardware and job failures (Q3).
+
+Q3 asks whether "the system behavior extracted from the environment logs
+correlate[s] with faults seen in hardware and job failures".  Given per-node
+z-scores (from the I-mrDMD + baseline analysis), the hardware log, and the
+job log, this module quantifies that relationship:
+
+* contingency of z-score categories vs. presence of hardware events
+  (with a point-biserial correlation and an odds ratio);
+* per-category event rates (events per node in each z-score band);
+* job failure rates on nodes grouped by z-score band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..core.baseline import ZScoreCategory
+from ..hwlog.events import HardwareEventType, HardwareLog
+from ..joblog.jobs import JobLog
+from .zscore_map import NodeZScores
+
+__all__ = ["CorrelationReport", "correlate_with_hardware", "correlate_with_jobs"]
+
+
+@dataclass(frozen=True)
+class CorrelationReport:
+    """Association between node z-scores and a binary per-node outcome.
+
+    Attributes
+    ----------
+    point_biserial:
+        Point-biserial correlation between the z-score magnitude and the
+        outcome indicator (NaN when degenerate).
+    p_value:
+        Two-sided p-value of that correlation.
+    odds_ratio:
+        Odds of the outcome for out-of-baseline nodes vs. baseline nodes
+        (Haldane-corrected to stay finite).
+    rate_by_category:
+        Outcome rate within each z-score category.
+    n_nodes:
+        Number of nodes in the analysis.
+    n_positive:
+        Number of nodes with the outcome.
+    """
+
+    point_biserial: float
+    p_value: float
+    odds_ratio: float
+    rate_by_category: dict[ZScoreCategory, float]
+    n_nodes: int
+    n_positive: int
+
+
+def _report(node_scores: NodeZScores, outcome: np.ndarray) -> CorrelationReport:
+    outcome = np.asarray(outcome, dtype=bool)
+    z = np.abs(node_scores.zscores)
+    if outcome.shape != z.shape:
+        raise ValueError("outcome must have one entry per scored node")
+    if z.size >= 2 and outcome.any() and not outcome.all() and np.ptp(z) > 0:
+        corr, p_value = stats.pointbiserialr(outcome.astype(int), z)
+    else:
+        corr, p_value = float("nan"), float("nan")
+
+    outside = np.abs(node_scores.zscores) > 1.5
+    a = float(np.sum(outside & outcome)) + 0.5
+    b = float(np.sum(outside & ~outcome)) + 0.5
+    c = float(np.sum(~outside & outcome)) + 0.5
+    d = float(np.sum(~outside & ~outcome)) + 0.5
+    odds_ratio = (a / b) / (c / d)
+
+    rates: dict[ZScoreCategory, float] = {}
+    for category in ZScoreCategory:
+        mask = node_scores.categories == category
+        rates[category] = float(outcome[mask].mean()) if np.any(mask) else float("nan")
+
+    return CorrelationReport(
+        point_biserial=float(corr),
+        p_value=float(p_value),
+        odds_ratio=float(odds_ratio),
+        rate_by_category=rates,
+        n_nodes=int(z.size),
+        n_positive=int(outcome.sum()),
+    )
+
+
+def correlate_with_hardware(
+    node_scores: NodeZScores,
+    hwlog: HardwareLog,
+    *,
+    event_type: HardwareEventType | None = None,
+    window: tuple[int, int] | None = None,
+) -> CorrelationReport:
+    """Associate node z-scores with hardware-event occurrence.
+
+    Parameters
+    ----------
+    node_scores:
+        Aggregated per-node z-scores.
+    hwlog:
+        The hardware log to test against.
+    event_type:
+        Restrict to one event category (e.g. correctable memory errors,
+        the Fig. 4 overlay); ``None`` considers any event.
+    window:
+        Snapshot range events must overlap to count.
+    """
+    events = hwlog.events
+    if window is not None:
+        lo, hi = window
+        events = [e for e in events if e.start_step < hi and e.end_step > lo]
+    affected = {
+        e.node
+        for e in events
+        if event_type is None or e.event_type is event_type
+    }
+    outcome = np.array([int(n) in affected for n in node_scores.node_indices])
+    return _report(node_scores, outcome)
+
+
+def correlate_with_jobs(
+    node_scores: NodeZScores,
+    joblog: JobLog,
+    *,
+    window: tuple[int, int] | None = None,
+) -> CorrelationReport:
+    """Associate node z-scores with job failures on those nodes."""
+    failed_nodes: set[int] = set()
+    for record in joblog.failed_jobs():
+        if window is not None:
+            lo, hi = window
+            end = record.end_step if record.end_step is not None else hi
+            if record.start_step >= hi or end <= lo:
+                continue
+        failed_nodes.update(record.nodes)
+    outcome = np.array([int(n) in failed_nodes for n in node_scores.node_indices])
+    return _report(node_scores, outcome)

@@ -1,0 +1,109 @@
+"""Multi-log alignment report.
+
+Bundles, for one analysis window, everything an operator looking at the
+rack view would want next to it: per-node z-scores, the hardware events and
+job activity on the flagged nodes, and the Q3 correlation statistics.  The
+case-study examples render this report as text next to the SVG rack views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.baseline import ZScoreCategory
+from ..hwlog.events import HardwareEventType, HardwareLog
+from ..joblog.jobs import JobLog
+from .correlate import CorrelationReport, correlate_with_hardware, correlate_with_jobs
+from .zscore_map import NodeZScores
+
+__all__ = ["AlignmentReport", "build_alignment_report"]
+
+
+@dataclass
+class AlignmentReport:
+    """Joined view of environment, hardware, and job logs for one window."""
+
+    node_scores: NodeZScores
+    hardware: CorrelationReport | None
+    jobs: CorrelationReport | None
+    hot_nodes: np.ndarray
+    cold_nodes: np.ndarray
+    memory_error_nodes: np.ndarray
+    flagged_projects: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = ["Alignment report"]
+        counts = {
+            cat.value: int(np.sum(self.node_scores.categories == cat))
+            for cat in ZScoreCategory
+        }
+        lines.append(f"  nodes scored: {self.node_scores.node_indices.size}")
+        lines.append(f"  z-score categories: {counts}")
+        lines.append(f"  hot nodes (z>2): {self.hot_nodes.size}")
+        lines.append(f"  cold nodes (z<-2): {self.cold_nodes.size}")
+        lines.append(f"  nodes with memory errors: {self.memory_error_nodes.size}")
+        if self.hardware is not None:
+            lines.append(
+                "  hardware correlation: "
+                f"r_pb={self.hardware.point_biserial:.3f}, "
+                f"odds_ratio={self.hardware.odds_ratio:.2f}"
+            )
+        if self.jobs is not None:
+            lines.append(
+                "  job-failure correlation: "
+                f"r_pb={self.jobs.point_biserial:.3f}, "
+                f"odds_ratio={self.jobs.odds_ratio:.2f}"
+            )
+        if self.flagged_projects:
+            lines.append(f"  projects on flagged nodes: {', '.join(self.flagged_projects)}")
+        return "\n".join(lines)
+
+
+def build_alignment_report(
+    node_scores: NodeZScores,
+    *,
+    hwlog: HardwareLog | None = None,
+    joblog: JobLog | None = None,
+    window: tuple[int, int] | None = None,
+) -> AlignmentReport:
+    """Assemble an :class:`AlignmentReport` from the available logs."""
+    hardware = (
+        correlate_with_hardware(node_scores, hwlog, window=window)
+        if hwlog is not None
+        else None
+    )
+    jobs = (
+        correlate_with_jobs(node_scores, joblog, window=window)
+        if joblog is not None
+        else None
+    )
+    memory_error_nodes = (
+        hwlog.nodes_with(HardwareEventType.CORRECTABLE_MEMORY_ERROR)
+        if hwlog is not None
+        else np.zeros(0, dtype=int)
+    )
+    flagged_projects: list[str] = []
+    if joblog is not None:
+        flagged = set(int(n) for n in node_scores.hot_nodes()) | set(
+            int(n) for n in node_scores.cold_nodes()
+        )
+        projects = {
+            record.project
+            for record in joblog
+            if flagged.intersection(record.nodes)
+        }
+        flagged_projects = sorted(projects)
+    return AlignmentReport(
+        node_scores=node_scores,
+        hardware=hardware,
+        jobs=jobs,
+        hot_nodes=node_scores.hot_nodes(),
+        cold_nodes=node_scores.cold_nodes(),
+        memory_error_nodes=np.intersect1d(
+            memory_error_nodes, node_scores.node_indices
+        ),
+        flagged_projects=flagged_projects,
+    )

@@ -1,0 +1,112 @@
+"""Temporal alignment of multifidelity logs onto a common snapshot clock.
+
+The three log types live on different clocks: environment readings arrive
+every 10-30 s, job records carry start/end times, and hardware events are
+sparse points or intervals.  Alignment means expressing everything on the
+environment log's snapshot grid so per-node, per-window comparisons are
+trivially joins.  This module provides that re-gridding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hwlog.events import HardwareEventType, HardwareLog
+from ..joblog.jobs import JobLog
+
+__all__ = ["Timeline", "bin_events", "job_activity_matrix", "event_presence_matrix"]
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """A snapshot grid: ``n_timesteps`` samples spaced ``dt`` seconds apart."""
+
+    n_timesteps: int
+    dt: float
+    start_step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+
+    @property
+    def duration_seconds(self) -> float:
+        """Total covered wall-clock span."""
+        return self.n_timesteps * self.dt
+
+    @property
+    def duration_hours(self) -> float:
+        """Total covered span in hours."""
+        return self.duration_seconds / 3600.0
+
+    def windows(self, n_windows: int) -> list[tuple[int, int]]:
+        """Split the grid into ``n_windows`` nearly equal ``[start, stop)`` spans.
+
+        Case study 2 splits 16 hours into two 8-hour windows; this is that
+        split on the snapshot grid.
+        """
+        if n_windows < 1:
+            raise ValueError("n_windows must be >= 1")
+        edges = np.linspace(0, self.n_timesteps, n_windows + 1, dtype=int)
+        return [(int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:])]
+
+    def step_of_seconds(self, seconds: float) -> int:
+        """Snapshot index containing the given time offset."""
+        step = int(seconds // self.dt)
+        return int(np.clip(step, 0, self.n_timesteps - 1))
+
+
+def job_activity_matrix(joblog: JobLog, n_nodes: int, timeline: Timeline) -> np.ndarray:
+    """Per-node, per-snapshot job occupancy on the environment clock."""
+    return joblog.utilization_matrix(n_nodes, timeline.n_timesteps)
+
+
+def event_presence_matrix(
+    hwlog: HardwareLog,
+    n_nodes: int,
+    timeline: Timeline,
+    *,
+    event_type: HardwareEventType | None = None,
+) -> np.ndarray:
+    """Boolean ``(n_nodes, T)`` matrix marking when events were active."""
+    presence = np.zeros((n_nodes, timeline.n_timesteps), dtype=bool)
+    for event in hwlog:
+        if event_type is not None and event.event_type is not event_type:
+            continue
+        if not 0 <= event.node < n_nodes:
+            continue
+        lo = max(event.start_step, 0)
+        hi = min(event.end_step, timeline.n_timesteps)
+        if hi > lo:
+            presence[event.node, lo:hi] = True
+        elif 0 <= event.start_step < timeline.n_timesteps:
+            presence[event.node, event.start_step] = True
+    return presence
+
+
+def bin_events(
+    hwlog: HardwareLog,
+    n_nodes: int,
+    timeline: Timeline,
+    n_bins: int,
+    *,
+    event_type: HardwareEventType | None = None,
+) -> np.ndarray:
+    """Per-node event counts in ``n_bins`` equal time bins, shape ``(n_nodes, n_bins)``."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    counts = np.zeros((n_nodes, n_bins), dtype=int)
+    edges = np.linspace(0, timeline.n_timesteps, n_bins + 1)
+    for event in hwlog:
+        if event_type is not None and event.event_type is not event_type:
+            continue
+        if not 0 <= event.node < n_nodes:
+            continue
+        b = int(np.searchsorted(edges, event.start_step, side="right") - 1)
+        b = int(np.clip(b, 0, n_bins - 1))
+        counts[event.node, b] += 1
+    return counts

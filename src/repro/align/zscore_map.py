@@ -1,0 +1,104 @@
+"""Mapping row-level z-scores onto nodes for the rack view.
+
+The mrDMD/z-score analysis operates on (sensor, node) rows; the rack view
+(Figs. 4/6) colours *nodes*.  This module collapses row-level z-scores onto
+nodes (rows of the same node are aggregated), producing the per-node value
+dictionary the visualization and alignment consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.baseline import ZScoreCategory, ZScoreResult, classify_zscores
+
+__all__ = ["NodeZScores", "map_zscores_to_nodes"]
+
+
+@dataclass
+class NodeZScores:
+    """Per-node z-score summary.
+
+    Attributes
+    ----------
+    node_indices:
+        Sorted populated-node indices present in the analysis.
+    zscores:
+        One aggregated z-score per node (same order as ``node_indices``).
+    categories:
+        :class:`~repro.core.baseline.ZScoreCategory` per node.
+    """
+
+    node_indices: np.ndarray
+    zscores: np.ndarray
+    categories: np.ndarray
+
+    def as_dict(self) -> dict[int, float]:
+        """``{node_index: zscore}`` mapping for the rack view."""
+        return {int(n): float(z) for n, z in zip(self.node_indices, self.zscores)}
+
+    def nodes_in_category(self, category: ZScoreCategory) -> np.ndarray:
+        """Node indices whose aggregated z-score falls in ``category``."""
+        return self.node_indices[self.categories == category]
+
+    def hot_nodes(self) -> np.ndarray:
+        """Nodes with z > extreme threshold (overheating risk)."""
+        return self.nodes_in_category(ZScoreCategory.VERY_HIGH)
+
+    def cold_nodes(self) -> np.ndarray:
+        """Nodes with z < -extreme threshold (idle / stalled)."""
+        return self.nodes_in_category(ZScoreCategory.VERY_LOW)
+
+
+def map_zscores_to_nodes(
+    result: ZScoreResult,
+    node_of_row: np.ndarray,
+    *,
+    reducer: str = "mean",
+    near: float | None = None,
+    extreme: float | None = None,
+) -> NodeZScores:
+    """Aggregate row z-scores per node.
+
+    Parameters
+    ----------
+    result:
+        Row-level z-scores from :meth:`repro.core.baseline.BaselineModel.score`.
+    node_of_row:
+        Length-``P`` array mapping each scored row to its node index
+        (e.g. ``TelemetryStream.node_indices``).
+    reducer:
+        ``"mean"`` (default), ``"max"`` (worst-case reading wins) or
+        ``"absmax"`` (largest magnitude, keeping its sign).
+    near / extreme:
+        Classification thresholds; default to those in ``result``.
+    """
+    node_of_row = np.asarray(node_of_row, dtype=int)
+    if node_of_row.shape[0] != result.zscores.shape[0]:
+        raise ValueError(
+            f"node_of_row has {node_of_row.shape[0]} entries but result has "
+            f"{result.zscores.shape[0]} rows"
+        )
+    near = result.near if near is None else near
+    extreme = result.extreme if extreme is None else extreme
+
+    unique_nodes = np.unique(node_of_row)
+    aggregated = np.zeros(unique_nodes.size, dtype=float)
+    for i, node in enumerate(unique_nodes):
+        rows = result.zscores[node_of_row == node]
+        if reducer == "mean":
+            aggregated[i] = rows.mean()
+        elif reducer == "max":
+            aggregated[i] = rows.max()
+        elif reducer == "absmax":
+            aggregated[i] = rows[np.argmax(np.abs(rows))]
+        else:
+            raise ValueError(f"unknown reducer {reducer!r}")
+    categories = classify_zscores(aggregated, near=near, extreme=extreme)
+    return NodeZScores(
+        node_indices=unique_nodes,
+        zscores=aggregated,
+        categories=categories,
+    )

@@ -1,0 +1,25 @@
+"""Comparison dimensionality-reduction methods for Figs. 8 and 9.
+
+All methods share the :class:`~repro.compare.base.DimensionalityReducer`
+interface; the DMD family (mrDMD / I-mrDMD) enters the comparison through
+the z-score pipeline rather than through this subpackage.
+"""
+
+from .aligned_umap import AlignedUMAPLite
+from .base import DimensionalityReducer, NotIncrementalError
+from .ipca import IncrementalPCA
+from .pca import PCA
+from .tsne import TSNE
+from .umap_lite import UMAPLite, find_ab_params, fuzzy_simplicial_set
+
+__all__ = [
+    "AlignedUMAPLite",
+    "DimensionalityReducer",
+    "NotIncrementalError",
+    "IncrementalPCA",
+    "PCA",
+    "TSNE",
+    "UMAPLite",
+    "find_ab_params",
+    "fuzzy_simplicial_set",
+]

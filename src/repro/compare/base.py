@@ -1,0 +1,86 @@
+"""Common interface for the comparison dimensionality-reduction methods.
+
+Fig. 8 compares PCA, incremental PCA, UMAP, t-SNE, Aligned-UMAP, mrDMD and
+I-mrDMD on the same labelled readings; Fig. 9 compares their initial-fit and
+partial-fit runtimes.  To keep both comparisons uniform, every method here
+implements the same minimal estimator protocol:
+
+* ``fit(X)`` / ``fit_transform(X)`` — batch fit on an ``(n_samples,
+  n_features)`` matrix (for the paper's use case, samples are sensor rows
+  and features are time points);
+* ``transform(X)`` — embed new rows with the fitted model (where the method
+  supports out-of-sample transforms);
+* ``partial_fit(X)`` — incremental update with additional *feature columns*
+  for the streaming methods (IPCA, Aligned-UMAP-lite, and the DMD family),
+  mirroring how the paper appends new time points.
+
+Methods that have no natural incremental update raise
+:class:`NotIncrementalError` from ``partial_fit`` so the Fig. 9 harness can
+skip those cells explicitly rather than silently.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["DimensionalityReducer", "NotIncrementalError"]
+
+
+class NotIncrementalError(NotImplementedError):
+    """Raised by ``partial_fit`` on methods without an incremental update."""
+
+
+class DimensionalityReducer(abc.ABC):
+    """Abstract base class of the Fig. 8/9 comparison methods."""
+
+    #: Number of output dimensions (2 everywhere in the paper).
+    n_components: int = 2
+
+    def __init__(self, n_components: int = 2) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = int(n_components)
+        self.embedding_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_matrix(data: np.ndarray, name: str = "X") -> np.ndarray:
+        arr = np.asarray(data, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError(f"{name} must be 2-D (n_samples, n_features), got {arr.shape!r}")
+        if arr.shape[0] < 1 or arr.shape[1] < 1:
+            raise ValueError(f"{name} must be non-empty")
+        return arr
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def fit(self, data: np.ndarray) -> "DimensionalityReducer":
+        """Fit the model on ``(n_samples, n_features)`` data."""
+
+    @abc.abstractmethod
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Embed rows of ``data`` into ``n_components`` dimensions."""
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its embedding."""
+        self.fit(data)
+        if self.embedding_ is not None:
+            return self.embedding_
+        return self.transform(data)
+
+    def partial_fit(self, new_columns: np.ndarray) -> "DimensionalityReducer":
+        """Incorporate new feature columns (new time points).
+
+        Methods without a streaming update raise
+        :class:`NotIncrementalError`.
+        """
+        raise NotIncrementalError(
+            f"{type(self).__name__} has no incremental update"
+        )
+
+    @property
+    def supports_partial_fit(self) -> bool:
+        """Whether :meth:`partial_fit` is implemented."""
+        return type(self).partial_fit is not DimensionalityReducer.partial_fit

@@ -1,0 +1,74 @@
+"""Principal component analysis (batch) — Fig. 8/9 baseline.
+
+Plain SVD-based PCA on an ``(n_samples, n_features)`` matrix with feature
+centering, equivalent to scikit-learn's ``PCA(n_components=2,
+svd_solver="auto")`` as configured in the paper's Fig. 9 comparison.  In the
+paper's usage, samples are sensor readings (rows) and features are time
+points, so the embedding places each sensor according to the shape of its
+time series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DimensionalityReducer
+
+__all__ = ["PCA"]
+
+
+class PCA(DimensionalityReducer):
+    """Exact PCA via singular value decomposition.
+
+    Attributes (after ``fit``)
+    --------------------------
+    components_:
+        ``(n_components, n_features)`` principal axes.
+    explained_variance_:
+        Variance explained by each retained component.
+    explained_variance_ratio_:
+        Fraction of total variance explained by each component.
+    mean_:
+        Per-feature mean removed before the SVD.
+    embedding_:
+        ``(n_samples, n_components)`` scores of the training data.
+    """
+
+    def __init__(self, n_components: int = 2) -> None:
+        super().__init__(n_components)
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+        self.singular_values_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        """Fit the principal axes of ``data``."""
+        x = self._check_matrix(data)
+        k = min(self.n_components, *x.shape)
+        self.mean_ = x.mean(axis=0)
+        centered = x - self.mean_
+        u, s, vh = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vh[:k]
+        self.singular_values_ = s[:k]
+        n = x.shape[0]
+        variances = (s**2) / max(n - 1, 1)
+        total = variances.sum()
+        self.explained_variance_ = variances[:k]
+        self.explained_variance_ratio_ = (
+            variances[:k] / total if total > 0 else np.zeros(k)
+        )
+        self.embedding_ = u[:, :k] * s[:k]
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project new rows onto the fitted principal axes."""
+        if self.components_ is None:
+            raise RuntimeError("PCA must be fitted before transform")
+        x = self._check_matrix(data)
+        if x.shape[1] != self.components_.shape[1]:
+            raise ValueError(
+                f"feature mismatch: model has {self.components_.shape[1]}, "
+                f"data has {x.shape[1]}"
+            )
+        return (x - self.mean_) @ self.components_.T

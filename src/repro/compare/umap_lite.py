@@ -1,0 +1,259 @@
+"""UMAP-lite: a compact uniform-manifold-approximation-style embedding.
+
+The paper's Figs. 8/9 use McInnes et al.'s ``umap-learn`` (n_neighbors=15,
+min_dist=0.1, Euclidean metric).  That package is not available offline, so
+this module re-implements the algorithm's essential structure in NumPy/SciPy:
+
+1. k-nearest-neighbour graph (``scipy.spatial.cKDTree``);
+2. per-point bandwidth calibration (``rho`` = distance to the nearest
+   neighbour, ``sigma`` chosen by binary search so the smoothed neighbour
+   weights sum to ``log2(k)``);
+3. fuzzy simplicial set symmetrisation ``P = A + A.T - A * A.T``;
+4. spectral-ish initialisation (PCA of the input) followed by stochastic
+   gradient optimisation of the cross-entropy with attractive forces along
+   graph edges and repulsive forces against negative samples, using the
+   standard ``1 / (1 + a d^{2b})`` low-dimensional kernel.
+
+It is intentionally "lite": no smooth-kNN caching, no sophisticated
+annealing.  For the paper's purposes (qualitative cluster structure in
+Fig. 8 and runtime *shape* in Fig. 9) this captures the relevant behaviour;
+DESIGN.md records the substitution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .base import DimensionalityReducer
+from .pca import PCA
+
+__all__ = ["UMAPLite", "fuzzy_simplicial_set", "find_ab_params"]
+
+
+def find_ab_params(min_dist: float, spread: float = 1.0) -> tuple[float, float]:
+    """Fit the ``a, b`` parameters of the low-dimensional kernel.
+
+    umap-learn fits a curve; here a small least-squares grid search over
+    ``b`` with closed-form ``a`` gives values within a few percent of the
+    reference for the usual ``min_dist``/``spread`` settings.
+    """
+    if spread <= 0:
+        raise ValueError("spread must be positive")
+    if min_dist < 0 or min_dist >= spread:
+        raise ValueError("min_dist must satisfy 0 <= min_dist < spread")
+    xs = np.linspace(0, 3.0 * spread, 300)
+    target = np.where(
+        xs < min_dist, 1.0, np.exp(-(xs - min_dist) / spread)
+    )
+    best = (1.577, 0.895)  # umap defaults for min_dist=0.1, spread=1
+    best_err = np.inf
+    for b in np.linspace(0.5, 2.0, 61):
+        # For fixed b, fit a by least squares on 1 / (1 + a x^{2b}) ~ target.
+        xb = xs**(2 * b)
+        # avoid division by zero at x=0
+        mask = target < 1.0
+        if not np.any(mask):
+            continue
+        a_est = np.mean((1.0 / target[mask] - 1.0) / np.maximum(xb[mask], 1e-12))
+        a_est = max(a_est, 1e-3)
+        fitted = 1.0 / (1.0 + a_est * xb)
+        err = float(np.mean((fitted - target) ** 2))
+        if err < best_err:
+            best_err = err
+            best = (float(a_est), float(b))
+    return best
+
+
+def fuzzy_simplicial_set(
+    data: np.ndarray,
+    n_neighbors: int,
+    *,
+    bandwidth_iterations: int = 32,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build the symmetrised fuzzy neighbourhood graph.
+
+    Returns ``(rows, cols, weights)`` of the non-zero entries of the
+    symmetric membership matrix (COO triplets), suitable for edge-sampled
+    SGD.
+    """
+    data = np.asarray(data, dtype=float)
+    n = data.shape[0]
+    k = min(n_neighbors + 1, n)
+    tree = cKDTree(data)
+    distances, indices = tree.query(data, k=k)
+    # Drop self-matches in column 0.
+    distances, indices = distances[:, 1:], indices[:, 1:]
+    k_eff = distances.shape[1]
+    if k_eff == 0:
+        return np.zeros(0, int), np.zeros(0, int), np.zeros(0)
+
+    rho = distances[:, 0].copy()
+    target = np.log2(max(k_eff, 2))
+    sigma = np.ones(n)
+    for i in range(n):
+        lo, hi = 0.0, np.inf
+        s = 1.0
+        d = np.maximum(distances[i] - rho[i], 0.0)
+        for _ in range(bandwidth_iterations):
+            total = np.exp(-d / max(s, 1e-12)).sum()
+            if abs(total - target) < 1e-5:
+                break
+            if total > target:
+                hi = s
+                s = (lo + s) / 2.0
+            else:
+                lo = s
+                s = s * 2.0 if not np.isfinite(hi) else (s + hi) / 2.0
+        sigma[i] = max(s, 1e-12)
+
+    weights = np.exp(-np.maximum(distances - rho[:, None], 0.0) / sigma[:, None])
+    rows = np.repeat(np.arange(n), k_eff)
+    cols = indices.ravel()
+    vals = weights.ravel()
+
+    # Symmetrise: P = A + A^T - A ∘ A^T, done sparsely via a dict keyed on pairs.
+    directed: dict[tuple[int, int], float] = {}
+    for r, c, v in zip(rows, cols, vals):
+        directed[(int(r), int(c))] = float(v)
+    combined: dict[tuple[int, int], float] = {}
+    for (r, c), v in directed.items():
+        v_t = directed.get((c, r), 0.0)
+        combined[(min(r, c), max(r, c))] = v + v_t - v * v_t
+    if not combined:
+        return np.zeros(0, int), np.zeros(0, int), np.zeros(0)
+    pairs = np.array(list(combined.keys()), dtype=int)
+    sym_weights = np.array(list(combined.values()), dtype=float)
+    return pairs[:, 0], pairs[:, 1], sym_weights
+
+
+class UMAPLite(DimensionalityReducer):
+    """Simplified UMAP with the reference hyperparameters.
+
+    Parameters mirror the paper's settings: ``n_neighbors=15``,
+    ``min_dist=0.1``, Euclidean metric, 2 output components.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        *,
+        n_neighbors: int = 15,
+        min_dist: float = 0.1,
+        n_epochs: int = 200,
+        learning_rate: float = 1.0,
+        negative_samples: int = 5,
+        random_state: int = 0,
+    ) -> None:
+        super().__init__(n_components)
+        if n_neighbors < 2:
+            raise ValueError("n_neighbors must be >= 2")
+        if n_epochs < 10:
+            raise ValueError("n_epochs must be >= 10")
+        self.n_neighbors = int(n_neighbors)
+        self.min_dist = float(min_dist)
+        self.n_epochs = int(n_epochs)
+        self.learning_rate = float(learning_rate)
+        self.negative_samples = int(negative_samples)
+        self.random_state = int(random_state)
+        self._a, self._b = find_ab_params(min_dist)
+        self.graph_: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+    def _initial_embedding(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        k = min(self.n_components, min(data.shape) - 1) or 1
+        try:
+            init = PCA(n_components=self.n_components).fit_transform(data)
+        except Exception:  # degenerate input; fall back to random
+            init = rng.standard_normal((data.shape[0], self.n_components))
+        if init.shape[1] < self.n_components:
+            pad = rng.standard_normal((data.shape[0], self.n_components - init.shape[1])) * 1e-4
+            init = np.hstack([init, pad])
+        scale = np.abs(init).max() or 1.0
+        return 10.0 * init / scale + rng.standard_normal(init.shape) * 1e-4
+
+    def _optimize(
+        self,
+        embedding: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        weights: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        anchors: np.ndarray | None = None,
+        anchor_strength: float = 0.0,
+    ) -> np.ndarray:
+        """Edge-sampled SGD on the UMAP cross-entropy (plus optional anchors)."""
+        n = embedding.shape[0]
+        if rows.size == 0:
+            return embedding
+        a, b = self._a, self._b
+        w = weights / weights.max()
+        for epoch in range(self.n_epochs):
+            alpha = self.learning_rate * (1.0 - epoch / self.n_epochs)
+            # Sample edges proportionally to their membership strength.
+            active = rng.random(rows.size) < w
+            e_rows, e_cols = rows[active], cols[active]
+            if e_rows.size == 0:
+                continue
+            diff = embedding[e_rows] - embedding[e_cols]
+            d2 = np.sum(diff**2, axis=1)
+            # Attractive gradient coefficient.
+            grad_coef = (-2.0 * a * b * d2 ** (b - 1.0)) / (1.0 + a * d2**b)
+            grad = np.clip(grad_coef[:, None] * diff, -4.0, 4.0)
+            np.add.at(embedding, e_rows, alpha * grad)
+            np.add.at(embedding, e_cols, -alpha * grad)
+            # Repulsive forces against negative samples.
+            for _ in range(self.negative_samples):
+                neg = rng.integers(0, n, size=e_rows.size)
+                diff_n = embedding[e_rows] - embedding[neg]
+                d2n = np.sum(diff_n**2, axis=1) + 1e-3
+                rep_coef = (2.0 * b) / (d2n * (1.0 + a * d2n**b))
+                rep = np.clip(rep_coef[:, None] * diff_n, -4.0, 4.0)
+                np.add.at(embedding, e_rows, alpha * rep)
+            if anchors is not None and anchor_strength > 0.0:
+                embedding += anchor_strength * alpha * (anchors - embedding)
+        return embedding
+
+    # ------------------------------------------------------------------ #
+    def fit(self, data: np.ndarray) -> "UMAPLite":
+        """Build the fuzzy graph and optimise the embedding."""
+        x = self._check_matrix(data)
+        rng = np.random.default_rng(self.random_state)
+        rows, cols, weights = fuzzy_simplicial_set(x, self.n_neighbors)
+        self.graph_ = (rows, cols, weights)
+        embedding = self._initial_embedding(x, rng)
+        self.embedding_ = self._optimize(embedding, rows, cols, weights, rng)
+        return self
+
+    def fit_with_anchors(
+        self, data: np.ndarray, anchors: np.ndarray, anchor_strength: float = 0.1
+    ) -> "UMAPLite":
+        """Fit while pulling points toward given anchor coordinates.
+
+        Used by Aligned-UMAP-lite to keep consecutive windows' embeddings
+        mutually consistent.
+        """
+        x = self._check_matrix(data)
+        anchors = np.asarray(anchors, dtype=float)
+        if anchors.shape != (x.shape[0], self.n_components):
+            raise ValueError(
+                f"anchors must have shape ({x.shape[0]}, {self.n_components})"
+            )
+        rng = np.random.default_rng(self.random_state)
+        rows, cols, weights = fuzzy_simplicial_set(x, self.n_neighbors)
+        self.graph_ = (rows, cols, weights)
+        embedding = anchors.copy() + rng.standard_normal(anchors.shape) * 1e-3
+        self.embedding_ = self._optimize(
+            embedding, rows, cols, weights, rng,
+            anchors=anchors, anchor_strength=anchor_strength,
+        )
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Nearest-training-neighbour barycentric placement of new rows."""
+        if self.embedding_ is None or self.graph_ is None:
+            raise RuntimeError("UMAPLite must be fitted before transform")
+        raise NotImplementedError(
+            "UMAPLite keeps only the training embedding; refit to embed new rows"
+        )

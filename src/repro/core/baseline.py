@@ -1,0 +1,347 @@
+"""Baseline selection and z-score change-from-baseline analysis.
+
+The paper (Sec. III-A-2 and both case studies) turns the mrDMD output into
+an operator-facing health signal in three steps:
+
+1. **baseline selection** — pick readings that represent "expected" system
+   behaviour.  In the case studies this is a simple temperature band
+   (46-57 degC for case 1; 45-60 degC / 30-45 degC for the hot and cool
+   halves of case 2), but any boolean selector over sensors/time works and
+   the user can supply job- or project-specific baselines;
+2. **per-measurement statistics** — estimate each measurement's baseline
+   magnitude and the standard deviation of the deviation from it (following
+   Brunton et al. 2016, reference [1]);
+3. **z-scores** — ``z_p = (current_p - baseline_p) / sigma_p``; values in
+   ``[-1.5, 1.5]`` count as near-baseline, ``> 2`` as critically hot
+   (overheating risk), and strongly negative values as under-utilised /
+   stalled nodes.
+
+The resulting per-node z-scores feed the rack-layout view (Figs. 4/6) and
+the alignment with hardware/job logs (:mod:`repro.align`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = [
+    "ZScoreCategory",
+    "BaselineSpec",
+    "BaselineModel",
+    "ZScoreResult",
+    "select_baseline_mask",
+    "compute_zscores",
+    "classify_zscores",
+]
+
+
+class ZScoreCategory(Enum):
+    """Operational interpretation of a z-score value (paper Sec. V)."""
+
+    VERY_LOW = "very_low"        # z < -2     : likely idle / stalled node
+    LOW = "low"                  # -2 <= z < -1.5
+    BASELINE = "baseline"        # -1.5 <= z <= 1.5 : expected behaviour
+    ELEVATED = "elevated"        # 1.5 < z <= 2
+    VERY_HIGH = "very_high"      # z > 2      : overheating risk
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """How to pick baseline readings out of a data matrix.
+
+    Exactly one of the selection mechanisms is typically used; when several
+    are given their conjunction applies.
+
+    Attributes
+    ----------
+    value_range:
+        Keep samples whose value lies in ``[low, high]`` — the paper's
+        temperature-band baselines.
+    time_range:
+        Keep snapshots with index in ``[start, stop)``.
+    row_indices:
+        Restrict to these sensor rows (e.g. the nodes of a reference job).
+    min_fraction:
+        Minimum fraction of in-range samples a row must have for its
+        in-range samples to be trusted; rows below it fall back to the
+        global baseline statistics.
+    """
+
+    value_range: tuple[float, float] | None = None
+    time_range: tuple[int, int] | None = None
+    row_indices: np.ndarray | None = None
+    min_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.value_range is not None and self.value_range[1] < self.value_range[0]:
+            raise ValueError(f"value_range must be (low, high), got {self.value_range!r}")
+        if self.time_range is not None and self.time_range[1] < self.time_range[0]:
+            raise ValueError(f"time_range must be (start, stop), got {self.time_range!r}")
+        if not 0.0 <= self.min_fraction <= 1.0:
+            raise ValueError("min_fraction must be in [0, 1]")
+
+
+def select_baseline_mask(data: np.ndarray, spec: BaselineSpec) -> np.ndarray:
+    """Boolean mask over ``data`` (same shape) marking baseline samples."""
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D (P, T), got shape {data.shape!r}")
+    mask = np.ones(data.shape, dtype=bool)
+    if spec.value_range is not None:
+        lo, hi = spec.value_range
+        mask &= (data >= lo) & (data <= hi)
+    if spec.time_range is not None:
+        start, stop = spec.time_range
+        col_mask = np.zeros(data.shape[1], dtype=bool)
+        col_mask[max(start, 0) : max(stop, 0)] = True
+        mask &= col_mask[None, :]
+    if spec.row_indices is not None:
+        row_mask = np.zeros(data.shape[0], dtype=bool)
+        row_mask[np.asarray(spec.row_indices, dtype=int)] = True
+        mask &= row_mask[:, None]
+    return mask
+
+
+def compute_zscores(
+    current: np.ndarray,
+    baseline_mean: np.ndarray | float,
+    baseline_std: np.ndarray | float,
+    *,
+    std_floor: float = 1e-8,
+) -> np.ndarray:
+    """Elementwise z-scores ``(current - mean) / max(std, std_floor)``."""
+    current = np.asarray(current, dtype=float)
+    std = np.maximum(np.asarray(baseline_std, dtype=float), std_floor)
+    return (current - np.asarray(baseline_mean, dtype=float)) / std
+
+
+def classify_zscores(
+    zscores: np.ndarray,
+    *,
+    near: float = 1.5,
+    extreme: float = 2.0,
+) -> np.ndarray:
+    """Map z-scores to :class:`ZScoreCategory` values (object array)."""
+    if near <= 0 or extreme <= 0 or extreme < near:
+        raise ValueError("thresholds must satisfy 0 < near <= extreme")
+    z = np.asarray(zscores, dtype=float)
+    out = np.empty(z.shape, dtype=object)
+    out[...] = ZScoreCategory.BASELINE
+    out[z > near] = ZScoreCategory.ELEVATED
+    out[z > extreme] = ZScoreCategory.VERY_HIGH
+    out[z < -near] = ZScoreCategory.LOW
+    out[z < -extreme] = ZScoreCategory.VERY_LOW
+    return out
+
+
+@dataclass
+class ZScoreResult:
+    """Per-measurement z-scores plus derived summaries.
+
+    Attributes
+    ----------
+    zscores:
+        1-D array, one value per sensor/node row.
+    categories:
+        :class:`ZScoreCategory` per row.
+    baseline_mean / baseline_std:
+        The per-row statistics used.
+    near / extreme:
+        The classification thresholds used (paper defaults 1.5 / 2).
+    """
+
+    zscores: np.ndarray
+    categories: np.ndarray
+    baseline_mean: np.ndarray
+    baseline_std: np.ndarray
+    near: float = 1.5
+    extreme: float = 2.0
+
+    def counts(self) -> dict[ZScoreCategory, int]:
+        """Number of rows in each category."""
+        return {cat: int(np.sum(self.categories == cat)) for cat in ZScoreCategory}
+
+    def hot_rows(self) -> np.ndarray:
+        """Indices of rows flagged VERY_HIGH (overheating risk)."""
+        return np.flatnonzero(self.categories == ZScoreCategory.VERY_HIGH)
+
+    def cold_rows(self) -> np.ndarray:
+        """Indices of rows flagged VERY_LOW (idle / stalled)."""
+        return np.flatnonzero(self.categories == ZScoreCategory.VERY_LOW)
+
+    def baseline_rows(self) -> np.ndarray:
+        """Indices of rows within the near-baseline band."""
+        return np.flatnonzero(self.categories == ZScoreCategory.BASELINE)
+
+    def fraction_outside_baseline(self) -> float:
+        """Fraction of rows outside the near-baseline band."""
+        if self.zscores.size == 0:
+            return 0.0
+        return float(np.mean(np.abs(self.zscores) > self.near))
+
+
+class BaselineModel:
+    """Per-measurement baseline statistics and z-score computation.
+
+    Typical usage mirrors the case studies::
+
+        spec = BaselineSpec(value_range=(46.0, 57.0))
+        model = BaselineModel.from_data(raw_or_reconstructed, spec)
+        result = model.score(reconstruction)      # one z-score per sensor
+
+    ``from_data`` estimates, for every row, the mean and standard deviation
+    of its baseline samples; rows with too few baseline samples fall back to
+    the global statistics so every row always gets a finite z-score.
+    """
+
+    def __init__(
+        self,
+        mean: np.ndarray,
+        std: np.ndarray,
+        *,
+        near: float = 1.5,
+        extreme: float = 2.0,
+        std_floor: float = 1e-8,
+    ) -> None:
+        mean = np.asarray(mean, dtype=float)
+        std = np.asarray(std, dtype=float)
+        if mean.shape != std.shape:
+            raise ValueError("mean and std must have the same shape")
+        if np.any(std < 0):
+            raise ValueError("std must be non-negative")
+        self.mean = mean
+        self.std = std
+        self.near = float(near)
+        self.extreme = float(extreme)
+        self.std_floor = float(std_floor)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_data(
+        cls,
+        data: np.ndarray,
+        spec: BaselineSpec,
+        *,
+        near: float = 1.5,
+        extreme: float = 2.0,
+    ) -> "BaselineModel":
+        """Estimate per-row baseline statistics from (reconstructed) data.
+
+        ``data`` is a ``(P, T)`` matrix — typically the noise-filtered
+        mrDMD reconstruction, so the statistics describe the underlying
+        dynamics rather than sensor noise.
+        """
+        data = np.asarray(data, dtype=float)
+        mask = select_baseline_mask(data, spec)
+        counts = mask.sum(axis=1)
+        n_cols = data.shape[1]
+
+        masked = np.where(mask, data, np.nan)
+        # Rows with no baseline samples produce all-NaN slices; NumPy warns
+        # about those even though the fallback below replaces the result.
+        with np.errstate(invalid="ignore"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            row_mean = np.nanmean(masked, axis=1)
+            row_std = np.nanstd(masked, axis=1)
+
+        # Global fallback for rows with no (or too few) baseline samples.
+        if np.any(mask):
+            global_mean = float(data[mask].mean())
+            global_std = float(data[mask].std())
+        else:
+            global_mean = float(data.mean())
+            global_std = float(data.std())
+        min_count = max(1, int(np.ceil(spec.min_fraction * n_cols)))
+        insufficient = counts < min_count
+        row_mean = np.where(insufficient | ~np.isfinite(row_mean), global_mean, row_mean)
+        row_std = np.where(insufficient | ~np.isfinite(row_std) | (row_std == 0.0),
+                           max(global_std, 1e-8), row_std)
+        return cls(row_mean, row_std, near=near, extreme=extreme)
+
+    @classmethod
+    def from_reference_rows(
+        cls,
+        data: np.ndarray,
+        rows: np.ndarray,
+        *,
+        near: float = 1.5,
+        extreme: float = 2.0,
+    ) -> "BaselineModel":
+        """Build a shared baseline from a set of reference rows.
+
+        Every row is compared against the *same* statistics computed over
+        ``data[rows]`` — the "baselines specific to the user jobs" variant
+        mentioned at the end of case study 2.
+        """
+        data = np.asarray(data, dtype=float)
+        rows = np.asarray(rows, dtype=int)
+        if rows.size == 0:
+            raise ValueError("rows must contain at least one index")
+        reference = data[rows]
+        mean = float(reference.mean())
+        std = float(reference.std()) or 1e-8
+        p = data.shape[0]
+        return cls(np.full(p, mean), np.full(p, std), near=near, extreme=extreme)
+
+    # ------------------------------------------------------------------ #
+    def score_values(self, values: np.ndarray) -> np.ndarray:
+        """Z-scores of a per-row value vector (no classification)."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != self.mean.shape:
+            raise ValueError(
+                f"values shape {values.shape} does not match baseline shape {self.mean.shape}"
+            )
+        return compute_zscores(values, self.mean, self.std, std_floor=self.std_floor)
+
+    def score(
+        self,
+        data: np.ndarray,
+        *,
+        reducer: str = "mean",
+        time_range: tuple[int, int] | None = None,
+    ) -> ZScoreResult:
+        """Score a ``(P, T)`` matrix (or ``(P,)`` vector) row by row.
+
+        ``reducer`` collapses each row's time dimension before scoring:
+        ``"mean"`` (default), ``"max"``, ``"median"`` or ``"last"``.
+        ``time_range`` optionally restricts the columns considered, which
+        is how the two 8-hour windows of case study 2 are scored from one
+        decomposition.
+        """
+        data = np.asarray(data, dtype=float)
+        if data.ndim == 1:
+            values = data
+        elif data.ndim == 2:
+            window = data
+            if time_range is not None:
+                start, stop = time_range
+                window = data[:, max(start, 0) : max(stop, 0)]
+                if window.shape[1] == 0:
+                    raise ValueError(f"time_range {time_range!r} selects no columns")
+            if reducer == "mean":
+                values = window.mean(axis=1)
+            elif reducer == "max":
+                values = window.max(axis=1)
+            elif reducer == "median":
+                values = np.median(window, axis=1)
+            elif reducer == "last":
+                values = window[:, -1]
+            else:
+                raise ValueError(f"unknown reducer {reducer!r}")
+        else:
+            raise ValueError(f"data must be 1-D or 2-D, got shape {data.shape!r}")
+
+        z = self.score_values(values)
+        cats = classify_zscores(z, near=self.near, extreme=self.extreme)
+        return ZScoreResult(
+            zscores=z,
+            categories=cats,
+            baseline_mean=self.mean.copy(),
+            baseline_std=self.std.copy(),
+            near=self.near,
+            extreme=self.extreme,
+        )

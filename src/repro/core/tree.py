@@ -1,0 +1,487 @@
+"""Data structures for the multiresolution DMD mode tree.
+
+The mrDMD recursion produces a binary tree of time windows: level 1 covers
+the full timeline, level 2 its two halves, level 3 the four quarters, and
+so on (Fig. 1(a) of the paper).  Each node stores the *slow* DMD modes
+extracted at that window together with everything needed to reconstruct
+their contribution (eigenvalues, amplitudes, the local sampling interval
+after the 4x-Nyquist subsampling, and the window's absolute position).
+
+The tree object offers the traversals the rest of the pipeline needs:
+
+* per-level access (used by the incremental update's level re-indexing),
+* global mode tables (used by the mrDMD spectrum, Figs. 5/7),
+* window-resolved reconstruction (Eq. 7/8, Fig. 3),
+* compact serialisation of what is, for week-scale telemetry, a
+  megabyte-scale summary of terabyte-scale raw data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["MrDMDNode", "MrDMDTree", "ModeTable"]
+
+
+@dataclass
+class MrDMDNode:
+    """One window of the multiresolution decomposition.
+
+    Attributes
+    ----------
+    level:
+        1-based resolution level (1 = whole timeline / slowest dynamics).
+    bin_index:
+        Index of the window within its level (0-based, left to right).
+    start:
+        Absolute index (in snapshots) of the first snapshot of the window.
+    n_snapshots:
+        Window length in snapshots (before subsampling).
+    dt:
+        Raw sampling interval of the underlying data in seconds.
+    step:
+        Subsampling stride applied before the local DMD (>= 1); the local
+        effective interval is ``dt * step``.
+    rho:
+        Slow/fast cutoff frequency (Hz) used at this node.
+    modes:
+        Complex ``(P, m)`` array of retained slow modes (possibly empty).
+    eigenvalues:
+        Discrete-time eigenvalues of the retained modes (w.r.t.
+        ``dt * step``).
+    amplitudes:
+        Mode amplitudes fitted at the subsampled resolution.
+    svd_rank:
+        Rank retained by the local SVD truncation before slow-mode
+        selection (diagnostic).
+    contribution_start / contribution_end:
+        Optional absolute snapshot indices bounding the part of the
+        window this node contributes to reconstructions.  The incremental
+        update (Fig. 1(c)) re-indexes the previous level-1 node to level 2
+        while the *new* level-1 node spans the whole, longer timeline; to
+        keep the summed reconstruction consistent, the new level-1 node
+        only contributes over the freshly appended chunk.  ``None`` means
+        "the whole window" (the batch-mrDMD default).
+    """
+
+    level: int
+    bin_index: int
+    start: int
+    n_snapshots: int
+    dt: float
+    step: int
+    rho: float
+    modes: np.ndarray
+    eigenvalues: np.ndarray
+    amplitudes: np.ndarray
+    svd_rank: int = 0
+    contribution_start: int | None = None
+    contribution_end: int | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_modes(self) -> int:
+        """Number of slow modes kept at this node."""
+        return int(self.modes.shape[1])
+
+    @property
+    def n_features(self) -> int:
+        """State dimension ``P``."""
+        return int(self.modes.shape[0])
+
+    @property
+    def end(self) -> int:
+        """Absolute index one past the last snapshot of the window."""
+        return self.start + self.n_snapshots
+
+    @property
+    def local_dt(self) -> float:
+        """Effective sampling interval after subsampling (seconds)."""
+        return self.dt * self.step
+
+    @property
+    def omega(self) -> np.ndarray:
+        """Continuous-time eigenvalues ``psi_i = log(lambda_i) / (dt * step)``."""
+        if self.eigenvalues.size == 0:
+            return np.zeros(0, dtype=complex)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.log(self.eigenvalues.astype(complex)) / self.local_dt
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Mode oscillation frequencies in Hz (Eq. 9)."""
+        return np.abs(self.omega.imag) / (2.0 * np.pi)
+
+    @property
+    def growth_rates(self) -> np.ndarray:
+        """Real part of the continuous-time eigenvalues (1/s)."""
+        return self.omega.real
+
+    @property
+    def power(self) -> np.ndarray:
+        """mrDMD mode power ``||phi_i||_2^2`` (Eq. 10)."""
+        if self.modes.size == 0:
+            return np.zeros(0, dtype=float)
+        return np.sum(np.abs(self.modes) ** 2, axis=0)
+
+    @property
+    def time_span(self) -> tuple[float, float]:
+        """Absolute (start, end) times of the window in seconds."""
+        return (self.start * self.dt, self.end * self.dt)
+
+    # ------------------------------------------------------------------ #
+    def local_reconstruction(self, n_timesteps: int | None = None) -> np.ndarray:
+        """Contribution of this node's slow modes over its own window.
+
+        Returns a real ``(P, n_timesteps)`` array evaluated at the *raw*
+        sampling interval ``dt`` (time measured from the start of the
+        window), i.e. the quantity subtracted from the data before the
+        recursion descends (Eq. 8, first term).
+        """
+        if n_timesteps is None:
+            n_timesteps = self.n_snapshots
+        if self.n_modes == 0 or n_timesteps <= 0:
+            return np.zeros((self.n_features, max(n_timesteps, 0)))
+        t = np.arange(n_timesteps) * self.dt
+        dynamics = self.amplitudes[:, None] * np.exp(np.outer(self.omega, t))
+        return np.real(self.modes @ dynamics)
+
+    def local_reconstruction_range(self, offset: int, length: int) -> np.ndarray:
+        """Slow-mode contribution over ``[offset, offset + length)`` snapshots.
+
+        ``offset`` is measured from the start of this node's window (i.e.
+        local, not absolute).  Used when only part of the window should
+        contribute to a summed reconstruction (see ``contribution_start``).
+        """
+        if length <= 0:
+            return np.zeros((self.n_features, 0))
+        if self.n_modes == 0:
+            return np.zeros((self.n_features, length))
+        t = (np.arange(length) + offset) * self.dt
+        dynamics = self.amplitudes[:, None] * np.exp(np.outer(self.omega, t))
+        return np.real(self.modes @ dynamics)
+
+    @property
+    def contribution_window(self) -> tuple[int, int]:
+        """Absolute ``[start, end)`` range this node contributes to sums."""
+        lo = self.start if self.contribution_start is None else max(self.start, self.contribution_start)
+        hi = self.end if self.contribution_end is None else min(self.end, self.contribution_end)
+        return (lo, max(lo, hi))
+
+    def copy_with(self, **overrides) -> "MrDMDNode":
+        """Return a shallow copy with selected fields replaced."""
+        fields = dict(
+            level=self.level,
+            bin_index=self.bin_index,
+            start=self.start,
+            n_snapshots=self.n_snapshots,
+            dt=self.dt,
+            step=self.step,
+            rho=self.rho,
+            modes=self.modes,
+            eigenvalues=self.eigenvalues,
+            amplitudes=self.amplitudes,
+            svd_rank=self.svd_rank,
+            contribution_start=self.contribution_start,
+            contribution_end=self.contribution_end,
+        )
+        fields.update(overrides)
+        return MrDMDNode(**fields)
+
+
+@dataclass
+class ModeTable:
+    """Flat table of every mode in a tree (one row per mode).
+
+    Produced by :meth:`MrDMDTree.mode_table` and consumed by the spectrum
+    and baseline/z-score analyses.  All arrays share the first dimension.
+    """
+
+    frequencies: np.ndarray
+    power: np.ndarray
+    growth_rates: np.ndarray
+    amplitudes: np.ndarray
+    levels: np.ndarray
+    bin_indices: np.ndarray
+    node_ids: np.ndarray
+    mode_vectors: np.ndarray  # (n_modes_total, P) complex
+
+    def __len__(self) -> int:
+        return int(self.frequencies.size)
+
+    def filter(self, mask: np.ndarray) -> "ModeTable":
+        """Return a new table restricted to rows where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        return ModeTable(
+            frequencies=self.frequencies[mask],
+            power=self.power[mask],
+            growth_rates=self.growth_rates[mask],
+            amplitudes=self.amplitudes[mask],
+            levels=self.levels[mask],
+            bin_indices=self.bin_indices[mask],
+            node_ids=self.node_ids[mask],
+            mode_vectors=self.mode_vectors[mask, :],
+        )
+
+
+class MrDMDTree:
+    """Container of :class:`MrDMDNode` objects covering one timeline.
+
+    Nodes are stored in insertion order; the tree is *not* required to be a
+    perfect binary tree — the incremental update deliberately produces an
+    uneven split at the append point (Fig. 1(c)).
+    """
+
+    def __init__(self, dt: float, n_features: int) -> None:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt!r}")
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features!r}")
+        self.dt = float(dt)
+        self.n_features = int(n_features)
+        self._nodes: list[MrDMDNode] = []
+
+    # ------------------------------------------------------------------ #
+    # Collection protocol
+    # ------------------------------------------------------------------ #
+    def add(self, node: MrDMDNode) -> None:
+        """Append a node (validating its feature dimension)."""
+        if node.n_features != self.n_features:
+            raise ValueError(
+                f"node has {node.n_features} features, tree expects {self.n_features}"
+            )
+        self._nodes.append(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[MrDMDNode]:
+        return iter(self._nodes)
+
+    def __getitem__(self, idx: int) -> MrDMDNode:
+        return self._nodes[idx]
+
+    @property
+    def nodes(self) -> list[MrDMDNode]:
+        """All nodes in insertion order."""
+        return list(self._nodes)
+
+    @property
+    def n_levels(self) -> int:
+        """Deepest level present (0 for an empty tree)."""
+        return max((n.level for n in self._nodes), default=0)
+
+    @property
+    def n_snapshots(self) -> int:
+        """Total timeline length covered (max node end index)."""
+        return max((n.end for n in self._nodes), default=0)
+
+    @property
+    def total_modes(self) -> int:
+        """Total number of slow modes stored in the tree."""
+        return int(sum(n.n_modes for n in self._nodes))
+
+    def nodes_at_level(self, level: int) -> list[MrDMDNode]:
+        """Nodes at the given 1-based level, ordered by window start."""
+        return sorted(
+            (n for n in self._nodes if n.level == level), key=lambda n: n.start
+        )
+
+    def levels(self) -> list[int]:
+        """Sorted list of distinct levels present."""
+        return sorted({n.level for n in self._nodes})
+
+    # ------------------------------------------------------------------ #
+    # Structural edits used by the incremental update
+    # ------------------------------------------------------------------ #
+    def shift_levels(self, offset: int = 1) -> None:
+        """Increment every node's level by ``offset`` in place.
+
+        This is the level re-indexing step of Fig. 1(c): after an
+        incremental append, the previous level-1 node describes only the
+        left part of the new, longer timeline and therefore becomes a
+        level-2 node, and so on down the tree.
+        """
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        for node in self._nodes:
+            node.level += offset
+
+    def extend(self, other: "MrDMDTree") -> None:
+        """Append every node of ``other`` (same dt / feature count required)."""
+        if not np.isclose(other.dt, self.dt):
+            raise ValueError(f"dt mismatch: {other.dt} vs {self.dt}")
+        if other.n_features != self.n_features:
+            raise ValueError("feature-count mismatch between trees")
+        for node in other:
+            self.add(node)
+
+    def replace_level(self, level: int, new_nodes: list[MrDMDNode]) -> None:
+        """Drop all nodes at ``level`` and insert ``new_nodes`` instead."""
+        self._nodes = [n for n in self._nodes if n.level != level]
+        for node in new_nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------ #
+    # Analysis products
+    # ------------------------------------------------------------------ #
+    def mode_table(self) -> ModeTable:
+        """Flatten every node's modes into a single :class:`ModeTable`."""
+        freqs, power, growth, amps = [], [], [], []
+        levels, bins, node_ids, vectors = [], [], [], []
+        for node_id, node in enumerate(self._nodes):
+            m = node.n_modes
+            if m == 0:
+                continue
+            freqs.append(node.frequencies)
+            power.append(node.power)
+            growth.append(node.growth_rates)
+            amps.append(np.abs(node.amplitudes))
+            levels.append(np.full(m, node.level, dtype=int))
+            bins.append(np.full(m, node.bin_index, dtype=int))
+            node_ids.append(np.full(m, node_id, dtype=int))
+            vectors.append(node.modes.T)
+        if not freqs:
+            empty_f = np.zeros(0, dtype=float)
+            empty_i = np.zeros(0, dtype=int)
+            return ModeTable(
+                frequencies=empty_f,
+                power=empty_f.copy(),
+                growth_rates=empty_f.copy(),
+                amplitudes=empty_f.copy(),
+                levels=empty_i,
+                bin_indices=empty_i.copy(),
+                node_ids=empty_i.copy(),
+                mode_vectors=np.zeros((0, self.n_features), dtype=complex),
+            )
+        return ModeTable(
+            frequencies=np.concatenate(freqs),
+            power=np.concatenate(power),
+            growth_rates=np.concatenate(growth),
+            amplitudes=np.concatenate(amps),
+            levels=np.concatenate(levels),
+            bin_indices=np.concatenate(bins),
+            node_ids=np.concatenate(node_ids),
+            mode_vectors=np.vstack(vectors),
+        )
+
+    def reconstruct(
+        self,
+        n_snapshots: int | None = None,
+        *,
+        levels: list[int] | None = None,
+        frequency_range: tuple[float, float] | None = None,
+        min_power: float = 0.0,
+    ) -> np.ndarray:
+        """Sum the slow-mode contributions of (a subset of) nodes (Eq. 7).
+
+        Parameters
+        ----------
+        n_snapshots:
+            Length of the output timeline; defaults to the tree's span.
+        levels:
+            Restrict the sum to these levels (``None`` = all levels).
+        frequency_range:
+            When given, only modes whose frequency (Hz) lies in
+            ``[low, high]`` contribute — this is the "frequency isolation"
+            used in the case studies (0-60 Hz in case study 1).
+        min_power:
+            Drop modes with power below this value (high-power filtering
+            from the mrDMD spectrum).
+        """
+        total = self.n_snapshots if n_snapshots is None else int(n_snapshots)
+        out = np.zeros((self.n_features, total), dtype=float)
+        level_set = set(levels) if levels is not None else None
+        for node in self._nodes:
+            if level_set is not None and node.level not in level_set:
+                continue
+            lo, hi = node.contribution_window
+            hi = min(hi, total)
+            if hi <= lo or lo >= total:
+                continue
+            use = node
+            if frequency_range is not None or min_power > 0.0:
+                mask = np.ones(node.n_modes, dtype=bool)
+                if frequency_range is not None:
+                    f_lo, f_hi = frequency_range
+                    f = node.frequencies
+                    mask &= (f >= f_lo) & (f <= f_hi)
+                if min_power > 0.0:
+                    mask &= node.power >= min_power
+                if not np.any(mask):
+                    continue
+                use = node.copy_with(
+                    modes=node.modes[:, mask],
+                    eigenvalues=node.eigenvalues[mask],
+                    amplitudes=node.amplitudes[mask],
+                )
+            offset = lo - node.start
+            out[:, lo:hi] += use.local_reconstruction_range(offset, hi - lo)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Serialise to plain Python/NumPy containers (for npz/JSON export)."""
+        return {
+            "dt": self.dt,
+            "n_features": self.n_features,
+            "nodes": [
+                {
+                    "level": n.level,
+                    "bin_index": n.bin_index,
+                    "start": n.start,
+                    "n_snapshots": n.n_snapshots,
+                    "dt": n.dt,
+                    "step": n.step,
+                    "rho": n.rho,
+                    "modes": n.modes,
+                    "eigenvalues": n.eigenvalues,
+                    "amplitudes": n.amplitudes,
+                    "svd_rank": n.svd_rank,
+                    "contribution_start": n.contribution_start,
+                    "contribution_end": n.contribution_end,
+                }
+                for n in self._nodes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MrDMDTree":
+        """Inverse of :meth:`to_dict`."""
+        tree = cls(dt=float(payload["dt"]), n_features=int(payload["n_features"]))
+        for nd in payload["nodes"]:
+            tree.add(
+                MrDMDNode(
+                    level=int(nd["level"]),
+                    bin_index=int(nd["bin_index"]),
+                    start=int(nd["start"]),
+                    n_snapshots=int(nd["n_snapshots"]),
+                    dt=float(nd["dt"]),
+                    step=int(nd["step"]),
+                    rho=float(nd["rho"]),
+                    modes=np.asarray(nd["modes"], dtype=complex),
+                    eigenvalues=np.asarray(nd["eigenvalues"], dtype=complex),
+                    amplitudes=np.asarray(nd["amplitudes"], dtype=complex),
+                    svd_rank=int(nd.get("svd_rank", 0)),
+                    contribution_start=nd.get("contribution_start"),
+                    contribution_end=nd.get("contribution_end"),
+                )
+            )
+        return tree
+
+    def summary(self) -> str:
+        """Human-readable multi-line description (levels, windows, modes)."""
+        lines = [
+            f"MrDMDTree: {len(self)} nodes, {self.n_levels} levels, "
+            f"{self.total_modes} modes, {self.n_snapshots} snapshots @ dt={self.dt}s"
+        ]
+        for level in self.levels():
+            nodes = self.nodes_at_level(level)
+            modes = sum(n.n_modes for n in nodes)
+            lines.append(f"  level {level}: {len(nodes)} windows, {modes} slow modes")
+        return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Hardware-error-log substrate: event records and correlated generator."""
+
+from .events import HardwareEvent, HardwareEventType, HardwareLog
+from .generator import HardwareErrorModel
+
+__all__ = [
+    "HardwareEvent",
+    "HardwareEventType",
+    "HardwareLog",
+    "HardwareErrorModel",
+]

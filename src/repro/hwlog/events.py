@@ -1,0 +1,147 @@
+"""Hardware error event records.
+
+The hardware logs the paper aligns against carry discrete events from the
+"diverse and interconnected control systems and subsystems" of the machine:
+correctable memory errors, node-down transitions, link faults, power
+supply warnings.  The case studies only need per-node event occurrences and
+their time extents (nodes with memory errors are outlined in Fig. 4; node
+down-hours are shown in Fig. 2), which is exactly what these records carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["HardwareEventType", "HardwareEvent", "HardwareLog"]
+
+
+class HardwareEventType(Enum):
+    """Categories of hardware events the generator emits."""
+
+    CORRECTABLE_MEMORY_ERROR = "correctable_memory_error"
+    UNCORRECTABLE_MEMORY_ERROR = "uncorrectable_memory_error"
+    NODE_DOWN = "node_down"
+    LINK_FAULT = "link_fault"
+    POWER_SUPPLY_WARNING = "power_supply_warning"
+    THERMAL_TRIP = "thermal_trip"
+
+
+@dataclass(frozen=True)
+class HardwareEvent:
+    """One hardware event occurrence.
+
+    Attributes
+    ----------
+    node:
+        Populated-node index the event was reported on.
+    event_type:
+        The category (:class:`HardwareEventType`).
+    start_step:
+        Snapshot index at which the event was reported.
+    end_step:
+        For interval events (node down), the exclusive end snapshot;
+        instantaneous events use ``start_step + 1``.
+    severity:
+        0 (informational) .. 3 (critical).
+    message:
+        Raw-log-style text message.
+    """
+
+    node: int
+    event_type: HardwareEventType
+    start_step: int
+    end_step: int
+    severity: int = 1
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end_step < self.start_step:
+            raise ValueError("end_step must be >= start_step")
+        if not 0 <= self.severity <= 3:
+            raise ValueError("severity must be in [0, 3]")
+
+    @property
+    def duration(self) -> int:
+        """Event extent in snapshots."""
+        return self.end_step - self.start_step
+
+
+class HardwareLog:
+    """Container of :class:`HardwareEvent` records with per-node queries."""
+
+    def __init__(self, events: Iterable[HardwareEvent] = ()) -> None:
+        self._events: list[HardwareEvent] = list(events)
+
+    def add(self, event: HardwareEvent) -> None:
+        """Append one event."""
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[HardwareEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[HardwareEvent]:
+        """All events in insertion order."""
+        return list(self._events)
+
+    # ------------------------------------------------------------------ #
+    def events_on_node(self, node: int) -> list[HardwareEvent]:
+        """Events reported on a given node."""
+        return [e for e in self._events if e.node == node]
+
+    def events_of_type(self, event_type: HardwareEventType) -> list[HardwareEvent]:
+        """Events of one category."""
+        return [e for e in self._events if e.event_type is event_type]
+
+    def nodes_with(self, event_type: HardwareEventType) -> np.ndarray:
+        """Sorted array of nodes that reported the given category.
+
+        Fig. 4 outlines "nodes with memory errors"; this query produces
+        that node set.
+        """
+        return np.asarray(
+            sorted({e.node for e in self._events if e.event_type is event_type}),
+            dtype=int,
+        )
+
+    def event_counts(self, n_nodes: int, event_type: HardwareEventType | None = None) -> np.ndarray:
+        """Per-node event counts, shape ``(n_nodes,)``."""
+        counts = np.zeros(n_nodes, dtype=int)
+        for event in self._events:
+            if event_type is not None and event.event_type is not event_type:
+                continue
+            if 0 <= event.node < n_nodes:
+                counts[event.node] += 1
+        return counts
+
+    def downtime_hours(self, n_nodes: int, dt_seconds: float) -> np.ndarray:
+        """Hours each node spent in NODE_DOWN intervals (Fig. 2's metric)."""
+        hours = np.zeros(n_nodes, dtype=float)
+        for event in self._events:
+            if event.event_type is not HardwareEventType.NODE_DOWN:
+                continue
+            if 0 <= event.node < n_nodes:
+                hours[event.node] += event.duration * dt_seconds / 3600.0
+        return hours
+
+    def events_in_window(self, start: int, stop: int) -> list[HardwareEvent]:
+        """Events overlapping the snapshot interval ``[start, stop)``."""
+        return [
+            e
+            for e in self._events
+            if e.start_step < stop and e.end_step > start
+        ]
+
+    def summary(self) -> dict[str, int]:
+        """Event counts per category."""
+        out = {etype.value: 0 for etype in HardwareEventType}
+        for event in self._events:
+            out[event.event_type.value] += 1
+        return out

@@ -1,0 +1,186 @@
+"""Synthetic hardware-error-log generator, optionally thermally correlated.
+
+Real hardware logs mix background failure processes (random correctable
+memory errors, occasional link faults) with load/thermal-correlated ones
+(thermal trips, node-down events following sustained overheating).  The
+generator reproduces both populations:
+
+* a Poisson background per node and category;
+* optionally, elevated rates on nodes the caller declares "hot" (e.g. the
+  anomaly node sets injected into the telemetry), which is what gives the
+  case studies a ground-truth correlation between environment-log z-scores
+  and hardware events (Q3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .events import HardwareEvent, HardwareEventType, HardwareLog
+
+__all__ = ["HardwareErrorModel"]
+
+
+_DEFAULT_RATES: dict[HardwareEventType, float] = {
+    # Events per node per 10,000 snapshots (background).
+    HardwareEventType.CORRECTABLE_MEMORY_ERROR: 2.0,
+    HardwareEventType.UNCORRECTABLE_MEMORY_ERROR: 0.05,
+    HardwareEventType.NODE_DOWN: 0.15,
+    HardwareEventType.LINK_FAULT: 0.4,
+    HardwareEventType.POWER_SUPPLY_WARNING: 0.3,
+    HardwareEventType.THERMAL_TRIP: 0.02,
+}
+
+
+@dataclass
+class HardwareErrorModel:
+    """Stochastic hardware-event source.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of populated nodes.
+    seed:
+        RNG seed.
+    background_rates:
+        Events per node per 10,000 snapshots for each category; defaults
+        are loosely calibrated to published LANL/ALCF failure studies
+        (order-of-magnitude realism is all the alignment needs).
+    hot_node_multiplier:
+        Rate multiplier applied to thermally-correlated categories on
+        nodes passed as ``hot_nodes``.
+    flaky_fraction:
+        Fraction of nodes that are intrinsically error-prone
+        (weak DIMMs); they receive ``flaky_multiplier`` on memory errors.
+        Case study 2 observes "nodes that persistently report hardware
+        errors, even with multiple jobs running" — these are those nodes.
+    """
+
+    n_nodes: int
+    seed: int = 0
+    background_rates: dict[HardwareEventType, float] = field(
+        default_factory=lambda: dict(_DEFAULT_RATES)
+    )
+    hot_node_multiplier: float = 8.0
+    flaky_fraction: float = 0.01
+    flaky_multiplier: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.hot_node_multiplier < 1.0:
+            raise ValueError("hot_node_multiplier must be >= 1")
+        if not 0.0 <= self.flaky_fraction <= 1.0:
+            raise ValueError("flaky_fraction must be in [0, 1]")
+
+    # ------------------------------------------------------------------ #
+    def flaky_nodes(self) -> np.ndarray:
+        """Deterministic (seeded) set of intrinsically error-prone nodes."""
+        rng = np.random.default_rng(self.seed + 13)
+        count = int(round(self.flaky_fraction * self.n_nodes))
+        if count == 0:
+            return np.zeros(0, dtype=int)
+        return np.sort(rng.choice(self.n_nodes, size=count, replace=False))
+
+    def generate(
+        self,
+        n_timesteps: int,
+        *,
+        hot_nodes: Sequence[int] = (),
+        hot_window: tuple[int, int] | None = None,
+    ) -> HardwareLog:
+        """Generate events over ``[0, n_timesteps)`` snapshots.
+
+        Parameters
+        ----------
+        n_timesteps:
+            Observation window length in snapshots.
+        hot_nodes:
+            Nodes experiencing sustained high temperatures (e.g. the
+            telemetry anomaly set); their thermally-correlated event rates
+            are multiplied by ``hot_node_multiplier``.
+        hot_window:
+            Snapshot range during which the hot-node elevation applies
+            (defaults to the whole window).
+        """
+        if n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        log = HardwareLog()
+        hot_set = set(int(n) for n in hot_nodes)
+        flaky = set(int(n) for n in self.flaky_nodes())
+        window = hot_window or (0, n_timesteps)
+        thermal_types = {
+            HardwareEventType.THERMAL_TRIP,
+            HardwareEventType.NODE_DOWN,
+            HardwareEventType.CORRECTABLE_MEMORY_ERROR,
+        }
+
+        scale = n_timesteps / 10_000.0
+        for event_type, base_rate in self.background_rates.items():
+            if base_rate <= 0:
+                continue
+            # Expected background events per node over this window.
+            lam = np.full(self.n_nodes, base_rate * scale)
+            if flaky and event_type in (
+                HardwareEventType.CORRECTABLE_MEMORY_ERROR,
+                HardwareEventType.UNCORRECTABLE_MEMORY_ERROR,
+            ):
+                lam[list(flaky)] *= self.flaky_multiplier
+            counts = rng.poisson(lam)
+            for node in np.flatnonzero(counts):
+                for _ in range(int(counts[node])):
+                    start = int(rng.integers(0, n_timesteps))
+                    end = start + 1
+                    severity = 1
+                    if event_type is HardwareEventType.NODE_DOWN:
+                        end = min(n_timesteps, start + int(rng.integers(20, 400)))
+                        severity = 3
+                    elif event_type is HardwareEventType.UNCORRECTABLE_MEMORY_ERROR:
+                        severity = 3
+                    elif event_type is HardwareEventType.THERMAL_TRIP:
+                        severity = 2
+                    log.add(
+                        HardwareEvent(
+                            node=int(node),
+                            event_type=event_type,
+                            start_step=start,
+                            end_step=end,
+                            severity=severity,
+                            message=f"{event_type.value} on node {int(node)}",
+                        )
+                    )
+
+        # Thermally correlated extra events on hot nodes.
+        if hot_set:
+            lo, hi = max(window[0], 0), min(window[1], n_timesteps)
+            span = max(hi - lo, 1)
+            for node in sorted(hot_set):
+                for event_type in thermal_types:
+                    base_rate = self.background_rates.get(event_type, 0.0)
+                    lam = base_rate * (span / 10_000.0) * (self.hot_node_multiplier - 1.0)
+                    extra = rng.poisson(lam)
+                    for _ in range(int(extra)):
+                        start = int(rng.integers(lo, hi))
+                        end = start + 1
+                        severity = 2
+                        if event_type is HardwareEventType.NODE_DOWN:
+                            end = min(n_timesteps, start + int(rng.integers(20, 200)))
+                            severity = 3
+                        log.add(
+                            HardwareEvent(
+                                node=int(node),
+                                event_type=event_type,
+                                start_step=start,
+                                end_step=end,
+                                severity=severity,
+                                message=(
+                                    f"{event_type.value} on node {int(node)} "
+                                    f"(thermally correlated)"
+                                ),
+                            )
+                        )
+        return log

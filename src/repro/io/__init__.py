@@ -1,0 +1,23 @@
+"""Persistence of logs, telemetry and decomposition results."""
+
+from .storage import (
+    load_hardware_log,
+    load_job_log,
+    load_telemetry,
+    load_tree,
+    save_hardware_log,
+    save_job_log,
+    save_telemetry,
+    save_tree,
+)
+
+__all__ = [
+    "load_hardware_log",
+    "load_job_log",
+    "load_telemetry",
+    "load_tree",
+    "save_hardware_log",
+    "save_job_log",
+    "save_telemetry",
+    "save_tree",
+]

@@ -1,0 +1,14 @@
+"""Job-log substrate: workload generation, scheduler simulation, job queries."""
+
+from .jobs import JobLog, JobRecord
+from .scheduler import SchedulerSimulator, simulate_joblog
+from .workload import JobRequest, WorkloadModel
+
+__all__ = [
+    "JobLog",
+    "JobRecord",
+    "SchedulerSimulator",
+    "simulate_joblog",
+    "JobRequest",
+    "WorkloadModel",
+]

@@ -1,0 +1,109 @@
+"""Synthetic workload (job submission) generator.
+
+Produces job *requests* — project, user, node count, requested walltime,
+submission time — with distributions loosely modelled on leadership-class
+machines (many small/short jobs, a heavy tail of large/long ones).  The
+scheduler in :mod:`repro.joblog.scheduler` turns requests into placed
+:class:`~repro.joblog.jobs.JobRecord` entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["JobRequest", "WorkloadModel"]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A job submission before scheduling."""
+
+    job_id: int
+    project: str
+    user: str
+    n_nodes: int
+    requested_steps: int
+    submit_step: int
+    failure_probability: float = 0.02
+
+
+class WorkloadModel:
+    """Random workload generator with project structure.
+
+    Parameters
+    ----------
+    n_nodes:
+        Size of the machine the workload targets (bounds job widths).
+    n_projects:
+        Number of distinct projects submitting work.
+    seed:
+        RNG seed (generation is deterministic given the seed).
+    mean_nodes:
+        Mean of the (geometric-ish) node-count distribution.
+    mean_duration:
+        Mean requested walltime in snapshots.
+    submit_rate:
+        Mean number of submissions per snapshot (Poisson thinning).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        n_projects: int = 6,
+        seed: int = 0,
+        mean_nodes: int = 32,
+        mean_duration: int = 300,
+        submit_rate: float = 0.05,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if n_projects < 1:
+            raise ValueError("n_projects must be >= 1")
+        if mean_nodes < 1 or mean_duration < 1:
+            raise ValueError("mean_nodes and mean_duration must be >= 1")
+        if submit_rate <= 0:
+            raise ValueError("submit_rate must be positive")
+        self.n_nodes = int(n_nodes)
+        self.n_projects = int(n_projects)
+        self.seed = int(seed)
+        self.mean_nodes = int(mean_nodes)
+        self.mean_duration = int(mean_duration)
+        self.submit_rate = float(submit_rate)
+
+    def project_names(self) -> list[str]:
+        """Synthetic project identifiers (stable across calls)."""
+        return [f"PROJ-{i:03d}" for i in range(self.n_projects)]
+
+    def generate_requests(self, n_timesteps: int) -> list[JobRequest]:
+        """Draw submissions across ``[0, n_timesteps)`` snapshots."""
+        if n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        projects = self.project_names()
+        # Project popularity follows a Zipf-like profile: a few projects
+        # dominate the machine, as on real allocations.
+        weights = 1.0 / np.arange(1, self.n_projects + 1)
+        weights /= weights.sum()
+
+        n_submissions = rng.poisson(self.submit_rate * n_timesteps)
+        submit_steps = np.sort(rng.integers(0, n_timesteps, size=n_submissions))
+        requests: list[JobRequest] = []
+        for job_id, submit_step in enumerate(submit_steps):
+            project_idx = int(rng.choice(self.n_projects, p=weights))
+            width = int(np.clip(rng.geometric(1.0 / self.mean_nodes), 1, self.n_nodes))
+            duration = int(np.clip(rng.exponential(self.mean_duration), 8, 10 * self.mean_duration))
+            requests.append(
+                JobRequest(
+                    job_id=job_id,
+                    project=projects[project_idx],
+                    user=f"user{project_idx:02d}_{int(rng.integers(0, 4))}",
+                    n_nodes=width,
+                    requested_steps=duration,
+                    submit_step=int(submit_step),
+                    failure_probability=float(rng.uniform(0.0, 0.06)),
+                )
+            )
+        return requests

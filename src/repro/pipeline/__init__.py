@@ -1,0 +1,20 @@
+"""Online analysis pipeline and case-study scenario builders."""
+
+from .casestudy import (
+    CaseStudyScenario,
+    build_case_study_1,
+    build_case_study_2,
+    build_node_down_scenario,
+)
+from .config import PipelineConfig
+from .online import OnlineAnalysisPipeline, PipelineSnapshot
+
+__all__ = [
+    "CaseStudyScenario",
+    "build_case_study_1",
+    "build_case_study_2",
+    "build_node_down_scenario",
+    "PipelineConfig",
+    "OnlineAnalysisPipeline",
+    "PipelineSnapshot",
+]

@@ -1,0 +1,276 @@
+"""Case-study scenario builders (Sec. V) on the synthetic substrates.
+
+Each builder assembles, at a configurable scale, the full multifidelity
+setting of one of the paper's case studies:
+
+* **case study 1** — a subset of nodes used by two projects' jobs, analysed
+  over an initial window plus one streaming increment; some of those nodes
+  run hot, a few others report correctable memory errors, and the two sets
+  are (deliberately) not identical — matching the paper's observation that
+  "the elevated temperatures observed on the nodes did not indicate any
+  hardware-related errors";
+* **case study 2** — the whole machine over two consecutive windows, the
+  first hotter than the second (different baselines per window), with a
+  small set of nodes persistently reporting hardware errors;
+* **node-down scenario** (Fig. 2) — a hardware log whose per-node downtime
+  hours are displayed on the Polaris rack layout.
+
+The returned :class:`CaseStudyScenario` carries the ground truth (which
+nodes were made hot/stalled/flaky), so examples and tests can verify that
+the pipeline recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hwlog.generator import HardwareErrorModel
+from ..hwlog.events import HardwareLog
+from ..joblog.jobs import JobLog
+from ..joblog.scheduler import simulate_joblog
+from ..telemetry.anomalies import Anomaly, HotNodes, StalledNodes
+from ..telemetry.generator import TelemetryGenerator, TelemetryStream
+from ..telemetry.machine import MachineDescription, polaris_machine, theta_machine
+
+__all__ = ["CaseStudyScenario", "build_case_study_1", "build_case_study_2", "build_node_down_scenario"]
+
+
+@dataclass
+class CaseStudyScenario:
+    """Everything one case study needs, plus its ground truth.
+
+    Attributes
+    ----------
+    machine:
+        The (possibly scaled-down) machine description.
+    stream:
+        Environment-log telemetry for the selected nodes/sensor.
+    joblog / hwlog:
+        The aligned job and hardware logs.
+    selected_nodes:
+        Node indices whose telemetry is in ``stream`` (case study 1 uses
+        the union of two projects' nodes; case study 2 uses all nodes).
+    hot_nodes / stalled_nodes:
+        Ground-truth anomalous node sets injected into the telemetry.
+    initial_steps:
+        Number of snapshots for the initial fit (the rest stream in).
+    baseline_range:
+        Temperature band used for baseline selection in this scenario.
+    window_baselines:
+        Optional per-window baseline bands (case study 2 uses different
+        bands for its hot and cool halves).
+    projects:
+        The project names whose jobs defined the node selection (case 1).
+    """
+
+    machine: MachineDescription
+    stream: TelemetryStream
+    joblog: JobLog
+    hwlog: HardwareLog
+    selected_nodes: np.ndarray
+    hot_nodes: np.ndarray
+    stalled_nodes: np.ndarray
+    initial_steps: int
+    baseline_range: tuple[float, float]
+    window_baselines: list[tuple[float, float]] = field(default_factory=list)
+    projects: list[str] = field(default_factory=list)
+
+    @property
+    def n_timesteps(self) -> int:
+        """Total snapshots in the scenario."""
+        return self.stream.n_timesteps
+
+    def initial_block(self) -> np.ndarray:
+        """Snapshots for the initial fit."""
+        return self.stream.values[:, : self.initial_steps]
+
+    def streaming_block(self) -> np.ndarray:
+        """Snapshots streamed in after the initial fit."""
+        return self.stream.values[:, self.initial_steps :]
+
+
+def _select_anomalous(nodes: np.ndarray, fraction: float, rng: np.random.Generator, minimum: int = 1) -> np.ndarray:
+    count = max(minimum, int(round(fraction * nodes.size)))
+    count = min(count, nodes.size)
+    return np.sort(rng.choice(nodes, size=count, replace=False))
+
+
+def build_case_study_1(
+    *,
+    scale: float = 0.1,
+    n_timesteps: int = 2_000,
+    initial_steps: int = 1_000,
+    seed: int = 11,
+    sensor: str = "cpu_temp",
+) -> CaseStudyScenario:
+    """Case study 1: two projects' nodes, one streaming increment.
+
+    ``scale=1.0`` reproduces the paper's full 4,392-node Theta (871 selected
+    nodes); the default ``scale=0.1`` keeps examples and benches fast while
+    preserving every structural property.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    if initial_steps >= n_timesteps:
+        raise ValueError("initial_steps must be smaller than n_timesteps")
+    rng = np.random.default_rng(seed)
+    machine = theta_machine().scaled(scale) if scale < 1.0 else theta_machine()
+
+    joblog = simulate_joblog(
+        machine.n_nodes,
+        n_timesteps,
+        seed=seed,
+        n_projects=6,
+        submit_rate=max(0.02, 0.05 * scale * 10),
+        mean_nodes=max(8, machine.n_nodes // 20),
+        mean_duration=n_timesteps // 4,
+    )
+    projects = joblog.projects()[:2]
+    selected = joblog.nodes_for_projects(projects)
+    if selected.size < 8:  # tiny scales: fall back to the busiest nodes
+        util = joblog.utilization_matrix(machine.n_nodes, n_timesteps)
+        selected = np.argsort(util.sum(axis=1))[::-1][: max(8, machine.n_nodes // 5)]
+        selected = np.sort(selected)
+
+    hot = _select_anomalous(selected, 0.05, rng, minimum=2)
+    stalled = _select_anomalous(np.setdiff1d(selected, hot), 0.03, rng, minimum=1)
+    anomalies: list[Anomaly] = [
+        HotNodes(node_indices=tuple(int(n) for n in hot), start=initial_steps // 2, delta=14.0),
+        StalledNodes(node_indices=tuple(int(n) for n in stalled), start=initial_steps // 3, drop=10.0),
+    ]
+
+    generator = TelemetryGenerator(machine, seed=seed + 1, utilization_target=0.55)
+    util = joblog.utilization_matrix(machine.n_nodes, n_timesteps)
+    # Busy nodes sit in the upper half of the 46-57 degC baseline band rather
+    # than far above it, so only the injected hot nodes clear the z > 2 line.
+    stream = generator.generate(
+        n_timesteps,
+        sensors=[sensor],
+        nodes=selected.tolist(),
+        utilization=0.45 * util[selected, :],
+        anomalies=anomalies,
+    )
+
+    # Memory errors fall mostly on *non-hot* nodes, reproducing the paper's
+    # finding that the thermally elevated nodes were not the erroring ones.
+    error_candidates = np.setdiff1d(selected, hot)
+    memory_error_nodes = _select_anomalous(error_candidates, 0.04, rng, minimum=2)
+    hw_model = HardwareErrorModel(n_nodes=machine.n_nodes, seed=seed + 2, flaky_fraction=0.0)
+    hwlog = hw_model.generate(n_timesteps, hot_nodes=memory_error_nodes.tolist())
+
+    return CaseStudyScenario(
+        machine=machine,
+        stream=stream,
+        joblog=joblog,
+        hwlog=hwlog,
+        selected_nodes=selected,
+        hot_nodes=hot,
+        stalled_nodes=stalled,
+        initial_steps=initial_steps,
+        baseline_range=(46.0, 57.0),
+        projects=list(projects),
+    )
+
+
+def build_case_study_2(
+    *,
+    scale: float = 0.05,
+    n_timesteps: int = 3_840,
+    seed: int = 23,
+    sensor: str = "cpu_temp",
+) -> CaseStudyScenario:
+    """Case study 2: the whole machine over a hot window then a cool window.
+
+    The paper analyses 16 hours of all 4,392 nodes (two 8-hour windows);
+    with a 15 s cadence that is 3,840 snapshots, the default here.  The
+    first half carries heavier utilisation and a cooling-degradation-like
+    hot bias; the second half cools down.  A small set of nodes persistently
+    reports hardware errors across both windows.
+
+    The per-window baseline bands follow the paper's protocol (each window is
+    scored against a band matching the machine state at that time) but their
+    absolute values are adapted to the synthetic sensor physics (nominal CPU
+    temperature 48 degC): the hot window is scored against the lower
+    45-60 degC band (so it reads as significantly above baseline, Fig. 6(a)),
+    while the cool window is scored against a band containing its own
+    operating range (so it reads as near-baseline, Fig. 6(b)).
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    machine = theta_machine().scaled(scale) if scale < 1.0 else theta_machine()
+    half = n_timesteps // 2
+
+    joblog = simulate_joblog(
+        machine.n_nodes,
+        n_timesteps,
+        seed=seed,
+        n_projects=8,
+        submit_rate=0.1,
+        mean_nodes=max(8, machine.n_nodes // 12),
+        mean_duration=n_timesteps // 5,
+    )
+    all_nodes = np.arange(machine.n_nodes)
+
+    # Hot first half: most nodes elevated; cool second half: back toward idle.
+    hot = _select_anomalous(all_nodes, 0.6, rng, minimum=4)
+    anomalies: list[Anomaly] = [
+        HotNodes(node_indices=tuple(int(n) for n in hot), start=0, stop=half, delta=12.0),
+        StalledNodes(
+            node_indices=tuple(int(n) for n in _select_anomalous(all_nodes, 0.05, rng)),
+            start=half,
+            drop=6.0,
+        ),
+    ]
+
+    util = joblog.utilization_matrix(machine.n_nodes, n_timesteps)
+    # Make the second half genuinely quieter.
+    util[:, half:] *= 0.45
+    generator = TelemetryGenerator(machine, seed=seed + 1, utilization_target=0.8)
+    stream = generator.generate(
+        n_timesteps,
+        sensors=[sensor],
+        utilization=util,
+        anomalies=anomalies,
+    )
+
+    hw_model = HardwareErrorModel(
+        n_nodes=machine.n_nodes, seed=seed + 2, flaky_fraction=0.02, flaky_multiplier=30.0
+    )
+    hwlog = hw_model.generate(n_timesteps, hot_nodes=hot.tolist(), hot_window=(0, half))
+
+    return CaseStudyScenario(
+        machine=machine,
+        stream=stream,
+        joblog=joblog,
+        hwlog=hwlog,
+        selected_nodes=all_nodes,
+        hot_nodes=hot,
+        stalled_nodes=np.zeros(0, dtype=int),
+        initial_steps=half,
+        baseline_range=(45.0, 60.0),
+        window_baselines=[(45.0, 60.0), (48.0, 62.0)],
+        projects=joblog.projects(),
+    )
+
+
+def build_node_down_scenario(
+    *,
+    scale: float = 0.5,
+    n_timesteps: int = 20_000,
+    seed: int = 5,
+) -> tuple[MachineDescription, HardwareLog]:
+    """Fig. 2's input: a Polaris machine and months of node-down events."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    machine = polaris_machine().scaled(scale) if scale < 1.0 else polaris_machine()
+    model = HardwareErrorModel(n_nodes=machine.n_nodes, seed=seed)
+    # Raise the node-down rate so downtime hours are visible at this scale.
+    model.background_rates = dict(model.background_rates)
+    from ..hwlog.events import HardwareEventType
+
+    model.background_rates[HardwareEventType.NODE_DOWN] = 1.5
+    hwlog = model.generate(n_timesteps)
+    return machine, hwlog

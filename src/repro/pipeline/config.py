@@ -1,0 +1,58 @@
+"""Configuration objects for the online analysis pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.mrdmd import MrDMDConfig
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """End-to-end settings of the online analysis pipeline.
+
+    Attributes
+    ----------
+    mrdmd:
+        Settings of the multiresolution decomposition (levels, cycles,
+        SVHT, ...).
+    drift_threshold:
+        Level-1 drift threshold forwarded to
+        :class:`~repro.core.imrdmd.IncrementalMrDMD`.
+    frequency_range:
+        Band (Hz) of modes retained for reconstruction and z-scoring
+        (case study 1 uses 0-60 Hz).
+    power_quantile:
+        Keep modes at or above this power quantile when filtering the
+        spectrum (0 keeps everything).
+    baseline_range:
+        Value band (sensor units) defining baseline readings — the paper's
+        46-57 degC band in case study 1.
+    zscore_near / zscore_extreme:
+        Classification thresholds (+-1.5 near baseline, +-2 extreme).
+    zscore_reducer:
+        How each row's time series is collapsed before scoring.
+    keep_data:
+        Retain raw snapshots inside the I-mrDMD model (needed for
+        reconstruction-error reports).
+    """
+
+    mrdmd: MrDMDConfig = field(default_factory=MrDMDConfig)
+    drift_threshold: float | None = None
+    frequency_range: tuple[float, float] | None = None
+    power_quantile: float = 0.0
+    baseline_range: tuple[float, float] = (46.0, 57.0)
+    zscore_near: float = 1.5
+    zscore_extreme: float = 2.0
+    zscore_reducer: str = "mean"
+    keep_data: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.power_quantile <= 1.0:
+            raise ValueError("power_quantile must be in [0, 1]")
+        if self.baseline_range[1] < self.baseline_range[0]:
+            raise ValueError("baseline_range must be (low, high)")
+        if self.zscore_near <= 0 or self.zscore_extreme < self.zscore_near:
+            raise ValueError("thresholds must satisfy 0 < near <= extreme")

@@ -1,0 +1,35 @@
+"""Synthetic multifidelity environment-log substrate (Theta / Polaris shaped)."""
+
+from .anomalies import (
+    Anomaly,
+    CoolingDegradation,
+    HotNodes,
+    SensorFault,
+    StalledNodes,
+    apply_anomalies,
+)
+from .generator import TelemetryGenerator, TelemetryStream
+from .machine import MachineDescription, NodeLocation, polaris_machine, theta_machine
+from .sensors import SensorKind, SensorSpec, gpu_sensor_suite, xc40_sensor_suite
+from .streaming import ChunkedSource, StreamingReplay
+
+__all__ = [
+    "Anomaly",
+    "CoolingDegradation",
+    "HotNodes",
+    "SensorFault",
+    "StalledNodes",
+    "apply_anomalies",
+    "TelemetryGenerator",
+    "TelemetryStream",
+    "MachineDescription",
+    "NodeLocation",
+    "polaris_machine",
+    "theta_machine",
+    "SensorKind",
+    "SensorSpec",
+    "gpu_sensor_suite",
+    "xc40_sensor_suite",
+    "ChunkedSource",
+    "StreamingReplay",
+]

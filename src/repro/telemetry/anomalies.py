@@ -1,0 +1,212 @@
+"""Anomaly injection for the synthetic telemetry substrate.
+
+The case studies hinge on recognisable deviations from baseline behaviour:
+nodes running hot (z-score > 2, overheating risk), nodes sitting idle or
+stalled (strongly negative z-scores), failing sensors, and rack-level
+cooling degradation.  Each anomaly here is a declarative description; the
+generator materialises them into additive per-(node, sensor, time) offsets,
+and — because the descriptions are explicit — tests and case studies know
+the ground truth they should recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .sensors import SensorKind, SensorSpec
+
+__all__ = [
+    "Anomaly",
+    "HotNodes",
+    "StalledNodes",
+    "SensorFault",
+    "CoolingDegradation",
+    "apply_anomalies",
+]
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """Base class: a time-bounded disturbance affecting a set of nodes.
+
+    Attributes
+    ----------
+    node_indices:
+        Populated-node indices the anomaly affects.
+    start / stop:
+        Snapshot-index range ``[start, stop)`` during which it is active
+        (``stop=None`` means "until the end of the window").
+    label:
+        Free-text tag carried into alignment reports.
+    """
+
+    node_indices: tuple[int, ...]
+    start: int = 0
+    stop: int | None = None
+    label: str = ""
+
+    def active_slice(self, n_timesteps: int) -> slice:
+        """Clip the anomaly's activity window to the generated timeline."""
+        stop = n_timesteps if self.stop is None else min(self.stop, n_timesteps)
+        start = min(max(self.start, 0), n_timesteps)
+        return slice(start, max(stop, start))
+
+    # Subclasses override.
+    def offsets(
+        self,
+        sensor: SensorSpec,
+        n_timesteps: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray | None:
+        """Additive offset for one sensor channel, shape ``(len(nodes), T_active)``.
+
+        Return ``None`` when the anomaly does not touch this sensor kind.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class HotNodes(Anomaly):
+    """Sustained elevated temperatures on a set of nodes (case study 1/2).
+
+    ``delta`` is the steady-state temperature excess in the sensor's units;
+    a short exponential ramp-in avoids an unphysical step.
+    """
+
+    delta: float = 12.0
+    ramp_steps: int = 30
+
+    def offsets(self, sensor, n_timesteps, rng):  # noqa: D102 - documented on base
+        if sensor.kind is not SensorKind.TEMPERATURE:
+            return None
+        window = self.active_slice(n_timesteps)
+        length = window.stop - window.start
+        if length <= 0:
+            return None
+        ramp = 1.0 - np.exp(-np.arange(length) / max(self.ramp_steps, 1))
+        profile = self.delta * ramp
+        jitter = 1.0 + 0.05 * rng.standard_normal(len(self.node_indices))
+        return jitter[:, None] * profile[None, :]
+
+
+@dataclass(frozen=True)
+class StalledNodes(Anomaly):
+    """Nodes whose jobs stopped making progress: temperatures sag to idle.
+
+    Mirrors the paper's interpretation of strongly negative z-scores
+    ("the jobs are not utilizing the node and the node is possibly
+    stalled").  ``drop`` is subtracted from temperature-like channels and
+    power draw collapses by ``power_fraction``.
+    """
+
+    drop: float = 8.0
+    power_fraction: float = 0.25
+    ramp_steps: int = 20
+
+    def offsets(self, sensor, n_timesteps, rng):  # noqa: D102
+        window = self.active_slice(n_timesteps)
+        length = window.stop - window.start
+        if length <= 0:
+            return None
+        ramp = 1.0 - np.exp(-np.arange(length) / max(self.ramp_steps, 1))
+        if sensor.kind is SensorKind.TEMPERATURE:
+            profile = -self.drop * ramp
+        elif sensor.kind is SensorKind.POWER:
+            profile = -sensor.load_coefficient * self.power_fraction * ramp
+        else:
+            return None
+        jitter = 1.0 + 0.05 * rng.standard_normal(len(self.node_indices))
+        return jitter[:, None] * profile[None, :]
+
+
+@dataclass(frozen=True)
+class SensorFault(Anomaly):
+    """A sensor that intermittently reports wild values (measurement fault).
+
+    ``spike_probability`` of affected samples are replaced by offsets drawn
+    from a wide normal distribution — high-frequency content the mrDMD
+    reconstruction should largely filter out (Fig. 3's denoising claim).
+    """
+
+    sensor_name: str = "cpu_temp"
+    spike_probability: float = 0.02
+    spike_std: float = 15.0
+
+    def offsets(self, sensor, n_timesteps, rng):  # noqa: D102
+        if sensor.name != self.sensor_name:
+            return None
+        window = self.active_slice(n_timesteps)
+        length = window.stop - window.start
+        if length <= 0:
+            return None
+        mask = rng.random((len(self.node_indices), length)) < self.spike_probability
+        spikes = rng.standard_normal((len(self.node_indices), length)) * self.spike_std
+        return np.where(mask, spikes, 0.0)
+
+
+@dataclass(frozen=True)
+class CoolingDegradation(Anomaly):
+    """Rack-level cooling degradation: slow temperature creep on all nodes.
+
+    ``rate_per_hour`` degC of linear drift accumulates while active —
+    exactly the kind of slow, spatially coherent pattern the level-1/2
+    mrDMD modes should capture.
+    """
+
+    rate_per_hour: float = 1.5
+    dt_seconds: float = 15.0
+
+    def offsets(self, sensor, n_timesteps, rng):  # noqa: D102
+        if sensor.kind is not SensorKind.TEMPERATURE:
+            return None
+        window = self.active_slice(n_timesteps)
+        length = window.stop - window.start
+        if length <= 0:
+            return None
+        hours = np.arange(length) * self.dt_seconds / 3600.0
+        profile = self.rate_per_hour * hours
+        return np.broadcast_to(profile, (len(self.node_indices), length)).copy()
+
+
+def apply_anomalies(
+    values: np.ndarray,
+    sensor: SensorSpec,
+    node_index_of_row: np.ndarray,
+    anomalies: Sequence[Anomaly],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Apply every anomaly's offsets in place to one sensor block.
+
+    Parameters
+    ----------
+    values:
+        ``(n_nodes, T)`` array for a single sensor channel (modified in
+        place and also returned).
+    sensor:
+        The channel's specification.
+    node_index_of_row:
+        Mapping from row position to populated-node index.
+    anomalies:
+        The anomaly descriptions to apply.
+    rng:
+        Random generator for per-anomaly jitter.
+    """
+    values = np.asarray(values)
+    n_timesteps = values.shape[1]
+    row_of_node = {int(node): row for row, node in enumerate(node_index_of_row)}
+    for anomaly in anomalies:
+        rows = [row_of_node[n] for n in anomaly.node_indices if n in row_of_node]
+        if not rows:
+            continue
+        offsets = anomaly.offsets(sensor, n_timesteps, rng)
+        if offsets is None:
+            continue
+        window = anomaly.active_slice(n_timesteps)
+        # ``offsets`` rows follow anomaly.node_indices order; restrict to the
+        # rows actually present in this block.
+        present = [i for i, n in enumerate(anomaly.node_indices) if n in row_of_node]
+        values[np.asarray(rows), window] += offsets[present, :]
+    return values

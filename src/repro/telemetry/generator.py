@@ -1,0 +1,364 @@
+"""Synthetic multifidelity environment-log generator.
+
+Produces sensor matrices with the same shape and multi-timescale structure
+as the Theta environment logs and Polaris GPU metrics the paper analyses:
+
+* rows are (sensor channel, node) pairs, grouped by channel so that a
+  single channel (e.g. every node's ``cpu_temp``) is a contiguous view;
+* columns are snapshots at the machine's sampling interval;
+* each reading composes a nominal operating point, the facility cooling
+  loop (slow, rack-coherent), the diurnal cycle (very slow), the thermal
+  response to job-induced utilisation (medium), anomaly offsets, and AR(1)
+  measurement noise (fast) — several distinct timescales for mrDMD to
+  separate.
+
+The generator is deterministic given its seed, so tests and case studies
+can assert against known ground truth, and it never materialises more than
+the requested window (week-scale runs stream chunk by chunk through
+:mod:`repro.telemetry.streaming`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from . import dynamics
+from .anomalies import Anomaly, apply_anomalies
+from .machine import MachineDescription
+from .sensors import SensorSpec
+
+__all__ = ["TelemetryStream", "TelemetryGenerator"]
+
+
+@dataclass
+class TelemetryStream:
+    """A generated block of telemetry.
+
+    Attributes
+    ----------
+    values:
+        ``(P, T)`` sensor readings; ``P = n_selected_channels * n_nodes``.
+    dt:
+        Sampling interval in seconds.
+    sensor_names:
+        Length-``P`` channel name per row.
+    node_indices:
+        Length-``P`` populated-node index per row.
+    machine:
+        The machine description the stream was generated for.
+    utilization:
+        The ``(n_nodes, T)`` ground-truth utilisation used (kept for
+        alignment tests; ``None`` when supplied externally and not stored).
+    start_step:
+        Absolute snapshot index of the first column (non-zero for
+        continuation chunks).
+    """
+
+    values: np.ndarray
+    dt: float
+    sensor_names: np.ndarray
+    node_indices: np.ndarray
+    machine: MachineDescription
+    utilization: np.ndarray | None = None
+    start_step: int = 0
+
+    @property
+    def n_rows(self) -> int:
+        """Number of (channel, node) rows."""
+        return int(self.values.shape[0])
+
+    @property
+    def n_timesteps(self) -> int:
+        return int(self.values.shape[1])
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of distinct nodes present."""
+        return int(np.unique(self.node_indices).size)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Absolute sample times in seconds."""
+        return (np.arange(self.n_timesteps) + self.start_step) * self.dt
+
+    def channel(self, sensor_name: str) -> "TelemetryStream":
+        """Restrict to a single sensor channel (a view, not a copy)."""
+        mask = self.sensor_names == sensor_name
+        if not np.any(mask):
+            raise KeyError(f"unknown sensor channel {sensor_name!r}")
+        return TelemetryStream(
+            values=self.values[mask],
+            dt=self.dt,
+            sensor_names=self.sensor_names[mask],
+            node_indices=self.node_indices[mask],
+            machine=self.machine,
+            utilization=self.utilization,
+            start_step=self.start_step,
+        )
+
+    def select_nodes(self, nodes: Sequence[int]) -> "TelemetryStream":
+        """Restrict to rows belonging to the given populated-node indices."""
+        wanted = np.asarray(sorted(set(int(n) for n in nodes)), dtype=int)
+        mask = np.isin(self.node_indices, wanted)
+        if not np.any(mask):
+            raise ValueError("selection matches no rows")
+        return TelemetryStream(
+            values=self.values[mask],
+            dt=self.dt,
+            sensor_names=self.sensor_names[mask],
+            node_indices=self.node_indices[mask],
+            machine=self.machine,
+            utilization=self.utilization,
+            start_step=self.start_step,
+        )
+
+    def window(self, start: int, stop: int) -> "TelemetryStream":
+        """Column slice ``[start, stop)`` as a new stream (view)."""
+        if not 0 <= start <= stop <= self.n_timesteps:
+            raise ValueError(
+                f"window [{start}, {stop}) out of range for {self.n_timesteps} snapshots"
+            )
+        return TelemetryStream(
+            values=self.values[:, start:stop],
+            dt=self.dt,
+            sensor_names=self.sensor_names,
+            node_indices=self.node_indices,
+            machine=self.machine,
+            utilization=None if self.utilization is None else self.utilization[:, start:stop],
+            start_step=self.start_step + start,
+        )
+
+    def node_average(self) -> np.ndarray:
+        """Average readings per node (over its channels), shape ``(n_nodes, T)``.
+
+        Rows are ordered by ascending node index; useful for producing one
+        z-score per node regardless of how many channels were generated.
+        """
+        unique_nodes = np.unique(self.node_indices)
+        out = np.zeros((unique_nodes.size, self.n_timesteps))
+        for i, node in enumerate(unique_nodes):
+            out[i] = self.values[self.node_indices == node].mean(axis=0)
+        return out
+
+
+class TelemetryGenerator:
+    """Deterministic synthetic telemetry source for a given machine.
+
+    Parameters
+    ----------
+    machine:
+        Topology + sensor suite (see :mod:`repro.telemetry.machine`).
+    seed:
+        Seed of the internal random generator; the same seed and arguments
+        always produce the same stream.
+    cooling_period / diurnal_period:
+        Periods (seconds) of the two plant-wide oscillations.
+    utilization_target:
+        Average node utilisation the internal workload model aims for.
+    noise_scale:
+        Global multiplier on per-sensor noise standard deviations.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        *,
+        seed: int = 0,
+        cooling_period: float = 600.0,
+        diurnal_period: float = 86_400.0,
+        utilization_target: float = 0.7,
+        noise_scale: float = 1.0,
+    ) -> None:
+        if cooling_period <= 0 or diurnal_period <= 0:
+            raise ValueError("periods must be positive")
+        if noise_scale < 0:
+            raise ValueError("noise_scale must be non-negative")
+        self.machine = machine
+        self.seed = int(seed)
+        self.cooling_period = float(cooling_period)
+        self.diurnal_period = float(diurnal_period)
+        self.utilization_target = float(utilization_target)
+        self.noise_scale = float(noise_scale)
+
+    # ------------------------------------------------------------------ #
+    def _resolve_sensors(self, sensors: Sequence[str] | None) -> list[SensorSpec]:
+        available = {spec.name: spec for spec in self.machine.sensors}
+        if sensors is None:
+            return list(self.machine.sensors)
+        resolved = []
+        for name in sensors:
+            if name not in available:
+                raise KeyError(
+                    f"machine {self.machine.name!r} has no sensor {name!r}; "
+                    f"available: {sorted(available)}"
+                )
+            resolved.append(available[name])
+        return resolved
+
+    def generate(
+        self,
+        n_timesteps: int,
+        *,
+        sensors: Sequence[str] | None = None,
+        nodes: Sequence[int] | None = None,
+        utilization: np.ndarray | None = None,
+        anomalies: Sequence[Anomaly] = (),
+        start_step: int = 0,
+    ) -> TelemetryStream:
+        """Generate ``n_timesteps`` snapshots of telemetry.
+
+        Parameters
+        ----------
+        n_timesteps:
+            Number of snapshots (columns).
+        sensors:
+            Channel names to generate (default: every channel of the
+            machine's suite).  Case studies typically pass
+            ``["cpu_temp"]``.
+        nodes:
+            Populated-node indices to include (default: all).
+        utilization:
+            Optional externally supplied ``(n_nodes_selected, T)`` load
+            matrix (e.g. from the job-log scheduler simulation); when
+            omitted an internal synthetic workload is used.
+        anomalies:
+            Anomaly descriptions to inject (see
+            :mod:`repro.telemetry.anomalies`).
+        start_step:
+            Absolute index of the first snapshot — lets continuation
+            chunks stay phase-coherent with earlier ones, which is what
+            makes the streaming evaluation realistic.
+        """
+        if n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        machine = self.machine
+        specs = self._resolve_sensors(sensors)
+        if nodes is None:
+            node_ids = np.arange(machine.n_nodes)
+        else:
+            node_ids = np.asarray(sorted(set(int(n) for n in nodes)), dtype=int)
+            if node_ids.size == 0:
+                raise ValueError("nodes must contain at least one index")
+            if node_ids.min() < 0 or node_ids.max() >= machine.n_nodes:
+                raise ValueError(
+                    f"node indices must be in [0, {machine.n_nodes}), got "
+                    f"[{node_ids.min()}, {node_ids.max()}]"
+                )
+        n_nodes = node_ids.size
+        dt = machine.dt_seconds
+        times = (np.arange(n_timesteps) + start_step) * dt
+
+        # Deterministic sub-streams: structure noise depends only on the seed,
+        # not on which sensors/nodes were requested.
+        rng_structure = np.random.default_rng(self.seed)
+        rng_noise = np.random.default_rng(self.seed + 1_000_003 + start_step)
+        rng_anom = np.random.default_rng(self.seed + 7_000_117)
+
+        # Plant-wide components.
+        diurnal = dynamics.diurnal_cycle(times, period=self.diurnal_period)
+        racks = np.array([machine.rack_of_node(int(n)) for n in node_ids])
+        cooling_all = dynamics.cooling_loop(
+            times,
+            machine.n_racks,
+            period=self.cooling_period,
+            rng=rng_structure,
+        )
+        cooling = cooling_all[racks, :]                      # (n_nodes, T)
+
+        # Workload-induced load.
+        if utilization is None:
+            utilization = dynamics.synthetic_utilization(
+                n_nodes,
+                n_timesteps,
+                rng=rng_structure,
+                target_utilization=self.utilization_target,
+            )
+        else:
+            utilization = np.asarray(utilization, dtype=float)
+            if utilization.shape != (n_nodes, n_timesteps):
+                raise ValueError(
+                    f"utilization must have shape ({n_nodes}, {n_timesteps}), "
+                    f"got {utilization.shape}"
+                )
+        thermal_load = dynamics.thermal_response(utilization, dt=dt)
+
+        # Per-node static offsets (manufacturing / placement variability).
+        node_bias = rng_structure.standard_normal(n_nodes) * 0.5
+
+        blocks: list[np.ndarray] = []
+        names: list[np.ndarray] = []
+        rows_nodes: list[np.ndarray] = []
+        for spec in specs:
+            block = (
+                spec.nominal
+                + node_bias[:, None] * (1.0 if spec.kind.value == "temperature" else 0.1)
+                + spec.load_coefficient * thermal_load
+                + spec.cooling_coefficient * cooling
+                + spec.diurnal_coefficient * diurnal[None, :]
+            )
+            if self.noise_scale > 0 and spec.noise_std > 0:
+                block = block + dynamics.ar1_noise(
+                    (n_nodes, n_timesteps),
+                    rng=rng_noise,
+                    std=spec.noise_std * self.noise_scale,
+                )
+            if anomalies:
+                apply_anomalies(block, spec, node_ids, anomalies, rng_anom)
+            blocks.append(block)
+            names.append(np.full(n_nodes, spec.name, dtype=object))
+            rows_nodes.append(node_ids.copy())
+
+        return TelemetryStream(
+            values=np.vstack(blocks),
+            dt=dt,
+            sensor_names=np.concatenate(names),
+            node_indices=np.concatenate(rows_nodes),
+            machine=machine,
+            utilization=utilization,
+            start_step=start_step,
+        )
+
+    def generate_matrix(
+        self,
+        n_rows: int,
+        n_timesteps: int,
+        *,
+        sensor: str | None = None,
+        anomalies: Sequence[Anomaly] = (),
+        start_step: int = 0,
+    ) -> np.ndarray:
+        """Generate a bare ``(n_rows, n_timesteps)`` matrix for benchmarks.
+
+        Table I and Fig. 9 benchmark fixed-size matrices (e.g. 1,000 series
+        by 1,000-30,000 time points); this helper tiles/truncates node rows
+        of a single channel to exactly ``n_rows`` without requiring a
+        machine of that exact size.
+        """
+        if n_rows < 1:
+            raise ValueError("n_rows must be >= 1")
+        channel = sensor or self.machine.sensors[0].name
+        n_nodes = self.machine.n_nodes
+        reps = int(np.ceil(n_rows / n_nodes))
+        streams = []
+        for rep in range(reps):
+            gen = TelemetryGenerator(
+                self.machine,
+                seed=self.seed + rep,
+                cooling_period=self.cooling_period,
+                diurnal_period=self.diurnal_period,
+                utilization_target=self.utilization_target,
+                noise_scale=self.noise_scale,
+            )
+            streams.append(
+                gen.generate(
+                    n_timesteps,
+                    sensors=[channel],
+                    anomalies=anomalies,
+                    start_step=start_step,
+                ).values
+            )
+        stacked = np.vstack(streams)
+        return np.ascontiguousarray(stacked[:n_rows, :])

@@ -1,0 +1,314 @@
+"""Machine topology descriptions (racks, cabinets, slots, blades, nodes).
+
+The paper's datasets come from two ALCF machines:
+
+* **Theta**, a Cray XC40 with 4,392 compute nodes in 24 racks, ~150 sensor
+  readings per node at 10-30 second cadence (environment logs);
+* **Polaris**, a 560-node HPE Apollo 6500 Gen10+ with four NVIDIA A100 GPUs
+  per node (GPU metrics).
+
+Real logs from those machines are not redistributable, so this module
+describes their topology programmatically; the generator in
+:mod:`repro.telemetry.generator` then synthesises sensor streams with the
+same shape and multi-timescale structure.  The description also knows how to
+emit the *layout specification string* of Sec. III-B (the grammar the rack
+visualization consumes), which keeps the topology, the generated data, and
+the rack view consistent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .sensors import SensorSpec, gpu_sensor_suite, xc40_sensor_suite
+
+__all__ = ["MachineDescription", "NodeLocation", "theta_machine", "polaris_machine"]
+
+
+@dataclass(frozen=True)
+class NodeLocation:
+    """Physical coordinates of one node within the machine hierarchy."""
+
+    index: int
+    row: int
+    rack: int
+    cabinet: int
+    slot: int
+    blade: int
+    node: int
+
+    @property
+    def name(self) -> str:
+        """Cray-style location name, e.g. ``c3-0c1s5b0n2``.
+
+        ``c<rack>-<row>c<cabinet>s<slot>b<blade>n<node>`` — rack and row
+        first (cabinet position on the floor), then the within-rack path.
+        """
+        return (
+            f"c{self.rack}-{self.row}"
+            f"c{self.cabinet}s{self.slot}b{self.blade}n{self.node}"
+        )
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """Hierarchical description of a supercomputer's physical layout.
+
+    The hierarchy mirrors the layout grammar of Sec. III-B:
+    rows -> racks -> cabinets (cages/chassis) -> slots -> blades -> nodes.
+
+    Attributes
+    ----------
+    name:
+        System name (first token of the layout string, e.g. ``"xc40"``).
+    n_rows / racks_per_row:
+        Machine-room floor arrangement.
+    cabinets_per_rack / slots_per_cabinet / blades_per_slot / nodes_per_blade:
+        Within-rack packaging.
+    node_limit:
+        Optional cap on the number of populated nodes (Theta has 4,392
+        populated out of a 4,608-slot packaging); nodes are populated in
+        location order.
+    sensors:
+        Per-node sensor suite used by the telemetry generator.
+    rack_row_alignment / rack_col_alignment / cabinet_* / slot_* / blade_*:
+        Alignment codes of the layout grammar (-1 right-to-left,
+        1 left-to-right, 2 bottom-to-top; default top-to-bottom).
+    dt_seconds:
+        Nominal sensor sampling interval (the environment logs sample every
+        10-30 s; GPU metrics every ~3 s).
+    """
+
+    name: str
+    n_rows: int
+    racks_per_row: int
+    cabinets_per_rack: int
+    slots_per_cabinet: int
+    blades_per_slot: int
+    nodes_per_blade: int
+    node_limit: int | None = None
+    sensors: tuple[SensorSpec, ...] = field(default_factory=tuple)
+    rack_row_alignment: int = 1
+    rack_col_alignment: int = 2
+    cabinet_row_alignment: int = 2
+    cabinet_col_alignment: int = 1
+    slot_row_alignment: int = 1
+    slot_col_alignment: int = 1
+    blade_row_alignment: int = 1
+    blade_col_alignment: int = 1
+    dt_seconds: float = 15.0
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "n_rows",
+            "racks_per_row",
+            "cabinets_per_rack",
+            "slots_per_cabinet",
+            "blades_per_slot",
+            "nodes_per_blade",
+        ):
+            if getattr(self, attr) < 1:
+                raise ValueError(f"{attr} must be >= 1, got {getattr(self, attr)!r}")
+        if self.node_limit is not None and self.node_limit < 1:
+            raise ValueError("node_limit must be >= 1 or None")
+        if self.dt_seconds <= 0:
+            raise ValueError("dt_seconds must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def n_racks(self) -> int:
+        """Total number of racks on the floor."""
+        return self.n_rows * self.racks_per_row
+
+    @property
+    def nodes_per_rack(self) -> int:
+        """Packaging capacity of one rack."""
+        return (
+            self.cabinets_per_rack
+            * self.slots_per_cabinet
+            * self.blades_per_slot
+            * self.nodes_per_blade
+        )
+
+    @property
+    def capacity(self) -> int:
+        """Total packaging capacity (before ``node_limit``)."""
+        return self.n_racks * self.nodes_per_rack
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of populated nodes."""
+        if self.node_limit is None:
+            return self.capacity
+        return min(self.node_limit, self.capacity)
+
+    @property
+    def n_sensors_per_node(self) -> int:
+        """Sensor channels per node."""
+        return len(self.sensors)
+
+    # ------------------------------------------------------------------ #
+    # Node enumeration
+    # ------------------------------------------------------------------ #
+    def node_locations(self) -> list[NodeLocation]:
+        """Enumerate populated nodes in location order (row-major)."""
+        locations: list[NodeLocation] = []
+        index = 0
+        limit = self.n_nodes
+        for row in range(self.n_rows):
+            for rack in range(self.racks_per_row):
+                for cabinet in range(self.cabinets_per_rack):
+                    for slot in range(self.slots_per_cabinet):
+                        for blade in range(self.blades_per_slot):
+                            for node in range(self.nodes_per_blade):
+                                if index >= limit:
+                                    return locations
+                                locations.append(
+                                    NodeLocation(
+                                        index=index,
+                                        row=row,
+                                        rack=rack,
+                                        cabinet=cabinet,
+                                        slot=slot,
+                                        blade=blade,
+                                        node=node,
+                                    )
+                                )
+                                index += 1
+        return locations
+
+    def node_names(self) -> list[str]:
+        """Cray-style names of populated nodes, in index order."""
+        return [loc.name for loc in self.node_locations()]
+
+    def rack_of_node(self, node_index: int) -> int:
+        """Flat rack index (0..n_racks-1) containing the given node."""
+        if not 0 <= node_index < self.n_nodes:
+            raise ValueError(f"node_index {node_index} out of range [0, {self.n_nodes})")
+        rack_flat = node_index // self.nodes_per_rack
+        return int(rack_flat)
+
+    # ------------------------------------------------------------------ #
+    # Layout grammar
+    # ------------------------------------------------------------------ #
+    def layout_spec(self) -> str:
+        """Emit the Sec. III-B layout specification string.
+
+        Format (verbatim from the paper)::
+
+            "<system> <rack-row-align> <rack-col-align>
+             row<row-range>:<rack-range>
+             <cab-row-align> <cab-col-align> c:<cabinet-range>
+             <slot-row-align> <slot-col-align> s:<slot-range>
+             <blade-row-align> <blade-col-align> b:<blade-range>
+             n:<node-range>"
+
+        e.g. ``"xc40 1 2 row0-1:0-10 2 c:0-7 1 s:0-7 1 b:0 n:0"``.
+        (The paper's example elides the second alignment number for the
+        inner groups; the parser in :mod:`repro.viz.layout` accepts both
+        the one- and two-number forms, and this emitter uses the compact
+        one-number form to match the paper.)
+        """
+        def rng(n: int) -> str:
+            return "0" if n == 1 else f"0-{n - 1}"
+
+        return (
+            f"{self.name} {self.rack_row_alignment} {self.rack_col_alignment} "
+            f"row{rng(self.n_rows)}:{rng(self.racks_per_row)} "
+            f"{self.cabinet_row_alignment} c:{rng(self.cabinets_per_rack)} "
+            f"{self.slot_row_alignment} s:{rng(self.slots_per_cabinet)} "
+            f"{self.blade_row_alignment} b:{rng(self.blades_per_slot)} "
+            f"n:{rng(self.nodes_per_blade)}"
+        )
+
+    def scaled(self, fraction: float) -> "MachineDescription":
+        """Return a copy with roughly ``fraction`` of the racks (for tests).
+
+        Scaling keeps whole rows when possible so rack views remain
+        rectangular; at least one row and one rack per row survive.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        racks_per_row = max(1, round(self.racks_per_row * fraction))
+        node_limit = None
+        if self.node_limit is not None:
+            node_limit = max(1, round(self.node_limit * (racks_per_row / self.racks_per_row)))
+        return MachineDescription(
+            name=self.name,
+            n_rows=self.n_rows,
+            racks_per_row=racks_per_row,
+            cabinets_per_rack=self.cabinets_per_rack,
+            slots_per_cabinet=self.slots_per_cabinet,
+            blades_per_slot=self.blades_per_slot,
+            nodes_per_blade=self.nodes_per_blade,
+            node_limit=node_limit,
+            sensors=self.sensors,
+            rack_row_alignment=self.rack_row_alignment,
+            rack_col_alignment=self.rack_col_alignment,
+            cabinet_row_alignment=self.cabinet_row_alignment,
+            cabinet_col_alignment=self.cabinet_col_alignment,
+            slot_row_alignment=self.slot_row_alignment,
+            slot_col_alignment=self.slot_col_alignment,
+            blade_row_alignment=self.blade_row_alignment,
+            blade_col_alignment=self.blade_col_alignment,
+            dt_seconds=self.dt_seconds,
+        )
+
+
+def theta_machine(
+    *,
+    racks_per_row: int = 12,
+    n_rows: int = 2,
+    node_limit: int | None = 4392,
+    dt_seconds: float = 15.0,
+) -> MachineDescription:
+    """Theta-like Cray XC40 description (24 racks, 4,392 populated nodes).
+
+    Each rack packages 3 chassis ("cabinets" in the layout grammar) of 16
+    slots with 4 nodes per blade slot — 192 node positions per rack, of
+    which 4,392 are populated machine-wide, matching Sec. IV/V.  Pass a
+    smaller ``racks_per_row``/``node_limit`` (or call
+    :meth:`MachineDescription.scaled`) for laptop-scale experiments.
+    """
+    machine = MachineDescription(
+        name="xc40",
+        n_rows=n_rows,
+        racks_per_row=racks_per_row,
+        cabinets_per_rack=3,
+        slots_per_cabinet=16,
+        blades_per_slot=1,
+        nodes_per_blade=4,
+        node_limit=node_limit,
+        sensors=xc40_sensor_suite(),
+        dt_seconds=dt_seconds,
+    )
+    return machine
+
+
+def polaris_machine(
+    *,
+    racks_per_row: int = 20,
+    n_rows: int = 2,
+    node_limit: int | None = 560,
+    dt_seconds: float = 3.0,
+) -> MachineDescription:
+    """Polaris-like HPE Apollo 6500 description (560 nodes, 4 A100s each).
+
+    Nodes carry a GPU-centric sensor suite (four GPU temperatures plus GPU
+    power and memory temperature), sampled every ~3 seconds — the "GPU
+    metrics" dataset of Sec. IV.
+    """
+    return MachineDescription(
+        name="polaris",
+        n_rows=n_rows,
+        racks_per_row=racks_per_row,
+        cabinets_per_rack=7,
+        slots_per_cabinet=2,
+        blades_per_slot=1,
+        nodes_per_blade=1,
+        node_limit=node_limit,
+        sensors=gpu_sensor_suite(),
+        dt_seconds=dt_seconds,
+    )

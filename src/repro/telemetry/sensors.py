@@ -1,0 +1,188 @@
+"""Per-node sensor channel specifications.
+
+The environment logs the paper analyses carry ~150 readings per node —
+voltages, currents, air/water/CPU temperatures, and fan speeds.  The case
+studies focus on temperature channels; this module defines typed sensor
+specifications (name, kind, unit, nominal operating point, noise level,
+response to load and to cooling) that the generator composes into
+multi-timescale signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["SensorKind", "SensorSpec", "xc40_sensor_suite", "gpu_sensor_suite"]
+
+
+class SensorKind(Enum):
+    """Physical quantity a sensor channel measures."""
+
+    TEMPERATURE = "temperature"
+    VOLTAGE = "voltage"
+    CURRENT = "current"
+    POWER = "power"
+    FAN_SPEED = "fan_speed"
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """One sensor channel on every node of a machine.
+
+    Attributes
+    ----------
+    name:
+        Channel name as it would appear in the log (e.g. ``"cpu_temp"``).
+    kind:
+        Physical quantity (:class:`SensorKind`).
+    unit:
+        Engineering unit string (degC, V, A, W, RPM).
+    nominal:
+        Baseline operating value when the node is idle and the room is at
+        its reference temperature.
+    load_coefficient:
+        Added to the reading per unit of node utilisation (0-1): a busy
+        CPU runs ~15-25 degC hotter, draws more current, and so on.
+    cooling_coefficient:
+        Sensitivity to the facility cooling-loop oscillation (the slow
+        plant-wide dynamic the mrDMD level-1 modes capture).
+    noise_std:
+        Standard deviation of the per-sample measurement noise.
+    diurnal_coefficient:
+        Sensitivity to the diurnal (building/ambient) cycle.
+    """
+
+    name: str
+    kind: SensorKind
+    unit: str
+    nominal: float
+    load_coefficient: float = 0.0
+    cooling_coefficient: float = 0.0
+    noise_std: float = 0.1
+    diurnal_coefficient: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+
+
+def xc40_sensor_suite() -> tuple[SensorSpec, ...]:
+    """Representative Cray XC40 per-node environment sensors.
+
+    A compact but structurally faithful subset of the ~150 real channels:
+    four temperature readings per node (the quantity analysed in the case
+    studies: "four readings of each type per node"), a supply voltage, a
+    node power draw, and a cabinet fan speed.
+    """
+    return (
+        SensorSpec(
+            name="cpu_temp",
+            kind=SensorKind.TEMPERATURE,
+            unit="degC",
+            nominal=48.0,
+            load_coefficient=22.0,
+            cooling_coefficient=2.5,
+            diurnal_coefficient=1.5,
+            noise_std=0.6,
+        ),
+        SensorSpec(
+            name="air_inlet_temp",
+            kind=SensorKind.TEMPERATURE,
+            unit="degC",
+            nominal=24.0,
+            load_coefficient=2.0,
+            cooling_coefficient=3.0,
+            diurnal_coefficient=2.0,
+            noise_std=0.4,
+        ),
+        SensorSpec(
+            name="air_outlet_temp",
+            kind=SensorKind.TEMPERATURE,
+            unit="degC",
+            nominal=34.0,
+            load_coefficient=8.0,
+            cooling_coefficient=2.8,
+            diurnal_coefficient=1.8,
+            noise_std=0.5,
+        ),
+        SensorSpec(
+            name="water_temp",
+            kind=SensorKind.TEMPERATURE,
+            unit="degC",
+            nominal=18.0,
+            load_coefficient=1.0,
+            cooling_coefficient=4.0,
+            diurnal_coefficient=0.8,
+            noise_std=0.3,
+        ),
+        SensorSpec(
+            name="vccp_voltage",
+            kind=SensorKind.VOLTAGE,
+            unit="V",
+            nominal=1.8,
+            load_coefficient=-0.05,
+            cooling_coefficient=0.0,
+            diurnal_coefficient=0.0,
+            noise_std=0.005,
+        ),
+        SensorSpec(
+            name="node_power",
+            kind=SensorKind.POWER,
+            unit="W",
+            nominal=110.0,
+            load_coefficient=180.0,
+            cooling_coefficient=0.0,
+            diurnal_coefficient=0.0,
+            noise_std=4.0,
+        ),
+        SensorSpec(
+            name="cabinet_fan_speed",
+            kind=SensorKind.FAN_SPEED,
+            unit="RPM",
+            nominal=2600.0,
+            load_coefficient=500.0,
+            cooling_coefficient=120.0,
+            diurnal_coefficient=40.0,
+            noise_std=25.0,
+        ),
+    )
+
+
+def gpu_sensor_suite() -> tuple[SensorSpec, ...]:
+    """Polaris GPU-metrics sensors: four A100 temperatures plus power/memory."""
+    gpu_temps = tuple(
+        SensorSpec(
+            name=f"gpu{i}_temp",
+            kind=SensorKind.TEMPERATURE,
+            unit="degC",
+            nominal=38.0,
+            load_coefficient=35.0,
+            cooling_coefficient=2.0,
+            diurnal_coefficient=1.0,
+            noise_std=0.8,
+        )
+        for i in range(4)
+    )
+    return gpu_temps + (
+        SensorSpec(
+            name="gpu_power",
+            kind=SensorKind.POWER,
+            unit="W",
+            nominal=60.0,
+            load_coefficient=340.0,
+            cooling_coefficient=0.0,
+            diurnal_coefficient=0.0,
+            noise_std=6.0,
+        ),
+        SensorSpec(
+            name="hbm_temp",
+            kind=SensorKind.TEMPERATURE,
+            unit="degC",
+            nominal=42.0,
+            load_coefficient=30.0,
+            cooling_coefficient=1.5,
+            diurnal_coefficient=0.8,
+            noise_std=0.7,
+        ),
+    )

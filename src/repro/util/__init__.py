@@ -1,0 +1,29 @@
+"""Shared utilities: timing, validation, chunking, parallelism, statistics."""
+
+from .chunking import chunk_indices, iter_chunks, split_columns
+from .parallel import parallel_map
+from .stats import rolling_mean, running_moments, RunningMoments
+from .timer import Timer, TimingTable, timeit
+from .validation import (
+    ensure_2d,
+    ensure_positive,
+    ensure_probability,
+    require,
+)
+
+__all__ = [
+    "chunk_indices",
+    "iter_chunks",
+    "split_columns",
+    "parallel_map",
+    "rolling_mean",
+    "running_moments",
+    "RunningMoments",
+    "Timer",
+    "TimingTable",
+    "timeit",
+    "ensure_2d",
+    "ensure_positive",
+    "ensure_probability",
+    "require",
+]

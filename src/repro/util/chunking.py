@@ -1,0 +1,54 @@
+"""Chunking helpers for streaming replay and blocked processing.
+
+The online pipeline consumes telemetry in fixed-size column chunks (the
+paper appends 1,000 time points at a time in Table I / Fig. 9); these
+helpers produce the index ranges and column views without copying data
+until the consumer asks for it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["chunk_indices", "iter_chunks", "split_columns"]
+
+
+def chunk_indices(total: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Return ``[start, stop)`` pairs covering ``range(total)`` in chunks."""
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [(lo, min(lo + chunk_size, total)) for lo in range(0, total, chunk_size)]
+
+
+def iter_chunks(data: np.ndarray, chunk_size: int, axis: int = 1) -> Iterator[np.ndarray]:
+    """Yield consecutive views of ``data`` split along ``axis``.
+
+    Views (not copies) are yielded, matching the "be easy on the memory"
+    guidance of the HPC optimisation guide.
+    """
+    data = np.asarray(data)
+    if axis < 0:
+        axis += data.ndim
+    if not 0 <= axis < data.ndim:
+        raise ValueError(f"axis {axis} out of range for {data.ndim}-D data")
+    total = data.shape[axis]
+    for lo, hi in chunk_indices(total, chunk_size):
+        index = [slice(None)] * data.ndim
+        index[axis] = slice(lo, hi)
+        yield data[tuple(index)]
+
+
+def split_columns(data: np.ndarray, first: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split a ``(P, T)`` matrix into its first ``first`` columns and the rest."""
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape!r}")
+    if not 0 <= first <= data.shape[1]:
+        raise ValueError(
+            f"first must be in [0, {data.shape[1]}], got {first}"
+        )
+    return data[:, :first], data[:, first:]

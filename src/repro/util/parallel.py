@@ -1,0 +1,56 @@
+"""Process-pool helpers for embarrassingly parallel stages.
+
+The paper notes that refreshing levels 2..L of a previously computed mrDMD
+tree "is an embarrassingly parallel problem" (Sec. III-A-1): every window at
+every level can be recomputed independently.  :func:`parallel_map` wraps
+``multiprocessing`` with a serial fallback so callers get determinism by
+default and opt into processes only when the per-task work is large enough
+to amortise the fork/pickle overhead (the usual Python-HPC guidance).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map"]
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    *,
+    processes: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Map ``func`` over ``items``, optionally with a process pool.
+
+    Parameters
+    ----------
+    func:
+        A picklable callable (top-level function or functools.partial of
+        one) applied to each item.
+    items:
+        The work items.  They are materialised into a list first so the
+        serial and parallel paths see identical inputs.
+    processes:
+        ``None`` or ``<= 1`` runs serially in-process (deterministic, no
+        pickling requirements).  Larger values use a ``multiprocessing``
+        pool of that many workers.
+    chunksize:
+        Forwarded to ``Pool.map`` to batch small tasks.
+
+    Returns
+    -------
+    list
+        Results in the same order as ``items``.
+    """
+    work = list(items)
+    if processes is None or processes <= 1 or len(work) <= 1:
+        return [func(item) for item in work]
+    processes = min(processes, len(work))
+    with mp.get_context("spawn").Pool(processes=processes) as pool:
+        return pool.map(func, work, chunksize=max(1, chunksize))

@@ -1,0 +1,91 @@
+"""Streaming statistics helpers.
+
+Online monitoring needs running means/variances that never hold the full
+history (Welford's algorithm) and cheap smoothing for display.  These are
+used by the telemetry generator's drift models, the alignment report, and a
+few tests as an independent cross-check of the baseline statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RunningMoments", "running_moments", "rolling_mean"]
+
+
+@dataclass
+class RunningMoments:
+    """Welford running mean/variance over vectors of fixed dimension.
+
+    ``update`` accepts a single ``(P,)`` sample or a ``(P, k)`` block of
+    samples and maintains per-row statistics in O(P) memory.
+    """
+
+    count: int = 0
+    mean: np.ndarray | None = None
+    m2: np.ndarray | None = None
+
+    def update(self, sample: np.ndarray) -> "RunningMoments":
+        """Fold one sample (or a block of samples) into the moments."""
+        block = np.asarray(sample, dtype=float)
+        if block.ndim == 1:
+            block = block[:, None]
+        if block.ndim != 2:
+            raise ValueError(f"sample must be 1-D or 2-D, got shape {block.shape!r}")
+        if self.mean is None:
+            self.mean = np.zeros(block.shape[0])
+            self.m2 = np.zeros(block.shape[0])
+        elif block.shape[0] != self.mean.shape[0]:
+            raise ValueError(
+                f"dimension mismatch: expected {self.mean.shape[0]}, got {block.shape[0]}"
+            )
+        for j in range(block.shape[1]):
+            x = block[:, j]
+            self.count += 1
+            delta = x - self.mean
+            self.mean = self.mean + delta / self.count
+            self.m2 = self.m2 + delta * (x - self.mean)
+        return self
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Population variance per row (zeros before two samples)."""
+        if self.mean is None or self.count < 2:
+            size = 0 if self.mean is None else self.mean.shape[0]
+            return np.zeros(size)
+        return self.m2 / self.count
+
+    @property
+    def std(self) -> np.ndarray:
+        """Population standard deviation per row."""
+        return np.sqrt(self.variance)
+
+
+def running_moments(data: np.ndarray) -> RunningMoments:
+    """Convenience constructor: fold an entire ``(P, T)`` matrix at once."""
+    moments = RunningMoments()
+    return moments.update(np.asarray(data, dtype=float))
+
+
+def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered-start rolling mean along the last axis (same length output).
+
+    The first ``window - 1`` positions average over the partial prefix, so
+    the output has the same length as the input — convenient for plotting
+    overlays without index bookkeeping.
+    """
+    values = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if window == 1 or values.shape[-1] == 0:
+        return values.copy()
+    cumsum = np.cumsum(values, axis=-1)
+    out = np.empty_like(values, dtype=float)
+    n = values.shape[-1]
+    for i in range(n):
+        lo = max(0, i - window + 1)
+        total = cumsum[..., i] - (cumsum[..., lo - 1] if lo > 0 else 0.0)
+        out[..., i] = total / (i - lo + 1)
+    return out

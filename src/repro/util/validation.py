@@ -1,0 +1,39 @@
+"""Small argument-validation helpers shared across the package.
+
+Centralising these keeps error messages consistent and the hot paths free
+of repeated inline checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["require", "ensure_2d", "ensure_positive", "ensure_probability"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def ensure_2d(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Return ``array`` as a 2-D float ndarray or raise ``ValueError``."""
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape!r}")
+    return arr
+
+
+def ensure_positive(value: float, name: str = "value") -> float:
+    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return float(value)
+
+
+def ensure_probability(value: float, name: str = "value") -> float:
+    """Return ``value`` if in ``[0, 1]``, else raise ``ValueError``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)

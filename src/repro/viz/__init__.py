@@ -1,0 +1,22 @@
+"""Visualization: rack layout grammar, Turbo colormap, SVG/ASCII renderers."""
+
+from .colormap import DivergingTurbo, to_hex, turbo_rgb
+from .layout import NodeGeometry, RackLayout, parse_layout_spec, parse_range
+from .rackview import RackView
+from .spectrum_plot import SpectrumPlot
+from .svg import SVGCanvas
+from .timeseries import TimeSeriesView
+
+__all__ = [
+    "DivergingTurbo",
+    "to_hex",
+    "turbo_rgb",
+    "NodeGeometry",
+    "RackLayout",
+    "parse_layout_spec",
+    "parse_range",
+    "RackView",
+    "SpectrumPlot",
+    "SVGCanvas",
+    "TimeSeriesView",
+]

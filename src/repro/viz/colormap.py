@@ -1,0 +1,96 @@
+"""Colour maps for the rack and spectrum views.
+
+The paper colours node z-scores with the **Turbo** map used divergingly
+("blue hues representing negative z-scores, green representing baseline and
+red hues showing more positive z-scores", Sec. V).  Turbo is implemented
+with Google's published polynomial approximation so no plotting library is
+required; values are mapped to ``#rrggbb`` strings for the SVG renderer and
+to a small palette of glyphs for the ASCII renderer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["turbo_rgb", "to_hex", "DivergingTurbo"]
+
+
+# Coefficients of Google's 5th-order polynomial approximation of Turbo
+# (Anton Mikhailov, 2019).
+_R_COEF = (0.13572138, 4.61539260, -42.66032258, 132.13108234, -152.94239396, 59.28637943)
+_G_COEF = (0.09140261, 2.19418839, 4.84296658, -14.18503333, 4.27729857, 2.82956604)
+_B_COEF = (0.10667330, 12.64194608, -60.58204836, 110.36276771, -89.90310912, 27.34824973)
+
+
+def _poly(x: np.ndarray, coef: tuple[float, ...]) -> np.ndarray:
+    out = np.zeros_like(x)
+    for power, c in enumerate(coef):
+        out += c * x**power
+    return out
+
+
+def turbo_rgb(values: np.ndarray | float) -> np.ndarray:
+    """Map values in ``[0, 1]`` to RGB triples in ``[0, 1]`` (Turbo).
+
+    Scalars return shape ``(3,)``; arrays return ``(..., 3)``.  Inputs are
+    clipped into the valid range.
+    """
+    x = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+    rgb = np.stack(
+        [_poly(x, _R_COEF), _poly(x, _G_COEF), _poly(x, _B_COEF)], axis=-1
+    )
+    return np.clip(rgb, 0.0, 1.0)
+
+
+def to_hex(rgb: np.ndarray) -> str:
+    """Convert one RGB triple in ``[0, 1]`` to an ``#rrggbb`` string."""
+    rgb = np.clip(np.asarray(rgb, dtype=float), 0.0, 1.0)
+    if rgb.shape != (3,):
+        raise ValueError(f"expected an RGB triple, got shape {rgb.shape!r}")
+    r, g, b = (int(round(c * 255)) for c in rgb)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+class DivergingTurbo:
+    """Diverging use of Turbo centred on zero (the Figs. 4/6 scale).
+
+    Values are mapped linearly from ``[-limit, +limit]`` to the ``[0, 1]``
+    domain of Turbo, so strongly negative z-scores land in the blue end,
+    zero in the green middle, and strongly positive in the red end.  Values
+    beyond the limit saturate.
+    """
+
+    def __init__(self, limit: float = 5.0) -> None:
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.limit = float(limit)
+
+    def normalize(self, values: np.ndarray | float) -> np.ndarray:
+        """Map raw values to the ``[0, 1]`` colormap domain."""
+        v = np.asarray(values, dtype=float)
+        return np.clip((v + self.limit) / (2.0 * self.limit), 0.0, 1.0)
+
+    def rgb(self, values: np.ndarray | float) -> np.ndarray:
+        """RGB triples for raw (un-normalised) values."""
+        return turbo_rgb(self.normalize(values))
+
+    def hex(self, value: float) -> str:
+        """``#rrggbb`` colour for one raw value."""
+        return to_hex(turbo_rgb(float(self.normalize(value))))
+
+    def glyph(self, value: float) -> str:
+        """Single-character glyph for ASCII rendering.
+
+        ``.`` near baseline, ``-``/``=`` cool, ``+``/``#`` hot, matching the
+        sign convention of the colour scale.
+        """
+        v = float(value)
+        if v > self.limit * 0.4:
+            return "#"
+        if v > self.limit * 0.2:
+            return "+"
+        if v < -self.limit * 0.4:
+            return "="
+        if v < -self.limit * 0.2:
+            return "-"
+        return "."

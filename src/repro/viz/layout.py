@@ -1,0 +1,295 @@
+"""Parser and geometry engine for the rack-layout specification grammar.
+
+Sec. III-B defines a single string that describes an arbitrary
+supercomputer's physical layout::
+
+    "system name  rack-row-align rack-col-align
+     Rows[rack-range]:[rack-number-range-per-rack]
+     cabinet-align... Cabinets/Cages:[range]
+     slot-align...    Slots:[range]
+     blade-align...   Blades:[range]
+     Nodes:[range]"
+
+e.g. ``"xc40 1 2 row0-1:0-10 2 c:0-7 1 s:0-7 1 b:0 n:0"`` is an XC40 with
+two rows of eleven racks, eight cabinets per rack, eight slots per cabinet,
+one blade per slot, and one node per blade.  Alignment codes are ``-1``
+(right-to-left), ``1`` (left-to-right), and ``2`` (bottom-to-top); the
+default is top-to-bottom.
+
+:class:`RackLayout` parses that grammar (accepting one *or* two alignment
+numbers before each inner group, since the paper's prose lists two but its
+example uses one) and assigns every node a rectangle in an abstract
+coordinate system.  The SVG and ASCII renderers in
+:mod:`repro.viz.rackview` only consume those rectangles, so any machine
+expressible in the grammar can be displayed — the "generalizable rack
+visualization" claim.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..telemetry.machine import MachineDescription
+
+__all__ = ["NodeGeometry", "RackLayout", "parse_range", "parse_layout_spec"]
+
+
+def parse_range(text: str) -> tuple[int, int]:
+    """Parse ``"a-b"`` or ``"a"`` into an inclusive ``(low, high)`` pair."""
+    text = text.strip()
+    match = re.fullmatch(r"(\d+)(?:-(\d+))?", text)
+    if not match:
+        raise ValueError(f"invalid range {text!r}")
+    low = int(match.group(1))
+    high = int(match.group(2)) if match.group(2) is not None else low
+    if high < low:
+        raise ValueError(f"range {text!r} is decreasing")
+    return low, high
+
+
+@dataclass(frozen=True)
+class _LevelSpec:
+    """Count and alignment of one hierarchy level."""
+
+    count: int
+    row_alignment: int = 1
+    col_alignment: int = 1
+
+
+@dataclass(frozen=True)
+class ParsedLayout:
+    """Raw result of parsing a layout specification string."""
+
+    system: str
+    n_rows: int
+    racks_per_row: int
+    rack_row_alignment: int
+    rack_col_alignment: int
+    cabinets: _LevelSpec
+    slots: _LevelSpec
+    blades: _LevelSpec
+    nodes: _LevelSpec
+
+
+def parse_layout_spec(spec: str) -> ParsedLayout:
+    """Parse the Sec. III-B grammar into a :class:`ParsedLayout`."""
+    tokens = spec.split()
+    if len(tokens) < 4:
+        raise ValueError(f"layout spec too short: {spec!r}")
+    system = tokens[0]
+    try:
+        rack_row_align = int(tokens[1])
+        rack_col_align = int(tokens[2])
+    except ValueError as exc:
+        raise ValueError(f"expected rack alignment numbers after system name in {spec!r}") from exc
+
+    row_token = tokens[3]
+    match = re.fullmatch(r"row([\d-]+):([\d-]+)", row_token, flags=re.IGNORECASE)
+    if not match:
+        raise ValueError(f"expected 'row<range>:<range>' token, got {row_token!r}")
+    row_lo, row_hi = parse_range(match.group(1))
+    rack_lo, rack_hi = parse_range(match.group(2))
+    n_rows = row_hi - row_lo + 1
+    racks_per_row = rack_hi - rack_lo + 1
+
+    # Remaining tokens: alignment numbers interleaved with "<letter>:<range>".
+    remaining = tokens[4:]
+    groups: dict[str, _LevelSpec] = {}
+    pending_aligns: list[int] = []
+    for token in remaining:
+        if ":" in token:
+            prefix, rng = token.split(":", 1)
+            key = prefix.strip().lower()[:1]
+            lo, hi = parse_range(rng)
+            count = hi - lo + 1
+            row_align = pending_aligns[0] if len(pending_aligns) >= 1 else 1
+            col_align = pending_aligns[1] if len(pending_aligns) >= 2 else 1
+            groups[key] = _LevelSpec(count=count, row_alignment=row_align, col_alignment=col_align)
+            pending_aligns = []
+        else:
+            try:
+                pending_aligns.append(int(token))
+            except ValueError as exc:
+                raise ValueError(f"unexpected token {token!r} in layout spec") from exc
+
+    def level(key: str, default_count: int = 1) -> _LevelSpec:
+        return groups.get(key, _LevelSpec(count=default_count))
+
+    return ParsedLayout(
+        system=system,
+        n_rows=n_rows,
+        racks_per_row=racks_per_row,
+        rack_row_alignment=rack_row_align,
+        rack_col_alignment=rack_col_align,
+        cabinets=level("c"),
+        slots=level("s"),
+        blades=level("b"),
+        nodes=level("n"),
+    )
+
+
+@dataclass(frozen=True)
+class NodeGeometry:
+    """Axis-aligned rectangle of one node in abstract layout coordinates."""
+
+    index: int
+    x: float
+    y: float
+    width: float
+    height: float
+    row: int
+    rack: int
+    cabinet: int
+    slot: int
+    blade: int
+    node: int
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+
+class RackLayout:
+    """Node geometry for a machine described by the layout grammar.
+
+    Construction either parses a spec string (:meth:`from_spec`) or reads a
+    :class:`~repro.telemetry.machine.MachineDescription`
+    (:meth:`from_machine`); both produce the same geometry when the
+    description's own :meth:`layout_spec` string is used, which the tests
+    assert.
+    """
+
+    # Geometric constants (abstract units).
+    NODE_SIZE = 1.0
+    RACK_PAD = 0.6
+    ROW_PAD = 1.4
+
+    def __init__(self, parsed: ParsedLayout, node_limit: int | None = None) -> None:
+        self.parsed = parsed
+        self.node_limit = node_limit
+        self._geometries = self._build_geometries()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec: str, node_limit: int | None = None) -> "RackLayout":
+        """Parse a layout specification string."""
+        return cls(parse_layout_spec(spec), node_limit=node_limit)
+
+    @classmethod
+    def from_machine(cls, machine: MachineDescription) -> "RackLayout":
+        """Build the layout of a machine description (honours its node limit)."""
+        return cls.from_spec(machine.layout_spec(), node_limit=machine.node_limit)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        """Number of node rectangles generated."""
+        return len(self._geometries)
+
+    @property
+    def geometries(self) -> list[NodeGeometry]:
+        """All node rectangles, in node-index order."""
+        return list(self._geometries)
+
+    def geometry_of(self, node_index: int) -> NodeGeometry:
+        """Rectangle of one node."""
+        return self._geometries[node_index]
+
+    @property
+    def bounds(self) -> tuple[float, float]:
+        """Total (width, height) of the layout in abstract units."""
+        if not self._geometries:
+            return (0.0, 0.0)
+        max_x = max(g.x + g.width for g in self._geometries)
+        max_y = max(g.y + g.height for g in self._geometries)
+        return (max_x + self.RACK_PAD, max_y + self.RACK_PAD)
+
+    # ------------------------------------------------------------------ #
+    def _build_geometries(self) -> list[NodeGeometry]:
+        p = self.parsed
+        # Within-rack grid: cabinets stacked vertically, slots horizontally,
+        # blades vertically within a slot, nodes horizontally within a blade.
+        nodes_x = p.nodes.count
+        blades_y = p.blades.count
+        slots_x = p.slots.count
+        cabinets_y = p.cabinets.count
+
+        rack_width = slots_x * nodes_x * self.NODE_SIZE
+        rack_height = cabinets_y * blades_y * self.NODE_SIZE
+
+        limit = self.node_limit
+        geometries: list[NodeGeometry] = []
+        index = 0
+        for row in range(p.n_rows):
+            for rack in range(p.racks_per_row):
+                # Floor placement with rack alignment codes.
+                rack_col = rack if p.rack_row_alignment != -1 else p.racks_per_row - 1 - rack
+                rack_row = row if p.rack_col_alignment != 2 else p.n_rows - 1 - row
+                rack_x0 = rack_col * (rack_width + self.RACK_PAD)
+                rack_y0 = rack_row * (rack_height + self.ROW_PAD)
+                for cabinet in range(cabinets_y):
+                    cab_pos = (
+                        cabinets_y - 1 - cabinet
+                        if p.cabinets.row_alignment == 2
+                        else cabinet
+                    )
+                    for slot in range(slots_x):
+                        slot_pos = (
+                            slots_x - 1 - slot
+                            if p.slots.row_alignment == -1
+                            else slot
+                        )
+                        for blade in range(blades_y):
+                            blade_pos = (
+                                blades_y - 1 - blade
+                                if p.blades.row_alignment == 2
+                                else blade
+                            )
+                            for node in range(nodes_x):
+                                if limit is not None and index >= limit:
+                                    return geometries
+                                node_pos = (
+                                    nodes_x - 1 - node
+                                    if p.nodes.row_alignment == -1
+                                    else node
+                                )
+                                x = rack_x0 + (slot_pos * nodes_x + node_pos) * self.NODE_SIZE
+                                y = rack_y0 + (cab_pos * blades_y + blade_pos) * self.NODE_SIZE
+                                geometries.append(
+                                    NodeGeometry(
+                                        index=index,
+                                        x=x,
+                                        y=y,
+                                        width=self.NODE_SIZE,
+                                        height=self.NODE_SIZE,
+                                        row=row,
+                                        rack=rack,
+                                        cabinet=cabinet,
+                                        slot=slot,
+                                        blade=blade,
+                                        node=node,
+                                    )
+                                )
+                                index += 1
+        return geometries
+
+    def rack_extents(self) -> dict[tuple[int, int], tuple[float, float, float, float]]:
+        """Bounding box ``(x, y, w, h)`` of each (row, rack) pair present."""
+        extents: dict[tuple[int, int], tuple[float, float, float, float]] = {}
+        groups: dict[tuple[int, int], list[NodeGeometry]] = {}
+        for geom in self._geometries:
+            groups.setdefault((geom.row, geom.rack), []).append(geom)
+        for key, geoms in groups.items():
+            x0 = min(g.x for g in geoms)
+            y0 = min(g.y for g in geoms)
+            x1 = max(g.x + g.width for g in geoms)
+            y1 = max(g.y + g.height for g in geoms)
+            extents[key] = (x0, y0, x1 - x0, y1 - y0)
+        return extents
+
+    def node_positions(self) -> np.ndarray:
+        """``(n_nodes, 2)`` array of node-centre coordinates."""
+        return np.array([g.center for g in self._geometries], dtype=float)

@@ -1,0 +1,195 @@
+"""Rack-layout view: per-node values painted on the machine's floor plan.
+
+This is the reproduction of the paper's D3/Jupyter rack visualization
+(Figs. 2, 4 and 6): every node is drawn at its physical position, coloured
+by a per-node value (z-score, temperature, down-hours, ...), with optional
+outlines marking nodes that also appear in the hardware log ("the nodes
+highlighted in red outline are the ones showing correctable memory issues").
+
+Two renderers share the same geometry: an SVG file for inspection in a
+browser, and a compact ASCII rendering for terminals and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .colormap import DivergingTurbo
+from .layout import RackLayout
+from .svg import SVGCanvas
+
+__all__ = ["RackView"]
+
+
+@dataclass
+class RackView:
+    """Renderer of per-node values on a :class:`~repro.viz.layout.RackLayout`.
+
+    Attributes
+    ----------
+    layout:
+        Node geometry (from a layout-spec string or a machine description).
+    colormap:
+        Diverging Turbo mapping; its ``limit`` is the +/- z-score range of
+        the colour bar (5 in the paper's figures).
+    cell_pixels:
+        Pixel size of one node rectangle in the SVG output.
+    title:
+        Title drawn at the top of the SVG.
+    """
+
+    layout: RackLayout
+    colormap: DivergingTurbo = field(default_factory=lambda: DivergingTurbo(limit=5.0))
+    cell_pixels: float = 10.0
+    title: str = ""
+
+    # ------------------------------------------------------------------ #
+    def _values_array(self, values: Mapping[int, float] | np.ndarray) -> np.ndarray:
+        """Normalise the input into a dense per-node array (NaN = missing)."""
+        n = self.layout.n_nodes
+        out = np.full(n, np.nan)
+        if isinstance(values, Mapping):
+            for node, value in values.items():
+                if 0 <= int(node) < n:
+                    out[int(node)] = float(value)
+        else:
+            arr = np.asarray(values, dtype=float)
+            if arr.ndim != 1:
+                raise ValueError("values array must be 1-D")
+            limit = min(arr.size, n)
+            out[:limit] = arr[:limit]
+        return out
+
+    # ------------------------------------------------------------------ #
+    def render_svg(
+        self,
+        values: Mapping[int, float] | np.ndarray,
+        *,
+        outlined_nodes: Sequence[int] = (),
+        secondary_outlined_nodes: Sequence[int] = (),
+        missing_color: str = "#e8e8e8",
+        node_names: Sequence[str] | None = None,
+    ) -> str:
+        """Render the rack view as an SVG string.
+
+        Parameters
+        ----------
+        values:
+            Per-node values (dict or dense array); NaN / missing nodes are
+            drawn in ``missing_color``.
+        outlined_nodes:
+            Nodes drawn with a heavy red outline (e.g. correctable memory
+            errors, Fig. 4).
+        secondary_outlined_nodes:
+            Nodes drawn with a black outline (e.g. persistent hardware
+            errors, Fig. 6).
+        node_names:
+            Optional per-node names used as hover tooltips.
+        """
+        vals = self._values_array(values)
+        scale = self.cell_pixels
+        width, height = self.layout.bounds
+        margin = 2 * scale
+        canvas = SVGCanvas(width * scale + 2 * margin, height * scale + 2 * margin + 20)
+        if self.title:
+            canvas.text(margin, 14, self.title, size=14.0)
+        outline_set = {int(n) for n in outlined_nodes}
+        secondary_set = {int(n) for n in secondary_outlined_nodes}
+
+        for geom in self.layout.geometries:
+            value = vals[geom.index]
+            if np.isnan(value):
+                fill = missing_color
+            else:
+                fill = self.colormap.hex(value)
+            stroke, stroke_width = "#ffffff", 0.3
+            if geom.index in outline_set:
+                stroke, stroke_width = "#cc0000", 1.6
+            elif geom.index in secondary_set:
+                stroke, stroke_width = "#000000", 1.4
+            name = (
+                node_names[geom.index]
+                if node_names is not None and geom.index < len(node_names)
+                else f"node {geom.index}"
+            )
+            title = f"{name}: {value:.2f}" if not np.isnan(value) else f"{name}: n/a"
+            canvas.rect(
+                margin + geom.x * scale,
+                20 + margin + geom.y * scale,
+                geom.width * scale,
+                geom.height * scale,
+                fill=fill,
+                stroke=stroke,
+                stroke_width=stroke_width,
+                title=title,
+            )
+        self._draw_colorbar(canvas, margin)
+        return canvas.render()
+
+    def _draw_colorbar(self, canvas: SVGCanvas, margin: float) -> None:
+        """Horizontal colour bar with the +/- limit labels (bottom-left)."""
+        bar_width, bar_height = 120.0, 8.0
+        x0 = margin
+        y0 = canvas.height - bar_height - 4
+        steps = 24
+        for i in range(steps):
+            frac = i / (steps - 1)
+            value = -self.colormap.limit + 2 * self.colormap.limit * frac
+            canvas.rect(
+                x0 + i * bar_width / steps,
+                y0,
+                bar_width / steps + 0.5,
+                bar_height,
+                fill=self.colormap.hex(value),
+                stroke="none",
+            )
+        canvas.text(x0, y0 - 2, f"-{self.colormap.limit:g}", size=8.0)
+        canvas.text(x0 + bar_width, y0 - 2, f"+{self.colormap.limit:g}", size=8.0, anchor="end")
+
+    def save_svg(
+        self,
+        path: str,
+        values: Mapping[int, float] | np.ndarray,
+        **kwargs,
+    ) -> str:
+        """Render and write the SVG to ``path``."""
+        content = self.render_svg(values, **kwargs)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        return path
+
+    # ------------------------------------------------------------------ #
+    def render_ascii(
+        self,
+        values: Mapping[int, float] | np.ndarray,
+        *,
+        outlined_nodes: Sequence[int] = (),
+    ) -> str:
+        """Compact glyph rendering for terminals and golden-file tests.
+
+        Each node becomes one character at its (rounded) layout position:
+        ``.`` baseline, ``-``/``=`` cool, ``+``/``#`` hot, ``!`` for
+        outlined nodes, space for gaps between racks.
+        """
+        vals = self._values_array(values)
+        outline_set = {int(n) for n in outlined_nodes}
+        width, height = self.layout.bounds
+        n_cols = int(np.ceil(width)) + 1
+        n_rows = int(np.ceil(height)) + 1
+        grid = np.full((n_rows, n_cols), " ", dtype="<U1")
+        for geom in self.layout.geometries:
+            col = int(round(geom.x))
+            row = int(round(geom.y))
+            if not (0 <= row < n_rows and 0 <= col < n_cols):
+                continue
+            if geom.index in outline_set:
+                glyph = "!"
+            elif np.isnan(vals[geom.index]):
+                glyph = "?"
+            else:
+                glyph = self.colormap.glyph(vals[geom.index])
+            grid[row, col] = glyph
+        return "\n".join("".join(row).rstrip() for row in grid)

@@ -1,0 +1,96 @@
+"""mrDMD spectrum plots (Figs. 5 and 7): mode amplitude vs frequency.
+
+Consumes the plain-data export of :class:`repro.core.spectrum.MrDMDSpectrum`
+and renders a scatter SVG; several spectra can be overlaid with different
+colours (Fig. 7 overlays the "hotter" and "cooler" 8-hour windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.spectrum import MrDMDSpectrum
+from .svg import SVGCanvas
+
+__all__ = ["SpectrumPlot"]
+
+
+@dataclass
+class SpectrumPlot:
+    """Scatter plot of mode amplitude (or power) against frequency."""
+
+    width: float = 640.0
+    height: float = 320.0
+    palette: tuple[str, ...] = ("#d62728", "#1f77b4", "#2ca02c", "#9467bd")
+    use_power: bool = False
+
+    def render_svg(
+        self,
+        spectra: list[MrDMDSpectrum] | MrDMDSpectrum,
+        *,
+        title: str = "",
+        frequency_limit: float | None = None,
+    ) -> str:
+        """Render one or more spectra; each gets its own colour and legend entry."""
+        if isinstance(spectra, MrDMDSpectrum):
+            spectra = [spectra]
+        if not spectra:
+            raise ValueError("at least one spectrum is required")
+
+        margin = 48.0
+        plot_w = self.width - 2 * margin
+        plot_h = self.height - 2 * margin
+        canvas = SVGCanvas(self.width, self.height)
+        if title:
+            canvas.text(margin, 18, title, size=13.0)
+
+        def values_of(spec: MrDMDSpectrum) -> np.ndarray:
+            return spec.power if self.use_power else spec.amplitudes
+
+        all_freq = np.concatenate([s.frequencies for s in spectra]) if any(
+            len(s) for s in spectra
+        ) else np.zeros(1)
+        all_val = np.concatenate([values_of(s) for s in spectra]) if any(
+            len(s) for s in spectra
+        ) else np.zeros(1)
+        f_max = frequency_limit if frequency_limit is not None else float(all_freq.max() or 1.0)
+        f_max = max(f_max, 1e-12)
+        v_max = float(all_val.max()) if all_val.size else 1.0
+        v_max = max(v_max, 1e-12)
+
+        # Axes.
+        canvas.line(margin, margin, margin, margin + plot_h, stroke="#333333")
+        canvas.line(margin, margin + plot_h, margin + plot_w, margin + plot_h, stroke="#333333")
+        canvas.text(margin + plot_w / 2, self.height - 8, "Frequency (Hz)", size=11.0, anchor="middle")
+        canvas.text(
+            margin, margin - 6,
+            "mrDMD mode power" if self.use_power else "I-mrDMD mode amplitudes",
+            size=11.0,
+        )
+        canvas.text(margin, margin + plot_h + 16, "0", size=9.0)
+        canvas.text(margin + plot_w, margin + plot_h + 16, f"{f_max:.3g}", size=9.0, anchor="end")
+        canvas.text(margin - 4, margin + 8, f"{v_max:.3g}", size=9.0, anchor="end")
+
+        for idx, spec in enumerate(spectra):
+            color = self.palette[idx % len(self.palette)]
+            vals = values_of(spec)
+            for f, v in zip(spec.frequencies, vals):
+                if frequency_limit is not None and f > frequency_limit:
+                    continue
+                x = margin + min(f / f_max, 1.0) * plot_w
+                y = margin + plot_h - min(v / v_max, 1.0) * plot_h
+                canvas.circle(x, y, 3.0, fill=color, opacity=0.75)
+            label = spec.label or f"spectrum {idx + 1}"
+            canvas.text(
+                margin + plot_w - 4, margin + 14 + 12 * idx, label, size=10.0, fill=color, anchor="end"
+            )
+        return canvas.render()
+
+    def save_svg(self, path: str, spectra, **kwargs) -> str:
+        """Render and write to ``path``."""
+        content = self.render_svg(spectra, **kwargs)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        return path

@@ -1,0 +1,134 @@
+"""Minimal SVG document builder.
+
+The paper renders its views with D3 inside Jupyter; in this reproduction
+the same information is written as standalone SVG files (testable, diffable,
+viewable in any browser) without pulling in a plotting dependency.  Only the
+handful of primitives the rack/time-series/spectrum views need are exposed.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+__all__ = ["SVGCanvas"]
+
+
+class SVGCanvas:
+    """Accumulates SVG elements and serialises a standalone document."""
+
+    def __init__(self, width: float, height: float, *, background: str | None = "#ffffff") -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("width and height must be positive")
+        self.width = float(width)
+        self.height = float(height)
+        self._elements: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # ------------------------------------------------------------------ #
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        *,
+        fill: str = "#cccccc",
+        stroke: str = "#000000",
+        stroke_width: float = 0.0,
+        title: str | None = None,
+    ) -> None:
+        """Add a rectangle (``title`` becomes a hover tooltip in browsers)."""
+        title_el = f"<title>{escape(title)}</title>" if title else ""
+        self._elements.append(
+            f'<rect x="{x:.3f}" y="{y:.3f}" width="{width:.3f}" height="{height:.3f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{stroke_width:.3f}">'
+            f"{title_el}</rect>"
+        )
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        radius: float,
+        *,
+        fill: str = "#000000",
+        opacity: float = 1.0,
+        title: str | None = None,
+    ) -> None:
+        """Add a circle marker."""
+        title_el = f"<title>{escape(title)}</title>" if title else ""
+        self._elements.append(
+            f'<circle cx="{cx:.3f}" cy="{cy:.3f}" r="{radius:.3f}" fill="{fill}" '
+            f'opacity="{opacity:.3f}">{title_el}</circle>'
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        *,
+        stroke: str = "#000000",
+        stroke_width: float = 1.0,
+    ) -> None:
+        """Add a straight line segment."""
+        self._elements.append(
+            f'<line x1="{x1:.3f}" y1="{y1:.3f}" x2="{x2:.3f}" y2="{y2:.3f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width:.3f}"/>'
+        )
+
+    def polyline(
+        self,
+        points: list[tuple[float, float]],
+        *,
+        stroke: str = "#1f77b4",
+        stroke_width: float = 1.0,
+    ) -> None:
+        """Add an open polyline through the given points."""
+        if len(points) < 2:
+            raise ValueError("polyline needs at least two points")
+        path = " ".join(f"{x:.3f},{y:.3f}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{path}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{stroke_width:.3f}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        *,
+        size: float = 12.0,
+        fill: str = "#000000",
+        anchor: str = "start",
+    ) -> None:
+        """Add a text label."""
+        self._elements.append(
+            f'<text x="{x:.3f}" y="{y:.3f}" font-size="{size:.2f}" fill="{fill}" '
+            f'text-anchor="{anchor}" font-family="sans-serif">{escape(content)}</text>'
+        )
+
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """Serialise the document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width:.0f}" '
+            f'height="{self.height:.0f}" viewBox="0 0 {self.width:.3f} {self.height:.3f}">\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: str) -> str:
+        """Write the document to ``path`` and return the path."""
+        content = self.render()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        return path
+
+    @property
+    def n_elements(self) -> int:
+        """Number of drawn elements (excluding the background)."""
+        return len(self._elements)

@@ -1,0 +1,117 @@
+"""Time-series view: actual vs reconstructed traces (Fig. 3) and node drill-down.
+
+The D3 rack view in the paper opens a per-node time-series panel on click;
+here the equivalent is an SVG line chart written to disk, plus a plain-data
+export that tests and benchmarks can assert on without parsing SVG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .svg import SVGCanvas
+
+__all__ = ["TimeSeriesView"]
+
+
+@dataclass
+class TimeSeriesView:
+    """Line-chart renderer for one or more equally-sampled series.
+
+    Attributes
+    ----------
+    width / height:
+        Pixel size of the SVG chart.
+    palette:
+        Cycled stroke colours for successive series.
+    """
+
+    width: float = 720.0
+    height: float = 240.0
+    palette: tuple[str, ...] = (
+        "#1f77b4",
+        "#d62728",
+        "#2ca02c",
+        "#9467bd",
+        "#ff7f0e",
+        "#8c564b",
+    )
+
+    def _scale(
+        self, series: list[np.ndarray]
+    ) -> tuple[float, float, float, float]:
+        """Common x/y ranges over all series."""
+        n = max(s.size for s in series)
+        lo = min(float(np.nanmin(s)) for s in series)
+        hi = max(float(np.nanmax(s)) for s in series)
+        if hi == lo:
+            hi = lo + 1.0
+        return 0.0, float(n - 1 if n > 1 else 1), lo, hi
+
+    def render_svg(
+        self,
+        series: dict[str, np.ndarray],
+        *,
+        title: str = "",
+        y_label: str = "",
+    ) -> str:
+        """Render labelled series as an SVG line chart."""
+        if not series:
+            raise ValueError("series must contain at least one entry")
+        arrays = [np.asarray(v, dtype=float).ravel() for v in series.values()]
+        x_lo, x_hi, y_lo, y_hi = self._scale(arrays)
+        margin = 42.0
+        plot_w = self.width - 2 * margin
+        plot_h = self.height - 2 * margin
+        canvas = SVGCanvas(self.width, self.height)
+        if title:
+            canvas.text(margin, 16, title, size=13.0)
+        if y_label:
+            canvas.text(4, self.height / 2, y_label, size=10.0)
+        # Axes.
+        canvas.line(margin, margin, margin, margin + plot_h, stroke="#333333")
+        canvas.line(
+            margin, margin + plot_h, margin + plot_w, margin + plot_h, stroke="#333333"
+        )
+        canvas.text(margin, margin + plot_h + 14, f"{x_lo:.0f}", size=9.0)
+        canvas.text(
+            margin + plot_w, margin + plot_h + 14, f"{x_hi:.0f}", size=9.0, anchor="end"
+        )
+        canvas.text(margin - 4, margin + plot_h, f"{y_lo:.1f}", size=9.0, anchor="end")
+        canvas.text(margin - 4, margin + 8, f"{y_hi:.1f}", size=9.0, anchor="end")
+
+        for idx, (label, values) in enumerate(series.items()):
+            arr = np.asarray(values, dtype=float).ravel()
+            if arr.size < 2:
+                continue
+            xs = np.linspace(0, 1, arr.size)
+            ys = (arr - y_lo) / (y_hi - y_lo)
+            points = [
+                (margin + float(x) * plot_w, margin + plot_h - float(y) * plot_h)
+                for x, y in zip(xs, ys)
+            ]
+            color = self.palette[idx % len(self.palette)]
+            canvas.polyline(points, stroke=color, stroke_width=1.2)
+            canvas.text(
+                margin + plot_w - 4,
+                margin + 14 + 12 * idx,
+                label,
+                size=10.0,
+                fill=color,
+                anchor="end",
+            )
+        return canvas.render()
+
+    def save_svg(self, path: str, series: dict[str, np.ndarray], **kwargs) -> str:
+        """Render and write to ``path``."""
+        content = self.render_svg(series, **kwargs)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        return path
+
+    @staticmethod
+    def export_data(series: dict[str, np.ndarray]) -> dict[str, list[float]]:
+        """Plain-list export of the plotted series (for JSON dumps / tests)."""
+        return {label: np.asarray(v, dtype=float).ravel().tolist() for label, v in series.items()}

@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build small, fast, deterministic inputs: a multi-timescale signal
+matrix with known frequencies (so decomposition tests can assert recovery),
+a tiny Theta-like machine, and the corresponding telemetry/job/hardware
+logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MrDMDConfig, compute_mrdmd
+from repro.joblog import simulate_joblog
+from repro.hwlog import HardwareErrorModel
+from repro.telemetry import HotNodes, TelemetryGenerator, theta_machine
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+def make_multiscale_signal(
+    n_sensors: int = 16,
+    n_timesteps: int = 1024,
+    dt: float = 0.05,
+    *,
+    slow_hz: float = 0.05,
+    fast_hz: float = 0.5,
+    noise: float = 0.2,
+    offset: float = 50.0,
+    seed: int = 7,
+) -> tuple[np.ndarray, float]:
+    """Matrix with two known oscillation frequencies plus noise.
+
+    Every sensor sees both oscillations with its own phase, so the data has
+    spatial rank ~5 and both frequencies are recoverable by DMD.
+    """
+    gen = np.random.default_rng(seed)
+    t = np.arange(n_timesteps) * dt
+    phases = gen.uniform(0, 2 * np.pi, n_sensors)
+    data = (
+        offset
+        + 5.0 * np.sin(2 * np.pi * slow_hz * t[None, :] + phases[:, None])
+        + 2.0 * np.sin(2 * np.pi * fast_hz * t[None, :] + 2 * phases[:, None])
+        + noise * gen.standard_normal((n_sensors, n_timesteps))
+    )
+    return data, dt
+
+
+@pytest.fixture(scope="session")
+def multiscale_signal() -> tuple[np.ndarray, float]:
+    """(data, dt) with known 0.05 Hz and 0.5 Hz components."""
+    return make_multiscale_signal()
+
+
+@pytest.fixture(scope="session")
+def small_machine():
+    """A 64-node Theta-like machine (2 racks)."""
+    return theta_machine(racks_per_row=1, n_rows=2, node_limit=64)
+
+
+@pytest.fixture(scope="session")
+def small_stream(small_machine):
+    """cpu_temp telemetry for the small machine with two injected hot nodes."""
+    generator = TelemetryGenerator(small_machine, seed=3, utilization_target=0.3)
+    return generator.generate(
+        600,
+        sensors=["cpu_temp"],
+        anomalies=[HotNodes(node_indices=(5, 6), start=200, delta=15.0)],
+    )
+
+
+@pytest.fixture(scope="session")
+def small_joblog(small_machine):
+    """A job log scheduled on the small machine."""
+    return simulate_joblog(small_machine.n_nodes, 600, seed=5, submit_rate=0.1)
+
+
+@pytest.fixture(scope="session")
+def small_hwlog(small_machine):
+    """A hardware log for the small machine with nodes 5/6 running hot."""
+    model = HardwareErrorModel(n_nodes=small_machine.n_nodes, seed=9)
+    return model.generate(600, hot_nodes=[5, 6])
+
+
+@pytest.fixture(scope="session")
+def small_tree(multiscale_signal):
+    """A batch mrDMD tree over the multiscale signal."""
+    data, dt = multiscale_signal
+    return compute_mrdmd(data, dt, MrDMDConfig(max_levels=4))

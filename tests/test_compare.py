@@ -1,0 +1,245 @@
+"""Unit tests for the comparison dimensionality-reduction methods (repro.compare)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compare import (
+    PCA,
+    AlignedUMAPLite,
+    IncrementalPCA,
+    NotIncrementalError,
+    TSNE,
+    UMAPLite,
+    find_ab_params,
+    fuzzy_simplicial_set,
+)
+
+
+def two_cluster_data(n_per_class: int = 15, n_features: int = 120, seed: int = 0):
+    gen = np.random.default_rng(seed)
+    t = np.arange(n_features)
+    base = 50 + 2 * np.sin(0.1 * t)
+    a = base + gen.standard_normal((n_per_class, n_features))
+    b = base + 12 + 4 * np.sin(0.4 * t) + gen.standard_normal((n_per_class, n_features))
+    data = np.vstack([a, b])
+    labels = np.array([0] * n_per_class + [1] * n_per_class)
+    return data, labels
+
+
+def separation(embedding: np.ndarray, labels: np.ndarray) -> float:
+    a, b = embedding[labels == 0], embedding[labels == 1]
+    spread = (a.std(axis=0).mean() + b.std(axis=0).mean()) / 2.0
+    return float(np.linalg.norm(a.mean(axis=0) - b.mean(axis=0)) / max(spread, 1e-12))
+
+
+class TestPCA:
+    def test_embedding_shape_and_variance_ordering(self):
+        data, _ = two_cluster_data()
+        pca = PCA(n_components=2).fit(data)
+        assert pca.embedding_.shape == (30, 2)
+        assert pca.explained_variance_[0] >= pca.explained_variance_[1]
+        assert 0 < pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+
+    def test_separates_clusters(self):
+        data, labels = two_cluster_data()
+        emb = PCA().fit_transform(data)
+        assert separation(emb, labels) > 2.0
+
+    def test_transform_matches_fit_embedding(self):
+        data, _ = two_cluster_data()
+        pca = PCA().fit(data)
+        assert np.allclose(np.abs(pca.transform(data)), np.abs(pca.embedding_), atol=1e-8)
+
+    def test_transform_validation(self):
+        data, _ = two_cluster_data()
+        pca = PCA()
+        with pytest.raises(RuntimeError):
+            pca.transform(data)
+        pca.fit(data)
+        with pytest.raises(ValueError):
+            pca.transform(data[:, :10])
+
+    def test_partial_fit_not_supported(self):
+        pca = PCA()
+        assert not pca.supports_partial_fit
+        with pytest.raises(NotIncrementalError):
+            pca.partial_fit(np.ones((3, 3)))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA().fit(np.ones(5))
+
+
+class TestIncrementalPCA:
+    def test_partial_fit_tracks_batch_pca(self):
+        data, labels = two_cluster_data(n_features=200)
+        batch = PCA().fit_transform(data)
+        ipca = IncrementalPCA()
+        ipca.fit(data[:, :100])
+        ipca.partial_fit(data[:, 100:])
+        inc = ipca.embedding_
+        # Both should separate the clusters clearly (IPCA centres rows rather
+        # than columns, so its score is not identical to batch PCA's).
+        assert separation(inc, labels) > 5.0
+        assert separation(inc, labels) > 0.3 * separation(batch, labels)
+
+    def test_supports_partial_fit_flag(self):
+        assert IncrementalPCA().supports_partial_fit
+
+    def test_partial_fit_before_fit(self):
+        data, _ = two_cluster_data()
+        ipca = IncrementalPCA()
+        ipca.partial_fit(data)
+        assert ipca.embedding_.shape == (30, 2)
+
+    def test_row_mismatch_rejected(self):
+        data, _ = two_cluster_data()
+        ipca = IncrementalPCA().fit(data)
+        with pytest.raises(ValueError):
+            ipca.partial_fit(np.ones((5, 10)))
+
+    def test_transform(self):
+        data, _ = two_cluster_data()
+        ipca = IncrementalPCA().fit(data)
+        out = ipca.transform(data)
+        assert out.shape == (30, 2)
+        with pytest.raises(ValueError):
+            ipca.transform(data[:, :10])
+        fresh = IncrementalPCA()
+        with pytest.raises(RuntimeError):
+            fresh.transform(data)
+
+    def test_row_mean_tracking(self):
+        data, _ = two_cluster_data()
+        ipca = IncrementalPCA().fit(data[:, :60])
+        ipca.partial_fit(data[:, 60:])
+        assert np.allclose(ipca.row_mean_, data.mean(axis=1))
+
+
+class TestTSNE:
+    def test_embedding_shape_and_finite(self):
+        data, labels = two_cluster_data(n_per_class=10, n_features=60)
+        tsne = TSNE(n_iter=120, perplexity=8, random_state=1)
+        emb = tsne.fit_transform(data)
+        assert emb.shape == (20, 2)
+        assert np.all(np.isfinite(emb))
+        assert tsne.kl_divergence_ is not None and tsne.kl_divergence_ >= 0
+
+    def test_separates_well_separated_clusters(self):
+        data, labels = two_cluster_data(n_per_class=12, n_features=80, seed=2)
+        emb = TSNE(n_iter=400, perplexity=8, random_state=0).fit_transform(data)
+        assert separation(emb, labels) > 1.0
+
+    def test_no_transform_or_partial_fit(self):
+        data, _ = two_cluster_data(n_per_class=5, n_features=30)
+        tsne = TSNE(n_iter=50, perplexity=3)
+        tsne.fit(data)
+        with pytest.raises(NotImplementedError):
+            tsne.transform(data)
+        with pytest.raises(NotIncrementalError):
+            tsne.partial_fit(data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TSNE(perplexity=1.0)
+        with pytest.raises(ValueError):
+            TSNE(n_iter=2)
+        with pytest.raises(ValueError):
+            TSNE().fit(np.ones((2, 5)))
+
+    def test_determinism(self):
+        data, _ = two_cluster_data(n_per_class=8, n_features=40)
+        a = TSNE(n_iter=80, random_state=7).fit_transform(data)
+        b = TSNE(n_iter=80, random_state=7).fit_transform(data)
+        assert np.allclose(a, b)
+
+
+class TestUMAPLite:
+    def test_find_ab_params_default_range(self):
+        a, b = find_ab_params(0.1)
+        assert 0.5 < a < 3.0
+        assert 0.5 < b < 1.5
+        with pytest.raises(ValueError):
+            find_ab_params(1.5, spread=1.0)
+
+    def test_fuzzy_graph_structure(self):
+        data, _ = two_cluster_data(n_per_class=10, n_features=40)
+        rows, cols, weights = fuzzy_simplicial_set(data, n_neighbors=5)
+        assert rows.shape == cols.shape == weights.shape
+        assert np.all(weights > 0) and np.all(weights <= 1.0 + 1e-9)
+        assert np.all(rows != cols)
+
+    def test_embedding_shape_and_separation(self):
+        data, labels = two_cluster_data(n_per_class=12, n_features=60, seed=4)
+        umap = UMAPLite(n_epochs=120, n_neighbors=8, random_state=2)
+        emb = umap.fit_transform(data)
+        assert emb.shape == (24, 2)
+        assert np.all(np.isfinite(emb))
+        assert separation(emb, labels) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UMAPLite(n_neighbors=1)
+        with pytest.raises(ValueError):
+            UMAPLite(n_epochs=1)
+
+    def test_transform_not_supported(self):
+        data, _ = two_cluster_data(n_per_class=6, n_features=30)
+        umap = UMAPLite(n_epochs=20, n_neighbors=4).fit(data)
+        with pytest.raises(NotImplementedError):
+            umap.transform(data)
+
+    def test_fit_with_anchors_stays_near_anchors(self):
+        data, _ = two_cluster_data(n_per_class=8, n_features=40)
+        base = UMAPLite(n_epochs=60, n_neighbors=5, random_state=0).fit(data)
+        anchored = UMAPLite(n_epochs=60, n_neighbors=5, random_state=1)
+        anchored.fit_with_anchors(data, base.embedding_, anchor_strength=0.5)
+        drift = np.linalg.norm(anchored.embedding_ - base.embedding_, axis=1).mean()
+        scale = np.abs(base.embedding_).max()
+        assert drift < scale
+        with pytest.raises(ValueError):
+            anchored.fit_with_anchors(data, base.embedding_[:3])
+
+
+class TestAlignedUMAPLite:
+    def test_partial_fit_sequence(self):
+        data, labels = two_cluster_data(n_per_class=10, n_features=120, seed=6)
+        aligned = AlignedUMAPLite(n_epochs=60, n_neighbors=6, random_state=0)
+        aligned.fit(data[:, :60])
+        aligned.partial_fit(data[:, 60:])
+        assert aligned.embedding_.shape == (20, 2)
+        assert len(aligned.embeddings_) == 2
+        drifts = aligned.alignment_drift()
+        assert drifts.shape == (1,)
+        assert np.isfinite(drifts[0])
+
+    def test_partial_fit_before_fit(self):
+        data, _ = two_cluster_data(n_per_class=8, n_features=40)
+        aligned = AlignedUMAPLite(n_epochs=30, n_neighbors=5)
+        aligned.partial_fit(data)
+        assert aligned.embedding_ is not None
+
+    def test_row_mismatch_rejected(self):
+        data, _ = two_cluster_data(n_per_class=8, n_features=40)
+        aligned = AlignedUMAPLite(n_epochs=30, n_neighbors=5).fit(data)
+        with pytest.raises(ValueError):
+            aligned.partial_fit(np.ones((3, 10)))
+
+    def test_window_limits_columns(self):
+        data, _ = two_cluster_data(n_per_class=8, n_features=90)
+        aligned = AlignedUMAPLite(n_epochs=30, n_neighbors=5, window=40)
+        aligned.fit(data[:, :45])
+        aligned.partial_fit(data[:, 45:])
+        assert aligned._current_view().shape[1] == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlignedUMAPLite(alignment_strength=-1.0)
+        with pytest.raises(ValueError):
+            AlignedUMAPLite(window=1)
+        with pytest.raises(NotImplementedError):
+            AlignedUMAPLite().transform(np.ones((3, 3)))

@@ -1,0 +1,125 @@
+"""Unit tests for the hardware-error-log substrate (repro.hwlog)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hwlog import HardwareErrorModel, HardwareEvent, HardwareEventType, HardwareLog
+
+
+def make_event(node=0, etype=HardwareEventType.CORRECTABLE_MEMORY_ERROR, start=10, end=11,
+               severity=1) -> HardwareEvent:
+    return HardwareEvent(node=node, event_type=etype, start_step=start, end_step=end,
+                         severity=severity)
+
+
+class TestHardwareEvent:
+    def test_duration(self):
+        event = make_event(start=5, end=20)
+        assert event.duration == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_event(start=10, end=5)
+        with pytest.raises(ValueError):
+            make_event(severity=7)
+
+
+class TestHardwareLog:
+    def test_queries(self):
+        log = HardwareLog([
+            make_event(0),
+            make_event(0, HardwareEventType.NODE_DOWN, start=0, end=240, severity=3),
+            make_event(3, HardwareEventType.LINK_FAULT),
+        ])
+        assert len(log) == 3
+        assert len(log.events_on_node(0)) == 2
+        assert len(log.events_of_type(HardwareEventType.LINK_FAULT)) == 1
+        assert log.nodes_with(HardwareEventType.CORRECTABLE_MEMORY_ERROR).tolist() == [0]
+        counts = log.event_counts(5)
+        assert counts[0] == 2 and counts[3] == 1
+        counts_mem = log.event_counts(5, HardwareEventType.CORRECTABLE_MEMORY_ERROR)
+        assert counts_mem.sum() == 1
+
+    def test_downtime_hours(self):
+        log = HardwareLog([make_event(1, HardwareEventType.NODE_DOWN, start=0, end=240, severity=3)])
+        hours = log.downtime_hours(3, dt_seconds=15.0)
+        assert hours[1] == pytest.approx(1.0)
+        assert hours[0] == 0.0
+
+    def test_events_in_window(self):
+        log = HardwareLog([
+            make_event(0, start=10, end=11),
+            make_event(1, HardwareEventType.NODE_DOWN, start=50, end=150, severity=3),
+        ])
+        assert len(log.events_in_window(0, 20)) == 1
+        assert len(log.events_in_window(100, 200)) == 1
+        assert len(log.events_in_window(20, 40)) == 0
+
+    def test_summary_counts_every_category(self):
+        log = HardwareLog([make_event(0), make_event(1)])
+        summary = log.summary()
+        assert summary["correctable_memory_error"] == 2
+        assert set(summary) == {e.value for e in HardwareEventType}
+
+    def test_add_and_iterate(self):
+        log = HardwareLog()
+        log.add(make_event())
+        assert len(list(log)) == 1
+        assert log.events[0].node == 0
+
+
+class TestHardwareErrorModel:
+    def test_generation_is_deterministic(self):
+        a = HardwareErrorModel(n_nodes=50, seed=4).generate(2000)
+        b = HardwareErrorModel(n_nodes=50, seed=4).generate(2000)
+        assert len(a) == len(b)
+        assert [(e.node, e.start_step) for e in a] == [(e.node, e.start_step) for e in b]
+
+    def test_events_within_bounds(self):
+        log = HardwareErrorModel(n_nodes=30, seed=1).generate(1000)
+        for event in log:
+            assert 0 <= event.node < 30
+            assert 0 <= event.start_step < 1000
+            assert event.end_step <= 1000
+
+    def test_hot_nodes_receive_more_events(self):
+        model = HardwareErrorModel(n_nodes=100, seed=2, hot_node_multiplier=40.0,
+                                   flaky_fraction=0.0)
+        hot = list(range(10))
+        log = model.generate(5000, hot_nodes=hot)
+        counts = log.event_counts(100)
+        hot_rate = counts[hot].mean()
+        cold_rate = counts[10:].mean()
+        assert hot_rate > cold_rate
+
+    def test_flaky_nodes_dominate_memory_errors(self):
+        model = HardwareErrorModel(n_nodes=200, seed=3, flaky_fraction=0.05,
+                                   flaky_multiplier=50.0)
+        log = model.generate(5000)
+        flaky = set(model.flaky_nodes().tolist())
+        assert flaky
+        counts = log.event_counts(200, HardwareEventType.CORRECTABLE_MEMORY_ERROR)
+        flaky_mean = np.mean([counts[n] for n in flaky])
+        other_mean = np.mean([counts[n] for n in range(200) if n not in flaky])
+        assert flaky_mean > other_mean
+
+    def test_hot_window_restricts_extra_events(self):
+        model = HardwareErrorModel(n_nodes=20, seed=5, hot_node_multiplier=60.0,
+                                   flaky_fraction=0.0)
+        log = model.generate(4000, hot_nodes=[0], hot_window=(0, 1000))
+        thermally_tagged = [e for e in log if "thermally correlated" in e.message]
+        assert all(e.start_step < 1000 for e in thermally_tagged)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareErrorModel(n_nodes=0)
+        with pytest.raises(ValueError):
+            HardwareErrorModel(n_nodes=5, hot_node_multiplier=0.5)
+        with pytest.raises(ValueError):
+            HardwareErrorModel(n_nodes=5).generate(0)
+
+    def test_zero_flaky_fraction(self):
+        model = HardwareErrorModel(n_nodes=10, seed=0, flaky_fraction=0.0)
+        assert model.flaky_nodes().size == 0

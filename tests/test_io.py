@@ -1,0 +1,138 @@
+"""Unit tests for persistence (repro.io) and the row-append iSVD extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MrDMDConfig, compute_mrdmd
+from repro.core.isvd import IncrementalSVD
+from repro.io import (
+    load_hardware_log,
+    load_job_log,
+    load_telemetry,
+    load_tree,
+    save_hardware_log,
+    save_job_log,
+    save_telemetry,
+    save_tree,
+)
+
+
+class TestTelemetryRoundTrip:
+    def test_round_trip(self, small_stream, small_machine, tmp_path):
+        path = str(tmp_path / "telemetry.npz")
+        save_telemetry(path, small_stream)
+        loaded = load_telemetry(path, small_machine)
+        assert np.array_equal(loaded.values, small_stream.values)
+        assert loaded.dt == small_stream.dt
+        assert np.array_equal(loaded.node_indices, small_stream.node_indices)
+        assert list(loaded.sensor_names) == list(small_stream.sensor_names)
+        assert loaded.start_step == small_stream.start_step
+
+    def test_machine_mismatch_rejected(self, small_stream, tmp_path):
+        from repro.telemetry import theta_machine
+
+        path = str(tmp_path / "telemetry.npz")
+        save_telemetry(path, small_stream)
+        wrong = theta_machine(racks_per_row=1, n_rows=1, node_limit=8)
+        with pytest.raises(ValueError):
+            load_telemetry(path, wrong)
+
+
+class TestLogRoundTrips:
+    def test_job_log_round_trip(self, small_joblog, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        save_job_log(path, small_joblog)
+        loaded = load_job_log(path)
+        assert len(loaded) == len(small_joblog)
+        for original, restored in zip(small_joblog, loaded):
+            assert original.job_id == restored.job_id
+            assert original.nodes == restored.nodes
+            assert original.start_step == restored.start_step
+            assert original.end_step == restored.end_step
+            assert original.project == restored.project
+            assert original.exit_status == restored.exit_status
+
+    def test_hardware_log_round_trip(self, small_hwlog, tmp_path):
+        path = str(tmp_path / "hw.jsonl")
+        save_hardware_log(path, small_hwlog)
+        loaded = load_hardware_log(path)
+        assert len(loaded) == len(small_hwlog)
+        for original, restored in zip(small_hwlog, loaded):
+            assert original.node == restored.node
+            assert original.event_type is restored.event_type
+            assert original.start_step == restored.start_step
+            assert original.end_step == restored.end_step
+            assert original.severity == restored.severity
+
+
+class TestTreeRoundTrip:
+    def test_round_trip_reconstruction_identical(self, multiscale_signal, tmp_path):
+        data, dt = multiscale_signal
+        tree = compute_mrdmd(data, dt, MrDMDConfig(max_levels=3))
+        path = str(tmp_path / "tree.npz")
+        save_tree(path, tree)
+        loaded = load_tree(path)
+        assert len(loaded) == len(tree)
+        assert loaded.n_levels == tree.n_levels
+        assert np.allclose(
+            loaded.reconstruct(data.shape[1]), tree.reconstruct(data.shape[1])
+        )
+
+    def test_round_trip_preserves_contribution_windows(self, multiscale_signal, tmp_path):
+        data, dt = multiscale_signal
+        from repro.core import IncrementalMrDMD
+
+        model = IncrementalMrDMD(dt=dt, max_levels=3)
+        model.fit(data[:, :600])
+        model.partial_fit(data[:, 600:800])
+        path = str(tmp_path / "itree.npz")
+        save_tree(path, model.tree)
+        loaded = load_tree(path)
+        level1 = loaded.nodes_at_level(1)[0]
+        assert level1.contribution_window == (600, 800)
+
+
+class TestISVDRowAppend:
+    def test_add_rows_matches_batch_svd(self):
+        gen = np.random.default_rng(0)
+        x = gen.standard_normal((20, 3)) @ gen.standard_normal((3, 50))
+        isvd = IncrementalSVD(rank=3, use_svht=False)
+        isvd.initialize(x[:15])
+        isvd.add_rows(x[15:])
+        s_exact = np.linalg.svd(x, compute_uv=False)
+        assert np.allclose(isvd.s, s_exact[:3], rtol=1e-6)
+        approx = (isvd.u * isvd.s) @ isvd.vh
+        assert np.allclose(approx, x, atol=1e-8)
+
+    def test_add_single_row(self):
+        gen = np.random.default_rng(1)
+        x = gen.standard_normal((10, 30))
+        isvd = IncrementalSVD(rank=6, use_svht=False)
+        isvd.initialize(x[:9])
+        isvd.add_rows(x[9])
+        assert isvd.u.shape[0] == 10
+        gram = isvd.u.T @ isvd.u
+        assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-8)
+
+    def test_add_rows_then_columns(self):
+        gen = np.random.default_rng(2)
+        x = gen.standard_normal((12, 2)) @ gen.standard_normal((2, 40))
+        isvd = IncrementalSVD(rank=2, use_svht=False)
+        isvd.initialize(x[:10, :30])
+        isvd.add_rows(x[10:, :30])
+        isvd.update(x[:, 30:])
+        approx = (isvd.u * isvd.s) @ isvd.vh
+        assert np.allclose(approx, x, atol=1e-6)
+
+    def test_add_rows_validation(self):
+        isvd = IncrementalSVD(rank=2, use_svht=False)
+        with pytest.raises(RuntimeError):
+            isvd.add_rows(np.ones((1, 5)))
+        isvd.initialize(np.random.default_rng(0).standard_normal((5, 8)))
+        with pytest.raises(ValueError):
+            isvd.add_rows(np.ones((1, 7)))
+        before = isvd.u.shape[0]
+        isvd.add_rows(np.zeros((0, 8)))
+        assert isvd.u.shape[0] == before

@@ -1,0 +1,183 @@
+"""Unit tests for the incremental SVD (repro.core.isvd)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.isvd import IncrementalSVD, ISVDState, blockwise_rotate
+
+
+def low_rank_matrix(n_rows: int, n_cols: int, rank: int, seed: int = 0, noise: float = 0.0) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal((n_rows, rank)) @ gen.standard_normal((rank, n_cols))
+    if noise:
+        x = x + noise * gen.standard_normal((n_rows, n_cols))
+    return x
+
+
+class TestInitialization:
+    def test_initialize_matches_batch_svd(self):
+        x = low_rank_matrix(30, 40, 4)
+        isvd = IncrementalSVD(rank=4, use_svht=False)
+        isvd.initialize(x)
+        s_exact = np.linalg.svd(x, compute_uv=False)
+        assert np.allclose(isvd.s, s_exact[:4], rtol=1e-10)
+
+    def test_uninitialized_access_raises(self):
+        isvd = IncrementalSVD(rank=2)
+        with pytest.raises(RuntimeError):
+            _ = isvd.s
+        with pytest.raises(RuntimeError):
+            _ = isvd.state
+
+    def test_update_before_initialize_falls_back(self):
+        x = low_rank_matrix(10, 12, 2)
+        isvd = IncrementalSVD(rank=2, use_svht=False)
+        isvd.update(x)
+        assert isvd.initialized
+        assert isvd.n_columns == 12
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalSVD(rank=0)
+        with pytest.raises(ValueError):
+            IncrementalSVD(max_rank_cap=0)
+        with pytest.raises(ValueError):
+            IncrementalSVD(reorthogonalize_every=-1)
+
+    def test_1d_initial_block_rejected_when_empty(self):
+        isvd = IncrementalSVD(rank=2)
+        with pytest.raises(ValueError):
+            isvd.initialize(np.zeros((3, 0)))
+
+
+class TestUpdates:
+    def test_single_column_update_tracks_exact_svd(self):
+        x = low_rank_matrix(20, 30, 3, noise=0.001)
+        isvd = IncrementalSVD(rank=6, use_svht=False)
+        isvd.initialize(x[:, :10])
+        for j in range(10, 30):
+            isvd.update(x[:, j])
+        s_exact = np.linalg.svd(x, compute_uv=False)
+        assert np.allclose(isvd.s[:3], s_exact[:3], rtol=1e-3)
+
+    def test_block_update_tracks_exact_svd(self):
+        x = low_rank_matrix(25, 60, 4, noise=0.01)
+        isvd = IncrementalSVD(rank=8, use_svht=False)
+        isvd.initialize(x[:, :20])
+        isvd.update(x[:, 20:40])
+        isvd.update(x[:, 40:])
+        s_exact = np.linalg.svd(x, compute_uv=False)
+        assert np.allclose(isvd.s[:4], s_exact[:4], rtol=1e-3)
+
+    def test_wide_update_block_larger_than_row_count(self):
+        x = low_rank_matrix(8, 200, 3, noise=0.01)
+        isvd = IncrementalSVD(rank=5, use_svht=False)
+        isvd.initialize(x[:, :20])
+        isvd.update(x[:, 20:])          # update block wider than P=8
+        s_exact = np.linalg.svd(x, compute_uv=False)
+        assert np.allclose(isvd.s[:3], s_exact[:3], rtol=1e-3)
+
+    def test_reconstruction_error_small_for_low_rank_data(self):
+        x = low_rank_matrix(30, 80, 3)
+        isvd = IncrementalSVD(rank=3, use_svht=False)
+        isvd.initialize(x[:, :30])
+        isvd.update(x[:, 30:])
+        assert isvd.reconstruction_error(x) < 1e-6 * np.linalg.norm(x)
+
+    def test_left_basis_stays_orthonormal(self):
+        x = low_rank_matrix(20, 120, 4, noise=0.05)
+        isvd = IncrementalSVD(rank=6, use_svht=False, reorthogonalize_every=4)
+        isvd.initialize(x[:, :20])
+        for lo in range(20, 120, 10):
+            isvd.update(x[:, lo : lo + 10])
+        gram = isvd.u.T @ isvd.u
+        assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-8)
+
+    def test_singular_values_nonincreasing(self):
+        x = low_rank_matrix(15, 60, 5, noise=0.1)
+        isvd = IncrementalSVD(rank=8, use_svht=False)
+        isvd.initialize(x[:, :20])
+        isvd.update(x[:, 20:])
+        assert np.all(np.diff(isvd.s) <= 1e-12)
+
+    def test_empty_update_is_noop(self):
+        x = low_rank_matrix(10, 20, 2)
+        isvd = IncrementalSVD(rank=2, use_svht=False)
+        isvd.initialize(x)
+        before = isvd.s.copy()
+        isvd.update(np.zeros((10, 0)))
+        assert np.allclose(isvd.s, before)
+        assert isvd.n_columns == 20
+
+    def test_row_mismatch_rejected(self):
+        isvd = IncrementalSVD(rank=2, use_svht=False)
+        isvd.initialize(low_rank_matrix(10, 20, 2))
+        with pytest.raises(ValueError):
+            isvd.update(np.zeros((5, 3)))
+
+    def test_rank_capped_by_max_rank_cap(self):
+        x = np.random.default_rng(3).standard_normal((30, 100))
+        isvd = IncrementalSVD(rank=None, use_svht=False, max_rank_cap=7)
+        isvd.initialize(x[:, :50])
+        isvd.update(x[:, 50:])
+        assert isvd.current_rank <= 7
+
+    def test_partial_fit_alias(self):
+        x = low_rank_matrix(10, 30, 2)
+        isvd = IncrementalSVD(rank=2, use_svht=False)
+        isvd.partial_fit(x[:, :10])
+        isvd.partial_fit(x[:, 10:])
+        assert isvd.n_columns == 30
+
+    def test_svht_mode_tracks_rank_of_noisy_low_rank_data(self):
+        x = low_rank_matrix(60, 200, 3, noise=0.01, seed=7) * 10
+        isvd = IncrementalSVD(rank=None, use_svht=True, max_rank_cap=32)
+        isvd.initialize(x[:, :80])
+        isvd.update(x[:, 80:])
+        assert 3 <= isvd.current_rank <= 8
+
+
+class TestStateAndFactors:
+    def test_state_shapes(self):
+        x = low_rank_matrix(12, 25, 3)
+        isvd = IncrementalSVD(rank=3, use_svht=False)
+        isvd.initialize(x)
+        state = isvd.state
+        assert isinstance(state, ISVDState)
+        assert state.u.shape == (12, 3)
+        assert state.vh.shape == (3, 25)
+        assert state.rank == 3
+        assert state.n_rows == 12
+        assert state.n_cols == 25
+
+    def test_state_reconstruct(self):
+        x = low_rank_matrix(10, 15, 2)
+        isvd = IncrementalSVD(rank=2, use_svht=False)
+        isvd.initialize(x)
+        assert np.allclose(isvd.state.reconstruct(), x, atol=1e-8)
+
+    def test_factors_tuple(self):
+        x = low_rank_matrix(10, 15, 2)
+        isvd = IncrementalSVD(rank=2, use_svht=False)
+        isvd.initialize(x)
+        u, s, vh = isvd.factors()
+        assert u.shape == (10, 2) and s.shape == (2,) and vh.shape == (2, 15)
+
+    def test_reconstruction_error_shape_mismatch_rejected(self):
+        x = low_rank_matrix(10, 15, 2)
+        isvd = IncrementalSVD(rank=2, use_svht=False)
+        isvd.initialize(x)
+        with pytest.raises(ValueError):
+            isvd.reconstruction_error(np.zeros((10, 14)))
+
+
+class TestBlockwiseRotate:
+    def test_blockwise_rotation_equals_full_product(self):
+        gen = np.random.default_rng(0)
+        u = gen.standard_normal((20, 5))
+        rotation = gen.standard_normal((5, 5))
+        blocks = [u[:7], u[7:14], u[14:]]
+        rotated = blockwise_rotate(blocks, rotation)
+        assert np.allclose(np.vstack(rotated), u @ rotation)

@@ -1,0 +1,176 @@
+"""Unit tests for the job-log substrate (repro.joblog)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.joblog import (
+    JobLog,
+    JobRecord,
+    JobRequest,
+    SchedulerSimulator,
+    WorkloadModel,
+    simulate_joblog,
+)
+
+
+def make_record(job_id=0, nodes=(0, 1), start=10, end=50, project="PROJ-000",
+                exit_status=0) -> JobRecord:
+    return JobRecord(
+        job_id=job_id,
+        project=project,
+        user="user",
+        nodes=tuple(nodes),
+        submit_step=5,
+        start_step=start,
+        end_step=end,
+        requested_steps=60,
+        exit_status=exit_status,
+    )
+
+
+class TestJobRecord:
+    def test_basic_properties(self):
+        record = make_record()
+        assert record.n_nodes == 2
+        assert record.duration == 40
+        assert record.queued_steps == 5
+        assert record.active_at(10)
+        assert record.active_at(49)
+        assert not record.active_at(50)
+        assert not record.active_at(5)
+
+    def test_running_job_has_no_duration(self):
+        record = JobRecord(
+            job_id=1, project="p", user="u", nodes=(0,), submit_step=0,
+            start_step=0, end_step=None, requested_steps=10,
+        )
+        assert record.duration is None
+        assert record.active_at(10_000)
+
+
+class TestJobLog:
+    def test_queries(self):
+        log = JobLog([
+            make_record(0, nodes=(0, 1), project="A"),
+            make_record(1, nodes=(2,), project="B", exit_status=1),
+            make_record(2, nodes=(1, 3), project="A", start=60, end=80),
+        ])
+        assert len(log) == 3
+        assert log.projects() == ["A", "B"]
+        assert len(log.jobs_for_project("A")) == 2
+        assert len(log.jobs_on_node(1)) == 2
+        assert len(log.active_jobs(15)) == 2
+        assert log.nodes_for_projects(["A"]).tolist() == [0, 1, 3]
+        assert len(log.failed_jobs()) == 1
+
+    def test_utilization_matrix(self):
+        log = JobLog([make_record(0, nodes=(0, 2), start=10, end=20)])
+        util = log.utilization_matrix(4, 30)
+        assert util.shape == (4, 30)
+        assert util[0, 10:20].all() and util[2, 10:20].all()
+        assert util[1].sum() == 0
+        assert util[0, :10].sum() == 0 and util[0, 20:].sum() == 0
+        with pytest.raises(ValueError):
+            log.utilization_matrix(0, 30)
+
+    def test_node_hours(self):
+        log = JobLog([make_record(0, nodes=(0,), start=0, end=240)])
+        hours = log.node_hours(2, dt_seconds=15.0, n_timesteps=240)
+        assert hours[0] == pytest.approx(1.0)
+        assert hours[1] == 0.0
+
+    def test_summary(self):
+        empty = JobLog()
+        assert empty.summary()["n_jobs"] == 0
+        log = JobLog([make_record(), make_record(1, exit_status=1)])
+        summary = log.summary()
+        assert summary["n_jobs"] == 2
+        assert summary["failure_rate"] == pytest.approx(0.5)
+
+
+class TestWorkloadModel:
+    def test_generates_requests_within_bounds(self):
+        model = WorkloadModel(100, seed=0, submit_rate=0.2)
+        requests = model.generate_requests(500)
+        assert len(requests) > 0
+        for req in requests:
+            assert 1 <= req.n_nodes <= 100
+            assert 0 <= req.submit_step < 500
+            assert req.requested_steps >= 8
+            assert req.project in model.project_names()
+
+    def test_determinism(self):
+        a = WorkloadModel(50, seed=3).generate_requests(300)
+        b = WorkloadModel(50, seed=3).generate_requests(300)
+        assert [(r.job_id, r.submit_step, r.n_nodes) for r in a] == [
+            (r.job_id, r.submit_step, r.n_nodes) for r in b
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadModel(0)
+        with pytest.raises(ValueError):
+            WorkloadModel(10, submit_rate=0.0)
+        with pytest.raises(ValueError):
+            WorkloadModel(10).generate_requests(0)
+
+
+class TestScheduler:
+    def test_no_node_oversubscription(self):
+        log = simulate_joblog(30, 800, seed=7, submit_rate=0.3, mean_nodes=8)
+        util_by_job = np.zeros((30, 800), dtype=int)
+        for record in log:
+            end = record.end_step if record.end_step is not None else 800
+            for node in record.nodes:
+                util_by_job[node, record.start_step:end] += 1
+        assert util_by_job.max() <= 1
+
+    def test_jobs_start_after_submission(self):
+        log = simulate_joblog(20, 500, seed=1, submit_rate=0.2)
+        for record in log:
+            assert record.start_step >= record.submit_step
+
+    def test_contiguous_placement_preferred(self):
+        simulator = SchedulerSimulator(50, seed=0)
+        requests = [JobRequest(job_id=0, project="p", user="u", n_nodes=10,
+                               requested_steps=100, submit_step=0)]
+        log = simulator.run(requests, 200)
+        nodes = sorted(log[0].nodes)
+        assert nodes == list(range(nodes[0], nodes[0] + 10))
+
+    def test_backfill_allows_small_jobs_to_jump(self):
+        # Job 0 leaves two nodes free; the head job (job 1) needs the whole
+        # machine and must wait for it, so a short 1-node job submitted later
+        # should backfill into the free nodes before the head job starts.
+        requests = [
+            JobRequest(job_id=0, project="p", user="u", n_nodes=6, requested_steps=100, submit_step=0),
+            JobRequest(job_id=1, project="p", user="u", n_nodes=8, requested_steps=100, submit_step=1),
+            JobRequest(job_id=2, project="p", user="u", n_nodes=1, requested_steps=10, submit_step=2),
+        ]
+        with_backfill = SchedulerSimulator(8, backfill=True, seed=0).run(list(requests), 400)
+        small_started = [r for r in with_backfill if r.job_id == 2]
+        head_started = [r for r in with_backfill if r.job_id == 1]
+        assert small_started
+        if head_started:
+            assert small_started[0].start_step <= head_started[0].start_step
+
+    def test_fcfs_vs_backfill_differ_or_match_sensibly(self):
+        requests = WorkloadModel(16, seed=5, submit_rate=0.3, mean_nodes=6).generate_requests(300)
+        fcfs = SchedulerSimulator(16, backfill=False, seed=0).run(list(requests), 300)
+        easy = SchedulerSimulator(16, backfill=True, seed=0).run(list(requests), 300)
+        assert len(easy) >= len(fcfs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerSimulator(0)
+        with pytest.raises(ValueError):
+            SchedulerSimulator(5).run([], 0)
+
+    def test_simulate_joblog_end_to_end(self):
+        log = simulate_joblog(64, 1000, seed=2)
+        assert len(log) > 0
+        summary = log.summary()
+        assert summary["mean_nodes"] >= 1
+        assert 0.0 <= summary["failure_rate"] <= 0.2

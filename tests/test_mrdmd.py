@@ -1,0 +1,171 @@
+"""Unit tests for the batch multiresolution DMD (repro.core.mrdmd)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mrdmd import MrDMDConfig, compute_mrdmd, decompose_window
+from repro.core.tree import MrDMDTree
+
+from conftest import make_multiscale_signal
+
+
+class TestConfig:
+    def test_defaults_match_paper_settings(self):
+        config = MrDMDConfig()
+        assert config.max_cycles == 2
+        assert config.nyquist_factor == 4
+        assert config.split == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_levels": 0},
+            {"max_cycles": 0},
+            {"nyquist_factor": 0},
+            {"min_window": 2},
+            {"split": 1},
+            {"amplitude_method": "bogus"},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MrDMDConfig(**kwargs)
+
+    def test_snapshots_required(self):
+        config = MrDMDConfig(max_cycles=2, nyquist_factor=4)
+        assert config.snapshots_required == 16
+
+    def test_stride_scales_with_window(self):
+        config = MrDMDConfig()
+        assert config.stride_for(10) == 1           # below the requirement
+        assert config.stride_for(16) == 1
+        assert config.stride_for(160) == 10
+        assert config.stride_for(1600) == 100
+
+    def test_rho_is_cycles_over_window_seconds(self):
+        config = MrDMDConfig(max_cycles=2)
+        assert config.rho_for(1000, 0.5) == pytest.approx(2 / 500.0)
+        assert config.rho_for(0, 0.5) == 0.0
+
+
+class TestDecomposeWindow:
+    def test_node_records_window_metadata(self):
+        data, dt = make_multiscale_signal(n_sensors=8, n_timesteps=256)
+        config = MrDMDConfig(max_levels=3)
+        node, recon = decompose_window(
+            data, dt, config, level=2, bin_index=1, start=128
+        )
+        assert node.level == 2
+        assert node.bin_index == 1
+        assert node.start == 128
+        assert node.n_snapshots == 256
+        assert node.step == config.stride_for(256)
+        assert recon.shape == data.shape
+
+    def test_slow_modes_respect_rho(self):
+        data, dt = make_multiscale_signal(n_sensors=8, n_timesteps=512)
+        config = MrDMDConfig(max_levels=3)
+        node, _ = decompose_window(data, dt, config, level=1, bin_index=0, start=0)
+        assert np.all(node.frequencies <= node.rho + 1e-12)
+
+
+class TestComputeMrDMD:
+    def test_tree_structure_binary_splits(self, multiscale_signal):
+        data, dt = multiscale_signal
+        tree = compute_mrdmd(data, dt, MrDMDConfig(max_levels=3))
+        assert isinstance(tree, MrDMDTree)
+        assert tree.n_levels == 3
+        assert len(tree.nodes_at_level(1)) == 1
+        assert len(tree.nodes_at_level(2)) == 2
+        assert len(tree.nodes_at_level(3)) == 4
+
+    def test_windows_tile_the_timeline(self, multiscale_signal):
+        data, dt = multiscale_signal
+        tree = compute_mrdmd(data, dt, MrDMDConfig(max_levels=4))
+        for level in tree.levels():
+            nodes = tree.nodes_at_level(level)
+            starts = [n.start for n in nodes]
+            ends = [n.end for n in nodes]
+            assert starts[0] == 0
+            assert ends[-1] == data.shape[1]
+            for prev_end, next_start in zip(ends[:-1], starts[1:]):
+                assert prev_end == next_start
+
+    def test_reconstruction_tracks_data(self, multiscale_signal):
+        data, dt = multiscale_signal
+        tree = compute_mrdmd(data, dt, MrDMDConfig(max_levels=4))
+        recon = tree.reconstruct(data.shape[1])
+        rel = np.linalg.norm(data - recon) / np.linalg.norm(data)
+        assert rel < 0.1
+
+    def test_reconstruction_is_smoother_than_data(self, multiscale_signal):
+        data, dt = multiscale_signal
+        tree = compute_mrdmd(data, dt, MrDMDConfig(max_levels=4))
+        recon = tree.reconstruct(data.shape[1])
+        hf_data = np.linalg.norm(np.diff(data, axis=1))
+        hf_recon = np.linalg.norm(np.diff(recon, axis=1))
+        assert hf_recon < hf_data
+
+    def test_level1_captures_slow_frequency(self, multiscale_signal):
+        data, dt = multiscale_signal
+        tree = compute_mrdmd(data, dt, MrDMDConfig(max_levels=4))
+        level1 = tree.nodes_at_level(1)[0]
+        # The 0.05 Hz component oscillates ~2.5 times over the 51.2 s window,
+        # so level 1 captures only the DC / drift component below rho.
+        assert np.all(level1.frequencies <= level1.rho + 1e-12)
+
+    def test_more_levels_capture_more_modes(self, multiscale_signal):
+        data, dt = multiscale_signal
+        shallow = compute_mrdmd(data, dt, MrDMDConfig(max_levels=2))
+        deep = compute_mrdmd(data, dt, MrDMDConfig(max_levels=5))
+        assert deep.total_modes >= shallow.total_modes
+
+    def test_more_levels_improve_reconstruction(self, multiscale_signal):
+        data, dt = multiscale_signal
+        shallow = compute_mrdmd(data, dt, MrDMDConfig(max_levels=2))
+        deep = compute_mrdmd(data, dt, MrDMDConfig(max_levels=5))
+        err_shallow = np.linalg.norm(data - shallow.reconstruct(data.shape[1]))
+        err_deep = np.linalg.norm(data - deep.reconstruct(data.shape[1]))
+        assert err_deep <= err_shallow * 1.05
+
+    def test_keyword_overrides(self, multiscale_signal):
+        data, dt = multiscale_signal
+        tree = compute_mrdmd(data, dt, max_levels=2)
+        assert tree.n_levels == 2
+
+    def test_config_and_overrides_mutually_exclusive(self, multiscale_signal):
+        data, dt = multiscale_signal
+        with pytest.raises(TypeError):
+            compute_mrdmd(data, dt, MrDMDConfig(), max_levels=3)
+
+    def test_short_timeline_gives_empty_or_single_node_tree(self):
+        data = np.random.default_rng(0).standard_normal((4, 6))
+        tree = compute_mrdmd(data, 1.0, MrDMDConfig(max_levels=3, min_window=8))
+        assert len(tree) == 0
+
+    def test_min_window_limits_depth(self):
+        data, dt = make_multiscale_signal(n_sensors=6, n_timesteps=64)
+        tree = compute_mrdmd(data, dt, MrDMDConfig(max_levels=6, min_window=16))
+        # 64 -> 32 -> 16 -> (8 < min_window): at most 3 levels
+        assert tree.n_levels <= 3
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compute_mrdmd(np.ones(10), 1.0)
+        with pytest.raises(ValueError):
+            compute_mrdmd(np.ones((2, 100)), 0.0)
+
+    def test_split_into_three(self, multiscale_signal):
+        data, dt = multiscale_signal
+        tree = compute_mrdmd(data, dt, MrDMDConfig(max_levels=2, split=3))
+        assert len(tree.nodes_at_level(2)) == 3
+
+    def test_node_step_and_dt_consistency(self, multiscale_signal):
+        data, dt = multiscale_signal
+        tree = compute_mrdmd(data, dt, MrDMDConfig(max_levels=3))
+        for node in tree:
+            assert node.dt == pytest.approx(dt)
+            assert node.local_dt == pytest.approx(dt * node.step)
+            assert node.step >= 1

@@ -1,0 +1,261 @@
+"""Property-based tests (hypothesis) on the core numerical invariants.
+
+These complement the example-based unit tests by checking structural
+invariants over randomly generated inputs: SVHT rank bounds, incremental-SVD
+factor consistency, mrDMD window tiling and slow-mode cutoffs, z-score
+classification consistency, colormap bounds, and layout-grammar round trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.baseline import ZScoreCategory, classify_zscores, compute_zscores
+from repro.core.dmd import compute_dmd, slow_mode_mask
+from repro.core.isvd import IncrementalSVD
+from repro.core.mrdmd import MrDMDConfig, compute_mrdmd
+from repro.core.svht import svht_rank
+from repro.util.chunking import chunk_indices
+from repro.util.stats import RunningMoments
+from repro.viz.colormap import DivergingTurbo, turbo_rgb
+from repro.viz.layout import RackLayout
+from repro.telemetry.machine import MachineDescription
+
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# --------------------------------------------------------------------------- #
+# SVHT
+# --------------------------------------------------------------------------- #
+@SETTINGS
+@given(
+    n_rows=st.integers(4, 60),
+    n_cols=st.integers(4, 60),
+    seed=st.integers(0, 10_000),
+)
+def test_svht_rank_bounded_by_matrix_rank(n_rows, n_cols, seed):
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal((n_rows, n_cols))
+    s = np.linalg.svd(x, compute_uv=False)
+    result = svht_rank(s, x.shape)
+    assert 1 <= result.rank <= min(n_rows, n_cols)
+    assert result.threshold >= 0.0
+
+
+@SETTINGS
+@given(
+    scale=st.floats(0.01, 1e4),
+    n=st.integers(4, 40),
+    seed=st.integers(0, 1000),
+)
+def test_svht_rank_is_scale_invariant(scale, n, seed):
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal((n, n + 3))
+    s = np.linalg.svd(x, compute_uv=False)
+    assert svht_rank(s, x.shape).rank == svht_rank(s * scale, x.shape).rank
+
+
+# --------------------------------------------------------------------------- #
+# Incremental SVD
+# --------------------------------------------------------------------------- #
+@SETTINGS
+@given(
+    n_rows=st.integers(5, 30),
+    n_initial=st.integers(5, 20),
+    n_update=st.integers(1, 20),
+    rank=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_isvd_invariants(n_rows, n_initial, n_update, rank, seed):
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal((n_rows, n_initial + n_update))
+    isvd = IncrementalSVD(rank=rank, use_svht=False)
+    isvd.initialize(x[:, :n_initial])
+    isvd.update(x[:, n_initial:])
+    # Singular values are non-negative and non-increasing.
+    assert np.all(isvd.s >= -1e-12)
+    assert np.all(np.diff(isvd.s) <= 1e-9)
+    # The left basis stays orthonormal.
+    gram = isvd.u.T @ isvd.u
+    assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-6)
+    # Column bookkeeping is exact.
+    assert isvd.n_columns == n_initial + n_update
+    assert isvd.vh.shape[1] == n_initial + n_update
+
+
+@SETTINGS
+@given(
+    n_rows=st.integers(6, 24),
+    rank=st.integers(1, 4),
+    n_chunks=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+def test_isvd_exact_for_low_rank_data(n_rows, rank, n_chunks, seed):
+    gen = np.random.default_rng(seed)
+    total_cols = 10 * (n_chunks + 1)
+    x = gen.standard_normal((n_rows, rank)) @ gen.standard_normal((rank, total_cols))
+    isvd = IncrementalSVD(rank=rank, use_svht=False)
+    isvd.initialize(x[:, :10])
+    for c in range(n_chunks):
+        isvd.update(x[:, 10 * (c + 1) : 10 * (c + 2)])
+    approx = (isvd.u * isvd.s) @ isvd.vh
+    assert np.allclose(approx, x, atol=1e-6 * max(1.0, np.abs(x).max()))
+
+
+# --------------------------------------------------------------------------- #
+# DMD / mrDMD
+# --------------------------------------------------------------------------- #
+@SETTINGS
+@given(
+    n_sensors=st.integers(3, 12),
+    n_steps=st.integers(20, 80),
+    dt=st.floats(0.01, 10.0),
+    seed=st.integers(0, 10_000),
+)
+def test_dmd_shapes_and_finiteness(n_sensors, n_steps, dt, seed):
+    gen = np.random.default_rng(seed)
+    data = gen.standard_normal((n_sensors, n_steps)).cumsum(axis=1)
+    result = compute_dmd(data, dt)
+    assert result.modes.shape[0] == n_sensors
+    assert result.modes.shape[1] == result.eigenvalues.size == result.amplitudes.size
+    assert np.all(np.isfinite(result.frequencies))
+    assert np.all(result.frequencies >= 0)
+    assert np.all(result.power >= 0)
+    # Slow-mode mask respects its cutoff for any rho.
+    rho = float(gen.uniform(0, 1.0 / dt))
+    mask = slow_mode_mask(result, rho)
+    assert np.all(result.frequencies[mask] <= rho + 1e-12)
+
+
+@SETTINGS
+@given(
+    n_sensors=st.integers(3, 10),
+    n_steps=st.integers(64, 200),
+    max_levels=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+def test_mrdmd_tree_invariants(n_sensors, n_steps, max_levels, seed):
+    gen = np.random.default_rng(seed)
+    t = np.arange(n_steps) * 0.1
+    data = (
+        np.sin(0.3 * t)[None, :]
+        + 0.5 * gen.standard_normal((n_sensors, n_steps))
+    )
+    tree = compute_mrdmd(data, 0.1, MrDMDConfig(max_levels=max_levels, min_window=16))
+    assert tree.n_levels <= max_levels
+    for level in tree.levels():
+        nodes = tree.nodes_at_level(level)
+        # Windows at one level never overlap and are ordered.
+        for a, b in zip(nodes[:-1], nodes[1:]):
+            assert a.end <= b.start
+        for node in nodes:
+            assert node.n_snapshots >= 16
+            assert np.all(node.frequencies <= node.rho + 1e-9)
+    recon = tree.reconstruct(n_steps)
+    assert recon.shape == data.shape
+    assert np.all(np.isfinite(recon))
+
+
+# --------------------------------------------------------------------------- #
+# Baseline / z-scores
+# --------------------------------------------------------------------------- #
+@SETTINGS
+@given(
+    values=npst.arrays(
+        dtype=np.float64,
+        shape=st.integers(1, 50),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    ),
+    mean=st.floats(-100, 100),
+    std=st.floats(0.01, 100),
+)
+def test_zscore_classification_consistency(values, mean, std):
+    z = compute_zscores(values, mean, std)
+    cats = classify_zscores(z)
+    for zi, cat in zip(z, cats):
+        if cat is ZScoreCategory.VERY_HIGH:
+            assert zi > 2.0
+        elif cat is ZScoreCategory.VERY_LOW:
+            assert zi < -2.0
+        elif cat is ZScoreCategory.BASELINE:
+            assert -1.5 <= zi <= 1.5
+
+
+@SETTINGS
+@given(
+    data=npst.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 8), st.integers(2, 40)),
+        elements=st.floats(-1e3, 1e3, allow_nan=False),
+    )
+)
+def test_running_moments_match_numpy(data):
+    moments = RunningMoments().update(data)
+    assert np.allclose(moments.mean, data.mean(axis=1), atol=1e-6)
+    assert np.allclose(moments.variance, data.var(axis=1), atol=1e-4, rtol=1e-4)
+
+
+# --------------------------------------------------------------------------- #
+# Utilities / viz
+# --------------------------------------------------------------------------- #
+@SETTINGS
+@given(total=st.integers(0, 500), chunk=st.integers(1, 100))
+def test_chunk_indices_partition(total, chunk):
+    chunks = chunk_indices(total, chunk)
+    covered = []
+    for lo, hi in chunks:
+        assert 0 <= lo < hi <= total
+        covered.extend(range(lo, hi))
+    assert covered == list(range(total))
+
+
+@SETTINGS
+@given(values=npst.arrays(dtype=np.float64, shape=st.integers(1, 100),
+                          elements=st.floats(-1e6, 1e6, allow_nan=False)))
+def test_turbo_rgb_always_valid(values):
+    rgb = turbo_rgb(values)
+    assert rgb.shape == (values.size, 3)
+    assert np.all(rgb >= 0.0) and np.all(rgb <= 1.0)
+
+
+@SETTINGS
+@given(value=st.floats(-1e3, 1e3, allow_nan=False), limit=st.floats(0.1, 100))
+def test_diverging_turbo_hex_format(value, limit):
+    cmap = DivergingTurbo(limit=limit)
+    colour = cmap.hex(value)
+    assert len(colour) == 7 and colour.startswith("#")
+    assert cmap.glyph(value) in {".", "-", "=", "+", "#"}
+
+
+@SETTINGS
+@given(
+    n_rows=st.integers(1, 2),
+    racks=st.integers(1, 3),
+    cabinets=st.integers(1, 3),
+    slots=st.integers(1, 4),
+    nodes=st.integers(1, 4),
+)
+def test_layout_roundtrip_from_machine_spec(n_rows, racks, cabinets, slots, nodes):
+    machine = MachineDescription(
+        name="prop",
+        n_rows=n_rows,
+        racks_per_row=racks,
+        cabinets_per_rack=cabinets,
+        slots_per_cabinet=slots,
+        blades_per_slot=1,
+        nodes_per_blade=nodes,
+    )
+    layout = RackLayout.from_machine(machine)
+    assert layout.n_nodes == machine.n_nodes
+    # Every node has a unique centre.
+    centres = {tuple(np.round(g.center, 6)) for g in layout.geometries}
+    assert len(centres) == machine.n_nodes

@@ -1,0 +1,101 @@
+"""Unit tests for reconstruction diagnostics (repro.core.reconstruction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruction import (
+    ReconstructionReport,
+    evaluate_reconstruction,
+    frobenius_error,
+    noise_reduction_ratio,
+    reconstruction_traces,
+    relative_error,
+)
+
+
+class TestErrorMetrics:
+    def test_frobenius_error_zero_for_identical(self):
+        x = np.random.default_rng(0).standard_normal((4, 10))
+        assert frobenius_error(x, x.copy()) == 0.0
+
+    def test_frobenius_error_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.ones((2, 2))
+        assert frobenius_error(a, b) == pytest.approx(2.0)
+
+    def test_frobenius_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            frobenius_error(np.zeros((2, 3)), np.zeros((3, 2)))
+
+    def test_relative_error_scale_invariance(self):
+        x = np.random.default_rng(1).standard_normal((5, 20))
+        noisy = x + 0.1
+        assert relative_error(x, noisy) == pytest.approx(relative_error(10 * x, 10 * noisy), rel=1e-9)
+
+    def test_relative_error_zero_reference(self):
+        zeros = np.zeros((2, 3))
+        assert relative_error(zeros, zeros) == 0.0
+        assert relative_error(zeros, np.ones((2, 3))) == np.inf
+
+    def test_noise_reduction_positive_when_smoother(self):
+        gen = np.random.default_rng(2)
+        smooth = np.sin(np.linspace(0, 10, 200))[None, :]
+        noisy = smooth + 0.5 * gen.standard_normal((1, 200))
+        assert noise_reduction_ratio(noisy, smooth) > 0.0
+
+    def test_noise_reduction_zero_for_identical(self):
+        x = np.random.default_rng(3).standard_normal((2, 50))
+        assert noise_reduction_ratio(x, x) == pytest.approx(0.0)
+
+    def test_noise_reduction_short_series(self):
+        assert noise_reduction_ratio(np.ones((2, 1)), np.ones((2, 1))) == 0.0
+
+
+class TestEvaluateReconstruction:
+    def test_report_fields(self, small_tree, multiscale_signal):
+        data, _ = multiscale_signal
+        report = evaluate_reconstruction(small_tree, data)
+        assert isinstance(report, ReconstructionReport)
+        assert report.frobenius > 0
+        assert 0 <= report.relative < 1
+        assert report.per_sensor_rmse.shape == (data.shape[0],)
+        assert report.n_modes == small_tree.total_modes
+        assert report.n_levels == small_tree.n_levels
+
+    def test_noise_is_reduced(self, small_tree, multiscale_signal):
+        data, _ = multiscale_signal
+        report = evaluate_reconstruction(small_tree, data)
+        assert report.noise_reduction > 0.0
+
+    def test_worst_sensors(self, small_tree, multiscale_signal):
+        data, _ = multiscale_signal
+        report = evaluate_reconstruction(small_tree, data)
+        worst = report.worst_sensors(3)
+        assert worst.shape == (3,)
+        assert report.per_sensor_rmse[worst[0]] == report.per_sensor_rmse.max()
+
+    def test_frequency_filter_changes_error(self, small_tree, multiscale_signal):
+        data, _ = multiscale_signal
+        full = evaluate_reconstruction(small_tree, data)
+        narrow = evaluate_reconstruction(small_tree, data, frequency_range=(0.0, 1e-6))
+        assert narrow.frobenius >= full.frobenius
+
+    def test_non_2d_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            evaluate_reconstruction(small_tree, np.ones(10))
+
+
+class TestTraces:
+    def test_traces_shapes(self, small_tree, multiscale_signal):
+        data, _ = multiscale_signal
+        traces = reconstruction_traces(small_tree, data, sensors=[0, 3, 5])
+        assert traces["actual"].shape == (3, data.shape[1])
+        assert traces["reconstructed"].shape == (3, data.shape[1])
+        assert traces["time_steps"].shape == (data.shape[1],)
+
+    def test_traces_match_matrix_rows(self, small_tree, multiscale_signal):
+        data, _ = multiscale_signal
+        traces = reconstruction_traces(small_tree, data, sensors=[2])
+        assert np.allclose(traces["actual"][0], data[2])

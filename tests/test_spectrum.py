@@ -1,0 +1,149 @@
+"""Unit tests for the mrDMD spectrum (repro.core.spectrum)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spectrum import MrDMDSpectrum, SpectrumBand, mode_frequencies, mode_power
+from repro.core.tree import MrDMDTree
+
+from test_tree import make_node
+
+
+class TestHelpers:
+    def test_mode_frequencies_formula(self):
+        dt = 0.5
+        eig = np.array([np.exp(1j * 0.2), np.exp(0.01)])
+        freqs = mode_frequencies(eig, dt)
+        assert freqs[0] == pytest.approx(0.2 / dt / (2 * np.pi))
+        assert freqs[1] == pytest.approx(0.0)
+
+    def test_mode_frequencies_empty_and_invalid(self):
+        assert mode_frequencies(np.array([]), 1.0).shape == (0,)
+        with pytest.raises(ValueError):
+            mode_frequencies(np.array([1.0]), 0.0)
+
+    def test_mode_power_is_column_norms(self):
+        modes = np.array([[1.0, 0.0], [0.0, 2.0], [0.0, 0.0]])
+        assert np.allclose(mode_power(modes), [1.0, 4.0])
+
+    def test_mode_power_empty(self):
+        assert mode_power(np.zeros((3, 0))).shape == (0,)
+
+
+@pytest.fixture()
+def spectrum_tree() -> MrDMDTree:
+    tree = MrDMDTree(dt=1.0, n_features=4)
+    tree.add(make_node(level=1, eigenvalue=np.exp(1j * 0.001)))       # ~1.6e-4 Hz
+    tree.add(make_node(level=2, eigenvalue=np.exp(1j * 0.5)))         # ~0.08 Hz
+    tree.add(make_node(level=3, eigenvalue=np.exp(1j * 2.5)))         # ~0.4 Hz
+    return tree
+
+
+class TestMrDMDSpectrum:
+    def test_construction_from_tree_and_table(self, spectrum_tree):
+        spec = MrDMDSpectrum(spectrum_tree, label="test")
+        assert spec.n_modes == 6
+        spec2 = MrDMDSpectrum(spectrum_tree.mode_table())
+        assert spec2.n_modes == 6
+        with pytest.raises(TypeError):
+            MrDMDSpectrum("not a tree")
+
+    def test_arrays_shapes(self, spectrum_tree):
+        spec = MrDMDSpectrum(spectrum_tree)
+        assert spec.frequencies.shape == (6,)
+        assert spec.power.shape == (6,)
+        assert spec.amplitudes.shape == (6,)
+        assert len(spec) == 6
+
+    def test_band_mask_frequency_filtering(self, spectrum_tree):
+        spec = MrDMDSpectrum(spectrum_tree)
+        mask = spec.band_mask((0.0, 0.1))
+        assert mask.sum() == 4                 # level-1 and level-2 nodes
+        with pytest.raises(ValueError):
+            spec.band_mask((0.5, 0.1))
+
+    def test_filter_by_level(self, spectrum_tree):
+        spec = MrDMDSpectrum(spectrum_tree)
+        only_level1 = spec.filter(levels=[1])
+        assert only_level1.n_modes == 2
+
+    def test_filter_by_power(self, spectrum_tree):
+        spec = MrDMDSpectrum(spectrum_tree)
+        threshold = float(np.median(spec.power))
+        filtered = spec.filter(min_power=threshold)
+        assert np.all(filtered.power >= threshold)
+
+    def test_high_power_modes_quantile(self, spectrum_tree):
+        spec = MrDMDSpectrum(spectrum_tree)
+        top_half = spec.high_power_modes(0.5)
+        assert 0 < top_half.n_modes <= spec.n_modes
+        with pytest.raises(ValueError):
+            spec.high_power_modes(1.5)
+
+    def test_filter_preserves_label_unless_overridden(self, spectrum_tree):
+        spec = MrDMDSpectrum(spectrum_tree, label="hot")
+        assert spec.filter((0, 1)).label == "hot"
+        assert spec.filter((0, 1), label="cool").label == "cool"
+
+    def test_band_summary(self, spectrum_tree):
+        spec = MrDMDSpectrum(spectrum_tree)
+        bands = spec.band_summary([0.0, 0.01, 0.1, 1.0])
+        assert len(bands) == 3
+        assert all(isinstance(b, SpectrumBand) for b in bands)
+        assert sum(b.n_modes for b in bands) == spec.n_modes
+        empty_band = [b for b in bands if b.n_modes == 0]
+        for band in empty_band:
+            assert np.isnan(band.peak_frequency)
+
+    def test_band_summary_validation(self, spectrum_tree):
+        spec = MrDMDSpectrum(spectrum_tree)
+        with pytest.raises(ValueError):
+            spec.band_summary([1.0])
+        with pytest.raises(ValueError):
+            spec.band_summary([1.0, 0.5])
+
+    def test_dominant_and_centroid_frequency(self, spectrum_tree):
+        spec = MrDMDSpectrum(spectrum_tree)
+        assert spec.dominant_frequency() in spec.frequencies
+        centroid = spec.centroid_frequency()
+        assert spec.frequencies.min() <= centroid <= spec.frequencies.max()
+
+    def test_empty_spectrum_statistics(self):
+        tree = MrDMDTree(dt=1.0, n_features=3)
+        spec = MrDMDSpectrum(tree)
+        assert spec.n_modes == 0
+        assert np.isnan(spec.dominant_frequency())
+        assert np.isnan(spec.centroid_frequency())
+        assert spec.total_power() == 0.0
+        assert spec.high_power_modes().n_modes == 0
+
+    def test_to_points_export(self, spectrum_tree):
+        spec = MrDMDSpectrum(spectrum_tree, label="case 1")
+        points = spec.to_points()
+        assert points["label"] == "case 1"
+        assert points["frequency_hz"].shape == (6,)
+        assert points["power"].shape == (6,)
+        assert points["level"].shape == (6,)
+
+    def test_hot_window_has_higher_centroid_than_cool(self):
+        """Fig. 7's qualitative claim on synthetic hot/cool decompositions."""
+        from repro.core import compute_mrdmd
+
+        gen = np.random.default_rng(5)
+        t = np.arange(1024) * 0.5
+        phases = gen.uniform(0, 2 * np.pi, 8)[:, None]
+        cool = 40 + 3 * np.sin(2 * np.pi * 0.002 * t + phases) + 0.2 * gen.standard_normal((8, t.size))
+        # The hot window carries extra energy at 0.02 Hz, which becomes a
+        # "slow" mode once the recursion reaches windows shorter than
+        # max_cycles / 0.02 Hz = 100 s (level 4 here).
+        hot = (
+            55
+            + 3 * np.sin(2 * np.pi * 0.002 * t + phases)
+            + 4 * np.sin(2 * np.pi * 0.02 * t + 2 * phases)
+            + 0.2 * gen.standard_normal((8, t.size))
+        )
+        spec_cool = MrDMDSpectrum(compute_mrdmd(cool, 0.5, max_levels=5), label="cool")
+        spec_hot = MrDMDSpectrum(compute_mrdmd(hot, 0.5, max_levels=5), label="hot")
+        assert spec_hot.centroid_frequency() > spec_cool.centroid_frequency()

@@ -1,0 +1,154 @@
+"""Unit tests for the optimal singular value hard threshold (repro.core.svht)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.svht import (
+    SVHTResult,
+    lambda_star,
+    median_marchenko_pastur,
+    omega_approx,
+    svht_rank,
+    svht_threshold,
+    truncate_singular_triplets,
+)
+
+
+class TestLambdaStar:
+    def test_square_matrix_value_is_4_over_sqrt3(self):
+        assert lambda_star(1.0) == pytest.approx(4.0 / math.sqrt(3.0), rel=1e-12)
+
+    def test_monotone_in_beta(self):
+        betas = np.linspace(0.05, 1.0, 20)
+        values = [lambda_star(float(b)) for b in betas]
+        assert all(b <= a for a, b in zip(values[1:], values[:-1])) or all(
+            a <= b for a, b in zip(values[:-1], values[1:])
+        )
+
+    @pytest.mark.parametrize("beta", [0.0, -0.1, 1.5])
+    def test_invalid_beta_rejected(self, beta):
+        with pytest.raises(ValueError):
+            lambda_star(beta)
+
+
+class TestOmega:
+    def test_approx_close_to_exact_formula(self):
+        # omega(beta) = lambda*(beta) / sqrt(median MP); the rational
+        # approximation should be within a few percent.
+        for beta in (0.1, 0.25, 0.5, 0.75, 1.0):
+            exact = lambda_star(beta) / math.sqrt(median_marchenko_pastur(beta))
+            assert omega_approx(beta) == pytest.approx(exact, rel=0.05)
+
+    def test_square_matrix_omega_near_2_858(self):
+        # Known reference value from Gavish & Donoho: omega(1) ~= 2.858
+        exact = lambda_star(1.0) / math.sqrt(median_marchenko_pastur(1.0))
+        assert exact == pytest.approx(2.858, abs=0.01)
+
+    @pytest.mark.parametrize("beta", [0.0, 2.0])
+    def test_invalid_beta_rejected(self, beta):
+        with pytest.raises(ValueError):
+            omega_approx(beta)
+
+
+class TestMedianMP:
+    def test_median_between_support_edges(self):
+        for beta in (0.2, 0.6, 1.0):
+            med = median_marchenko_pastur(beta)
+            lower = (1 - math.sqrt(beta)) ** 2
+            upper = (1 + math.sqrt(beta)) ** 2
+            assert lower < med < upper
+
+    def test_median_of_square_case(self):
+        # For beta=1 the MP distribution has median ~ 1.0 - ish but below the
+        # mean (which is 1); accept the known numeric value ~0.85-1.0.
+        med = median_marchenko_pastur(1.0)
+        assert 0.5 < med < 1.5
+
+
+class TestThresholdAndRank:
+    def test_known_sigma_threshold(self):
+        s = np.array([10.0, 5.0, 1.0])
+        tau = svht_threshold(s, (100, 100), sigma=0.1)
+        assert tau == pytest.approx(lambda_star(1.0) * 10.0 * 0.1, rel=1e-12)
+
+    def test_unknown_sigma_uses_median(self):
+        s = np.array([100.0, 3.0, 2.0, 1.0])
+        tau = svht_threshold(s, (4, 1000))
+        beta = 4 / 1000
+        assert tau == pytest.approx(omega_approx(beta) * 2.5, rel=1e-12)
+
+    def test_rank_detects_low_rank_plus_noise(self):
+        gen = np.random.default_rng(0)
+        n = 200
+        u = gen.standard_normal((n, 3))
+        v = gen.standard_normal((3, n))
+        x = u @ v * 10 + 0.01 * gen.standard_normal((n, n))
+        s = np.linalg.svd(x, compute_uv=False)
+        result = svht_rank(s, x.shape)
+        assert result.rank == 3
+
+    def test_rank_at_least_min_rank(self):
+        s = np.array([1e-8, 1e-9])
+        result = svht_rank(s, (10, 10), min_rank=1)
+        assert result.rank >= 1
+
+    def test_max_rank_cap_applies(self):
+        s = np.linspace(100, 50, 20)
+        result = svht_rank(s, (20, 200), max_rank=5)
+        assert result.rank <= 5
+
+    def test_result_records_beta(self):
+        s = np.array([5.0, 1.0])
+        result = svht_rank(s, (10, 40))
+        assert isinstance(result, SVHTResult)
+        assert result.beta == pytest.approx(0.25)
+
+    def test_empty_singular_values(self):
+        result = svht_rank(np.array([]), (5, 5))
+        assert result.rank == 0
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            svht_threshold(np.array([1.0]), (0, 5))
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            svht_threshold(np.array([1.0]), (5, 5), sigma=-1.0)
+
+    def test_non_1d_singular_values_rejected(self):
+        with pytest.raises(ValueError):
+            svht_threshold(np.ones((2, 2)), (5, 5))
+
+
+class TestTruncateTriplets:
+    def test_truncation_shapes_consistent(self):
+        gen = np.random.default_rng(1)
+        x = gen.standard_normal((30, 50))
+        u, s, vh = np.linalg.svd(x, full_matrices=False)
+        u_r, s_r, vh_r, decision = truncate_singular_triplets(u, s, vh, x.shape)
+        r = decision.rank
+        assert u_r.shape == (30, r)
+        assert s_r.shape == (r,)
+        assert vh_r.shape == (r, 50)
+
+    def test_disable_svht_keeps_full_or_capped_rank(self):
+        gen = np.random.default_rng(2)
+        x = gen.standard_normal((10, 20))
+        u, s, vh = np.linalg.svd(x, full_matrices=False)
+        u_r, s_r, vh_r, decision = truncate_singular_triplets(
+            u, s, vh, x.shape, use_svht=False, max_rank=4
+        )
+        assert decision.rank == 4
+        assert s_r.shape == (4,)
+
+    def test_low_rank_data_reconstructs_after_truncation(self):
+        gen = np.random.default_rng(3)
+        base = gen.standard_normal((40, 2)) @ gen.standard_normal((2, 60))
+        u, s, vh = np.linalg.svd(base, full_matrices=False)
+        u_r, s_r, vh_r, decision = truncate_singular_triplets(u, s, vh, base.shape)
+        approx = (u_r * s_r) @ vh_r
+        assert np.linalg.norm(base - approx) / np.linalg.norm(base) < 1e-8

@@ -1,0 +1,246 @@
+"""Unit tests for telemetry dynamics, generation, anomalies, and streaming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    ChunkedSource,
+    CoolingDegradation,
+    HotNodes,
+    SensorFault,
+    StalledNodes,
+    StreamingReplay,
+    TelemetryGenerator,
+    theta_machine,
+)
+from repro.telemetry.dynamics import (
+    ar1_noise,
+    cooling_loop,
+    diurnal_cycle,
+    synthetic_utilization,
+    thermal_response,
+)
+from repro.telemetry.sensors import xc40_sensor_suite
+
+
+class TestDynamics:
+    def test_diurnal_cycle_period(self):
+        times = np.array([0.0, 21_600.0, 43_200.0, 86_400.0])
+        cycle = diurnal_cycle(times)
+        assert cycle[0] == pytest.approx(0.0, abs=1e-12)
+        assert cycle[1] == pytest.approx(1.0, abs=1e-12)
+        assert cycle[3] == pytest.approx(0.0, abs=1e-9)
+        with pytest.raises(ValueError):
+            diurnal_cycle(times, period=0.0)
+
+    def test_cooling_loop_shape_and_phase_lag(self):
+        times = np.arange(100) * 15.0
+        loops = cooling_loop(times, 4, rng=np.random.default_rng(0))
+        assert loops.shape == (4, 100)
+        # Different racks must not be identical (phase lag).
+        assert not np.allclose(loops[0], loops[1])
+        with pytest.raises(ValueError):
+            cooling_loop(times, 0)
+
+    def test_synthetic_utilization_bounds_and_target(self):
+        rng = np.random.default_rng(1)
+        util = synthetic_utilization(50, 400, rng=rng, target_utilization=0.5)
+        assert util.shape == (50, 400)
+        assert util.min() >= 0.0 and util.max() <= 1.0
+        assert (util > 0).mean() >= 0.4
+        with pytest.raises(ValueError):
+            synthetic_utilization(0, 10, rng=rng)
+
+    def test_thermal_response_lags_and_bounds(self):
+        util = np.zeros((1, 100))
+        util[0, 10:] = 1.0
+        response = thermal_response(util, dt=15.0, time_constant=60.0)
+        assert response[0, 9] == 0.0
+        assert 0.0 < response[0, 12] < 1.0
+        assert response[0, -1] > 0.9
+        with pytest.raises(ValueError):
+            thermal_response(util, dt=0.0)
+
+    def test_ar1_noise_statistics(self):
+        noise = ar1_noise((4, 5000), rng=np.random.default_rng(2), correlation=0.7, std=2.0)
+        assert noise.shape == (4, 5000)
+        assert noise.std() == pytest.approx(2.0, rel=0.15)
+        # Lag-1 autocorrelation should be near the configured value.
+        series = noise[0]
+        ac = np.corrcoef(series[:-1], series[1:])[0, 1]
+        assert ac == pytest.approx(0.7, abs=0.1)
+        with pytest.raises(ValueError):
+            ar1_noise((2, 10), rng=np.random.default_rng(0), correlation=1.0)
+
+
+@pytest.fixture(scope="module")
+def tiny_machine():
+    return theta_machine(racks_per_row=1, n_rows=1, node_limit=24)
+
+
+class TestGenerator:
+    def test_shapes_and_metadata(self, tiny_machine):
+        generator = TelemetryGenerator(tiny_machine, seed=0)
+        stream = generator.generate(100, sensors=["cpu_temp", "node_power"])
+        assert stream.values.shape == (48, 100)
+        assert stream.n_nodes == 24
+        assert set(np.unique(stream.sensor_names)) == {"cpu_temp", "node_power"}
+        assert stream.dt == tiny_machine.dt_seconds
+        assert stream.times.shape == (100,)
+
+    def test_determinism(self, tiny_machine):
+        a = TelemetryGenerator(tiny_machine, seed=5).generate(50, sensors=["cpu_temp"])
+        b = TelemetryGenerator(tiny_machine, seed=5).generate(50, sensors=["cpu_temp"])
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self, tiny_machine):
+        a = TelemetryGenerator(tiny_machine, seed=1).generate(50, sensors=["cpu_temp"])
+        b = TelemetryGenerator(tiny_machine, seed=2).generate(50, sensors=["cpu_temp"])
+        assert not np.array_equal(a.values, b.values)
+
+    def test_temperatures_physically_plausible(self, tiny_machine):
+        stream = TelemetryGenerator(tiny_machine, seed=0).generate(200, sensors=["cpu_temp"])
+        assert stream.values.min() > 0.0
+        assert stream.values.max() < 120.0
+
+    def test_unknown_sensor_rejected(self, tiny_machine):
+        with pytest.raises(KeyError):
+            TelemetryGenerator(tiny_machine).generate(10, sensors=["nonexistent"])
+
+    def test_node_selection(self, tiny_machine):
+        stream = TelemetryGenerator(tiny_machine, seed=0).generate(
+            30, sensors=["cpu_temp"], nodes=[2, 5, 7]
+        )
+        assert stream.values.shape == (3, 30)
+        assert set(stream.node_indices.tolist()) == {2, 5, 7}
+        with pytest.raises(ValueError):
+            TelemetryGenerator(tiny_machine).generate(10, nodes=[999])
+
+    def test_external_utilization(self, tiny_machine):
+        util = np.zeros((24, 60))
+        util[:, 30:] = 1.0
+        stream = TelemetryGenerator(tiny_machine, seed=0, noise_scale=0.0).generate(
+            60, sensors=["cpu_temp"], utilization=util
+        )
+        # Temperatures rise after the load step.
+        assert stream.values[:, 55:].mean() > stream.values[:, :25].mean()
+        with pytest.raises(ValueError):
+            TelemetryGenerator(tiny_machine).generate(60, utilization=np.zeros((3, 3)))
+
+    def test_channel_and_window_and_node_average(self, tiny_machine):
+        stream = TelemetryGenerator(tiny_machine, seed=0).generate(
+            40, sensors=["cpu_temp", "node_power"]
+        )
+        cpu = stream.channel("cpu_temp")
+        assert cpu.values.shape == (24, 40)
+        with pytest.raises(KeyError):
+            stream.channel("nope")
+        window = stream.window(10, 30)
+        assert window.values.shape == (48, 20)
+        assert window.start_step == 10
+        with pytest.raises(ValueError):
+            stream.window(30, 10)
+        averaged = stream.node_average()
+        assert averaged.shape == (24, 40)
+        selected = stream.select_nodes([0, 1])
+        assert selected.n_nodes == 2
+        with pytest.raises(ValueError):
+            stream.select_nodes([999])
+
+    def test_generate_matrix_tiles_rows(self, tiny_machine):
+        generator = TelemetryGenerator(tiny_machine, seed=0)
+        matrix = generator.generate_matrix(60, 50)
+        assert matrix.shape == (60, 50)
+        assert np.all(np.isfinite(matrix))
+        with pytest.raises(ValueError):
+            generator.generate_matrix(0, 50)
+
+    def test_constructor_validation(self, tiny_machine):
+        with pytest.raises(ValueError):
+            TelemetryGenerator(tiny_machine, cooling_period=0.0)
+        with pytest.raises(ValueError):
+            TelemetryGenerator(tiny_machine, noise_scale=-1.0)
+        with pytest.raises(ValueError):
+            TelemetryGenerator(tiny_machine).generate(0)
+
+
+class TestAnomalies:
+    def test_hot_nodes_raise_temperature(self, tiny_machine):
+        generator = TelemetryGenerator(tiny_machine, seed=0, utilization_target=0.0)
+        clean = generator.generate(200, sensors=["cpu_temp"])
+        hot = TelemetryGenerator(tiny_machine, seed=0, utilization_target=0.0).generate(
+            200, sensors=["cpu_temp"],
+            anomalies=[HotNodes(node_indices=(3,), start=50, delta=10.0)],
+        )
+        delta = hot.values[3, 150:].mean() - clean.values[3, 150:].mean()
+        assert delta > 7.0
+        untouched = np.abs(hot.values[10] - clean.values[10]).max()
+        assert untouched < 1e-9
+
+    def test_stalled_nodes_lower_temperature_and_power(self, tiny_machine):
+        anomaly = StalledNodes(node_indices=(2,), start=20, drop=8.0)
+        generator = TelemetryGenerator(tiny_machine, seed=1, utilization_target=0.0)
+        clean = generator.generate(150, sensors=["cpu_temp", "node_power"])
+        stalled = TelemetryGenerator(tiny_machine, seed=1, utilization_target=0.0).generate(
+            150, sensors=["cpu_temp", "node_power"], anomalies=[anomaly]
+        )
+        assert stalled.values[2, 100:].mean() < clean.values[2, 100:].mean()
+
+    def test_sensor_fault_injects_spikes(self, tiny_machine):
+        fault = SensorFault(node_indices=(1,), sensor_name="cpu_temp",
+                            spike_probability=0.5, spike_std=30.0)
+        generator = TelemetryGenerator(tiny_machine, seed=2, noise_scale=0.0,
+                                       utilization_target=0.0)
+        clean = generator.generate(100, sensors=["cpu_temp"])
+        faulty = TelemetryGenerator(tiny_machine, seed=2, noise_scale=0.0,
+                                    utilization_target=0.0).generate(
+            100, sensors=["cpu_temp"], anomalies=[fault]
+        )
+        assert np.abs(faulty.values[1] - clean.values[1]).max() > 10.0
+
+    def test_cooling_degradation_creates_drift(self, tiny_machine):
+        anomaly = CoolingDegradation(node_indices=tuple(range(5)), rate_per_hour=10.0,
+                                     dt_seconds=tiny_machine.dt_seconds)
+        generator = TelemetryGenerator(tiny_machine, seed=3, utilization_target=0.0,
+                                       noise_scale=0.0)
+        stream = generator.generate(480, sensors=["cpu_temp"], anomalies=[anomaly])
+        drift = stream.values[0, -10:].mean() - stream.values[0, :10].mean()
+        assert drift > 5.0
+
+    def test_anomaly_window_clipping(self):
+        anomaly = HotNodes(node_indices=(0,), start=50, stop=200)
+        assert anomaly.active_slice(100) == slice(50, 100)
+        assert anomaly.active_slice(40) == slice(40, 40)
+
+
+class TestStreaming:
+    def test_replay_initial_and_chunks(self, tiny_machine):
+        stream = TelemetryGenerator(tiny_machine, seed=0).generate(100, sensors=["cpu_temp"])
+        replay = StreamingReplay(stream, initial_size=40, chunk_size=25)
+        assert replay.initial().shape == (24, 40)
+        chunks = list(replay.chunks())
+        assert [c.shape[1] for c in chunks] == [25, 25, 10]
+        assert replay.n_chunks == 3
+
+    def test_replay_validation(self, tiny_machine):
+        stream = TelemetryGenerator(tiny_machine, seed=0).generate(50, sensors=["cpu_temp"])
+        with pytest.raises(ValueError):
+            StreamingReplay(stream, initial_size=0, chunk_size=10)
+        with pytest.raises(ValueError):
+            StreamingReplay(stream, initial_size=100, chunk_size=10)
+
+    def test_chunked_source_advances_position(self, tiny_machine):
+        source = ChunkedSource(TelemetryGenerator(tiny_machine, seed=0), sensors=["cpu_temp"])
+        first = source.next_chunk(30)
+        second = source.next_chunk(20)
+        assert first.start_step == 0 and second.start_step == 30
+        assert source.position == 50
+        with pytest.raises(ValueError):
+            source.next_chunk(0)
+
+    def test_chunked_source_take(self, tiny_machine):
+        source = ChunkedSource(TelemetryGenerator(tiny_machine, seed=0), sensors=["cpu_temp"])
+        chunks = source.take([10, 10, 5])
+        assert [c.n_timesteps for c in chunks] == [10, 10, 5]

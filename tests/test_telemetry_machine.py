@@ -1,0 +1,122 @@
+"""Unit tests for machine descriptions and sensors (repro.telemetry.machine / sensors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry.machine import MachineDescription, polaris_machine, theta_machine
+from repro.telemetry.sensors import SensorKind, SensorSpec, gpu_sensor_suite, xc40_sensor_suite
+
+
+class TestSensorSuites:
+    def test_xc40_suite_has_four_temperature_channels(self):
+        suite = xc40_sensor_suite()
+        temps = [s for s in suite if s.kind is SensorKind.TEMPERATURE]
+        assert len(temps) == 4                 # "four readings of each type per node"
+        assert any(s.name == "cpu_temp" for s in suite)
+
+    def test_gpu_suite_has_four_gpu_temperatures(self):
+        suite = gpu_sensor_suite()
+        gpu_temps = [s for s in suite if s.name.startswith("gpu") and s.name.endswith("_temp")]
+        assert len(gpu_temps) == 4             # four A100s per Polaris node
+
+    def test_sensor_spec_validation(self):
+        with pytest.raises(ValueError):
+            SensorSpec(name="x", kind=SensorKind.TEMPERATURE, unit="degC", nominal=1.0, noise_std=-1.0)
+
+
+class TestThetaMachine:
+    def test_full_scale_matches_paper(self):
+        theta = theta_machine()
+        assert theta.n_racks == 24
+        assert theta.n_nodes == 4392
+        assert theta.dt_seconds == 15.0
+        assert theta.n_sensors_per_node == len(xc40_sensor_suite())
+
+    def test_node_limit_caps_population(self):
+        theta = theta_machine(racks_per_row=2, node_limit=100)
+        assert theta.n_nodes == 100
+        assert theta.capacity >= 100
+
+    def test_node_locations_and_names(self):
+        theta = theta_machine(racks_per_row=1, n_rows=1, node_limit=10)
+        locations = theta.node_locations()
+        assert len(locations) == 10
+        names = theta.node_names()
+        assert len(set(names)) == 10
+        assert names[0].startswith("c0-0")
+
+    def test_rack_of_node(self):
+        theta = theta_machine(racks_per_row=2, node_limit=None)
+        assert theta.rack_of_node(0) == 0
+        assert theta.rack_of_node(theta.nodes_per_rack) == 1
+        with pytest.raises(ValueError):
+            theta.rack_of_node(theta.n_nodes)
+
+    def test_layout_spec_grammar(self):
+        theta = theta_machine()
+        spec = theta.layout_spec()
+        assert spec.startswith("xc40 ")
+        assert "row0-1:0-11" in spec
+        assert "c:0-2" in spec and "s:0-15" in spec and "n:0-3" in spec
+
+    def test_scaled_reduces_rack_count(self):
+        theta = theta_machine()
+        small = theta.scaled(0.25)
+        assert small.n_racks < theta.n_racks
+        assert small.n_nodes < theta.n_nodes
+        assert small.name == theta.name
+        with pytest.raises(ValueError):
+            theta.scaled(0.0)
+
+
+class TestPolarisMachine:
+    def test_full_scale(self):
+        polaris = polaris_machine()
+        assert polaris.n_nodes == 560
+        assert polaris.dt_seconds == 3.0
+        assert polaris.name == "polaris"
+
+    def test_gpu_sensor_count(self):
+        polaris = polaris_machine()
+        assert polaris.n_sensors_per_node == len(gpu_sensor_suite())
+
+
+class TestMachineValidation:
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            MachineDescription(
+                name="bad", n_rows=0, racks_per_row=1, cabinets_per_rack=1,
+                slots_per_cabinet=1, blades_per_slot=1, nodes_per_blade=1,
+            )
+        with pytest.raises(ValueError):
+            MachineDescription(
+                name="bad", n_rows=1, racks_per_row=1, cabinets_per_rack=1,
+                slots_per_cabinet=1, blades_per_slot=1, nodes_per_blade=1,
+                node_limit=0,
+            )
+        with pytest.raises(ValueError):
+            MachineDescription(
+                name="bad", n_rows=1, racks_per_row=1, cabinets_per_rack=1,
+                slots_per_cabinet=1, blades_per_slot=1, nodes_per_blade=1,
+                dt_seconds=0.0,
+            )
+
+    def test_capacity_formula(self):
+        machine = MachineDescription(
+            name="m", n_rows=2, racks_per_row=3, cabinets_per_rack=2,
+            slots_per_cabinet=4, blades_per_slot=1, nodes_per_blade=2,
+        )
+        assert machine.nodes_per_rack == 16
+        assert machine.capacity == 96
+        assert machine.n_nodes == 96
+
+    def test_single_of_everything_layout_spec(self):
+        machine = MachineDescription(
+            name="mini", n_rows=1, racks_per_row=1, cabinets_per_rack=1,
+            slots_per_cabinet=1, blades_per_slot=1, nodes_per_blade=1,
+        )
+        spec = machine.layout_spec()
+        assert "row0:0" in spec
+        assert "c:0" in spec and "n:0" in spec

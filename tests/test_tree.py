@@ -1,0 +1,258 @@
+"""Unit tests for the mrDMD tree data structures (repro.core.tree)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tree import ModeTable, MrDMDNode, MrDMDTree
+
+
+def make_node(
+    level: int = 1,
+    bin_index: int = 0,
+    start: int = 0,
+    n_snapshots: int = 100,
+    dt: float = 1.0,
+    n_features: int = 4,
+    n_modes: int = 2,
+    eigenvalue: complex = 0.999 + 0.01j,
+) -> MrDMDNode:
+    gen = np.random.default_rng(level * 100 + bin_index)
+    modes = gen.standard_normal((n_features, n_modes)) + 1j * gen.standard_normal((n_features, n_modes))
+    eigenvalues = np.full(n_modes, eigenvalue, dtype=complex)
+    amplitudes = gen.standard_normal(n_modes) + 0j
+    return MrDMDNode(
+        level=level,
+        bin_index=bin_index,
+        start=start,
+        n_snapshots=n_snapshots,
+        dt=dt,
+        step=1,
+        rho=0.1,
+        modes=modes,
+        eigenvalues=eigenvalues,
+        amplitudes=amplitudes,
+        svd_rank=n_modes,
+    )
+
+
+class TestMrDMDNode:
+    def test_basic_properties(self):
+        node = make_node()
+        assert node.n_modes == 2
+        assert node.n_features == 4
+        assert node.end == 100
+        assert node.local_dt == 1.0
+        assert node.time_span == (0.0, 100.0)
+
+    def test_frequencies_and_power_shapes(self):
+        node = make_node()
+        assert node.frequencies.shape == (2,)
+        assert node.power.shape == (2,)
+        assert np.all(node.power > 0)
+
+    def test_empty_node_properties(self):
+        node = make_node(n_modes=0)
+        assert node.n_modes == 0
+        assert node.frequencies.shape == (0,)
+        assert node.power.shape == (0,)
+        recon = node.local_reconstruction(10)
+        assert recon.shape == (4, 10)
+        assert np.allclose(recon, 0.0)
+
+    def test_local_reconstruction_is_real_and_finite(self):
+        node = make_node()
+        recon = node.local_reconstruction()
+        assert recon.shape == (4, 100)
+        assert np.isrealobj(recon)
+        assert np.all(np.isfinite(recon))
+
+    def test_local_reconstruction_range_matches_full(self):
+        node = make_node()
+        full = node.local_reconstruction(100)
+        part = node.local_reconstruction_range(30, 20)
+        assert np.allclose(part, full[:, 30:50])
+
+    def test_contribution_window_defaults_to_full_span(self):
+        node = make_node(start=10, n_snapshots=50)
+        assert node.contribution_window == (10, 60)
+
+    def test_contribution_window_clipping(self):
+        node = make_node(start=0, n_snapshots=100)
+        node.contribution_start = 40
+        node.contribution_end = 80
+        assert node.contribution_window == (40, 80)
+
+    def test_copy_with_overrides(self):
+        node = make_node()
+        copy = node.copy_with(level=5, start=7)
+        assert copy.level == 5 and copy.start == 7
+        assert copy.n_snapshots == node.n_snapshots
+        assert copy.modes is node.modes  # shallow copy
+
+    def test_growth_rates_sign(self):
+        decaying = make_node(eigenvalue=0.9 + 0.0j)
+        growing = make_node(eigenvalue=1.1 + 0.0j)
+        assert np.all(decaying.growth_rates < 0)
+        assert np.all(growing.growth_rates > 0)
+
+
+class TestMrDMDTreeStructure:
+    def test_add_and_iterate(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        tree.add(make_node(level=1))
+        tree.add(make_node(level=2, start=0, n_snapshots=50))
+        tree.add(make_node(level=2, bin_index=1, start=50, n_snapshots=50))
+        assert len(tree) == 3
+        assert tree.n_levels == 2
+        assert tree.n_snapshots == 100
+        assert [n.level for n in tree] == [1, 2, 2]
+        assert tree[0].level == 1
+
+    def test_feature_mismatch_rejected(self):
+        tree = MrDMDTree(dt=1.0, n_features=5)
+        with pytest.raises(ValueError):
+            tree.add(make_node(n_features=4))
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            MrDMDTree(dt=0.0, n_features=4)
+        with pytest.raises(ValueError):
+            MrDMDTree(dt=1.0, n_features=0)
+
+    def test_nodes_at_level_sorted_by_start(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        tree.add(make_node(level=2, bin_index=1, start=50, n_snapshots=50))
+        tree.add(make_node(level=2, bin_index=0, start=0, n_snapshots=50))
+        nodes = tree.nodes_at_level(2)
+        assert [n.start for n in nodes] == [0, 50]
+
+    def test_shift_levels(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        tree.add(make_node(level=1))
+        tree.add(make_node(level=2))
+        tree.shift_levels(1)
+        assert tree.levels() == [2, 3]
+        with pytest.raises(ValueError):
+            tree.shift_levels(-1)
+
+    def test_extend_and_mismatch(self):
+        a = MrDMDTree(dt=1.0, n_features=4)
+        a.add(make_node(level=1))
+        b = MrDMDTree(dt=1.0, n_features=4)
+        b.add(make_node(level=2))
+        a.extend(b)
+        assert len(a) == 2
+        with pytest.raises(ValueError):
+            a.extend(MrDMDTree(dt=2.0, n_features=4))
+        with pytest.raises(ValueError):
+            a.extend(MrDMDTree(dt=1.0, n_features=3))
+
+    def test_replace_level(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        tree.add(make_node(level=1))
+        tree.add(make_node(level=2))
+        tree.replace_level(2, [make_node(level=2, bin_index=5)])
+        nodes = tree.nodes_at_level(2)
+        assert len(nodes) == 1 and nodes[0].bin_index == 5
+
+    def test_total_modes_and_summary(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        tree.add(make_node(level=1, n_modes=3))
+        tree.add(make_node(level=2, n_modes=1))
+        assert tree.total_modes == 4
+        summary = tree.summary()
+        assert "level 1" in summary and "level 2" in summary
+
+
+class TestModeTableAndReconstruction:
+    def test_mode_table_flattening(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        tree.add(make_node(level=1, n_modes=2))
+        tree.add(make_node(level=2, n_modes=3))
+        table = tree.mode_table()
+        assert len(table) == 5
+        assert table.mode_vectors.shape == (5, 4)
+        assert set(table.levels.tolist()) == {1, 2}
+
+    def test_mode_table_empty_tree(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        table = tree.mode_table()
+        assert len(table) == 0
+        assert table.mode_vectors.shape == (0, 4)
+
+    def test_mode_table_filter(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        tree.add(make_node(level=1, n_modes=4))
+        table = tree.mode_table()
+        filtered = table.filter(table.power > np.median(table.power))
+        assert isinstance(filtered, ModeTable)
+        assert len(filtered) <= len(table)
+
+    def test_reconstruct_sums_node_contributions(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        node1 = make_node(level=1, n_snapshots=100)
+        node2 = make_node(level=2, start=0, n_snapshots=50)
+        tree.add(node1)
+        tree.add(node2)
+        recon = tree.reconstruct(100)
+        expected = node1.local_reconstruction(100)
+        expected[:, :50] += node2.local_reconstruction(50)
+        assert np.allclose(recon, expected)
+
+    def test_reconstruct_respects_contribution_window(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        node = make_node(level=1, n_snapshots=100)
+        node.contribution_start = 60
+        tree.add(node)
+        recon = tree.reconstruct(100)
+        assert np.allclose(recon[:, :60], 0.0)
+        assert not np.allclose(recon[:, 60:], 0.0)
+
+    def test_reconstruct_level_filter(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        tree.add(make_node(level=1))
+        tree.add(make_node(level=2))
+        only_level1 = tree.reconstruct(100, levels=[1])
+        both = tree.reconstruct(100)
+        assert not np.allclose(only_level1, both)
+
+    def test_reconstruct_frequency_filter_drops_fast_modes(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        slow = make_node(level=1, eigenvalue=np.exp(1j * 0.001))
+        fast = make_node(level=2, eigenvalue=np.exp(1j * 2.0))
+        tree.add(slow)
+        tree.add(fast)
+        # keep only modes below 0.01 Hz
+        recon = tree.reconstruct(100, frequency_range=(0.0, 0.01))
+        expected = slow.local_reconstruction(100)
+        assert np.allclose(recon, expected)
+
+    def test_reconstruct_min_power_filter(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        node = make_node(level=1, n_modes=3)
+        tree.add(node)
+        heavy = tree.reconstruct(100, min_power=float(node.power.max()) + 1.0)
+        assert np.allclose(heavy, 0.0)
+
+    def test_reconstruct_shorter_than_tree_span(self):
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        tree.add(make_node(level=1, n_snapshots=100))
+        recon = tree.reconstruct(40)
+        assert recon.shape == (4, 40)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        tree = MrDMDTree(dt=0.5, n_features=4)
+        node = make_node(level=1, dt=0.5)
+        node.contribution_start = 10
+        tree.add(node)
+        tree.add(make_node(level=2, dt=0.5, bin_index=1))
+        payload = tree.to_dict()
+        restored = MrDMDTree.from_dict(payload)
+        assert len(restored) == len(tree)
+        assert restored.dt == tree.dt
+        assert restored[0].contribution_start == 10
+        assert np.allclose(restored.reconstruct(100), tree.reconstruct(100))

@@ -1,0 +1,193 @@
+"""Unit tests for the shared utilities (repro.util)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    RunningMoments,
+    Timer,
+    TimingTable,
+    chunk_indices,
+    ensure_2d,
+    ensure_positive,
+    ensure_probability,
+    iter_chunks,
+    parallel_map,
+    require,
+    rolling_mean,
+    running_moments,
+    split_columns,
+    timeit,
+)
+
+
+class TestTimer:
+    def test_timer_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.elapsed >= 0.0
+
+    def test_timer_restart(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.restart()
+        assert timer.elapsed == 0.0
+
+    def test_timeit_statistics(self):
+        stats = timeit(lambda: sum(range(1000)), repeats=3, warmup=1)
+        assert set(stats) >= {"mean", "std", "min", "max"}
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        with pytest.raises(ValueError):
+            timeit(lambda: None, repeats=0)
+
+
+class TestTimingTable:
+    def test_add_and_render(self):
+        table = TimingTable(columns=["Dataset", "T", "Seconds"])
+        table.add_row("SC Log", 1000, 1.234)
+        table.add_row("GPU", 2000, 2.5)
+        text = table.render()
+        assert "Dataset" in text and "SC Log" in text
+        assert len(text.splitlines()) == 4
+        assert table.to_dicts()[0]["T"] == 1000
+
+    def test_row_width_mismatch(self):
+        table = TimingTable(columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_empty(self):
+        table = TimingTable(columns=["a"])
+        assert "a" in table.render()
+
+
+class TestChunking:
+    def test_chunk_indices_cover_range(self):
+        chunks = chunk_indices(10, 3)
+        assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_chunk_indices_validation(self):
+        with pytest.raises(ValueError):
+            chunk_indices(-1, 3)
+        with pytest.raises(ValueError):
+            chunk_indices(10, 0)
+
+    def test_iter_chunks_views(self):
+        data = np.arange(20).reshape(2, 10)
+        chunks = list(iter_chunks(data, 4))
+        assert [c.shape[1] for c in chunks] == [4, 4, 2]
+        assert np.shares_memory(chunks[0], data)
+
+    def test_iter_chunks_axis0(self):
+        data = np.arange(12).reshape(6, 2)
+        chunks = list(iter_chunks(data, 4, axis=0))
+        assert [c.shape[0] for c in chunks] == [4, 2]
+
+    def test_iter_chunks_bad_axis(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(np.ones((2, 2)), 1, axis=5))
+
+    def test_split_columns(self):
+        data = np.arange(12).reshape(3, 4)
+        left, right = split_columns(data, 1)
+        assert left.shape == (3, 1) and right.shape == (3, 3)
+        with pytest.raises(ValueError):
+            split_columns(data, 7)
+        with pytest.raises(ValueError):
+            split_columns(np.ones(4), 2)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_serial_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, processes=1) == [i * i for i in items]
+
+    def test_process_pool_path(self):
+        result = parallel_map(_square, list(range(8)), processes=2)
+        assert result == [i * i for i in range(8)]
+
+    def test_single_item_never_spawns(self):
+        assert parallel_map(_square, [5], processes=4) == [25]
+
+
+class TestStats:
+    def test_running_moments_match_numpy(self):
+        gen = np.random.default_rng(0)
+        data = gen.standard_normal((5, 100))
+        moments = running_moments(data)
+        assert np.allclose(moments.mean, data.mean(axis=1))
+        assert np.allclose(moments.std, data.std(axis=1), atol=1e-10)
+        assert moments.count == 100
+
+    def test_running_moments_incremental_equals_batch(self):
+        gen = np.random.default_rng(1)
+        data = gen.standard_normal((3, 60))
+        inc = RunningMoments()
+        inc.update(data[:, :20])
+        inc.update(data[:, 20:50])
+        inc.update(data[:, 50:])
+        batch = running_moments(data)
+        assert np.allclose(inc.mean, batch.mean)
+        assert np.allclose(inc.variance, batch.variance)
+
+    def test_running_moments_single_vector(self):
+        moments = RunningMoments().update(np.array([1.0, 2.0]))
+        assert moments.count == 1
+        assert np.allclose(moments.variance, 0.0)
+
+    def test_running_moments_dimension_mismatch(self):
+        moments = RunningMoments().update(np.zeros(3))
+        with pytest.raises(ValueError):
+            moments.update(np.zeros(4))
+        with pytest.raises(ValueError):
+            moments.update(np.zeros((2, 2, 2)))
+
+    def test_rolling_mean_window_one_is_identity(self):
+        data = np.random.default_rng(2).standard_normal((2, 10))
+        assert np.allclose(rolling_mean(data, 1), data)
+
+    def test_rolling_mean_constant_series(self):
+        assert np.allclose(rolling_mean(np.full(10, 3.0), 4), 3.0)
+
+    def test_rolling_mean_smooths(self):
+        gen = np.random.default_rng(3)
+        noisy = gen.standard_normal(500)
+        smooth = rolling_mean(noisy, 50)
+        assert smooth.std() < noisy.std()
+
+    def test_rolling_mean_validation(self):
+        with pytest.raises(ValueError):
+            rolling_mean(np.ones(5), 0)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_ensure_2d(self):
+        out = ensure_2d([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        with pytest.raises(ValueError):
+            ensure_2d(np.ones(3), name="thing")
+
+    def test_ensure_positive(self):
+        assert ensure_positive(2.0) == 2.0
+        with pytest.raises(ValueError):
+            ensure_positive(0.0)
+
+    def test_ensure_probability(self):
+        assert ensure_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            ensure_probability(1.5)
