@@ -1,0 +1,121 @@
+"""Service-layer benchmarks: sharded vs single-pipeline ingestion, checkpoints.
+
+The fleet monitor's pitch is operational, not asymptotic: sharding bounds
+each decomposition's row count (and lets shards fan out over processes),
+and checkpoints make week-scale streams restartable.  These benchmarks
+record
+
+* streaming-chunk ingestion throughput for a rack-sharded monitor vs the
+  same matrix through one unsharded pipeline (structure mirrors the
+  Sec. IV streaming protocol: initial fit outside the timer, one
+  incremental chunk inside it);
+* checkpoint save and load latency for a monitor mid-stream, plus the
+  checkpoint's on-disk size in ``extra_info`` (the paper's
+  "terabytes to megabytes" artifact, now for the whole service state).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MrDMDConfig
+from repro.pipeline import PipelineConfig
+from repro.service import (
+    FleetMonitor,
+    RackSharding,
+    SingleShard,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.telemetry import MachineDescription, TelemetryGenerator, xc40_sensor_suite
+
+from conftest import scaled
+
+
+HISTORY = scaled(2_000, 20_000)
+CHUNK = scaled(400, 4_000)
+CONFIG = PipelineConfig(mrdmd=MrDMDConfig(max_levels=scaled(5, 8)))
+
+
+@pytest.fixture(scope="module")
+def fleet_stream():
+    """cpu_temp telemetry for a 256-node, 8-rack machine."""
+    machine = MachineDescription(
+        name="xc40",
+        n_rows=1,
+        racks_per_row=8,
+        cabinets_per_rack=2,
+        slots_per_cabinet=4,
+        blades_per_slot=1,
+        nodes_per_blade=4,
+        sensors=xc40_sensor_suite(),
+        dt_seconds=15.0,
+    )
+    generator = TelemetryGenerator(machine, seed=211, utilization_target=0.4)
+    return generator.generate(HISTORY + CHUNK, sensors=["cpu_temp"])
+
+
+def _fitted_monitor(stream, policy) -> FleetMonitor:
+    monitor = FleetMonitor.from_stream(stream, policy=policy, config=CONFIG)
+    monitor.ingest(stream.values[:, :HISTORY])
+    return monitor
+
+
+def test_fleet_sharded_chunk_ingest(benchmark, fleet_stream):
+    """Incremental chunk through one pipeline per rack (8 shards)."""
+    monitor = _fitted_monitor(fleet_stream, RackSharding())
+    benchmark.pedantic(
+        lambda: monitor.ingest(fleet_stream.values[:, HISTORY:]),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["experiment"] = "service_fleet_ingest"
+    benchmark.extra_info["variant"] = "rack-sharded"
+    benchmark.extra_info["n_shards"] = monitor.n_shards
+    benchmark.extra_info["n_rows"] = fleet_stream.n_rows
+    benchmark.extra_info["chunk"] = CHUNK
+
+
+def test_fleet_single_pipeline_chunk_ingest(benchmark, fleet_stream):
+    """The same chunk through one unsharded pipeline (baseline)."""
+    monitor = _fitted_monitor(fleet_stream, SingleShard())
+    benchmark.pedantic(
+        lambda: monitor.ingest(fleet_stream.values[:, HISTORY:]),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["experiment"] = "service_fleet_ingest"
+    benchmark.extra_info["variant"] = "single-pipeline"
+    benchmark.extra_info["n_shards"] = 1
+    benchmark.extra_info["n_rows"] = fleet_stream.n_rows
+    benchmark.extra_info["chunk"] = CHUNK
+
+
+def test_fleet_checkpoint_save(benchmark, fleet_stream, tmp_path):
+    """Full service checkpoint of a mid-stream rack-sharded monitor."""
+    monitor = _fitted_monitor(fleet_stream, RackSharding())
+    monitor.ingest(fleet_stream.values[:, HISTORY:])
+
+    info = benchmark.pedantic(
+        lambda: save_checkpoint(str(tmp_path / "ckpt"), monitor),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["experiment"] = "service_checkpoint"
+    benchmark.extra_info["variant"] = "save"
+    benchmark.extra_info["checkpoint_bytes"] = info.total_bytes
+    benchmark.extra_info["n_shards"] = info.n_shards
+    benchmark.extra_info["step"] = info.step
+
+
+def test_fleet_checkpoint_load(benchmark, fleet_stream, tmp_path):
+    """Restore the full service state from disk."""
+    monitor = _fitted_monitor(fleet_stream, RackSharding())
+    monitor.ingest(fleet_stream.values[:, HISTORY:])
+    save_checkpoint(str(tmp_path / "ckpt"), monitor)
+
+    restored = benchmark.pedantic(
+        lambda: load_checkpoint(str(tmp_path / "ckpt")),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert restored.step == monitor.step
+    benchmark.extra_info["experiment"] = "service_checkpoint"
+    benchmark.extra_info["variant"] = "load"
+    benchmark.extra_info["n_shards"] = restored.n_shards

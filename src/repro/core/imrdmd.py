@@ -28,7 +28,7 @@ and the Q2 benchmark quantify this gap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -394,6 +394,61 @@ class IncrementalMrDMD:
         )
         self._history.append(record)
         return record
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (checkpoint / restore)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Full model state as plain containers (for checkpointing).
+
+        Everything :meth:`partial_fit` depends on is captured — the mode
+        tree, the level-1 iSVD factors, the subsampled level-1 matrix, the
+        stride/bookkeeping counters, the previous slow modes and the update
+        history — so a model restored with :meth:`from_state_dict` resumes
+        the stream bit-for-bit where the original left off.
+        """
+        self._require_fitted()
+        return {
+            "dt": self.dt,
+            "config": asdict(self.config),
+            "drift_threshold": self.drift_threshold,
+            "keep_data": self.keep_data,
+            "level1_stride": self._level1_stride,
+            "next_sub_index": self._next_sub_index,
+            "n_snapshots": self._n_snapshots,
+            "n_features": self._n_features,
+            "stale": self._stale,
+            "sub": self._sub,
+            "level1_modes": self._level1_modes,
+            "data": self._data if self.keep_data else None,
+            "isvd": None if self._isvd is None else self._isvd.to_dict(),
+            "tree": self._tree.to_dict(),
+            "history": [asdict(record) for record in self._history],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "IncrementalMrDMD":
+        """Rebuild a fitted model from :meth:`state_dict` output."""
+        model = cls(
+            dt=float(state["dt"]),
+            config=MrDMDConfig(**state["config"]),
+            drift_threshold=state["drift_threshold"],
+            keep_data=bool(state["keep_data"]),
+        )
+        model._tree = MrDMDTree.from_dict(state["tree"])
+        model._isvd = (
+            None if state["isvd"] is None else IncrementalSVD.from_dict(state["isvd"])
+        )
+        model._level1_stride = int(state["level1_stride"])
+        model._next_sub_index = int(state["next_sub_index"])
+        model._n_snapshots = int(state["n_snapshots"])
+        model._n_features = int(state["n_features"])
+        model._stale = bool(state["stale"])
+        model._sub = None if state["sub"] is None else np.asarray(state["sub"], dtype=float)
+        model._level1_modes = np.asarray(state["level1_modes"], dtype=complex)
+        model._data = None if state["data"] is None else np.asarray(state["data"], dtype=float)
+        model._history = [UpdateRecord(**record) for record in state["history"]]
+        return model
 
     # ------------------------------------------------------------------ #
     # Refresh / accuracy

@@ -310,6 +310,50 @@ class IncrementalSVD:
         self._n_updates += 1
         return self
 
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Serialise configuration + factor state to plain containers.
+
+        The returned dict round-trips exactly through
+        :func:`repro.io.storage.save_state` / ``load_state``:
+        ``from_dict(to_dict())`` yields an object whose subsequent
+        :meth:`update` calls are bit-for-bit identical to the original's
+        (including the re-orthogonalisation schedule, which depends on the
+        update counter).
+        """
+        return {
+            "rank": self.rank,
+            "use_svht": self.use_svht,
+            "max_rank_cap": self.max_rank_cap,
+            "reorthogonalize_every": self.reorthogonalize_every,
+            "dtype": self.dtype.name,
+            "u": None if self._u is None else self._u,
+            "s": None if self._s is None else self._s,
+            "vh": None if self._vh is None else self._vh,
+            "n_cols_seen": self._n_cols_seen,
+            "n_updates": self._n_updates,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "IncrementalSVD":
+        """Rebuild an :class:`IncrementalSVD` from :meth:`to_dict` output."""
+        obj = cls(
+            rank=state["rank"],
+            use_svht=bool(state["use_svht"]),
+            max_rank_cap=int(state["max_rank_cap"]),
+            reorthogonalize_every=int(state["reorthogonalize_every"]),
+            dtype=np.dtype(state["dtype"]),
+        )
+        if state["u"] is not None:
+            obj._u = np.asarray(state["u"], dtype=obj.dtype)
+            obj._s = np.asarray(state["s"], dtype=obj.dtype)
+            obj._vh = np.asarray(state["vh"], dtype=obj.dtype)
+        obj._n_cols_seen = int(state["n_cols_seen"])
+        obj._n_updates = int(state["n_updates"])
+        return obj
+
     def _reorthogonalize(self) -> None:
         """Restore left-basis orthogonality via a thin QR + core re-SVD."""
         qmat, rmat = np.linalg.qr(self._u)

@@ -243,6 +243,17 @@ class MrDMDTree:
         self.dt = float(dt)
         self.n_features = int(n_features)
         self._nodes: list[MrDMDNode] = []
+        self._revision = 0
+
+    @property
+    def revision(self) -> int:
+        """Counter bumped on every structural edit (add/shift/replace).
+
+        Derived products (e.g. the pipeline's power-quantile threshold)
+        key their caches on this value so they recompute only when the
+        tree actually changed.
+        """
+        return self._revision
 
     # ------------------------------------------------------------------ #
     # Collection protocol
@@ -254,6 +265,7 @@ class MrDMDTree:
                 f"node has {node.n_features} features, tree expects {self.n_features}"
             )
         self._nodes.append(node)
+        self._revision += 1
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -309,6 +321,7 @@ class MrDMDTree:
             raise ValueError("offset must be non-negative")
         for node in self._nodes:
             node.level += offset
+        self._revision += 1
 
     def extend(self, other: "MrDMDTree") -> None:
         """Append every node of ``other`` (same dt / feature count required)."""
@@ -322,6 +335,7 @@ class MrDMDTree:
     def replace_level(self, level: int, new_nodes: list[MrDMDNode]) -> None:
         """Drop all nodes at ``level`` and insert ``new_nodes`` instead."""
         self._nodes = [n for n in self._nodes if n.level != level]
+        self._revision += 1
         for node in new_nodes:
             self.add(node)
 

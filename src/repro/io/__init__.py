@@ -3,10 +3,12 @@
 from .storage import (
     load_hardware_log,
     load_job_log,
+    load_state,
     load_telemetry,
     load_tree,
     save_hardware_log,
     save_job_log,
+    save_state,
     save_telemetry,
     save_tree,
 )
@@ -14,10 +16,12 @@ from .storage import (
 __all__ = [
     "load_hardware_log",
     "load_job_log",
+    "load_state",
     "load_telemetry",
     "load_tree",
     "save_hardware_log",
     "save_job_log",
+    "save_state",
     "save_telemetry",
     "save_tree",
 ]

@@ -36,6 +36,8 @@ __all__ = [
     "load_hardware_log",
     "save_tree",
     "load_tree",
+    "save_state",
+    "load_state",
 ]
 
 
@@ -168,6 +170,77 @@ def load_hardware_log(path: str) -> HardwareLog:
                 message=str(raw.get("message", "")),
             ))
     return HardwareLog(events)
+
+
+# --------------------------------------------------------------------------- #
+# Generic nested state (.npz) — the service checkpoint format
+# --------------------------------------------------------------------------- #
+def _flatten_state(obj, arrays: dict[str, np.ndarray]):
+    """JSON-safe mirror of ``obj`` with arrays swapped for ``.npz`` keys."""
+    if isinstance(obj, np.ndarray):
+        key = f"array_{len(arrays)}"
+        arrays[key] = obj
+        return {"__array__": key}
+    if isinstance(obj, np.generic):
+        obj = obj.item()
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, tuple):
+        return {"__tuple__": [_flatten_state(v, arrays) for v in obj]}
+    if isinstance(obj, list):
+        return [_flatten_state(v, arrays) for v in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(f"state dict keys must be strings, got {key!r}")
+            if key.startswith("__"):
+                raise ValueError(f"state dict keys must not start with '__': {key!r}")
+            out[key] = _flatten_state(value, arrays)
+        return out
+    raise TypeError(f"cannot serialise object of type {type(obj).__name__} in state")
+
+
+def _unflatten_state(obj, arrays):
+    if isinstance(obj, dict):
+        if "__array__" in obj:
+            return arrays[obj["__array__"]]
+        if "__tuple__" in obj:
+            return tuple(_unflatten_state(v, arrays) for v in obj["__tuple__"])
+        return {key: _unflatten_state(value, arrays) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_unflatten_state(v, arrays) for v in obj]
+    return obj
+
+
+def save_state(path: str, state: dict) -> str:
+    """Write an arbitrarily nested state dict to one compressed ``.npz``.
+
+    ``state`` may mix NumPy arrays (any dtype, stored losslessly) with
+    JSON-representable scalars, ``None``, lists, tuples and string-keyed
+    dicts.  This is the container format for every service checkpoint
+    artifact (per-shard pipeline state, iSVD factors, baselines); tuples
+    survive the round trip, unlike a plain JSON dump.
+
+    Returns the path actually written: ``np.savez`` appends ``.npz`` when
+    the suffix is missing, and the return value reflects that, so
+    ``load_state(save_state(path, state))`` always works.
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    arrays: dict[str, np.ndarray] = {}
+    structure = _flatten_state(state, arrays)
+    arrays["state_json"] = np.array([json.dumps(structure)])
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_state(path: str) -> dict:
+    """Inverse of :func:`save_state` (arrays come back bit-for-bit)."""
+    with np.load(path, allow_pickle=False) as payload:
+        structure = json.loads(str(payload["state_json"][0]))
+        arrays = {key: payload[key] for key in payload.files if key != "state_json"}
+    return _unflatten_state(structure, arrays)
 
 
 # --------------------------------------------------------------------------- #

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..core.mrdmd import MrDMDConfig
 
@@ -56,3 +56,24 @@ class PipelineConfig:
             raise ValueError("baseline_range must be (low, high)")
         if self.zscore_near <= 0 or self.zscore_extreme < self.zscore_near:
             raise ValueError("thresholds must satisfy 0 < near <= extreme")
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (JSON-safe; used by service checkpoints)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-container form (nested ``mrdmd`` becomes a dict)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Tolerates the tuple→list coercion a JSON round trip applies to
+        ``frequency_range`` and ``baseline_range``.
+        """
+        payload = dict(payload)
+        mrdmd = MrDMDConfig(**payload.pop("mrdmd"))
+        for key in ("frequency_range", "baseline_range"):
+            if payload.get(key) is not None:
+                payload[key] = tuple(payload[key])
+        return cls(mrdmd=mrdmd, **payload)

@@ -18,6 +18,7 @@ the case-study examples — can pull what they need after any update.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -77,6 +78,10 @@ class OnlineAnalysisPipeline:
         )
         self.node_of_row = None if node_of_row is None else np.asarray(node_of_row, dtype=int)
         self._baseline: BaselineModel | None = None
+        # (tree weakref, tree revision, quantile) -> power threshold; the
+        # weakref guards against revision collisions when refresh() swaps
+        # in a brand-new tree whose counter restarts.
+        self._min_power_cache: tuple[weakref.ref, int, float, float] | None = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -110,26 +115,52 @@ class OnlineAnalysisPipeline:
     # ------------------------------------------------------------------ #
     # Analysis products
     # ------------------------------------------------------------------ #
+    def _min_power_threshold(self) -> float:
+        """Power threshold implied by ``config.power_quantile``, cached.
+
+        The quantile only changes when the mode tree does, so the value is
+        cached per tree revision — :meth:`spectrum` and
+        :meth:`reconstruction` would otherwise rebuild a full
+        :class:`MrDMDSpectrum` on every call between updates.
+        """
+        if self.config.power_quantile <= 0.0:
+            return 0.0
+        tree = self.model.tree
+        revision = tree.revision
+        cached = self._min_power_cache
+        if (
+            cached is not None
+            and cached[0]() is tree
+            and cached[1] == revision
+            and cached[2] == self.config.power_quantile
+        ):
+            return cached[3]
+        full = MrDMDSpectrum(tree)
+        threshold = (
+            float(np.quantile(full.power, self.config.power_quantile))
+            if full.n_modes
+            else 0.0
+        )
+        self._min_power_cache = (
+            weakref.ref(tree), revision, self.config.power_quantile, threshold
+        )
+        return threshold
+
     def spectrum(self, label: str = "") -> MrDMDSpectrum:
         """The (optionally filtered) mrDMD spectrum of the current tree."""
         spectrum = MrDMDSpectrum(self.model.tree, label=label)
         if self.config.power_quantile > 0.0:
-            spectrum = spectrum.high_power_modes(self.config.power_quantile)
+            spectrum = spectrum.filter(min_power=self._min_power_threshold())
         if self.config.frequency_range is not None:
             spectrum = spectrum.filter(self.config.frequency_range)
         return spectrum
 
     def reconstruction(self) -> np.ndarray:
         """Denoised reconstruction over the ingested timeline."""
-        min_power = 0.0
-        if self.config.power_quantile > 0.0:
-            full = MrDMDSpectrum(self.model.tree)
-            if full.n_modes:
-                min_power = float(np.quantile(full.power, self.config.power_quantile))
         return self.model.tree.reconstruct(
             self.model.n_snapshots,
             frequency_range=self.config.frequency_range,
-            min_power=min_power,
+            min_power=self._min_power_threshold(),
         )
 
     def reconstruction_report(self, reference: np.ndarray) -> ReconstructionReport:
@@ -197,6 +228,55 @@ class OnlineAnalysisPipeline:
     ) -> dict[int, float]:
         """``{node: zscore}`` dictionary ready for the rack view."""
         return self.node_zscores(time_range=time_range).as_dict()
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (checkpoint / restore)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Full pipeline state as plain containers.
+
+        Captures the configuration, the I-mrDMD model state (when fitted)
+        and the fitted baseline, so :meth:`from_state_dict` resumes the
+        stream exactly — same spectra, z-scores and subsequent updates as
+        an uninterrupted pipeline.
+        """
+        baseline = None
+        if self._baseline is not None:
+            baseline = {
+                "mean": self._baseline.mean,
+                "std": self._baseline.std,
+                "near": self._baseline.near,
+                "extreme": self._baseline.extreme,
+                "std_floor": self._baseline.std_floor,
+            }
+        return {
+            "config": self.config.to_dict(),
+            "dt": self.model.dt,
+            "node_of_row": self.node_of_row,
+            "model": self.model.state_dict() if self.model.fitted else None,
+            "baseline": baseline,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "OnlineAnalysisPipeline":
+        """Rebuild a pipeline from :meth:`state_dict` output."""
+        pipeline = cls(
+            dt=float(state["dt"]),
+            config=PipelineConfig.from_dict(state["config"]),
+            node_of_row=state["node_of_row"],
+        )
+        if state["model"] is not None:
+            pipeline.model = IncrementalMrDMD.from_state_dict(state["model"])
+        if state["baseline"] is not None:
+            b = state["baseline"]
+            pipeline._baseline = BaselineModel(
+                np.asarray(b["mean"], dtype=float),
+                np.asarray(b["std"], dtype=float),
+                near=float(b["near"]),
+                extreme=float(b["extreme"]),
+                std_floor=float(b["std_floor"]),
+            )
+        return pipeline
 
     def alignment_report(
         self,

@@ -1,0 +1,92 @@
+"""Fleet-scale monitoring service: sharded pipelines, checkpointing, alerts.
+
+The service layer turns the single in-process
+:class:`~repro.pipeline.online.OnlineAnalysisPipeline` into an operable
+monitor for a whole machine:
+
+* :mod:`repro.service.sharding` — pluggable row partitions (by rack, by
+  metric group);
+* :mod:`repro.service.monitor` — :class:`FleetMonitor`, the sharded
+  streaming monitor with fleet-merged products;
+* :mod:`repro.service.alerts` — rule-driven alerting with cooldown
+  deduplication and pluggable sinks;
+* :mod:`repro.service.checkpoint` — durable checkpoint/restore of the
+  entire service state (bit-for-bit stream resumption);
+* :mod:`repro.service.scenarios` — a catalog of named end-to-end
+  workloads plus the runner that drives them.
+"""
+
+from .alerts import (
+    Alert,
+    AlertContext,
+    AlertEngine,
+    AlertRule,
+    AlertSeverity,
+    AlertSink,
+    DriftRule,
+    HardwareCorrelationRule,
+    JsonLinesSink,
+    RingBufferSink,
+    ZScoreRule,
+    default_rules,
+)
+from .checkpoint import CheckpointInfo, load_checkpoint, read_manifest, save_checkpoint
+from .monitor import FleetMonitor, FleetSnapshot, FleetSpectrum
+from .scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+    get_scenario,
+    mid_run_restart,
+    noisy_neighbor_job,
+    quiet_fleet,
+    rack_cooling_failure,
+    sensor_dropout,
+)
+from .sharding import (
+    MetricSharding,
+    RackSharding,
+    ShardSpec,
+    ShardingPolicy,
+    SingleShard,
+    validate_partition,
+)
+
+__all__ = [
+    "Alert",
+    "AlertContext",
+    "AlertEngine",
+    "AlertRule",
+    "AlertSeverity",
+    "AlertSink",
+    "DriftRule",
+    "HardwareCorrelationRule",
+    "JsonLinesSink",
+    "RingBufferSink",
+    "ZScoreRule",
+    "default_rules",
+    "CheckpointInfo",
+    "load_checkpoint",
+    "read_manifest",
+    "save_checkpoint",
+    "FleetMonitor",
+    "FleetSnapshot",
+    "FleetSpectrum",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "get_scenario",
+    "mid_run_restart",
+    "noisy_neighbor_job",
+    "quiet_fleet",
+    "rack_cooling_failure",
+    "sensor_dropout",
+    "MetricSharding",
+    "RackSharding",
+    "ShardSpec",
+    "ShardingPolicy",
+    "SingleShard",
+    "validate_partition",
+]

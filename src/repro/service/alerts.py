@@ -1,0 +1,431 @@
+"""Rule-driven alerting over the fleet monitor's analysis products.
+
+The paper stops at *views* (rack layouts, spectra) an operator reads; a
+long-running service also needs *push* notifications.  This module turns
+the per-update products — merged node z-scores, per-shard drift records,
+the hardware log — into typed :class:`Alert` events:
+
+* :class:`ZScoreRule` — nodes whose aggregated z-score leaves the baseline
+  band (``> extreme``: overheating risk; ``< -extreme``: idle/stalled);
+* :class:`DriftRule` — a shard's level-1 slow-mode drift exceeded its
+  threshold (the paper's "recompute levels 2..L" trigger);
+* :class:`HardwareCorrelationRule` — a z-score-flagged node *also* reported
+  hardware events in the recent window (the Q3 alignment, as an alert).
+
+The engine deduplicates per (rule, shard, node) with a cooldown so a
+persistently hot node raises one alert per cooldown period instead of one
+per chunk, and fans alerts out to pluggable sinks (in-memory ring buffer,
+JSON-lines file).  Engine dedup state is serialisable so a restored
+service does not re-fire alerts it already delivered.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterable, Sequence
+
+from ..align.zscore_map import NodeZScores
+from ..core.baseline import ZScoreCategory
+from ..core.imrdmd import UpdateRecord
+from ..hwlog.events import HardwareLog
+
+__all__ = [
+    "AlertSeverity",
+    "Alert",
+    "AlertContext",
+    "AlertRule",
+    "ZScoreRule",
+    "DriftRule",
+    "HardwareCorrelationRule",
+    "AlertSink",
+    "RingBufferSink",
+    "JsonLinesSink",
+    "AlertEngine",
+    "default_rules",
+]
+
+
+class AlertSeverity(IntEnum):
+    """Operator-facing urgency (ordered: comparisons work)."""
+
+    INFO = 0
+    WARNING = 1
+    CRITICAL = 2
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One alert occurrence.
+
+    Attributes
+    ----------
+    rule:
+        Name of the rule that fired.
+    severity:
+        :class:`AlertSeverity`.
+    step:
+        Absolute snapshot index at which the condition was observed.
+    message:
+        Human-readable description.
+    node:
+        Populated-node index, when the alert is node-scoped.
+    shard_id:
+        Shard the evidence came from, when shard-scoped.
+    value:
+        The triggering measurement (z-score, drift norm, event count).
+    """
+
+    rule: str
+    severity: AlertSeverity
+    step: int
+    message: str
+    node: int | None = None
+    shard_id: str | None = None
+    value: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name,
+            "step": self.step,
+            "message": self.message,
+            "node": self.node,
+            "shard_id": self.shard_id,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Alert":
+        return cls(
+            rule=str(payload["rule"]),
+            severity=AlertSeverity[str(payload["severity"])],
+            step=int(payload["step"]),
+            message=str(payload["message"]),
+            node=None if payload.get("node") is None else int(payload["node"]),
+            shard_id=payload.get("shard_id"),
+            value=None if payload.get("value") is None else float(payload["value"]),
+        )
+
+
+@dataclass
+class AlertContext:
+    """Everything rules may inspect after one ingest step.
+
+    Attributes
+    ----------
+    step:
+        Absolute snapshot index of the end of the ingested timeline.
+    node_zscores:
+        Fleet-merged per-node z-scores (may be ``None`` before a baseline
+        exists).
+    updates:
+        Latest :class:`~repro.core.imrdmd.UpdateRecord` per shard
+        (``None`` for shards still in their initial fit).
+    hwlog:
+        Hardware-event log covering the monitored window, when available.
+    window:
+        Number of trailing snapshots rules should consider "recent".
+    """
+
+    step: int
+    node_zscores: NodeZScores | None = None
+    updates: dict[str, UpdateRecord | None] = field(default_factory=dict)
+    hwlog: HardwareLog | None = None
+    window: int = 200
+
+
+class AlertRule(ABC):
+    """One alert condition; stateless — dedup lives in the engine."""
+
+    name: str = "rule"
+
+    @abstractmethod
+    def evaluate(self, context: AlertContext) -> list[Alert]:
+        """Return every alert the context justifies (pre-dedup)."""
+
+
+class ZScoreRule(AlertRule):
+    """Nodes outside the z-score baseline band.
+
+    ``VERY_HIGH`` nodes (overheating risk) raise CRITICAL alerts;
+    ``VERY_LOW`` nodes (idle / stalled jobs) raise WARNINGs, mirroring the
+    paper's reading of the two tails.
+    """
+
+    name = "zscore"
+
+    def evaluate(self, context: AlertContext) -> list[Alert]:
+        scores = context.node_zscores
+        if scores is None:
+            return []
+        alerts = []
+        by_node = {int(n): float(z) for n, z in zip(scores.node_indices, scores.zscores)}
+        for node in scores.nodes_in_category(ZScoreCategory.VERY_HIGH):
+            z = float(by_node[int(node)])
+            alerts.append(Alert(
+                rule=self.name,
+                severity=AlertSeverity.CRITICAL,
+                step=context.step,
+                node=int(node),
+                value=z,
+                message=f"node {int(node)} z-score {z:+.2f} above extreme threshold (overheating risk)",
+            ))
+        for node in scores.nodes_in_category(ZScoreCategory.VERY_LOW):
+            z = float(by_node[int(node)])
+            alerts.append(Alert(
+                rule=self.name,
+                severity=AlertSeverity.WARNING,
+                step=context.step,
+                node=int(node),
+                value=z,
+                message=f"node {int(node)} z-score {z:+.2f} below -extreme threshold (idle / stalled)",
+            ))
+        return alerts
+
+
+class DriftRule(AlertRule):
+    """Level-1 slow-mode drift crossed a threshold in some shard.
+
+    Fires when a shard's latest update is flagged ``stale`` (its model's
+    own ``drift_threshold`` was exceeded) or, when ``threshold`` is given,
+    whenever the drift norm itself crosses it — the service-side hook for
+    scheduling the paper's asynchronous deep-level refresh.
+    """
+
+    name = "drift"
+
+    def __init__(self, threshold: float | None = None) -> None:
+        if threshold is not None and threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+
+    def evaluate(self, context: AlertContext) -> list[Alert]:
+        alerts = []
+        for shard_id, record in context.updates.items():
+            if record is None:
+                continue
+            crossed = record.stale or (
+                self.threshold is not None and record.drift > self.threshold
+            )
+            if not crossed:
+                continue
+            alerts.append(Alert(
+                rule=self.name,
+                severity=AlertSeverity.WARNING,
+                step=context.step,
+                shard_id=shard_id,
+                value=float(record.drift),
+                message=(
+                    f"shard {shard_id}: level-1 mode drift {record.drift:.3g} "
+                    f"exceeded threshold — deep levels stale, refresh recommended"
+                ),
+            ))
+        return alerts
+
+
+class HardwareCorrelationRule(AlertRule):
+    """Thermally-flagged nodes that also report hardware events.
+
+    The strongest signal the paper's Q3 alignment produces: a node the
+    z-scores flag as anomalous *and* the hardware log implicates within
+    the recent window is very likely genuinely unhealthy.
+    """
+
+    name = "hardware-correlation"
+
+    def __init__(self, min_events: int = 1) -> None:
+        if min_events < 1:
+            raise ValueError("min_events must be >= 1")
+        self.min_events = int(min_events)
+
+    def evaluate(self, context: AlertContext) -> list[Alert]:
+        scores = context.node_zscores
+        if scores is None or context.hwlog is None:
+            return []
+        flagged = set(int(n) for n in scores.hot_nodes()) | set(
+            int(n) for n in scores.cold_nodes()
+        )
+        if not flagged:
+            return []
+        lo = max(0, context.step - context.window)
+        recent = context.hwlog.events_in_window(lo, context.step)
+        counts: dict[int, int] = {}
+        for event in recent:
+            if event.node in flagged:
+                counts[event.node] = counts.get(event.node, 0) + 1
+        alerts = []
+        for node, count in sorted(counts.items()):
+            if count < self.min_events:
+                continue
+            alerts.append(Alert(
+                rule=self.name,
+                severity=AlertSeverity.CRITICAL,
+                step=context.step,
+                node=node,
+                value=float(count),
+                message=(
+                    f"node {node} is z-score-flagged and reported {count} hardware "
+                    f"event(s) in the last {context.step - lo} snapshots"
+                ),
+            ))
+        return alerts
+
+
+def default_rules() -> list[AlertRule]:
+    """The rule set the scenario runner and examples install."""
+    return [ZScoreRule(), DriftRule(), HardwareCorrelationRule()]
+
+
+# --------------------------------------------------------------------------- #
+# Sinks
+# --------------------------------------------------------------------------- #
+class AlertSink(ABC):
+    """Receives every deduplicated alert the engine emits."""
+
+    @abstractmethod
+    def emit(self, alert: Alert) -> None:
+        """Deliver one alert."""
+
+
+class RingBufferSink(AlertSink):
+    """Keeps the most recent ``capacity`` alerts in memory."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._buffer: deque[Alert] = deque(maxlen=capacity)
+
+    def emit(self, alert: Alert) -> None:
+        self._buffer.append(alert)
+
+    @property
+    def alerts(self) -> list[Alert]:
+        """Buffered alerts, oldest first."""
+        return list(self._buffer)
+
+    def by_severity(self, severity: AlertSeverity) -> list[Alert]:
+        return [a for a in self._buffer if a.severity is severity]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonLinesSink(AlertSink):
+    """Appends one JSON object per alert to a file (audit trail)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+
+    def emit(self, alert: Alert) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(alert.to_dict()) + "\n")
+
+    def read(self) -> list[Alert]:
+        """Load every alert written so far."""
+        alerts = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    alerts.append(Alert.from_dict(json.loads(line)))
+        return alerts
+
+
+# --------------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------------- #
+class AlertEngine:
+    """Evaluates rules, deduplicates with a cooldown, routes to sinks.
+
+    Parameters
+    ----------
+    rules:
+        The rule set (default: :func:`default_rules`).
+    sinks:
+        Zero or more :class:`AlertSink` targets.
+    cooldown:
+        Minimum number of snapshots between two alerts with the same
+        (rule, shard, node) key.  A node that stays hot for hours raises
+        one alert per cooldown period, not one per ingest.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule] | None = None,
+        sinks: Iterable[AlertSink] = (),
+        *,
+        cooldown: int = 120,
+    ) -> None:
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.sinks = list(sinks)
+        self.cooldown = int(cooldown)
+        self._last_fired: dict[tuple[str, str, str], int] = {}
+        self._n_evaluations = 0
+        self._n_fired = 0
+        self._n_suppressed = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _key(alert: Alert) -> tuple[str, str, str]:
+        return (alert.rule, str(alert.shard_id), str(alert.node))
+
+    def evaluate(self, context: AlertContext) -> list[Alert]:
+        """Run every rule, dedup, emit to sinks; returns fired alerts."""
+        self._n_evaluations += 1
+        fired = []
+        for rule in self.rules:
+            for alert in rule.evaluate(context):
+                key = self._key(alert)
+                last = self._last_fired.get(key)
+                if last is not None and context.step - last < self.cooldown:
+                    self._n_suppressed += 1
+                    continue
+                self._last_fired[key] = context.step
+                fired.append(alert)
+                for sink in self.sinks:
+                    sink.emit(alert)
+        self._n_fired += len(fired)
+        return fired
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Evaluation / fire / suppression counters."""
+        return {
+            "evaluations": self._n_evaluations,
+            "fired": self._n_fired,
+            "suppressed": self._n_suppressed,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (dedup state only — rules and sinks are code)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        return {
+            "cooldown": self.cooldown,
+            "last_fired": [
+                {"rule": k[0], "shard": k[1], "node": k[2], "step": v}
+                for k, v in sorted(self._last_fired.items())
+            ],
+            "n_evaluations": self._n_evaluations,
+            "n_fired": self._n_fired,
+            "n_suppressed": self._n_suppressed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.cooldown = int(state["cooldown"])
+        self._last_fired = {
+            (entry["rule"], entry["shard"], entry["node"]): int(entry["step"])
+            for entry in state["last_fired"]
+        }
+        self._n_evaluations = int(state.get("n_evaluations", 0))
+        self._n_fired = int(state.get("n_fired", 0))
+        self._n_suppressed = int(state.get("n_suppressed", 0))

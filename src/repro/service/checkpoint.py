@@ -1,0 +1,143 @@
+"""Checkpoint / restore of a running :class:`FleetMonitor`.
+
+A monitoring service that watches a machine for weeks must survive its own
+restarts.  A checkpoint is a directory::
+
+    <dir>/
+      manifest.json    # version, step, shard specs, alert-engine state
+      shard_0.npz      # pipeline state of shards[0] (io.storage.save_state)
+      shard_1.npz
+      ...
+
+Each ``shard_k.npz`` holds the *complete* per-shard pipeline state — the
+I-mrDMD mode tree, the level-1 incremental-SVD factors, the subsampled
+level-1 matrix and counters, and the fitted baseline — through
+``OnlineAnalysisPipeline.state_dict()`` and the generic
+:func:`repro.io.storage.save_state` container.  Restoring therefore resumes
+the stream *bit-for-bit*: the next ingest, the resulting spectra, z-scores
+and rack values are exactly what the uninterrupted monitor would have
+produced (asserted by the tests and the ``service_fleet`` example).
+
+Rules and sinks are code, not data: :func:`load_checkpoint` takes them as
+arguments and re-attaches the engine's persisted dedup/cooldown state so a
+restarted service does not re-fire alerts it already delivered.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..io.storage import load_state, save_state
+from ..pipeline.config import PipelineConfig
+from ..pipeline.online import OnlineAnalysisPipeline
+from .alerts import AlertEngine, AlertRule, AlertSink
+from .monitor import FleetMonitor
+from .sharding import ShardSpec
+
+__all__ = ["CheckpointInfo", "save_checkpoint", "load_checkpoint", "read_manifest"]
+
+CHECKPOINT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """What :func:`save_checkpoint` wrote."""
+
+    directory: str
+    step: int
+    n_shards: int
+    files: tuple[str, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        """On-disk size of every checkpoint file."""
+        return sum(os.path.getsize(path) for path in self.files)
+
+
+def _shard_filename(index: int) -> str:
+    return f"shard_{index}.npz"
+
+
+def save_checkpoint(directory: str, monitor: FleetMonitor) -> CheckpointInfo:
+    """Write the monitor's full state under ``directory`` (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    files = []
+    for index, spec in enumerate(monitor.shards):
+        path = os.path.join(directory, _shard_filename(index))
+        save_state(path, monitor.pipeline(spec.shard_id).state_dict())
+        files.append(path)
+    manifest = {
+        "version": CHECKPOINT_VERSION,
+        "step": monitor.step,
+        "dt": monitor.dt,
+        "config": monitor.config.to_dict(),
+        "shards": [spec.to_dict() for spec in monitor.shards],
+        "shard_files": [os.path.basename(path) for path in files],
+        "alert_engine": (
+            None if monitor.alert_engine is None else monitor.alert_engine.state_dict()
+        ),
+    }
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    files.append(manifest_path)
+    return CheckpointInfo(
+        directory=directory,
+        step=monitor.step,
+        n_shards=monitor.n_shards,
+        files=tuple(files),
+    )
+
+
+def read_manifest(directory: str) -> dict:
+    """Load and version-check a checkpoint's manifest."""
+    with open(os.path.join(directory, MANIFEST_NAME), "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {version!r} (expected {CHECKPOINT_VERSION})"
+        )
+    return manifest
+
+
+def load_checkpoint(
+    directory: str,
+    *,
+    rules: Sequence[AlertRule] | None = None,
+    sinks: Iterable[AlertSink] = (),
+) -> FleetMonitor:
+    """Rebuild a :class:`FleetMonitor` from a checkpoint directory.
+
+    ``rules``/``sinks`` recreate the alert engine (code is not persisted).
+    An engine is attached whenever the checkpoint carried engine state *or*
+    the caller passes rules/sinks; persisted cooldown bookkeeping, when
+    present, is restored so alert deduplication continues seamlessly.
+    """
+    manifest = read_manifest(directory)
+    shards = [ShardSpec.from_dict(payload) for payload in manifest["shards"]]
+
+    sinks = list(sinks)
+    engine = None
+    if manifest["alert_engine"] is not None or rules is not None or sinks:
+        engine = AlertEngine(rules=rules, sinks=sinks)
+        if manifest["alert_engine"] is not None:
+            engine.load_state_dict(manifest["alert_engine"])
+
+    monitor = FleetMonitor(
+        dt=float(manifest["dt"]),
+        shards=shards,
+        config=PipelineConfig.from_dict(manifest["config"]),
+        alert_engine=engine,
+    )
+    for index, spec in enumerate(shards):
+        path = os.path.join(directory, manifest["shard_files"][index])
+        monitor._pipelines[spec.shard_id] = OnlineAnalysisPipeline.from_state_dict(
+            load_state(path)
+        )
+    monitor._step = int(manifest["step"])
+    return monitor

@@ -1,0 +1,368 @@
+"""The fleet monitor: sharded online pipelines over one machine's telemetry.
+
+This is the operable form of the paper's "online analytical system": instead
+of one in-process :class:`~repro.pipeline.online.OnlineAnalysisPipeline`
+over the whole sensor matrix, a :class:`FleetMonitor`
+
+1. partitions the matrix rows into shards via a pluggable
+   :class:`~repro.service.sharding.ShardingPolicy` (by rack, by metric
+   group, ...);
+2. runs one independent I-mrDMD pipeline per shard, fanning streaming
+   chunks out through :func:`repro.util.parallel.parallel_map` (serial by
+   default, process pool on request — each shard's decomposition is
+   embarrassingly parallel, exactly the structure the paper notes);
+3. merges per-shard products (node z-scores, rack values, spectra) back
+   into fleet-level ones;
+4. feeds an optional :class:`~repro.service.alerts.AlertEngine` after each
+   ingest.
+
+The monitor is fully serialisable (see :mod:`repro.service.checkpoint`):
+a restarted monitor resumes mid-stream with bit-for-bit identical products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.zscore_map import NodeZScores
+from ..core.baseline import classify_zscores
+from ..core.spectrum import MrDMDSpectrum
+from ..hwlog.events import HardwareLog
+from ..pipeline.config import PipelineConfig
+from ..pipeline.online import OnlineAnalysisPipeline, PipelineSnapshot
+from ..telemetry.generator import TelemetryStream
+from ..util.parallel import parallel_map
+from .alerts import Alert, AlertContext, AlertEngine
+from .sharding import ShardSpec, ShardingPolicy, SingleShard, validate_partition
+
+__all__ = ["FleetMonitor", "FleetSnapshot", "FleetSpectrum"]
+
+
+@dataclass
+class FleetSnapshot:
+    """Merged diagnostics for one :meth:`FleetMonitor.ingest` call."""
+
+    step: int
+    chunk_size: int
+    n_shards: int
+    total_modes: int
+    shard_snapshots: dict[str, PipelineSnapshot]
+
+    @property
+    def max_drift(self) -> float:
+        """Largest level-1 drift across shards this update (0 on initial fit)."""
+        drifts = [
+            snap.update.drift
+            for snap in self.shard_snapshots.values()
+            if snap.update is not None
+        ]
+        return max(drifts, default=0.0)
+
+
+@dataclass
+class FleetSpectrum:
+    """Fleet-level power/frequency table merged across shards.
+
+    Per-shard mode vectors live in different row spaces, so the merged
+    product keeps the scalar columns (frequency, power, level) plus the
+    shard each mode came from; per-shard :class:`MrDMDSpectrum` objects
+    remain available from :meth:`FleetMonitor.spectra` when mode shapes
+    are needed.
+    """
+
+    frequencies: np.ndarray
+    power: np.ndarray
+    levels: np.ndarray
+    shard_ids: np.ndarray  # object array, one shard id per mode
+
+    @property
+    def n_modes(self) -> int:
+        return int(self.frequencies.size)
+
+    def dominant_frequency(self) -> float:
+        """Frequency (Hz) of the highest-power mode fleet-wide (NaN if empty)."""
+        if self.n_modes == 0:
+            return float("nan")
+        return float(self.frequencies[int(np.argmax(self.power))])
+
+    def total_power_by_shard(self) -> dict[str, float]:
+        """Summed mode power per shard (coarse health fingerprint)."""
+        out: dict[str, float] = {}
+        for shard_id in np.unique(self.shard_ids.astype(str)):
+            mask = self.shard_ids.astype(str) == shard_id
+            out[str(shard_id)] = float(self.power[mask].sum())
+        return out
+
+
+def _ingest_shard(payload: tuple[OnlineAnalysisPipeline, np.ndarray]):
+    """Process-pool worker: ingest one chunk into one shard's pipeline.
+
+    Returns the (possibly copied, when running in a worker process)
+    pipeline together with its snapshot so the parent can reinstall it.
+    """
+    pipeline, chunk = payload
+    snapshot = pipeline.ingest(chunk)
+    return pipeline, snapshot
+
+
+class FleetMonitor:
+    """Sharded online monitoring of one machine's sensor matrix.
+
+    Parameters
+    ----------
+    dt:
+        Sampling interval of incoming snapshots (seconds).
+    shards:
+        The row partition (see :mod:`repro.service.sharding`); validated
+        against ``n_rows`` when given.
+    config:
+        Shared :class:`~repro.pipeline.config.PipelineConfig` for every
+        shard pipeline.
+    alert_engine:
+        Optional engine consulted by :meth:`evaluate_alerts`.
+    n_rows:
+        Total row count of the full matrix (enables partition validation
+        up front; otherwise the first ingest validates implicitly).
+    """
+
+    def __init__(
+        self,
+        dt: float,
+        shards: list[ShardSpec],
+        config: PipelineConfig | None = None,
+        *,
+        alert_engine: AlertEngine | None = None,
+        n_rows: int | None = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("FleetMonitor needs at least one shard")
+        if n_rows is not None:
+            validate_partition(shards, n_rows)
+        self.dt = float(dt)
+        self.config = config or PipelineConfig()
+        self.shards = list(shards)
+        self.alert_engine = alert_engine
+        self._pipelines: dict[str, OnlineAnalysisPipeline] = {
+            spec.shard_id: OnlineAnalysisPipeline(
+                dt=dt, config=self.config, node_of_row=spec.node_of_row
+            )
+            for spec in self.shards
+        }
+        if len(self._pipelines) != len(self.shards):
+            raise ValueError("shard ids must be unique")
+        self._step = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_stream(
+        cls,
+        stream: TelemetryStream,
+        policy: ShardingPolicy | None = None,
+        config: PipelineConfig | None = None,
+        *,
+        alert_engine: AlertEngine | None = None,
+    ) -> "FleetMonitor":
+        """Build a monitor for a telemetry stream's row layout.
+
+        ``policy`` defaults to :class:`~repro.service.sharding.SingleShard`
+        (the pre-service behaviour).  Only the stream's *metadata* is used;
+        feed the actual values through :meth:`ingest`.
+        """
+        policy = policy or SingleShard()
+        shards = policy.partition_stream(stream)
+        validate_partition(shards, stream.n_rows)
+        return cls(
+            dt=stream.dt,
+            shards=shards,
+            config=config,
+            alert_engine=alert_engine,
+            n_rows=stream.n_rows,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def step(self) -> int:
+        """Absolute snapshot index of the end of the ingested timeline."""
+        return self._step
+
+    @property
+    def pipelines(self) -> dict[str, OnlineAnalysisPipeline]:
+        """Per-shard pipelines keyed by shard id (live objects)."""
+        return dict(self._pipelines)
+
+    def pipeline(self, shard_id: str) -> OnlineAnalysisPipeline:
+        """The pipeline of one shard."""
+        return self._pipelines[shard_id]
+
+    @property
+    def total_modes(self) -> int:
+        """Total slow modes across every shard's tree."""
+        return sum(
+            p.model.tree.total_modes
+            for p in self._pipelines.values()
+            if p.model.fitted
+        )
+
+    def last_updates(self) -> dict[str, object | None]:
+        """Latest UpdateRecord per shard (None before first partial_fit)."""
+        out = {}
+        for spec in self.shards:
+            history = (
+                self._pipelines[spec.shard_id].model.history
+                if self._pipelines[spec.shard_id].model.fitted
+                else []
+            )
+            out[spec.shard_id] = history[-1] if history else None
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(self, values: np.ndarray, *, processes: int | None = None) -> FleetSnapshot:
+        """Feed a ``(P, T_chunk)`` block of full-matrix snapshots.
+
+        Rows are routed to shards by the partition; each shard pipeline
+        does its initial fit on the first call and incremental updates
+        afterwards.  ``processes > 1`` fans shards out over a process pool
+        (results are identical to the serial path; pipelines are shipped
+        back and reinstalled).
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D (P, T), got shape {values.shape!r}")
+        required_rows = max(int(spec.row_indices.max()) for spec in self.shards) + 1
+        if values.shape[0] < required_rows:
+            raise ValueError(
+                f"values has {values.shape[0]} rows but the shard partition "
+                f"covers rows up to {required_rows - 1}"
+            )
+        work = [
+            (self._pipelines[spec.shard_id], spec.take(values)) for spec in self.shards
+        ]
+        results = parallel_map(_ingest_shard, work, processes=processes)
+        snapshots: dict[str, PipelineSnapshot] = {}
+        for spec, (pipeline, snapshot) in zip(self.shards, results):
+            # Reinstall: a process-pool worker returns a pickled copy.
+            self._pipelines[spec.shard_id] = pipeline
+            snapshots[spec.shard_id] = snapshot
+        self._step += values.shape[1]
+        return FleetSnapshot(
+            step=self._step,
+            chunk_size=int(values.shape[1]),
+            n_shards=self.n_shards,
+            total_modes=self.total_modes,
+            shard_snapshots=snapshots,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fleet-level analysis products
+    # ------------------------------------------------------------------ #
+    def fit_baselines(self, **kwargs) -> None:
+        """Fit every shard's baseline (from its reconstruction by default)."""
+        for pipeline in self._pipelines.values():
+            pipeline.fit_baseline(**kwargs)
+
+    def node_zscores(
+        self,
+        *,
+        time_range: tuple[int, int] | None = None,
+        reducer: str = "mean",
+    ) -> NodeZScores:
+        """Fleet-merged per-node z-scores.
+
+        Each shard scores its own rows against its own baseline; nodes
+        appearing in several shards (metric sharding) are aggregated with
+        ``reducer`` (``"mean"``, ``"max"`` or ``"absmax"``), then
+        re-classified with the shared thresholds.
+        """
+        per_node: dict[int, list[float]] = {}
+        for spec in self.shards:
+            shard_scores = self._pipelines[spec.shard_id].node_zscores(
+                time_range=time_range, reducer=reducer
+            )
+            for node, z in zip(shard_scores.node_indices, shard_scores.zscores):
+                per_node.setdefault(int(node), []).append(float(z))
+        nodes = np.array(sorted(per_node), dtype=int)
+        merged = np.empty(nodes.size, dtype=float)
+        for i, node in enumerate(nodes):
+            samples = np.asarray(per_node[int(node)], dtype=float)
+            if reducer == "mean":
+                merged[i] = samples.mean()
+            elif reducer == "max":
+                merged[i] = samples.max()
+            elif reducer == "absmax":
+                merged[i] = samples[np.argmax(np.abs(samples))]
+            else:
+                raise ValueError(f"unknown reducer {reducer!r}")
+        categories = classify_zscores(
+            merged, near=self.config.zscore_near, extreme=self.config.zscore_extreme
+        )
+        return NodeZScores(node_indices=nodes, zscores=merged, categories=categories)
+
+    def rack_values(
+        self,
+        *,
+        time_range: tuple[int, int] | None = None,
+        reducer: str = "mean",
+    ) -> dict[int, float]:
+        """``{node: zscore}`` over the whole fleet, ready for the rack view."""
+        return self.node_zscores(time_range=time_range, reducer=reducer).as_dict()
+
+    def spectra(self) -> dict[str, MrDMDSpectrum]:
+        """Per-shard (filtered) spectra keyed by shard id."""
+        return {
+            spec.shard_id: self._pipelines[spec.shard_id].spectrum(label=spec.shard_id)
+            for spec in self.shards
+        }
+
+    def fleet_spectrum(self) -> FleetSpectrum:
+        """Merged power/frequency table across every shard."""
+        freqs, power, levels, shard_ids = [], [], [], []
+        for shard_id, spectrum in self.spectra().items():
+            freqs.append(spectrum.frequencies)
+            power.append(spectrum.power)
+            levels.append(spectrum.table.levels)
+            shard_ids.append(np.full(spectrum.n_modes, shard_id, dtype=object))
+        return FleetSpectrum(
+            frequencies=np.concatenate(freqs) if freqs else np.zeros(0),
+            power=np.concatenate(power) if power else np.zeros(0),
+            levels=np.concatenate(levels) if levels else np.zeros(0, dtype=int),
+            shard_ids=np.concatenate(shard_ids) if shard_ids else np.zeros(0, dtype=object),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Alerting
+    # ------------------------------------------------------------------ #
+    def evaluate_alerts(
+        self,
+        *,
+        hwlog: HardwareLog | None = None,
+        window: int = 200,
+    ) -> list[Alert]:
+        """Run the alert engine against the current fleet state.
+
+        Returns the deduplicated alerts fired this evaluation (also
+        delivered to the engine's sinks).  A monitor without an engine
+        returns an empty list.
+        """
+        if self.alert_engine is None:
+            return []
+        # Score the *recent* window: an operator cares about the current
+        # state; an all-time mean dilutes late-onset anomalies.
+        lo = max(0, self._step - window)
+        context = AlertContext(
+            step=self._step,
+            node_zscores=self.node_zscores(time_range=(lo, self._step)),
+            updates=self.last_updates(),
+            hwlog=hwlog,
+            window=window,
+        )
+        return self.alert_engine.evaluate(context)

@@ -16,39 +16,13 @@ from repro.joblog import simulate_joblog
 from repro.hwlog import HardwareErrorModel
 from repro.telemetry import HotNodes, TelemetryGenerator, theta_machine
 
+from helpers import make_multiscale_signal  # noqa: F401  (re-export for fixtures)
+
 
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     """Session-wide deterministic random generator."""
     return np.random.default_rng(12345)
-
-
-def make_multiscale_signal(
-    n_sensors: int = 16,
-    n_timesteps: int = 1024,
-    dt: float = 0.05,
-    *,
-    slow_hz: float = 0.05,
-    fast_hz: float = 0.5,
-    noise: float = 0.2,
-    offset: float = 50.0,
-    seed: int = 7,
-) -> tuple[np.ndarray, float]:
-    """Matrix with two known oscillation frequencies plus noise.
-
-    Every sensor sees both oscillations with its own phase, so the data has
-    spatial rank ~5 and both frequencies are recoverable by DMD.
-    """
-    gen = np.random.default_rng(seed)
-    t = np.arange(n_timesteps) * dt
-    phases = gen.uniform(0, 2 * np.pi, n_sensors)
-    data = (
-        offset
-        + 5.0 * np.sin(2 * np.pi * slow_hz * t[None, :] + phases[:, None])
-        + 2.0 * np.sin(2 * np.pi * fast_hz * t[None, :] + 2 * phases[:, None])
-        + noise * gen.standard_normal((n_sensors, n_timesteps))
-    )
-    return data, dt
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.dmd import DMDResult, compute_dmd, slow_mode_mask
 
-from conftest import make_multiscale_signal
+from helpers import make_multiscale_signal
 
 
 def linear_system_data(n_steps: int = 200, dt: float = 0.1) -> tuple[np.ndarray, np.ndarray]:

@@ -8,7 +8,7 @@ import pytest
 from repro.core.imrdmd import IncrementalMrDMD, UpdateRecord
 from repro.core.mrdmd import MrDMDConfig, compute_mrdmd
 
-from conftest import make_multiscale_signal
+from helpers import make_multiscale_signal
 
 
 @pytest.fixture(scope="module")

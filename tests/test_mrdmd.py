@@ -8,7 +8,7 @@ import pytest
 from repro.core.mrdmd import MrDMDConfig, compute_mrdmd, decompose_window
 from repro.core.tree import MrDMDTree
 
-from conftest import make_multiscale_signal
+from helpers import make_multiscale_signal
 
 
 class TestConfig:

@@ -111,6 +111,69 @@ class TestOnlinePipeline:
         full.ingest(small_stream.values[:, :300])
         assert pipeline.spectrum().n_modes <= full.spectrum().n_modes
 
+    def test_power_quantile_threshold_is_cached_per_revision(self, small_stream):
+        import numpy as _np
+        from repro.core.spectrum import MrDMDSpectrum
+
+        config = PipelineConfig(mrdmd=MrDMDConfig(max_levels=3), power_quantile=0.5)
+        pipeline = OnlineAnalysisPipeline.from_stream(small_stream, config)
+        pipeline.ingest(small_stream.values[:, :300])
+
+        expected = float(
+            _np.quantile(MrDMDSpectrum(pipeline.model.tree).power, 0.5)
+        )
+        assert pipeline._min_power_threshold() == expected
+        revision = pipeline.model.tree.revision
+        # Repeated calls hit the cache: same tree/revision recorded, same value.
+        ref, rev, quantile, value = pipeline._min_power_cache
+        assert ref() is pipeline.model.tree
+        assert (rev, quantile, value) == (revision, 0.5, expected)
+        assert pipeline._min_power_threshold() == expected
+        assert pipeline.model.tree.revision == revision
+
+        # An update edits the tree, bumping the revision and the threshold.
+        pipeline.ingest(small_stream.values[:, 300:450])
+        assert pipeline.model.tree.revision > revision
+        refreshed = float(
+            _np.quantile(MrDMDSpectrum(pipeline.model.tree).power, 0.5)
+        )
+        assert pipeline._min_power_threshold() == refreshed
+        assert pipeline._min_power_cache[1] == pipeline.model.tree.revision
+
+    def test_threshold_cache_survives_refresh_swapping_trees(self, small_stream):
+        # refresh() installs a brand-new tree whose revision counter
+        # restarts; the cache must miss even when the counters collide.
+        import numpy as _np
+        from repro.core.spectrum import MrDMDSpectrum
+
+        config = PipelineConfig(
+            mrdmd=MrDMDConfig(max_levels=3), power_quantile=0.5, keep_data=True
+        )
+        pipeline = OnlineAnalysisPipeline.from_stream(small_stream, config)
+        pipeline.ingest(small_stream.values[:, :300])
+        pipeline.ingest(small_stream.values[:, 300:450])
+        pipeline._min_power_threshold()  # populate the cache
+
+        pipeline.model.refresh()
+        expected = float(
+            _np.quantile(MrDMDSpectrum(pipeline.model.tree).power, 0.5)
+        )
+        assert pipeline._min_power_threshold() == expected
+
+    def test_cached_spectrum_matches_uncached_semantics(self, small_stream):
+        from repro.core.spectrum import MrDMDSpectrum
+
+        config = PipelineConfig(mrdmd=MrDMDConfig(max_levels=3), power_quantile=0.5)
+        pipeline = OnlineAnalysisPipeline.from_stream(small_stream, config)
+        pipeline.ingest(small_stream.values[:, :300])
+        pipeline.ingest(small_stream.values[:, 300:450])
+
+        cached = pipeline.spectrum()
+        reference = MrDMDSpectrum(pipeline.model.tree).high_power_modes(0.5)
+        assert cached.n_modes == reference.n_modes
+        assert np.array_equal(cached.power, reference.power)
+        assert np.array_equal(cached.frequencies, reference.frequencies)
+
 
 class TestCaseStudyBuilders:
     def test_case_study_1_structure(self):

@@ -1,0 +1,146 @@
+"""Alert rules, cooldown deduplication, sinks and engine state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.zscore_map import NodeZScores
+from repro.core.baseline import classify_zscores
+from repro.core.imrdmd import UpdateRecord
+from repro.hwlog import HardwareEvent, HardwareEventType, HardwareLog
+from repro.service import (
+    Alert,
+    AlertContext,
+    AlertEngine,
+    AlertSeverity,
+    DriftRule,
+    HardwareCorrelationRule,
+    JsonLinesSink,
+    RingBufferSink,
+    ZScoreRule,
+)
+
+
+def node_scores(z_by_node: dict[int, float]) -> NodeZScores:
+    nodes = np.array(sorted(z_by_node), dtype=int)
+    z = np.array([z_by_node[int(n)] for n in nodes], dtype=float)
+    return NodeZScores(
+        node_indices=nodes, zscores=z, categories=classify_zscores(z)
+    )
+
+
+def context(step=100, scores=None, updates=None, hwlog=None, window=50):
+    return AlertContext(
+        step=step,
+        node_zscores=scores,
+        updates=updates or {},
+        hwlog=hwlog,
+        window=window,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Rules
+# --------------------------------------------------------------------------- #
+def test_zscore_rule_flags_both_tails():
+    scores = node_scores({0: 0.1, 1: 2.5, 2: -2.6, 3: 1.9})
+    alerts = ZScoreRule().evaluate(context(scores=scores))
+    by_node = {a.node: a for a in alerts}
+    assert set(by_node) == {1, 2}, "only beyond-extreme nodes alert"
+    assert by_node[1].severity is AlertSeverity.CRITICAL
+    assert by_node[2].severity is AlertSeverity.WARNING
+
+
+def test_zscore_rule_without_baseline_is_silent():
+    assert ZScoreRule().evaluate(context(scores=None)) == []
+
+
+def make_update(drift: float, stale: bool) -> UpdateRecord:
+    return UpdateRecord(
+        chunk_size=10, total_snapshots=100, level1_rank=3, level1_modes=2,
+        drift=drift, stale=stale, new_nodes=4,
+    )
+
+
+def test_drift_rule_fires_on_stale_shards():
+    updates = {"rack-0": make_update(0.1, False), "rack-1": make_update(9.0, True)}
+    alerts = DriftRule().evaluate(context(updates=updates))
+    assert [a.shard_id for a in alerts] == ["rack-1"]
+    assert alerts[0].value == pytest.approx(9.0)
+
+
+def test_drift_rule_explicit_threshold():
+    updates = {"rack-0": make_update(0.5, False)}
+    assert DriftRule(threshold=1.0).evaluate(context(updates=updates)) == []
+    fired = DriftRule(threshold=0.2).evaluate(context(updates=updates))
+    assert len(fired) == 1
+
+
+def test_hardware_correlation_needs_both_signals():
+    scores = node_scores({1: 3.0, 2: 0.0})
+    hwlog = HardwareLog([
+        HardwareEvent(node=1, event_type=HardwareEventType.THERMAL_TRIP,
+                      start_step=95, end_step=96),
+        HardwareEvent(node=2, event_type=HardwareEventType.THERMAL_TRIP,
+                      start_step=95, end_step=96),
+        # Outside the recent window: must not count.
+        HardwareEvent(node=1, event_type=HardwareEventType.NODE_DOWN,
+                      start_step=1, end_step=2),
+    ])
+    alerts = HardwareCorrelationRule().evaluate(
+        context(step=100, scores=scores, hwlog=hwlog, window=20)
+    )
+    assert [a.node for a in alerts] == [1]
+    assert alerts[0].value == pytest.approx(1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Engine: dedup / cooldown / sinks
+# --------------------------------------------------------------------------- #
+def test_engine_cooldown_suppresses_repeats():
+    engine = AlertEngine(rules=[ZScoreRule()], cooldown=50)
+    scores = node_scores({1: 3.0})
+    assert len(engine.evaluate(context(step=100, scores=scores))) == 1
+    assert len(engine.evaluate(context(step=120, scores=scores))) == 0, "within cooldown"
+    assert len(engine.evaluate(context(step=160, scores=scores))) == 1, "cooldown elapsed"
+    assert engine.stats["suppressed"] == 1
+
+
+def test_engine_dedups_per_node_not_globally():
+    engine = AlertEngine(rules=[ZScoreRule()], cooldown=50)
+    assert len(engine.evaluate(context(step=100, scores=node_scores({1: 3.0})))) == 1
+    # A different node fires immediately even within node 1's cooldown.
+    assert len(engine.evaluate(context(step=110, scores=node_scores({2: 3.0})))) == 1
+
+
+def test_ring_buffer_sink_caps_capacity():
+    sink = RingBufferSink(capacity=2)
+    engine = AlertEngine(rules=[ZScoreRule()], sinks=[sink], cooldown=0)
+    for step, node in ((10, 1), (20, 2), (30, 3)):
+        engine.evaluate(context(step=step, scores=node_scores({node: 3.0})))
+    assert len(sink) == 2
+    assert [a.node for a in sink.alerts] == [2, 3]
+
+
+def test_json_lines_sink_round_trip(tmp_path):
+    path = str(tmp_path / "alerts.jsonl")
+    sink = JsonLinesSink(path)
+    engine = AlertEngine(rules=[ZScoreRule()], sinks=[sink], cooldown=0)
+    engine.evaluate(context(step=10, scores=node_scores({1: 3.0, 2: -4.0})))
+    restored = sink.read()
+    assert len(restored) == 2
+    assert {a.node for a in restored} == {1, 2}
+    assert all(isinstance(a, Alert) for a in restored)
+
+
+def test_engine_state_round_trip_preserves_cooldown():
+    engine = AlertEngine(rules=[ZScoreRule()], cooldown=50)
+    engine.evaluate(context(step=100, scores=node_scores({1: 3.0})))
+
+    fresh = AlertEngine(rules=[ZScoreRule()])
+    fresh.load_state_dict(engine.state_dict())
+    # Restored engine must keep suppressing within the original cooldown...
+    assert fresh.evaluate(context(step=120, scores=node_scores({1: 3.0}))) == []
+    # ...and fire again once it elapses.
+    assert len(fresh.evaluate(context(step=151, scores=node_scores({1: 3.0})))) == 1

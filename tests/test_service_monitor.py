@@ -1,0 +1,129 @@
+"""FleetMonitor: shard fan-out, merged products, single-shard equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MrDMDConfig
+from repro.pipeline import OnlineAnalysisPipeline, PipelineConfig
+from repro.service import (
+    FleetMonitor,
+    MetricSharding,
+    RackSharding,
+    SingleShard,
+)
+from repro.service.scenarios import quiet_fleet
+from repro.telemetry import HotNodes, TelemetryGenerator
+
+
+CONFIG = PipelineConfig(
+    mrdmd=MrDMDConfig(max_levels=4),
+    baseline_range=(40.0, 75.0),
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_stream():
+    scenario = quiet_fleet()
+    generator = TelemetryGenerator(scenario.machine, seed=5, utilization_target=0.3)
+    return generator.generate(
+        480,
+        sensors=["cpu_temp"],
+        anomalies=[HotNodes(node_indices=(20, 21), start=200, delta=15.0)],
+    )
+
+
+@pytest.fixture(scope="module")
+def rack_monitor(fleet_stream):
+    monitor = FleetMonitor.from_stream(fleet_stream, policy=RackSharding(), config=CONFIG)
+    monitor.ingest(fleet_stream.values[:, :240])
+    monitor.ingest(fleet_stream.values[:, 240:])
+    return monitor
+
+
+def test_from_stream_builds_one_pipeline_per_rack(rack_monitor, fleet_stream):
+    assert rack_monitor.n_shards == fleet_stream.machine.n_racks
+    assert set(rack_monitor.pipelines) == {s.shard_id for s in rack_monitor.shards}
+    assert rack_monitor.step == fleet_stream.n_timesteps
+
+
+def test_shard_pipelines_see_only_their_rows(rack_monitor, fleet_stream):
+    for spec in rack_monitor.shards:
+        model = rack_monitor.pipeline(spec.shard_id).model
+        assert model.n_features == spec.n_rows
+        assert model.n_snapshots == fleet_stream.n_timesteps
+
+
+def test_rack_values_cover_every_node(rack_monitor, fleet_stream):
+    values = rack_monitor.rack_values()
+    assert set(values) == set(int(n) for n in np.unique(fleet_stream.node_indices))
+    assert all(np.isfinite(v) for v in values.values())
+
+
+def test_hot_nodes_stand_out_in_merged_zscores(rack_monitor):
+    scores = rack_monitor.node_zscores(time_range=(300, 480))
+    by_node = dict(zip(scores.node_indices, scores.zscores))
+    hot = min(by_node[20], by_node[21])
+    others = [z for n, z in by_node.items() if n not in (20, 21)]
+    assert hot > max(others), "injected hot nodes must dominate the fleet z-scores"
+
+
+def test_single_shard_matches_plain_pipeline(fleet_stream):
+    monitor = FleetMonitor.from_stream(fleet_stream, policy=SingleShard(), config=CONFIG)
+    monitor.ingest(fleet_stream.values[:, :240])
+    monitor.ingest(fleet_stream.values[:, 240:])
+
+    pipeline = OnlineAnalysisPipeline.from_stream(fleet_stream, CONFIG)
+    pipeline.ingest(fleet_stream.values[:, :240])
+    pipeline.ingest(fleet_stream.values[:, 240:])
+
+    assert monitor.rack_values() == pipeline.rack_values()
+    mono_spec = monitor.spectra()["all"]
+    solo_spec = pipeline.spectrum()
+    assert np.array_equal(mono_spec.power, solo_spec.power)
+    assert np.array_equal(mono_spec.frequencies, solo_spec.frequencies)
+
+
+def test_fleet_spectrum_merges_all_shards(rack_monitor):
+    fleet = rack_monitor.fleet_spectrum()
+    per_shard = rack_monitor.spectra()
+    assert fleet.n_modes == sum(s.n_modes for s in per_shard.values())
+    by_shard = fleet.total_power_by_shard()
+    for shard_id, spectrum in per_shard.items():
+        assert by_shard[shard_id] == pytest.approx(spectrum.total_power())
+    assert np.isfinite(fleet.dominant_frequency())
+
+
+def test_metric_sharding_merges_duplicate_nodes(fleet_stream):
+    # Two channels -> every node appears in two shards; the merge must
+    # aggregate, not duplicate.
+    scenario = quiet_fleet()
+    generator = TelemetryGenerator(scenario.machine, seed=5, utilization_target=0.3)
+    stream = generator.generate(300, sensors=["cpu_temp", "node_power"])
+    monitor = FleetMonitor.from_stream(stream, policy=MetricSharding(), config=CONFIG)
+    monitor.ingest(stream.values)
+    scores = monitor.node_zscores()
+    assert scores.node_indices.size == stream.machine.n_nodes
+    assert np.unique(scores.node_indices).size == scores.node_indices.size
+
+
+def test_ingest_rejects_bad_shapes(rack_monitor):
+    with pytest.raises(ValueError, match="2-D"):
+        rack_monitor.ingest(np.zeros(8))
+
+
+def test_monitor_without_engine_returns_no_alerts(rack_monitor):
+    assert rack_monitor.evaluate_alerts() == []
+
+
+def test_fleet_snapshot_diagnostics(fleet_stream):
+    monitor = FleetMonitor.from_stream(fleet_stream, policy=RackSharding(), config=CONFIG)
+    first = monitor.ingest(fleet_stream.values[:, :240])
+    assert first.chunk_size == 240
+    assert first.max_drift == 0.0, "initial fit has no drift record"
+    second = monitor.ingest(fleet_stream.values[:, 240:300])
+    assert second.step == 300
+    assert second.max_drift >= 0.0
+    assert set(second.shard_snapshots) == set(monitor.pipelines)
+    assert second.total_modes == monitor.total_modes > 0

@@ -1,0 +1,97 @@
+"""Sharding policies: valid partitions, rack/metric grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    MetricSharding,
+    RackSharding,
+    ShardSpec,
+    SingleShard,
+    validate_partition,
+)
+from repro.service.scenarios import quiet_fleet
+from repro.telemetry import TelemetryGenerator
+
+
+@pytest.fixture(scope="module")
+def fleet_stream():
+    """Two-channel telemetry over the 4-rack scenario machine."""
+    scenario = quiet_fleet()
+    generator = TelemetryGenerator(scenario.machine, seed=2, utilization_target=0.3)
+    return generator.generate(64, sensors=["cpu_temp", "node_power"])
+
+
+def test_single_shard_covers_everything(fleet_stream):
+    specs = SingleShard().partition_stream(fleet_stream)
+    assert len(specs) == 1
+    validate_partition(specs, fleet_stream.n_rows)
+    assert specs[0].n_rows == fleet_stream.n_rows
+
+
+def test_rack_sharding_partitions_by_rack(fleet_stream):
+    specs = RackSharding().partition_stream(fleet_stream)
+    machine = fleet_stream.machine
+    assert len(specs) == machine.n_racks
+    validate_partition(specs, fleet_stream.n_rows)
+    for spec in specs:
+        racks = {machine.rack_of_node(int(n)) for n in spec.node_of_row}
+        assert len(racks) == 1, "a rack shard must hold exactly one rack"
+
+
+def test_rack_sharding_groups_racks(fleet_stream):
+    specs = RackSharding(racks_per_shard=2).partition_stream(fleet_stream)
+    assert len(specs) == fleet_stream.machine.n_racks // 2
+    validate_partition(specs, fleet_stream.n_rows)
+
+
+def test_rack_sharding_requires_machine(fleet_stream):
+    with pytest.raises(ValueError, match="machine"):
+        RackSharding().partition(
+            np.asarray(fleet_stream.sensor_names),
+            fleet_stream.node_indices,
+            None,
+        )
+
+
+def test_metric_sharding_one_shard_per_channel(fleet_stream):
+    specs = MetricSharding().partition_stream(fleet_stream)
+    assert {s.shard_id for s in specs} == {"metric-cpu_temp", "metric-node_power"}
+    validate_partition(specs, fleet_stream.n_rows)
+    for spec in specs:
+        assert len(set(spec.sensor_names)) == 1
+
+
+def test_validate_partition_rejects_gaps():
+    spec = ShardSpec(shard_id="s", row_indices=np.arange(3), node_of_row=np.arange(3))
+    with pytest.raises(ValueError, match="exactly once"):
+        validate_partition([spec], 5)
+
+
+def test_validate_partition_rejects_overlap():
+    a = ShardSpec(shard_id="a", row_indices=np.arange(3), node_of_row=np.arange(3))
+    b = ShardSpec(shard_id="b", row_indices=np.arange(2, 5), node_of_row=np.arange(3))
+    with pytest.raises(ValueError, match="exactly once"):
+        validate_partition([a, b], 5)
+
+
+def test_shard_spec_round_trip():
+    spec = ShardSpec(
+        shard_id="rack-3",
+        row_indices=np.array([4, 5, 6]),
+        node_of_row=np.array([1, 1, 2]),
+        sensor_names=("cpu_temp",) * 3,
+    )
+    restored = ShardSpec.from_dict(spec.to_dict())
+    assert restored.shard_id == spec.shard_id
+    assert np.array_equal(restored.row_indices, spec.row_indices)
+    assert np.array_equal(restored.node_of_row, spec.node_of_row)
+    assert restored.sensor_names == spec.sensor_names
+
+
+def test_shard_take_selects_rows():
+    spec = ShardSpec(shard_id="s", row_indices=np.array([0, 2]), node_of_row=np.array([0, 1]))
+    values = np.arange(12, dtype=float).reshape(4, 3)
+    assert np.array_equal(spec.take(values), values[[0, 2], :])
