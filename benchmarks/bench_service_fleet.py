@@ -9,6 +9,12 @@ record
   same matrix through one unsharded pipeline (structure mirrors the
   Sec. IV streaming protocol: initial fit outside the timer, one
   incremental chunk inside it);
+* the persistent shard executor against the per-ingest process pool it
+  replaced (which re-spawned workers and re-pickled the *entire* shard
+  pipeline state every chunk) and against plain serial fan-out — the
+  persistent path must win outright at fleet shard counts;
+* windowed rack-view queries (``rack_values(time_range=...)``, expanding
+  only the window's modes) against full-timeline reconstruction;
 * checkpoint save and load latency for a monitor mid-stream, plus the
   checkpoint's on-disk size in ``extra_info`` (the paper's
   "terabytes to megabytes" artifact, now for the whole service state).
@@ -28,6 +34,7 @@ from repro.service import (
     save_checkpoint,
 )
 from repro.telemetry import MachineDescription, TelemetryGenerator, xc40_sensor_suite
+from repro.util import Timer, chunk_indices
 
 from conftest import scaled
 
@@ -87,6 +94,113 @@ def test_fleet_single_pipeline_chunk_ingest(benchmark, fleet_stream):
     benchmark.extra_info["n_shards"] = 1
     benchmark.extra_info["n_rows"] = fleet_stream.n_rows
     benchmark.extra_info["chunk"] = CHUNK
+
+
+def test_fleet_persistent_executor_vs_pool_ingest(benchmark, fleet_stream):
+    """Persistent process executor vs per-ingest pool vs serial, same chunks.
+
+    The per-ingest pool respawns its workers *and* round-trips each
+    shard's full pipeline state (tree, iSVD, retained data) through pickle
+    on every chunk; the persistent executor ships the state once at start
+    and then only ``(shard_id, chunk)`` payloads.  With 8 rack shards the
+    persistent path must be strictly faster — asserted, not just recorded.
+    """
+    n_workers = 4
+    bounds = [
+        (HISTORY + lo, HISTORY + hi) for lo, hi in chunk_indices(CHUNK, CHUNK // 4)
+    ]
+
+    serial = _fitted_monitor(fleet_stream, RackSharding())
+    with Timer() as serial_timer:
+        for lo, hi in bounds:
+            serial.ingest(fleet_stream.values[:, lo:hi])
+
+    pooled = _fitted_monitor(fleet_stream, RackSharding())
+    with Timer() as pool_timer:
+        for lo, hi in bounds:
+            pooled.ingest(fleet_stream.values[:, lo:hi], processes=n_workers)
+
+    persistent = FleetMonitor.from_stream(
+        fleet_stream, policy=RackSharding(), config=CONFIG,
+        executor="process", max_workers=n_workers,
+    )
+    persistent.ingest(fleet_stream.values[:, :HISTORY])  # fit starts the workers
+
+    def ingest_chunks():
+        with Timer() as timer:
+            for lo, hi in bounds:
+                persistent.ingest(fleet_stream.values[:, lo:hi])
+        return timer.elapsed
+
+    executor_seconds = benchmark.pedantic(
+        ingest_chunks, rounds=1, iterations=1, warmup_rounds=0
+    )
+    persistent.close()
+
+    benchmark.extra_info["experiment"] = "service_executor_ingest"
+    benchmark.extra_info["variant"] = "persistent-executor"
+    benchmark.extra_info["n_shards"] = persistent.n_shards
+    benchmark.extra_info["n_workers"] = n_workers
+    benchmark.extra_info["n_chunks"] = len(bounds)
+    benchmark.extra_info["serial_seconds"] = serial_timer.elapsed
+    benchmark.extra_info["per_ingest_pool_seconds"] = pool_timer.elapsed
+    benchmark.extra_info["persistent_executor_seconds"] = executor_seconds
+    assert executor_seconds < pool_timer.elapsed, (
+        f"persistent executor ({executor_seconds:.2f}s) must beat the "
+        f"per-ingest pool ({pool_timer.elapsed:.2f}s) at "
+        f"{persistent.n_shards} shards"
+    )
+
+
+def test_fleet_windowed_vs_full_rack_values(benchmark, fleet_stream):
+    """Recent-window rack view vs full-timeline reconstruction per query.
+
+    ``rack_values(time_range=...)`` expands only the modes overlapping the
+    window (5% of the timeline here); the full query reconstructs every
+    snapshot.  Caches are cleared between timed calls so both sides pay
+    their reconstruction, and the windowed query must win — asserted.
+    """
+    monitor = _fitted_monitor(fleet_stream, RackSharding())
+    monitor.ingest(fleet_stream.values[:, HISTORY:])
+    total = monitor.step
+    window = (total - total // 20, total)
+
+    def clear_caches():
+        for pipeline in monitor.pipelines.values():
+            pipeline.clear_caches()
+
+    monitor.rack_values()  # warm-up: fit every shard's baseline
+
+    full_seconds = []
+    windowed_seconds = []
+    for _ in range(5):
+        clear_caches()
+        with Timer() as timer:
+            monitor.rack_values()
+        full_seconds.append(timer.elapsed)
+        clear_caches()
+        with Timer() as timer:
+            monitor.rack_values(time_range=window)
+        windowed_seconds.append(timer.elapsed)
+
+    benchmark.pedantic(
+        lambda: monitor.rack_values(time_range=window),
+        setup=clear_caches, rounds=3, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["experiment"] = "service_windowed_query"
+    benchmark.extra_info["variant"] = "windowed-rack-values"
+    benchmark.extra_info["timeline"] = total
+    benchmark.extra_info["window"] = window[1] - window[0]
+    benchmark.extra_info["full_seconds_min"] = min(full_seconds)
+    benchmark.extra_info["windowed_seconds_min"] = min(windowed_seconds)
+    # The true gap is severalfold (only 5% of the timeline's modes
+    # expand); assert with a margin so scheduler noise on a shared CI
+    # runner cannot flip a strict comparison of millisecond timings.
+    assert min(windowed_seconds) < 0.8 * min(full_seconds), (
+        f"windowed query ({min(windowed_seconds):.4f}s) must clearly beat "
+        f"full reconstruction ({min(full_seconds):.4f}s) for a "
+        f"{window[1] - window[0]}/{total} window"
+    )
 
 
 def test_fleet_checkpoint_save(benchmark, fleet_stream, tmp_path):

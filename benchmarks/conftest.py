@@ -57,3 +57,19 @@ def gpu_metrics_matrix(gpu_metrics_generator) -> np.ndarray:
     n_series = scaled(200, 1000)
     n_steps = scaled(9_000, 17_000)
     return gpu_metrics_generator.generate_matrix(n_series, n_steps)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="force the small-scale benchmark sizes (CI smoke mode), "
+        "overriding REPRO_BENCH_SCALE",
+    )
+
+
+def pytest_configure(config):
+    global SCALE
+    if config.getoption("--quick"):
+        SCALE = "small"

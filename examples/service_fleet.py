@@ -6,16 +6,23 @@ scenario from the catalog:
 1. a 64-node, 4-rack machine streams cpu_temp telemetry while rack 1
    suffers a cooling failure;
 2. a :class:`~repro.service.FleetMonitor` (one I-mrDMD pipeline per rack)
-   ingests the stream chunk by chunk, and the alert engine fires z-score
+   ingests the stream chunk by chunk on a **persistent thread executor**
+   (workers held open across every chunk, per-shard scoring overlapped
+   with the other shards' updates), and the alert engine fires z-score
    alerts on the degraded rack;
 3. after chunk 2 the service checkpoints to disk, is torn down, and is
    restored from the checkpoint;
 4. the resumed monitor processes the remaining chunks; the script then
-   re-runs the whole workload **without** the restart and verifies the
-   rack values and alert trail match *exactly* — the restart is
-   observationally invisible.
+   re-runs the whole workload **without** the restart — and serially,
+   without any executor — and verifies the rack values and alert trail
+   match *exactly*: neither the restart nor the fan-out backend is
+   observable in the products;
+5. finally it queries a recent-window rack view
+   (``rack_values(time_range=...)``), which expands only the modes
+   overlapping the window instead of reconstructing the full timeline.
 
-Run with ``python examples/service_fleet.py``.
+Run with ``python examples/service_fleet.py``.  The same workloads are
+available from the shell via ``python -m repro.service <scenario>``.
 """
 
 from __future__ import annotations
@@ -41,10 +48,12 @@ def main() -> None:
           f"{scenario.chunk_size}), restart after chunk {scenario.restart_after_chunk}")
 
     with tempfile.TemporaryDirectory() as checkpoint_dir:
-        # ---- run with a mid-stream checkpoint/restore ----------------- #
+        # ---- run with a mid-stream checkpoint/restore on a persistent
+        # thread executor (held open across chunks, closed by the runner) #
         sink = RingBufferSink()
         result = ScenarioRunner(
-            scenario, sinks=[sink], checkpoint_dir=checkpoint_dir
+            scenario, sinks=[sink], checkpoint_dir=checkpoint_dir,
+            executor="thread",
         ).run()
         print(f"\nrestarted run: {len(result.alerts)} alerts "
               f"({len(sink.alerts)} via sink), restarted={result.restarted}")
@@ -75,7 +84,18 @@ def main() -> None:
           f"(max |diff| = {worst:.1e}); alert trails identical: {alert_match}")
     if not (rack_match and alert_match):
         raise SystemExit("checkpoint/restore failed to resume bit-for-bit")
-    print("OK: the restart is observationally invisible.")
+    print("OK: the restart (and the executor backend) is observationally "
+          "invisible.")
+
+    # ---- windowed rack view: only the recent window's modes expand ----- #
+    monitor = result.monitor
+    lo = max(0, monitor.step - 120)
+    recent = monitor.rack_values(time_range=(lo, monitor.step))
+    hottest = sorted(recent.items(), key=lambda item: item[1], reverse=True)[:4]
+    print(f"\nhottest nodes over the last {monitor.step - lo} snapshots "
+          f"(windowed query, no full-timeline reconstruction):")
+    for node, z in hottest:
+        print(f"  node {node:3d} (rack {machine.rack_of_node(node)}): z = {z:+.2f}")
 
 
 if __name__ == "__main__":

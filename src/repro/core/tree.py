@@ -386,6 +386,7 @@ class MrDMDTree:
         self,
         n_snapshots: int | None = None,
         *,
+        time_range: tuple[int, int] | None = None,
         levels: list[int] | None = None,
         frequency_range: tuple[float, float] | None = None,
         min_power: float = 0.0,
@@ -396,6 +397,14 @@ class MrDMDTree:
         ----------
         n_snapshots:
             Length of the output timeline; defaults to the tree's span.
+        time_range:
+            Optional absolute ``(start, stop)`` snapshot window.  Only
+            modes overlapping the window are expanded and the returned
+            array has ``stop - start`` columns (after clamping to
+            ``[0, n_snapshots)``) — column ``j`` equals column
+            ``start + j`` of the full reconstruction.  This is what keeps
+            recent-window queries (z-scores over the last chunk, rack
+            views) from paying O(full timeline) per call.
         levels:
             Restrict the sum to these levels (``None`` = all levels).
         frequency_range:
@@ -407,14 +416,23 @@ class MrDMDTree:
             from the mrDMD spectrum).
         """
         total = self.n_snapshots if n_snapshots is None else int(n_snapshots)
-        out = np.zeros((self.n_features, total), dtype=float)
+        if time_range is None:
+            window_lo, window_hi = 0, total
+        else:
+            start, stop = time_range
+            if stop < start:
+                raise ValueError(f"time_range must be (start, stop), got {time_range!r}")
+            window_lo = min(max(int(start), 0), total)
+            window_hi = min(max(int(stop), 0), total)
+        out = np.zeros((self.n_features, window_hi - window_lo), dtype=float)
         level_set = set(levels) if levels is not None else None
         for node in self._nodes:
             if level_set is not None and node.level not in level_set:
                 continue
             lo, hi = node.contribution_window
-            hi = min(hi, total)
-            if hi <= lo or lo >= total:
+            lo = max(lo, window_lo)
+            hi = min(hi, window_hi)
+            if hi <= lo:
                 continue
             use = node
             if frequency_range is not None or min_power > 0.0:
@@ -433,7 +451,9 @@ class MrDMDTree:
                     amplitudes=node.amplitudes[mask],
                 )
             offset = lo - node.start
-            out[:, lo:hi] += use.local_reconstruction_range(offset, hi - lo)
+            out[:, lo - window_lo : hi - window_lo] += use.local_reconstruction_range(
+                offset, hi - lo
+            )
         return out
 
     # ------------------------------------------------------------------ #

@@ -34,6 +34,16 @@ class PipelineConfig:
         Classification thresholds (+-1.5 near baseline, +-2 extreme).
     zscore_reducer:
         How each row's time series is collapsed before scoring.
+    baseline_refit:
+        When the pipeline's fitted baseline should be refreshed as the
+        decomposition grows.  ``"stale"`` (default) refits automatically
+        whenever the mode tree changed since the baseline was fitted (the
+        fit is replayed with its original spec, so explicit
+        ``value_range``/``time_range`` choices are honoured); ``"never"``
+        keeps the first fitted baseline until :meth:`fit_baseline` is
+        called again (the pre-fix behaviour).  Baselines fitted from
+        explicit caller-supplied data are *pinned* and never auto-refit
+        under either policy.
     keep_data:
         Retain raw snapshots inside the I-mrDMD model (needed for
         reconstruction-error reports).
@@ -47,11 +57,16 @@ class PipelineConfig:
     zscore_near: float = 1.5
     zscore_extreme: float = 2.0
     zscore_reducer: str = "mean"
+    baseline_refit: str = "stale"
     keep_data: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.power_quantile <= 1.0:
             raise ValueError("power_quantile must be in [0, 1]")
+        if self.baseline_refit not in ("stale", "never"):
+            raise ValueError(
+                f"baseline_refit must be 'stale' or 'never', got {self.baseline_refit!r}"
+            )
         if self.baseline_range[1] < self.baseline_range[0]:
             raise ValueError("baseline_range must be (low, high)")
         if self.zscore_near <= 0 or self.zscore_extreme < self.zscore_near:

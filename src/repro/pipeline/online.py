@@ -36,6 +36,12 @@ from .config import PipelineConfig
 
 __all__ = ["OnlineAnalysisPipeline", "PipelineSnapshot"]
 
+#: Bound on the number of memoised reconstruction windows per pipeline.
+#: Rack-view queries cycle through a handful of recent windows (plus the
+#: full timeline for baseline fits); a small LRU keeps the win without
+#: letting week-scale streams accumulate stale windows.
+RECONSTRUCTION_CACHE_SIZE = 8
+
 
 @dataclass
 class PipelineSnapshot:
@@ -78,10 +84,55 @@ class OnlineAnalysisPipeline:
         )
         self.node_of_row = None if node_of_row is None else np.asarray(node_of_row, dtype=int)
         self._baseline: BaselineModel | None = None
-        # (tree weakref, tree revision, quantile) -> power threshold; the
-        # weakref guards against revision collisions when refresh() swaps
-        # in a brand-new tree whose counter restarts.
+        # Provenance of the fitted baseline, for staleness detection: the
+        # spec it was fitted with (replayable), whether it was pinned to
+        # caller-supplied data (never auto-refit), and the tree revision it
+        # saw.  The weakref guards against revision collisions when
+        # refresh() swaps in a brand-new tree whose counter restarts.
+        self._baseline_spec: BaselineSpec | None = None
+        self._baseline_pinned: bool = False
+        self._baseline_revision: int | None = None
+        self._baseline_tree_ref: weakref.ref | None = None
+        # (tree weakref, tree revision, quantile) -> power threshold.
         self._min_power_cache: tuple[weakref.ref, int, float, float] | None = None
+        # (revision, window, frequency_range, min_power) -> reconstruction,
+        # in LRU order; valid only for the tree in _recon_cache_tree.
+        self._recon_cache: dict[tuple, np.ndarray] = {}
+        self._recon_cache_tree: weakref.ref | None = None
+
+    # ------------------------------------------------------------------ #
+    # Pickling: memoised products and weakrefs are process-local.  A copy
+    # shipped to a shard-executor worker (or a per-ingest pool) rebuilds
+    # its caches lazily against its own tree object; the baseline revision
+    # itself is a plain int and travels with the (pickled) tree, so
+    # staleness decisions stay bit-for-bit identical across backends.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_min_power_cache"] = None
+        state["_recon_cache"] = {}
+        state["_recon_cache_tree"] = None
+        state["_baseline_tree_ref"] = None
+        # Weakrefs cannot travel, so persist the staleness *verdict*: a
+        # baseline that is stale here (including via the refresh()-swap
+        # guard, which a revision number alone cannot express) must stay
+        # stale in the copy.
+        if self.baseline_is_stale():
+            state["_baseline_revision"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # A non-None revision means the baseline was fresh when pickled,
+        # so the copy's current tree is exactly the one it was fitted
+        # against — re-anchor the identity guard to it.
+        if self._baseline_revision is not None and self.model.fitted:
+            self._baseline_tree_ref = weakref.ref(self.model.tree)
+
+    def clear_caches(self) -> None:
+        """Drop memoised spectra/reconstruction products (rebuilt lazily)."""
+        self._min_power_cache = None
+        self._recon_cache = {}
+        self._recon_cache_tree = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -155,13 +206,69 @@ class OnlineAnalysisPipeline:
             spectrum = spectrum.filter(self.config.frequency_range)
         return spectrum
 
-    def reconstruction(self) -> np.ndarray:
-        """Denoised reconstruction over the ingested timeline."""
-        return self.model.tree.reconstruct(
-            self.model.n_snapshots,
-            frequency_range=self.config.frequency_range,
-            min_power=self._min_power_threshold(),
+    def _normalize_time_range(
+        self, time_range: tuple[int, int] | None
+    ) -> tuple[int, int] | None:
+        """Clamp an absolute window to the ingested timeline (None = full)."""
+        if time_range is None:
+            return None
+        start, stop = time_range
+        total = self.model.n_snapshots
+        return (min(max(int(start), 0), total), min(max(int(stop), 0), total))
+
+    def _reconstruction_window(
+        self, time_range: tuple[int, int] | None
+    ) -> np.ndarray:
+        """Reconstruction over a (normalised) window, memoised per revision.
+
+        Only modes overlapping the window are expanded (see
+        :meth:`MrDMDTree.reconstruct`), and results are cached per
+        ``(tree revision, window, filter settings)`` so repeated rack-view
+        queries between updates cost a dict lookup.  Callers must not
+        mutate the returned array.
+        """
+        tree = self.model.tree
+        if self._recon_cache_tree is None or self._recon_cache_tree() is not tree:
+            # refresh() swapped in a new tree (or this is a fresh copy):
+            # every cached window belongs to the old one.
+            self._recon_cache = {}
+            self._recon_cache_tree = weakref.ref(tree)
+        key = (
+            tree.revision,
+            time_range,
+            self.config.frequency_range,
+            self._min_power_threshold(),
         )
+        cached = self._recon_cache.pop(key, None)
+        if cached is None:
+            cached = tree.reconstruct(
+                self.model.n_snapshots,
+                time_range=time_range,
+                frequency_range=self.config.frequency_range,
+                min_power=key[3],
+            )
+            # Entries from earlier revisions can never hit again.
+            stale = [k for k in self._recon_cache if k[0] != tree.revision]
+            for k in stale:
+                del self._recon_cache[k]
+            while len(self._recon_cache) >= RECONSTRUCTION_CACHE_SIZE:
+                self._recon_cache.pop(next(iter(self._recon_cache)))
+        self._recon_cache[key] = cached  # (re)insert at LRU tail
+        return cached
+
+    def reconstruction(
+        self, *, time_range: tuple[int, int] | None = None
+    ) -> np.ndarray:
+        """Denoised reconstruction over the ingested timeline.
+
+        ``time_range`` restricts the output to an absolute ``(start,
+        stop)`` snapshot window — column ``j`` of the result equals column
+        ``start + j`` of the full reconstruction, but only the modes
+        overlapping the window are expanded.
+        """
+        return self._reconstruction_window(
+            self._normalize_time_range(time_range)
+        ).copy()
 
     def reconstruction_report(self, reference: np.ndarray) -> ReconstructionReport:
         """Quality metrics of the current reconstruction against ``reference``."""
@@ -178,9 +285,18 @@ class OnlineAnalysisPipeline:
         value_range: tuple[float, float] | None = None,
         time_range: tuple[int, int] | None = None,
     ) -> BaselineModel:
-        """Estimate the baseline statistics (from the reconstruction by default)."""
+        """Estimate the baseline statistics (from the reconstruction by default).
+
+        A baseline fitted from the reconstruction records the tree revision
+        it saw, so later scoring can detect (and, under
+        ``config.baseline_refit == "stale"``, repair) staleness as more
+        data streams in.  A baseline fitted from caller-supplied ``data``
+        is *pinned*: the pipeline cannot replay it, so it is never
+        auto-refit.
+        """
+        pinned = data is not None
         if data is None:
-            data = self.reconstruction()
+            data = self._reconstruction_window(None)
         spec = BaselineSpec(
             value_range=value_range or self.config.baseline_range,
             time_range=time_range,
@@ -191,6 +307,42 @@ class OnlineAnalysisPipeline:
             near=self.config.zscore_near,
             extreme=self.config.zscore_extreme,
         )
+        self._baseline_spec = spec
+        self._baseline_pinned = pinned
+        if self.model.fitted:
+            self._baseline_revision = self.model.tree.revision
+            self._baseline_tree_ref = weakref.ref(self.model.tree)
+        else:
+            self._baseline_revision = None
+            self._baseline_tree_ref = None
+        return self._baseline
+
+    def baseline_is_stale(self) -> bool:
+        """Whether the fitted baseline predates the current mode tree."""
+        if self._baseline is None or not self.model.fitted:
+            return False
+        if self._baseline_revision is None:
+            return True
+        tree = self.model.tree
+        if self._baseline_tree_ref is not None and self._baseline_tree_ref() is not tree:
+            return True
+        return self._baseline_revision != tree.revision
+
+    def _ensure_baseline(self) -> BaselineModel:
+        """Fit the baseline lazily; refit a stale one when configured to."""
+        if self._baseline is None:
+            self.fit_baseline()
+        elif (
+            self.config.baseline_refit == "stale"
+            and not self._baseline_pinned
+            and self.baseline_is_stale()
+        ):
+            spec = self._baseline_spec or BaselineSpec(
+                value_range=self.config.baseline_range
+            )
+            self.fit_baseline(
+                value_range=spec.value_range, time_range=spec.time_range
+            )
         return self._baseline
 
     def zscores(
@@ -199,12 +351,29 @@ class OnlineAnalysisPipeline:
         *,
         time_range: tuple[int, int] | None = None,
     ) -> ZScoreResult:
-        """Row-level z-scores of (a window of) the reconstruction."""
-        if self._baseline is None:
-            self.fit_baseline()
+        """Row-level z-scores of (a window of) the reconstruction.
+
+        With the default ``data=None`` only the requested window of the
+        reconstruction is expanded (and cached per tree revision), so
+        repeated recent-window scoring between updates stops paying
+        O(full timeline) per call.  Note that under
+        ``config.baseline_refit == "stale"`` the first scoring call after
+        a tree update still pays one full-timeline reconstruction to
+        refit the baseline (its statistics are defined over the whole
+        stream); the reconstruction cache amortises that to once per
+        revision — the same per-update cost the pre-windowed code paid on
+        *every* call.
+        """
+        baseline = self._ensure_baseline()
         if data is None:
-            data = self.reconstruction()
-        return self._baseline.score(
+            window = self._normalize_time_range(time_range)
+            if window is not None and window[1] <= window[0]:
+                raise ValueError(f"time_range {time_range!r} selects no columns")
+            return baseline.score(
+                self._reconstruction_window(window),
+                reducer=self.config.zscore_reducer,
+            )
+        return baseline.score(
             data, reducer=self.config.zscore_reducer, time_range=time_range
         )
 
@@ -242,12 +411,20 @@ class OnlineAnalysisPipeline:
         """
         baseline = None
         if self._baseline is not None:
+            spec = self._baseline_spec
             baseline = {
                 "mean": self._baseline.mean,
                 "std": self._baseline.std,
                 "near": self._baseline.near,
                 "extreme": self._baseline.extreme,
                 "std_floor": self._baseline.std_floor,
+                # Provenance for staleness-aware restore.  Tree revision
+                # counters do not survive to_dict/from_dict, so freshness
+                # is stored as a bool and re-anchored on the rebuilt tree.
+                "pinned": self._baseline_pinned,
+                "fresh": not self.baseline_is_stale(),
+                "spec_value_range": None if spec is None else spec.value_range,
+                "spec_time_range": None if spec is None else spec.time_range,
             }
         return {
             "config": self.config.to_dict(),
@@ -276,6 +453,17 @@ class OnlineAnalysisPipeline:
                 extreme=float(b["extreme"]),
                 std_floor=float(b["std_floor"]),
             )
+            pipeline._baseline_pinned = bool(b.get("pinned", False))
+            value_range = b.get("spec_value_range")
+            time_range = b.get("spec_time_range")
+            if value_range is not None or time_range is not None:
+                pipeline._baseline_spec = BaselineSpec(
+                    value_range=None if value_range is None else tuple(value_range),
+                    time_range=None if time_range is None else tuple(time_range),
+                )
+            if bool(b.get("fresh", True)) and pipeline.model.fitted:
+                pipeline._baseline_revision = pipeline.model.tree.revision
+                pipeline._baseline_tree_ref = weakref.ref(pipeline.model.tree)
         return pipeline
 
     def alignment_report(

@@ -1,0 +1,165 @@
+"""Command-line entry point for the fleet-monitoring service.
+
+Runs any scenario from the catalog straight from the shell::
+
+    python -m repro.service --list
+    python -m repro.service rack-cooling-failure
+    python -m repro.service mid-run-restart --executor process --workers 4
+    python -m repro.service noisy-neighbor-job --alerts-jsonl alerts.jsonl
+
+The runner drives a :class:`~repro.service.monitor.FleetMonitor` through
+the scenario's stream on a persistent shard executor, evaluating alerts
+after every chunk, and prints an operator-style summary (alert trail,
+alerted racks, the hottest rack-view values over the recent window).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from .alerts import AlertSeverity, JsonLinesSink, RingBufferSink
+from .scenarios import SCENARIOS, get_scenario
+from .scenarios import ScenarioRunner
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run a fleet-monitoring scenario from the catalog.",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        help=f"catalog name (one of: {', '.join(sorted(SCENARIOS))})",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the scenario catalog and exit"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="shard fan-out backend (persistent across chunks; default serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for thread/process executors (default: one per shard)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="where restart scenarios persist their checkpoint "
+        "(default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--alerts-jsonl",
+        default=None,
+        metavar="PATH",
+        help="also append every alert to a JSON-lines audit file",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=100,
+        metavar="T",
+        help="trailing window (snapshots) for the final rack-view summary",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        metavar="K",
+        help="how many of the hottest nodes to print (default 8)",
+    )
+    return parser
+
+
+def _run(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    machine = scenario.machine
+    print(f"scenario: {scenario.name} — {scenario.description}")
+    print(
+        f"machine:  {machine.n_nodes} nodes in {machine.n_racks} racks, "
+        f"dt={machine.dt_seconds:.0f}s"
+    )
+    print(
+        f"stream:   {scenario.total_steps} snapshots (initial "
+        f"{scenario.initial_size}, {scenario.n_chunks} chunks of "
+        f"{scenario.chunk_size}); executor={args.executor}"
+    )
+
+    sinks = [RingBufferSink()]
+    if args.alerts_jsonl:
+        sinks.append(JsonLinesSink(args.alerts_jsonl))
+
+    def run_with(checkpoint_dir: str | None):
+        return ScenarioRunner(
+            scenario,
+            sinks=sinks,
+            checkpoint_dir=checkpoint_dir,
+            executor=args.executor,
+            max_workers=args.workers,
+        ).run()
+
+    if scenario.restart_after_chunk is not None and args.checkpoint_dir is None:
+        with tempfile.TemporaryDirectory() as checkpoint_dir:
+            result = run_with(checkpoint_dir)
+    else:
+        result = run_with(args.checkpoint_dir)
+
+    print(
+        f"\n{len(result.alerts)} alert(s) over {result.n_chunks} chunks"
+        + (" (service restarted mid-run)" if result.restarted else "")
+    )
+    for severity in reversed(AlertSeverity):
+        count = sum(1 for alert in result.alerts if alert.severity is severity)
+        if count:
+            print(f"  {severity.name:8s} {count}")
+    for alert in result.alerts[: args.top]:
+        print(f"  [{alert.severity.name:8s}] step {alert.step}: {alert.message}")
+    if len(result.alerts) > args.top:
+        print(f"  ... and {len(result.alerts) - args.top} more")
+
+    alerted_racks = sorted(
+        {machine.rack_of_node(node) for node in result.alerted_nodes()}
+    )
+    print(f"alerted racks: {alerted_racks or 'none'}")
+
+    # Recent-window rack view: the monitor is closed (state landed
+    # in-process), and the windowed query only expands the window's modes.
+    monitor = result.monitor
+    lo = max(0, monitor.step - args.window)
+    recent = monitor.rack_values(time_range=(lo, monitor.step))
+    hottest = sorted(recent.items(), key=lambda item: item[1], reverse=True)
+    print(f"hottest nodes over the last {monitor.step - lo} snapshots:")
+    for node, z in hottest[: args.top]:
+        print(f"  node {node:3d} (rack {machine.rack_of_node(node)}): z = {z:+.2f}")
+    if args.alerts_jsonl:
+        print(f"alert audit trail appended to {args.alerts_jsonl}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(f"{name:24s} {SCENARIOS[name]().description}")
+        return 0
+    if args.scenario is None:
+        parser.error("a scenario name (or --list) is required")
+    if args.scenario not in SCENARIOS:
+        parser.error(
+            f"unknown scenario {args.scenario!r}; available: {sorted(SCENARIOS)}"
+        )
+    return _run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,12 +63,20 @@ def _shard_filename(index: int) -> str:
 
 
 def save_checkpoint(directory: str, monitor: FleetMonitor) -> CheckpointInfo:
-    """Write the monitor's full state under ``directory`` (created if needed)."""
+    """Write the monitor's full state under ``directory`` (created if needed).
+
+    Per-shard state is collected through the monitor's executor
+    (:meth:`FleetMonitor.shard_state_dicts`), so remote-resident backends
+    ship only state dicts — identical bytes to a serial monitor's, as the
+    parity tests assert.
+    """
     os.makedirs(directory, exist_ok=True)
     files = []
+    # One shard at a time: fetch, write, drop — peak memory stays at a
+    # single shard's state even for fleets retaining raw data.
     for index, spec in enumerate(monitor.shards):
         path = os.path.join(directory, _shard_filename(index))
-        save_state(path, monitor.pipeline(spec.shard_id).state_dict())
+        save_state(path, monitor.shard_state_dict(spec.shard_id))
         files.append(path)
     manifest = {
         "version": CHECKPOINT_VERSION,
@@ -110,6 +118,8 @@ def load_checkpoint(
     *,
     rules: Sequence[AlertRule] | None = None,
     sinks: Iterable[AlertSink] = (),
+    executor=None,
+    max_workers: int | None = None,
 ) -> FleetMonitor:
     """Rebuild a :class:`FleetMonitor` from a checkpoint directory.
 
@@ -117,6 +127,10 @@ def load_checkpoint(
     An engine is attached whenever the checkpoint carried engine state *or*
     the caller passes rules/sinks; persisted cooldown bookkeeping, when
     present, is restored so alert deduplication continues seamlessly.
+    ``executor``/``max_workers`` configure the restored monitor's shard
+    fan-out exactly as the :class:`FleetMonitor` constructor does; the
+    executor starts lazily on first use, after the restored pipelines are
+    installed.
     """
     manifest = read_manifest(directory)
     shards = [ShardSpec.from_dict(payload) for payload in manifest["shards"]]
@@ -133,6 +147,8 @@ def load_checkpoint(
         shards=shards,
         config=PipelineConfig.from_dict(manifest["config"]),
         alert_engine=engine,
+        executor=executor,
+        max_workers=max_workers,
     )
     for index, spec in enumerate(shards):
         path = os.path.join(directory, manifest["shard_files"][index])

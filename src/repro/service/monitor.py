@@ -7,17 +7,23 @@ over the whole sensor matrix, a :class:`FleetMonitor`
 1. partitions the matrix rows into shards via a pluggable
    :class:`~repro.service.sharding.ShardingPolicy` (by rack, by metric
    group, ...);
-2. runs one independent I-mrDMD pipeline per shard, fanning streaming
-   chunks out through :func:`repro.util.parallel.parallel_map` (serial by
-   default, process pool on request — each shard's decomposition is
-   embarrassingly parallel, exactly the structure the paper notes);
+2. runs one independent I-mrDMD pipeline per shard on a **persistent**
+   :class:`~repro.util.parallel.ShardExecutor` (serial by default; thread
+   or process workers on request).  Workers are created once and own their
+   shard pipelines resident, so an ingest ships only ``(shard_id, chunk)``
+   and queries ship small commands back — each shard's decomposition is
+   embarrassingly parallel, exactly the structure the paper notes, without
+   re-pickling the full pipeline state every chunk;
 3. merges per-shard products (node z-scores, rack values, spectra) back
    into fleet-level ones;
 4. feeds an optional :class:`~repro.service.alerts.AlertEngine` after each
-   ingest.
+   ingest — :meth:`ingest_and_alert` overlaps the per-shard scoring needed
+   by the rules with the other shards' updates.
 
-The monitor is fully serialisable (see :mod:`repro.service.checkpoint`):
-a restarted monitor resumes mid-stream with bit-for-bit identical products.
+All executor backends produce bit-for-bit identical products (asserted by
+the tests).  The monitor is fully serialisable (see
+:mod:`repro.service.checkpoint`): a restarted monitor resumes mid-stream
+with bit-for-bit identical products.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ from ..hwlog.events import HardwareLog
 from ..pipeline.config import PipelineConfig
 from ..pipeline.online import OnlineAnalysisPipeline, PipelineSnapshot
 from ..telemetry.generator import TelemetryStream
-from ..util.parallel import parallel_map
+from ..util.parallel import ShardExecutor, make_shard_executor, parallel_map
 from .alerts import Alert, AlertContext, AlertEngine
 from .sharding import ShardSpec, ShardingPolicy, SingleShard, validate_partition
 
@@ -96,12 +102,50 @@ class FleetSpectrum:
         return out
 
 
-def _ingest_shard(payload: tuple[OnlineAnalysisPipeline, np.ndarray]):
-    """Process-pool worker: ingest one chunk into one shard's pipeline.
+# --------------------------------------------------------------------------- #
+# Shard commands.  Top-level functions so the process backend can pickle
+# them by reference; each is called as fn(resident_pipeline, *args) inside
+# the worker and only its (small) result travels back.
+# --------------------------------------------------------------------------- #
+def _shard_ingest(pipeline: OnlineAnalysisPipeline, chunk: np.ndarray) -> PipelineSnapshot:
+    return pipeline.ingest(chunk)
 
-    Returns the (possibly copied, when running in a worker process)
-    pipeline together with its snapshot so the parent can reinstall it.
-    """
+
+def _shard_node_zscores(
+    pipeline: OnlineAnalysisPipeline, time_range, reducer: str
+) -> NodeZScores:
+    return pipeline.node_zscores(time_range=time_range, reducer=reducer)
+
+
+def _shard_spectrum(pipeline: OnlineAnalysisPipeline, label: str) -> MrDMDSpectrum:
+    return pipeline.spectrum(label=label)
+
+
+def _shard_fit_baseline(pipeline: OnlineAnalysisPipeline, kwargs: dict) -> None:
+    pipeline.fit_baseline(**kwargs)
+
+
+def _shard_state_dict(pipeline: OnlineAnalysisPipeline) -> dict:
+    return pipeline.state_dict()
+
+
+def _shard_last_update(pipeline: OnlineAnalysisPipeline):
+    history = pipeline.model.history if pipeline.model.fitted else []
+    return history[-1] if history else None
+
+
+def _shard_total_modes(pipeline: OnlineAnalysisPipeline) -> int:
+    return pipeline.model.tree.total_modes if pipeline.model.fitted else 0
+
+
+def _return_pipeline(pipeline: OnlineAnalysisPipeline) -> OnlineAnalysisPipeline:
+    return pipeline
+
+
+def _ingest_shard(payload: tuple[OnlineAnalysisPipeline, np.ndarray]):
+    """Legacy per-ingest pool worker (kept for the deprecated ``processes``
+    path and its benchmark baseline): ingest one chunk into one shard's
+    pipeline and ship the **whole pipeline** back for reinstallation."""
     pipeline, chunk = payload
     snapshot = pipeline.ingest(chunk)
     return pipeline, snapshot
@@ -125,6 +169,20 @@ class FleetMonitor:
     n_rows:
         Total row count of the full matrix (enables partition validation
         up front; otherwise the first ingest validates implicitly).
+    executor:
+        Shard fan-out backend: ``None``/``"serial"`` (default),
+        ``"thread"``, ``"process"``, or a fresh
+        :class:`~repro.util.parallel.ShardExecutor` instance.  The
+        executor is started lazily on first use and then **held open
+        across ingests** — close it with :meth:`close` or by using the
+        monitor as a context manager (``with FleetMonitor(...) as mon:``).
+    max_workers:
+        Worker count for the thread/process backends (default: one per
+        shard, capped at the CPU count).
+    extra_rows:
+        What to do when an ingested matrix has *more* rows than the shard
+        partition covers: ``"raise"`` (default) or ``"ignore"`` (drop the
+        remainder, the pre-fix behaviour — explicit opt-in only).
     """
 
     def __init__(
@@ -135,15 +193,23 @@ class FleetMonitor:
         *,
         alert_engine: AlertEngine | None = None,
         n_rows: int | None = None,
+        executor: str | ShardExecutor | None = None,
+        max_workers: int | None = None,
+        extra_rows: str = "raise",
     ) -> None:
         if not shards:
             raise ValueError("FleetMonitor needs at least one shard")
         if n_rows is not None:
             validate_partition(shards, n_rows)
+        if extra_rows not in ("raise", "ignore"):
+            raise ValueError(
+                f"extra_rows must be 'raise' or 'ignore', got {extra_rows!r}"
+            )
         self.dt = float(dt)
         self.config = config or PipelineConfig()
         self.shards = list(shards)
         self.alert_engine = alert_engine
+        self.extra_rows = extra_rows
         self._pipelines: dict[str, OnlineAnalysisPipeline] = {
             spec.shard_id: OnlineAnalysisPipeline(
                 dt=dt, config=self.config, node_of_row=spec.node_of_row
@@ -152,6 +218,9 @@ class FleetMonitor:
         }
         if len(self._pipelines) != len(self.shards):
             raise ValueError("shard ids must be unique")
+        self._executor_spec: str | ShardExecutor | None = executor
+        self._max_workers = max_workers
+        self._executor: ShardExecutor | None = None
         self._step = 0
 
     # ------------------------------------------------------------------ #
@@ -163,6 +232,9 @@ class FleetMonitor:
         config: PipelineConfig | None = None,
         *,
         alert_engine: AlertEngine | None = None,
+        executor: str | ShardExecutor | None = None,
+        max_workers: int | None = None,
+        extra_rows: str = "raise",
     ) -> "FleetMonitor":
         """Build a monitor for a telemetry stream's row layout.
 
@@ -179,7 +251,59 @@ class FleetMonitor:
             config=config,
             alert_engine=alert_engine,
             n_rows=stream.n_rows,
+            executor=executor,
+            max_workers=max_workers,
+            extra_rows=extra_rows,
         )
+
+    # ------------------------------------------------------------------ #
+    # Executor lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def executor(self) -> ShardExecutor | None:
+        """The live executor (None until first use or after :meth:`close`)."""
+        return self._executor
+
+    def _ensure_executor(self) -> ShardExecutor:
+        """Start the configured executor lazily; reuse it across calls."""
+        if self._executor is None:
+            self._executor = make_shard_executor(
+                self._executor_spec, max_workers=self._max_workers
+            )
+            self._executor.start(self._pipelines)
+        return self._executor
+
+    @property
+    def _resident_remote(self) -> bool:
+        """Whether pipeline state lives in worker processes, not in-process."""
+        return self._executor is not None and self._executor.backend == "process"
+
+    def close(self) -> None:
+        """Shut the executor down, landing shard state back in-process.
+
+        For the process backend the resident pipelines are pulled back
+        first, so every analysis product (rack values, spectra,
+        checkpoints) keeps working after close — subsequent calls simply
+        run serially.  Idempotent.
+        """
+        if self._executor is None:
+            return
+        try:
+            if self._resident_remote and not self._executor.closed:
+                self._pipelines = self._executor.pull()
+        finally:
+            # Even if the pull fails (a worker died and its state is
+            # gone), the remaining workers must still be shut down and
+            # the monitor left in its degraded-serial state.
+            self._executor.close()
+            self._executor = None
+            self._executor_spec = "serial"
+
+    def __enter__(self) -> "FleetMonitor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -195,46 +319,75 @@ class FleetMonitor:
 
     @property
     def pipelines(self) -> dict[str, OnlineAnalysisPipeline]:
-        """Per-shard pipelines keyed by shard id (live objects)."""
+        """Per-shard pipelines keyed by shard id.
+
+        Serial/thread backends return the live objects; the process
+        backend pulls fresh *copies* from the workers (mutating them does
+        not affect the service — use shard commands for that).
+        """
+        if self._resident_remote:
+            self._pipelines = self._executor.pull()
         return dict(self._pipelines)
 
     def pipeline(self, shard_id: str) -> OnlineAnalysisPipeline:
-        """The pipeline of one shard."""
+        """The pipeline of one shard (see :attr:`pipelines` for semantics)."""
+        if shard_id not in self._pipelines:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        if self._resident_remote:
+            # Fetch just this shard's resident copy — one pickle, not a
+            # full-fleet pull.
+            return self._executor.call(shard_id, _return_pipeline)
         return self._pipelines[shard_id]
 
     @property
     def total_modes(self) -> int:
         """Total slow modes across every shard's tree."""
-        return sum(
-            p.model.tree.total_modes
-            for p in self._pipelines.values()
-            if p.model.fitted
-        )
+        return sum(self._query_all(_shard_total_modes).values())
 
     def last_updates(self) -> dict[str, object | None]:
         """Latest UpdateRecord per shard (None before first partial_fit)."""
-        out = {}
-        for spec in self.shards:
-            history = (
-                self._pipelines[spec.shard_id].model.history
-                if self._pipelines[spec.shard_id].model.fitted
-                else []
-            )
-            out[spec.shard_id] = history[-1] if history else None
-        return out
+        return self._query_all(_shard_last_update)
+
+    # ------------------------------------------------------------------ #
+    # Shard command routing
+    # ------------------------------------------------------------------ #
+    def _query_all(self, fn, *args, **kwargs) -> dict:
+        """Fan a shard command out over the executor; gather in shard order.
+
+        Before the executor has started (no ingest yet, or right after a
+        restore) the in-process pipelines are authoritative, so queries
+        answer from them directly instead of spawning workers as a side
+        effect of a read.
+        """
+        if self._executor is None:
+            return {
+                spec.shard_id: fn(self._pipelines[spec.shard_id], *args, **kwargs)
+                for spec in self.shards
+            }
+        return self._executor.broadcast(fn, *args, **kwargs)
+
+    def shard_state_dicts(self) -> dict[str, dict]:
+        """Full per-shard pipeline state, keyed by shard id.
+
+        This is the checkpoint payload: for remote-resident backends only
+        the state dicts travel back, never live pipeline objects.  For a
+        memory-bounded one-shard-at-a-time walk (large fleets with
+        retained data), use :meth:`shard_state_dict` per shard instead.
+        """
+        return self._query_all(_shard_state_dict)
+
+    def shard_state_dict(self, shard_id: str) -> dict:
+        """One shard's full pipeline state (a single executor round trip)."""
+        if shard_id not in self._pipelines:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        if self._executor is None:
+            return self._pipelines[shard_id].state_dict()
+        return self._executor.call(shard_id, _shard_state_dict)
 
     # ------------------------------------------------------------------ #
     # Ingestion
     # ------------------------------------------------------------------ #
-    def ingest(self, values: np.ndarray, *, processes: int | None = None) -> FleetSnapshot:
-        """Feed a ``(P, T_chunk)`` block of full-matrix snapshots.
-
-        Rows are routed to shards by the partition; each shard pipeline
-        does its initial fit on the first call and incremental updates
-        afterwards.  ``processes > 1`` fans shards out over a process pool
-        (results are identical to the serial path; pipelines are shipped
-        back and reinstalled).
-        """
+    def _validated(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=float)
         if values.ndim != 2:
             raise ValueError(f"values must be 2-D (P, T), got shape {values.shape!r}")
@@ -244,6 +397,51 @@ class FleetMonitor:
                 f"values has {values.shape[0]} rows but the shard partition "
                 f"covers rows up to {required_rows - 1}"
             )
+        if values.shape[0] > required_rows and self.extra_rows == "raise":
+            raise ValueError(
+                f"values has {values.shape[0]} rows but the shard partition "
+                f"covers only rows [0, {required_rows}); extra rows would be "
+                f"silently dropped — fix the partition or pass "
+                f"extra_rows='ignore' to the monitor"
+            )
+        return values
+
+    def ingest(self, values: np.ndarray, *, processes: int | None = None) -> FleetSnapshot:
+        """Feed a ``(P, T_chunk)`` block of full-matrix snapshots.
+
+        Rows are routed to shards by the partition; each shard pipeline
+        does its initial fit on the first call and incremental updates
+        afterwards.  Fan-out runs on the monitor's persistent executor
+        (see the ``executor`` constructor argument); results are identical
+        across backends.
+
+        ``processes > 1`` is the **deprecated** one-shot-pool path kept for
+        comparison benchmarks: it spawns a fresh process pool for this
+        single call and pickles each shard's entire pipeline state to the
+        workers and back.  Prefer ``executor="process"``, which ships the
+        state once and keeps it resident.
+        """
+        values = self._validated(values)
+        if processes is not None and processes < 1:
+            # Mirror parallel_map's validation: invalid values must not
+            # silently fall back to the serial/executor path.
+            raise ValueError(f"processes must be None or >= 1, got {processes!r}")
+        if processes is not None and processes > 1:
+            return self._ingest_pooled(values, processes)
+        snapshots = self._ensure_executor().map(
+            _shard_ingest,
+            {spec.shard_id: (spec.take(values),) for spec in self.shards},
+        )
+        return self._finish_ingest(values, snapshots)
+
+    def _ingest_pooled(self, values: np.ndarray, processes: int) -> FleetSnapshot:
+        """Legacy per-ingest pool: full pipeline pickled out and back."""
+        if self._executor is not None and self._executor.backend != "serial":
+            raise ValueError(
+                "per-ingest 'processes' pools cannot be combined with a "
+                "persistent thread/process executor; drop the processes "
+                "argument (the executor already fans shards out)"
+            )
         work = [
             (self._pipelines[spec.shard_id], spec.take(values)) for spec in self.shards
         ]
@@ -252,42 +450,87 @@ class FleetMonitor:
         for spec, (pipeline, snapshot) in zip(self.shards, results):
             # Reinstall: a process-pool worker returns a pickled copy.
             self._pipelines[spec.shard_id] = pipeline
+            if self._executor is not None:
+                self._executor.install(spec.shard_id, pipeline)
             snapshots[spec.shard_id] = snapshot
+        return self._finish_ingest(values, snapshots)
+
+    def _finish_ingest(
+        self, values: np.ndarray, snapshots: dict[str, PipelineSnapshot]
+    ) -> FleetSnapshot:
         self._step += values.shape[1]
         return FleetSnapshot(
             step=self._step,
             chunk_size=int(values.shape[1]),
             n_shards=self.n_shards,
-            total_modes=self.total_modes,
+            total_modes=sum(snap.n_modes for snap in snapshots.values()),
             shard_snapshots=snapshots,
         )
+
+    def ingest_and_alert(
+        self,
+        values: np.ndarray,
+        *,
+        hwlog: HardwareLog | None = None,
+        window: int = 200,
+    ) -> tuple[FleetSnapshot, list[Alert]]:
+        """Ingest a chunk and evaluate alerts, overlapping the two.
+
+        Equivalent to ``ingest(values)`` followed by
+        ``evaluate_alerts(hwlog=hwlog, window=window)`` — bit-for-bit, as
+        the tests assert — but each shard's recent-window scoring is
+        enqueued directly behind its own update, so on thread/process
+        backends shard A is being scored while shard B is still updating,
+        and the drift records are taken from the ingest results instead of
+        a second query round-trip.
+        """
+        values = self._validated(values)
+        executor = self._ensure_executor()
+        new_step = self._step + values.shape[1]
+        ingest_tasks = [
+            (spec.shard_id, executor.submit(spec.shard_id, _shard_ingest, spec.take(values)))
+            for spec in self.shards
+        ]
+        score_tasks = []
+        if self.alert_engine is not None:
+            lo = max(0, new_step - window)
+            score_tasks = [
+                (
+                    spec.shard_id,
+                    executor.submit(
+                        spec.shard_id, _shard_node_zscores, (lo, new_step), "mean"
+                    ),
+                )
+                for spec in self.shards
+            ]
+        snapshots = {shard_id: task.result() for shard_id, task in ingest_tasks}
+        snapshot = self._finish_ingest(values, snapshots)
+        if self.alert_engine is None:
+            return snapshot, []
+        per_shard = {shard_id: task.result() for shard_id, task in score_tasks}
+        context = AlertContext(
+            step=self._step,
+            node_zscores=self._merge_node_scores(per_shard, reducer="mean"),
+            updates={sid: snap.update for sid, snap in snapshots.items()},
+            hwlog=hwlog,
+            window=window,
+        )
+        return snapshot, self.alert_engine.evaluate(context)
 
     # ------------------------------------------------------------------ #
     # Fleet-level analysis products
     # ------------------------------------------------------------------ #
     def fit_baselines(self, **kwargs) -> None:
         """Fit every shard's baseline (from its reconstruction by default)."""
-        for pipeline in self._pipelines.values():
-            pipeline.fit_baseline(**kwargs)
+        self._query_all(_shard_fit_baseline, kwargs)
 
-    def node_zscores(
-        self,
-        *,
-        time_range: tuple[int, int] | None = None,
-        reducer: str = "mean",
+    def _merge_node_scores(
+        self, per_shard: dict[str, NodeZScores], reducer: str
     ) -> NodeZScores:
-        """Fleet-merged per-node z-scores.
-
-        Each shard scores its own rows against its own baseline; nodes
-        appearing in several shards (metric sharding) are aggregated with
-        ``reducer`` (``"mean"``, ``"max"`` or ``"absmax"``), then
-        re-classified with the shared thresholds.
-        """
+        """Aggregate per-shard node scores into one fleet-level set."""
         per_node: dict[int, list[float]] = {}
         for spec in self.shards:
-            shard_scores = self._pipelines[spec.shard_id].node_zscores(
-                time_range=time_range, reducer=reducer
-            )
+            shard_scores = per_shard[spec.shard_id]
             for node, z in zip(shard_scores.node_indices, shard_scores.zscores):
                 per_node.setdefault(int(node), []).append(float(z))
         nodes = np.array(sorted(per_node), dtype=int)
@@ -307,6 +550,25 @@ class FleetMonitor:
         )
         return NodeZScores(node_indices=nodes, zscores=merged, categories=categories)
 
+    def node_zscores(
+        self,
+        *,
+        time_range: tuple[int, int] | None = None,
+        reducer: str = "mean",
+    ) -> NodeZScores:
+        """Fleet-merged per-node z-scores.
+
+        Each shard scores its own rows against its own baseline (fanned
+        out over the executor); nodes appearing in several shards (metric
+        sharding) are aggregated with ``reducer`` (``"mean"``, ``"max"``
+        or ``"absmax"``), then re-classified with the shared thresholds.
+        Passing ``time_range`` scores a *window* of the reconstruction —
+        only that window's modes are expanded (and cached per shard), so
+        recent-window queries stop paying O(full timeline) per call.
+        """
+        per_shard = self._query_all(_shard_node_zscores, time_range, reducer)
+        return self._merge_node_scores(per_shard, reducer=reducer)
+
     def rack_values(
         self,
         *,
@@ -318,10 +580,16 @@ class FleetMonitor:
 
     def spectra(self) -> dict[str, MrDMDSpectrum]:
         """Per-shard (filtered) spectra keyed by shard id."""
-        return {
-            spec.shard_id: self._pipelines[spec.shard_id].spectrum(label=spec.shard_id)
-            for spec in self.shards
-        }
+        if self._executor is None:
+            return {
+                spec.shard_id: _shard_spectrum(
+                    self._pipelines[spec.shard_id], spec.shard_id
+                )
+                for spec in self.shards
+            }
+        return self._executor.map(
+            _shard_spectrum, {spec.shard_id: (spec.shard_id,) for spec in self.shards}
+        )
 
     def fleet_spectrum(self) -> FleetSpectrum:
         """Merged power/frequency table across every shard."""
@@ -351,7 +619,8 @@ class FleetMonitor:
 
         Returns the deduplicated alerts fired this evaluation (also
         delivered to the engine's sinks).  A monitor without an engine
-        returns an empty list.
+        returns an empty list.  :meth:`ingest_and_alert` produces the same
+        alerts while overlapping scoring with the shard updates.
         """
         if self.alert_engine is None:
             return []

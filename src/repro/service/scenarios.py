@@ -216,8 +216,15 @@ class ScenarioRunner:
     checkpoint_dir:
         Where the restart scenario persists its checkpoint; required when
         ``scenario.restart_after_chunk`` is set.
+    executor / max_workers:
+        Shard fan-out backend for the monitor (``None``/``"serial"``,
+        ``"thread"``, ``"process"``), held open across the whole run and
+        closed before returning; every backend produces identical
+        products.
     processes:
-        Forwarded to :meth:`FleetMonitor.ingest` (shard fan-out).
+        Deprecated one-shot-pool fan-out forwarded to
+        :meth:`FleetMonitor.ingest`; kept for comparison benchmarks.
+        Mutually exclusive with a non-serial ``executor``.
     """
 
     def __init__(
@@ -226,6 +233,8 @@ class ScenarioRunner:
         *,
         sinks: Sequence[AlertSink] = (),
         checkpoint_dir: str | None = None,
+        executor: str | None = None,
+        max_workers: int | None = None,
         processes: int | None = None,
     ) -> None:
         if scenario.restart_after_chunk is not None:
@@ -237,9 +246,13 @@ class ScenarioRunner:
                 raise ValueError(
                     f"restart_after_chunk must be in [1, {scenario.n_chunks}]"
                 )
+        if processes is not None and executor not in (None, "serial"):
+            raise ValueError("pass either executor or processes, not both")
         self.scenario = scenario
         self.sinks = list(sinks)
         self.checkpoint_dir = checkpoint_dir
+        self.executor = executor
+        self.max_workers = max_workers
         self.processes = processes
 
     def _build_monitor(self, stream: TelemetryStream) -> FleetMonitor:
@@ -253,10 +266,18 @@ class ScenarioRunner:
             policy=self.scenario.policy,
             config=self.scenario.config,
             alert_engine=engine,
+            executor=self.executor,
+            max_workers=self.max_workers,
         )
 
     def run(self) -> ScenarioResult:
-        """Execute the scenario; returns the final monitor and alert trail."""
+        """Execute the scenario; returns the final monitor and alert trail.
+
+        The monitor's executor is held open across every chunk (and
+        re-opened with the same backend after the restart scenario's
+        restore); the returned monitor is closed, with all shard state
+        landed in-process, so post-run queries keep working.
+        """
         scenario = self.scenario
         stream = scenario.build_stream()
         hwlog = scenario.build_hwlog()
@@ -267,27 +288,42 @@ class ScenarioRunner:
         )
 
         monitor = self._build_monitor(stream)
-        monitor.ingest(replay.initial(), processes=self.processes)
-
         alerts: list[Alert] = []
         restarted = False
-        for index, chunk in enumerate(replay.chunks(), start=1):
-            monitor.ingest(chunk, processes=self.processes)
-            alerts.extend(monitor.evaluate_alerts(hwlog=hwlog))
-            if scenario.restart_after_chunk == index:
-                # Persist, tear down, restore: the restored monitor must
-                # continue exactly where this one stopped.
-                save_checkpoint(self.checkpoint_dir, monitor)
-                monitor = load_checkpoint(
-                    self.checkpoint_dir, rules=default_rules(), sinks=self.sinks
-                )
-                restarted = True
+        # try/finally: a mid-run failure must not leak the persistent
+        # executor's workers (the restart path rebinds `monitor`, so the
+        # finally closes whichever one is current).
+        try:
+            monitor.ingest(replay.initial(), processes=self.processes)
+            for index, chunk in enumerate(replay.chunks(), start=1):
+                if self.processes is not None:
+                    monitor.ingest(chunk, processes=self.processes)
+                    alerts.extend(monitor.evaluate_alerts(hwlog=hwlog))
+                else:
+                    _, fired = monitor.ingest_and_alert(chunk, hwlog=hwlog)
+                    alerts.extend(fired)
+                if scenario.restart_after_chunk == index:
+                    # Persist, tear down, restore: the restored monitor must
+                    # continue exactly where this one stopped.
+                    save_checkpoint(self.checkpoint_dir, monitor)
+                    monitor.close()
+                    monitor = load_checkpoint(
+                        self.checkpoint_dir,
+                        rules=default_rules(),
+                        sinks=self.sinks,
+                        executor=self.executor,
+                        max_workers=self.max_workers,
+                    )
+                    restarted = True
 
+            rack_values = monitor.rack_values()
+        finally:
+            monitor.close()
         return ScenarioResult(
             scenario=scenario,
             monitor=monitor,
             alerts=alerts,
-            rack_values=monitor.rack_values(),
+            rack_values=rack_values,
             hwlog=hwlog,
             n_chunks=replay.n_chunks,
             restarted=restarted,

@@ -1,7 +1,16 @@
 """Shared utilities: timing, validation, chunking, parallelism, statistics."""
 
 from .chunking import chunk_indices, iter_chunks, split_columns
-from .parallel import parallel_map
+from .parallel import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    ShardTask,
+    ShardTaskError,
+    ThreadShardExecutor,
+    make_shard_executor,
+    parallel_map,
+)
 from .stats import rolling_mean, running_moments, RunningMoments
 from .timer import Timer, TimingTable, timeit
 from .validation import (
@@ -16,6 +25,13 @@ __all__ = [
     "iter_chunks",
     "split_columns",
     "parallel_map",
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "ShardTask",
+    "ShardTaskError",
+    "make_shard_executor",
     "rolling_mean",
     "running_moments",
     "RunningMoments",

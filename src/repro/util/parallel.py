@@ -1,22 +1,66 @@
-"""Process-pool helpers for embarrassingly parallel stages.
+"""Parallel execution helpers: one-shot maps and persistent shard executors.
 
 The paper notes that refreshing levels 2..L of a previously computed mrDMD
 tree "is an embarrassingly parallel problem" (Sec. III-A-1): every window at
-every level can be recomputed independently.  :func:`parallel_map` wraps
-``multiprocessing`` with a serial fallback so callers get determinism by
-default and opt into processes only when the per-task work is large enough
-to amortise the fork/pickle overhead (the usual Python-HPC guidance).
+every level can be recomputed independently.  Two tools expose that
+structure:
+
+* :func:`parallel_map` — a one-shot map with a serial fallback, for
+  stateless work items that are cheap to pickle.  Every call that opts into
+  processes pays a full pool spawn, so it only pays off when the per-item
+  work is large.
+* :class:`ShardExecutor` — a *persistent* executor for stateful shards
+  (e.g. one online pipeline per rack).  Workers are created once, receive
+  their shard objects once, and keep them **resident**: subsequent calls
+  ship only ``(shard_id, payload)`` and small results travel back.  This is
+  the streaming-service shape — a per-chunk pool would re-pickle the entire
+  pipeline state (mode tree, iSVD factors, baselines) to the workers and
+  back on every ingest, which is routinely slower than running serially.
+
+Three interchangeable backends implement the same API:
+
+``serial``
+    Everything runs inline in the calling thread (deterministic, zero
+    overhead, no pickling requirements) — the default.
+``thread``
+    A fixed pool of worker threads; shard objects are *shared* with the
+    parent (no copies).  NumPy releases the GIL inside BLAS, so per-shard
+    linear algebra genuinely overlaps.
+``process``
+    A fixed pool of spawned worker processes; shard objects are shipped
+    once at :meth:`ShardExecutor.start` and live in the workers.  Use
+    :meth:`ShardExecutor.pull` to bring them back (e.g. before shutdown).
+
+Every backend guarantees per-shard FIFO ordering: two calls submitted for
+the same shard run in submission order, so ``submit(ingest); submit(query)``
+always observes the post-ingest state.  Results are bit-for-bit identical
+across backends (same NumPy, same code path), which the service tests
+assert.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Callable, Iterable, Sequence, TypeVar
+import os
+import queue
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, Mapping, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map"]
+__all__ = [
+    "parallel_map",
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "ShardTask",
+    "ShardTaskError",
+    "make_shard_executor",
+    "SHARD_EXECUTOR_BACKENDS",
+]
 
 
 def parallel_map(
@@ -26,7 +70,7 @@ def parallel_map(
     processes: int | None = None,
     chunksize: int = 1,
 ) -> list[R]:
-    """Map ``func`` over ``items``, optionally with a process pool.
+    """Map ``func`` over ``items``, optionally with a one-shot process pool.
 
     Parameters
     ----------
@@ -37,20 +81,510 @@ def parallel_map(
         The work items.  They are materialised into a list first so the
         serial and parallel paths see identical inputs.
     processes:
-        ``None`` or ``<= 1`` runs serially in-process (deterministic, no
-        pickling requirements).  Larger values use a ``multiprocessing``
-        pool of that many workers.
+        ``None`` requests the serial path explicitly; otherwise the value
+        must be ``>= 1`` (a pool of that many workers).  See the fallback
+        rules below for when a pool is actually created.
     chunksize:
-        Forwarded to ``Pool.map`` to batch small tasks.
+        Forwarded to ``Pool.map`` to batch small tasks; must be ``>= 1``.
+
+    Serial-fallback rules (the single source of truth, also relied on by
+    the tests):
+
+    * ``processes is None`` — serial by request;
+    * ``processes == 1`` — a one-worker pool is pointless, so the work
+      runs serially in-process;
+    * ``len(items) <= 1`` — nothing to fan out, runs serially regardless
+      of ``processes``.
+
+    Anything else spawns a pool of ``min(processes, len(items))`` workers.
+    Invalid values (``processes < 1``, ``chunksize < 1``) raise
+    ``ValueError`` instead of being silently clamped.
 
     Returns
     -------
     list
         Results in the same order as ``items``.
     """
+    if processes is not None and processes < 1:
+        raise ValueError(f"processes must be None or >= 1, got {processes!r}")
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize!r}")
     work = list(items)
-    if processes is None or processes <= 1 or len(work) <= 1:
+    if processes is None or processes == 1 or len(work) <= 1:
         return [func(item) for item in work]
-    processes = min(processes, len(work))
-    with mp.get_context("spawn").Pool(processes=processes) as pool:
-        return pool.map(func, work, chunksize=max(1, chunksize))
+    n_workers = min(processes, len(work))
+    with mp.get_context("spawn").Pool(processes=n_workers) as pool:
+        return pool.map(func, work, chunksize=chunksize)
+
+
+# --------------------------------------------------------------------------- #
+# Persistent shard executors
+# --------------------------------------------------------------------------- #
+class ShardTaskError(RuntimeError):
+    """A shard worker failed (or died) while executing a submitted call."""
+
+
+class ShardTask:
+    """Handle for one submitted shard call.
+
+    ``result()`` blocks until the call completed in its worker and either
+    returns the call's return value or re-raises the worker-side exception
+    (wrapped in :class:`ShardTaskError` when it cannot be transported).
+    """
+
+    __slots__ = ("shard_id", "_done", "_result", "_error", "_event", "_worker")
+
+    def __init__(self, shard_id: str, *, event=None, worker=None) -> None:
+        self.shard_id = shard_id
+        self._done = False
+        self._result: Any = None
+        self._error: BaseException | None = None
+        self._event = event
+        self._worker = worker
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def _resolve(self, result: Any, error: BaseException | None) -> None:
+        self._result = result
+        self._error = error
+        self._done = True
+        if self._event is not None:
+            self._event.set()
+
+    def result(self) -> Any:
+        if not self._done:
+            if self._event is not None:
+                self._event.wait()
+            elif self._worker is not None:
+                self._worker.wait_for(self)
+        if not self._done:
+            raise ShardTaskError(f"task for shard {self.shard_id!r} never completed")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class ShardExecutor(ABC):
+    """Persistent executor whose workers own resident shard objects.
+
+    Lifecycle::
+
+        with make_shard_executor("process", max_workers=4) as executor:
+            executor.start({"rack-0": pipeline0, "rack-1": pipeline1})
+            tasks = [executor.submit(sid, ingest_fn, chunk) for sid, chunk in ...]
+            results = [t.result() for t in tasks]
+
+    ``fn`` arguments are always called as ``fn(shard_object, *args,
+    **kwargs)``; for the process backend they must be picklable top-level
+    functions, and arguments/results must be picklable.  Parent-side use is
+    single-threaded by design (the service's ingest loop); the executor
+    does not synchronise concurrent ``submit``/``result`` callers.
+    """
+
+    backend: str = "abstract"
+
+    def __init__(self) -> None:
+        self._objects: dict[str, Any] | None = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------- #
+    @property
+    def started(self) -> bool:
+        return self._objects is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        return () if self._objects is None else tuple(self._objects)
+
+    def start(self, objects: Mapping[str, Any]) -> None:
+        """Install the resident shard objects and bring the workers up.
+
+        A failure while bringing workers up (spawn limits, pickling
+        errors) tears down whatever was started and leaves the executor
+        *closed* — a half-started executor must not keep accepting work.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self.started:
+            raise RuntimeError("executor is already started")
+        if not objects:
+            raise ValueError("executor needs at least one shard object")
+        self._objects = dict(objects)
+        try:
+            self._start()
+        except BaseException:
+            self._closed = True
+            try:
+                self._shutdown()
+            except Exception:
+                pass
+            raise
+
+    def _start(self) -> None:
+        """Backend hook run after ``self._objects`` is populated."""
+
+    def _check_ready(self, shard_id: str) -> None:
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if not self.started:
+            raise RuntimeError("executor is not started")
+        if shard_id not in self._objects:
+            raise KeyError(f"unknown shard {shard_id!r}")
+
+    # -- calls ----------------------------------------------------------- #
+    @abstractmethod
+    def submit(self, shard_id: str, fn: Callable, /, *args, **kwargs) -> ShardTask:
+        """Enqueue ``fn(shard_object, *args, **kwargs)``; FIFO per shard."""
+
+    def call(self, shard_id: str, fn: Callable, /, *args, **kwargs) -> Any:
+        """Synchronous :meth:`submit` + ``result()``."""
+        return self.submit(shard_id, fn, *args, **kwargs).result()
+
+    def map(self, fn: Callable, args_by_shard: Mapping[str, tuple]) -> dict[str, Any]:
+        """Fan ``fn`` out with per-shard positional args; gather in order."""
+        tasks = [
+            (shard_id, self.submit(shard_id, fn, *args))
+            for shard_id, args in args_by_shard.items()
+        ]
+        return {shard_id: task.result() for shard_id, task in tasks}
+
+    def broadcast(self, fn: Callable, /, *args, **kwargs) -> dict[str, Any]:
+        """Run ``fn`` on every shard with the same arguments; gather."""
+        if not self.started:
+            raise RuntimeError("executor is not started")
+        tasks = [
+            (shard_id, self.submit(shard_id, fn, *args, **kwargs))
+            for shard_id in self._objects
+        ]
+        return {shard_id: task.result() for shard_id, task in tasks}
+
+    # -- state management ------------------------------------------------ #
+    def install(self, shard_id: str, obj: Any) -> None:
+        """Replace one resident shard object (keeps workers in sync)."""
+        self._check_ready(shard_id)
+        self._objects[shard_id] = obj
+
+    def pull(self) -> dict[str, Any]:
+        """Return the resident shard objects to the parent.
+
+        Serial/thread backends share objects with the parent, so this is a
+        plain lookup; the process backend round-trips each object through
+        its worker (one pickle per shard — the same price ``start`` paid).
+        """
+        if not self.started:
+            raise RuntimeError("executor is not started")
+        return dict(self._objects)
+
+    # -- shutdown -------------------------------------------------------- #
+    def close(self) -> None:
+        """Shut the workers down; idempotent.  Resident state is dropped —
+        callers that need it back must :meth:`pull` first."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        """Backend hook for worker teardown."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else ("started" if self.started else "idle")
+        return f"<{type(self).__name__} backend={self.backend!r} {state} shards={len(self.shard_ids)}>"
+
+
+class SerialShardExecutor(ShardExecutor):
+    """Inline execution in the calling thread (deterministic reference)."""
+
+    backend = "serial"
+
+    def submit(self, shard_id: str, fn: Callable, /, *args, **kwargs) -> ShardTask:
+        self._check_ready(shard_id)
+        task = ShardTask(shard_id)
+        try:
+            task._resolve(fn(self._objects[shard_id], *args, **kwargs), None)
+        except Exception as exc:
+            task._resolve(None, exc)
+        return task
+
+
+def _default_max_workers(requested: int | None, n_shards: int) -> int:
+    if requested is not None:
+        if requested < 1:
+            raise ValueError(f"max_workers must be >= 1, got {requested!r}")
+        return min(requested, n_shards)
+    return max(1, min(n_shards, os.cpu_count() or 1))
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """Worker threads over *shared* shard objects.
+
+    Each worker serves a fixed subset of shards through a FIFO queue, so
+    per-shard ordering holds while independent shards overlap.  Objects are
+    the parent's own (no copies): after any batch of tasks completes, the
+    parent sees the mutated state directly.
+    """
+
+    backend = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
+        self._max_workers = max_workers
+        self._queues: list[queue.Queue] = []
+        self._threads: list[threading.Thread] = []
+        self._worker_of_shard: dict[str, int] = {}
+
+    def _start(self) -> None:
+        n_workers = _default_max_workers(self._max_workers, len(self._objects))
+        for index, shard_id in enumerate(self._objects):
+            self._worker_of_shard[shard_id] = index % n_workers
+        for index in range(n_workers):
+            q: queue.Queue = queue.Queue()
+            thread = threading.Thread(
+                target=self._worker_loop, args=(q,),
+                name=f"shard-worker-{index}", daemon=True,
+            )
+            thread.start()
+            self._queues.append(q)
+            self._threads.append(thread)
+
+    def _worker_loop(self, q: queue.Queue) -> None:
+        while True:
+            item = q.get()
+            if item is None:
+                return
+            task, fn, args, kwargs = item
+            # BaseException included: an unresolved task would leave
+            # result() blocked forever on its event.
+            try:
+                task._resolve(fn(self._objects[task.shard_id], *args, **kwargs), None)
+            except BaseException as exc:
+                task._resolve(None, exc)
+
+    def submit(self, shard_id: str, fn: Callable, /, *args, **kwargs) -> ShardTask:
+        self._check_ready(shard_id)
+        task = ShardTask(shard_id, event=threading.Event())
+        self._queues[self._worker_of_shard[shard_id]].put((task, fn, args, kwargs))
+        return task
+
+    def install(self, shard_id: str, obj: Any) -> None:
+        # Barrier through the shard's FIFO queue: already-queued calls
+        # must finish against the old object before the swap, matching
+        # the per-shard ordering contract (the process backend drains its
+        # pending set for the same reason).
+        self._check_ready(shard_id)
+        self.submit(shard_id, _noop).result()
+        self._objects[shard_id] = obj
+
+    def _shutdown(self) -> None:
+        for q in self._queues:
+            q.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._queues = []
+        self._threads = []
+
+
+def _process_worker_main(conn) -> None:
+    """Loop of one spawned shard worker: install / task / close commands."""
+    objects: dict[str, Any] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        kind = message[0]
+        if kind == "install":
+            _, shard_id, obj = message
+            objects[shard_id] = obj
+            conn.send(("installed", shard_id))
+        elif kind == "task":
+            _, task_id, shard_id, fn, args, kwargs = message
+            try:
+                payload = ("result", task_id, fn(objects[shard_id], *args, **kwargs), None)
+            except Exception as exc:
+                payload = ("result", task_id, None, exc)
+            try:
+                conn.send(payload)
+            except Exception as exc:
+                # Unpicklable result or exception: transport a description.
+                conn.send(("result", task_id, None,
+                           ShardTaskError(f"worker could not return result: {exc!r}")))
+        elif kind == "close":
+            conn.send(("closed",))
+            break
+    conn.close()
+
+
+class _ProcessWorker:
+    """Parent-side handle of one spawned worker (duplex pipe + pending set)."""
+
+    def __init__(self, ctx, index: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_process_worker_main, args=(child_conn,),
+            name=f"shard-worker-{index}", daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self._pending: dict[int, ShardTask] = {}
+        self._next_task_id = 0
+
+    def install(self, shard_id: str, obj: Any) -> None:
+        self.drain()
+        self.conn.send(("install", shard_id, obj))
+        ack = self.conn.recv()
+        if ack != ("installed", shard_id):  # pragma: no cover - defensive
+            raise ShardTaskError(f"unexpected install ack {ack!r}")
+
+    def submit(self, task: ShardTask, fn: Callable, args, kwargs) -> None:
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        self._pending[task_id] = task
+        try:
+            self.conn.send(("task", task_id, task.shard_id, fn, args, kwargs))
+        except Exception as exc:
+            del self._pending[task_id]
+            raise ShardTaskError(
+                f"could not ship task for shard {task.shard_id!r} to worker: {exc!r}"
+            ) from exc
+
+    def wait_for(self, task: ShardTask) -> None:
+        while not task.done and self._pending:
+            self._receive_one()
+
+    def drain(self) -> None:
+        while self._pending:
+            self._receive_one()
+
+    def _receive_one(self) -> None:
+        try:
+            message = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            error = ShardTaskError(f"shard worker {self.process.name} died: {exc!r}")
+            for pending in self._pending.values():
+                pending._resolve(None, error)
+            self._pending.clear()
+            return
+        kind, task_id, result, error = message
+        assert kind == "result", message
+        self._pending.pop(task_id)._resolve(result, error)
+
+    def close(self) -> None:
+        self.drain()
+        try:
+            self.conn.send(("close",))
+            self.conn.recv()  # "closed" ack
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=30.0)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        self.conn.close()
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """Spawned worker processes with resident shard objects.
+
+    Each shard object is pickled to its worker exactly once at ``start``
+    (and once more per :meth:`pull`); every other exchange carries only the
+    call payloads.  Parent-side state in ``self._objects`` is the *initial*
+    copy and goes stale as workers mutate their residents — always query
+    through the executor, or :meth:`pull` to resynchronise.
+    """
+
+    backend = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
+        self._max_workers = max_workers
+        self._workers: list[_ProcessWorker] = []
+        self._worker_of_shard: dict[str, int] = {}
+
+    def _start(self) -> None:
+        ctx = mp.get_context("spawn")
+        n_workers = _default_max_workers(self._max_workers, len(self._objects))
+        self._workers = [_ProcessWorker(ctx, index) for index in range(n_workers)]
+        for index, (shard_id, obj) in enumerate(self._objects.items()):
+            worker = self._workers[index % n_workers]
+            self._worker_of_shard[shard_id] = index % n_workers
+            worker.install(shard_id, obj)
+
+    def submit(self, shard_id: str, fn: Callable, /, *args, **kwargs) -> ShardTask:
+        self._check_ready(shard_id)
+        worker = self._workers[self._worker_of_shard[shard_id]]
+        task = ShardTask(shard_id, worker=worker)
+        worker.submit(task, fn, args, kwargs)
+        return task
+
+    def install(self, shard_id: str, obj: Any) -> None:
+        super().install(shard_id, obj)
+        self._workers[self._worker_of_shard[shard_id]].install(shard_id, obj)
+
+    def pull(self) -> dict[str, Any]:
+        if not self.started:
+            raise RuntimeError("executor is not started")
+        synced = self.broadcast(_return_shard_object)
+        self._objects.update(synced)
+        return dict(self._objects)
+
+    def _shutdown(self) -> None:
+        for worker in self._workers:
+            worker.close()
+        self._workers = []
+
+
+def _return_shard_object(obj: Any) -> Any:
+    """Worker-side helper shipping the resident object back (see ``pull``)."""
+    return obj
+
+
+def _noop(obj: Any) -> None:
+    """FIFO barrier used by :meth:`ThreadShardExecutor.install`."""
+
+
+SHARD_EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+def make_shard_executor(
+    backend: str | ShardExecutor | None = None,
+    *,
+    max_workers: int | None = None,
+) -> ShardExecutor:
+    """Build (or pass through) a :class:`ShardExecutor`.
+
+    ``backend`` may be a backend name (``"serial"``/``"thread"``/
+    ``"process"``), ``None`` (serial), or an existing un-started executor
+    instance, which is returned as-is (``max_workers`` must then be
+    ``None`` — the instance already carries its sizing).
+    """
+    if isinstance(backend, ShardExecutor):
+        if max_workers is not None:
+            raise ValueError("max_workers cannot be combined with an executor instance")
+        if backend.started or backend.closed:
+            raise ValueError("executor instance must be fresh (not started or closed)")
+        return backend
+    if backend is None or backend == "serial":
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers!r}")
+        return SerialShardExecutor()
+    if backend == "thread":
+        return ThreadShardExecutor(max_workers=max_workers)
+    if backend == "process":
+        return ProcessShardExecutor(max_workers=max_workers)
+    raise ValueError(
+        f"unknown executor backend {backend!r}; expected one of {SHARD_EXECUTOR_BACKENDS}"
+    )

@@ -175,6 +175,135 @@ class TestOnlinePipeline:
         assert np.array_equal(cached.frequencies, reference.frequencies)
 
 
+class TestWindowedProductsAndBaseline:
+    def _fresh_pipeline(self, stream, **config_overrides):
+        config = PipelineConfig(
+            mrdmd=MrDMDConfig(max_levels=4),
+            baseline_range=(46.0, 57.0),
+            **config_overrides,
+        )
+        pipeline = OnlineAnalysisPipeline.from_stream(stream, config)
+        pipeline.ingest(stream.values[:, :300])
+        pipeline.ingest(stream.values[:, 300:])
+        return pipeline
+
+    def test_windowed_reconstruction_matches_slice(self, small_stream):
+        pipeline = self._fresh_pipeline(small_stream)
+        full = pipeline.reconstruction()
+        for lo, hi in [(0, 50), (250, 350), (500, 600)]:
+            windowed = pipeline.reconstruction(time_range=(lo, hi))
+            assert windowed.shape == (full.shape[0], hi - lo)
+            assert np.allclose(windowed, full[:, lo:hi], rtol=1e-12, atol=1e-12)
+
+    def test_reconstruction_window_is_cached_per_revision(self, small_stream):
+        pipeline = self._fresh_pipeline(small_stream)
+        first = pipeline._reconstruction_window((400, 600))
+        assert pipeline._reconstruction_window((400, 600)) is first, "cache hit"
+        revision = pipeline.model.tree.revision
+        pipeline.ingest(small_stream.values[:, 300:360])
+        assert pipeline.model.tree.revision > revision
+        refreshed = pipeline._reconstruction_window((400, 600))
+        assert refreshed is not first, "tree edits must invalidate the cache"
+
+    def test_reconstruction_cache_is_bounded(self, small_stream):
+        from repro.pipeline.online import RECONSTRUCTION_CACHE_SIZE
+
+        pipeline = self._fresh_pipeline(small_stream)
+        for lo in range(0, 3 * RECONSTRUCTION_CACHE_SIZE):
+            pipeline._reconstruction_window((lo, lo + 10))
+        assert len(pipeline._recon_cache) <= RECONSTRUCTION_CACHE_SIZE
+
+    def test_windowed_zscores_match_full_reconstruction_scoring(self, small_stream):
+        pipeline = self._fresh_pipeline(small_stream)
+        baseline = pipeline.fit_baseline()
+        windowed = pipeline.zscores(time_range=(450, 600))
+        reference = baseline.score(
+            pipeline.reconstruction(), reducer="mean", time_range=(450, 600)
+        )
+        assert np.allclose(windowed.zscores, reference.zscores, rtol=1e-12, atol=1e-12)
+
+    def test_empty_time_range_rejected(self, small_stream):
+        pipeline = self._fresh_pipeline(small_stream)
+        with pytest.raises(ValueError, match="selects no columns"):
+            pipeline.zscores(time_range=(600, 600))
+
+    # -- baseline staleness (regression: the baseline used to be fitted
+    # once, lazily, and never refreshed as more data streamed in) -------- #
+    def test_stale_baseline_is_refit_by_default(self, small_stream):
+        pipeline = self._fresh_pipeline(small_stream)
+        pipeline.zscores()  # lazy first fit
+        first = pipeline._baseline
+        assert not pipeline.baseline_is_stale()
+        pipeline.ingest(small_stream.values[:, 300:400])
+        assert pipeline.baseline_is_stale()
+        pipeline.zscores()
+        assert pipeline._baseline is not first, "stale baseline must be refit"
+        assert not pipeline.baseline_is_stale()
+
+    def test_baseline_refit_never_keeps_first_fit(self, small_stream):
+        pipeline = self._fresh_pipeline(small_stream, baseline_refit="never")
+        pipeline.zscores()
+        first = pipeline._baseline
+        pipeline.ingest(small_stream.values[:, 300:400])
+        pipeline.zscores()
+        assert pipeline._baseline is first
+        assert pipeline.baseline_is_stale(), "staleness is still reported"
+
+    def test_pinned_baseline_survives_updates(self, small_stream):
+        pipeline = self._fresh_pipeline(small_stream)
+        pinned = pipeline.fit_baseline(small_stream.values[:, :300])
+        pipeline.ingest(small_stream.values[:, 300:400])
+        pipeline.zscores()
+        assert pipeline._baseline is pinned, "explicit-data baselines never auto-refit"
+
+    def test_refit_replays_the_original_spec(self, small_stream):
+        pipeline = self._fresh_pipeline(small_stream)
+        pipeline.fit_baseline(value_range=(40.0, 80.0), time_range=(0, 250))
+        pipeline.ingest(small_stream.values[:, 300:400])
+        pipeline.zscores()
+        assert pipeline._baseline_spec.value_range == (40.0, 80.0)
+        assert pipeline._baseline_spec.time_range == (0, 250)
+
+    def test_invalid_baseline_refit_rejected(self):
+        with pytest.raises(ValueError, match="baseline_refit"):
+            PipelineConfig(baseline_refit="sometimes")
+
+    # -- pickling (regression: memoised weakref caches used to make a
+    # queried pipeline unpicklable, breaking process fan-out) ------------ #
+    def test_pipeline_picklable_after_queries(self, small_stream):
+        import pickle
+
+        pipeline = self._fresh_pipeline(small_stream)
+        reference = pipeline.node_zscores(time_range=(450, 600))
+        clone = pickle.loads(pickle.dumps(pipeline))
+        assert clone._min_power_cache is None
+        assert clone._recon_cache == {}
+        scores = clone.node_zscores(time_range=(450, 600))
+        assert np.array_equal(scores.zscores, reference.zscores)
+        assert not clone.baseline_is_stale(), "freshness survives the copy"
+
+    def test_pickled_copy_preserves_staleness_verdict(self, small_stream):
+        import pickle
+
+        pipeline = self._fresh_pipeline(small_stream, baseline_refit="never")
+        pipeline.zscores()
+        pipeline.ingest(small_stream.values[:, 300:360])
+        assert pipeline.baseline_is_stale()
+        clone = pickle.loads(pickle.dumps(pipeline))
+        assert clone.baseline_is_stale(), "stale baselines must stay stale"
+
+    def test_state_dict_preserves_baseline_provenance(self, small_stream):
+        pipeline = self._fresh_pipeline(small_stream)
+        pipeline.zscores()
+        restored = OnlineAnalysisPipeline.from_state_dict(pipeline.state_dict())
+        assert not restored.baseline_is_stale()
+        assert restored._baseline_spec.value_range == (46.0, 57.0)
+        assert np.array_equal(
+            restored.zscores(time_range=(450, 600)).zscores,
+            pipeline.zscores(time_range=(450, 600)).zscores,
+        )
+
+
 class TestCaseStudyBuilders:
     def test_case_study_1_structure(self):
         scenario = build_case_study_1(scale=0.05, n_timesteps=600, initial_steps=300)

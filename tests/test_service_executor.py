@@ -1,0 +1,240 @@
+"""Persistent-executor parity: serial vs thread vs process fleet monitors.
+
+The tentpole guarantee of the shard-executor subsystem: every backend
+produces **identical** analysis products — fleet snapshots, rack values,
+spectra, checkpoint payloads — because the per-shard computation is the
+same code on the same NumPy, only scheduled differently.  These tests pin
+that, plus the executor lifecycle (lazy start, hold-open, close-lands-state,
+context manager) and the overlapped ``ingest_and_alert`` path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MrDMDConfig
+from repro.pipeline import PipelineConfig
+from repro.service import (
+    FleetMonitor,
+    RackSharding,
+    RingBufferSink,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.service.alerts import AlertEngine, default_rules
+from repro.service.scenarios import quiet_fleet
+from repro.telemetry import HotNodes, TelemetryGenerator
+
+BACKENDS = ["serial", "thread", "process"]
+
+CONFIG = PipelineConfig(
+    mrdmd=MrDMDConfig(max_levels=4),
+    baseline_range=(40.0, 75.0),
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_stream():
+    scenario = quiet_fleet()
+    generator = TelemetryGenerator(scenario.machine, seed=17, utilization_target=0.3)
+    return generator.generate(
+        480,
+        sensors=["cpu_temp"],
+        anomalies=[HotNodes(node_indices=(33, 34), start=220, delta=14.0)],
+    )
+
+
+def _drive(stream, backend, *, with_engine=False):
+    """Run the reference two-chunk workload on one backend; close at the end."""
+    engine = AlertEngine(rules=default_rules(), cooldown=60) if with_engine else None
+    monitor = FleetMonitor.from_stream(
+        stream,
+        policy=RackSharding(),
+        config=CONFIG,
+        alert_engine=engine,
+        executor=backend,
+        max_workers=2,
+    )
+    with monitor:
+        snapshots = [
+            monitor.ingest(stream.values[:, :240]),
+            monitor.ingest(stream.values[:, 240:]),
+        ]
+        products = {
+            "snapshots": snapshots,
+            "rack_values": monitor.rack_values(),
+            "windowed": monitor.rack_values(time_range=(300, 480)),
+            "total_modes": monitor.total_modes,
+            "spectra_power": {
+                sid: spec.power for sid, spec in monitor.spectra().items()
+            },
+            "states": monitor.shard_state_dicts(),
+        }
+    return monitor, products
+
+
+@pytest.fixture(scope="module")
+def backend_products(fleet_stream):
+    return {backend: _drive(fleet_stream, backend) for backend in BACKENDS}
+
+
+def _assert_state_equal(a, b, path=""):
+    """Deep bit-for-bit comparison of nested checkpoint state dicts."""
+    assert type(a) is type(b), path
+    if isinstance(a, dict):
+        assert a.keys() == b.keys(), path
+        for key in a:
+            _assert_state_equal(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), path
+        for i, (x, y) in enumerate(zip(a, b)):
+            _assert_state_equal(x, y, f"{path}[{i}]")
+    elif isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype and a.shape == b.shape, path
+        assert np.array_equal(a, b, equal_nan=True), path
+    else:
+        assert a == b, path
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_backend_products_match_serial(backend_products, backend):
+    _, reference = backend_products["serial"]
+    _, products = backend_products[backend]
+    assert products["snapshots"] == reference["snapshots"]
+    assert products["rack_values"] == reference["rack_values"]
+    assert products["windowed"] == reference["windowed"]
+    assert products["total_modes"] == reference["total_modes"]
+    for sid, power in products["spectra_power"].items():
+        assert np.array_equal(power, reference["spectra_power"][sid])
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_backend_checkpoint_state_matches_serial(backend_products, backend):
+    _, reference = backend_products["serial"]
+    _, products = backend_products[backend]
+    assert products["states"].keys() == reference["states"].keys()
+    for sid in products["states"]:
+        _assert_state_equal(products["states"][sid], reference["states"][sid], sid)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_backend_checkpoint_files_round_trip(backend_products, backend, tmp_path):
+    """save/load through the executor restores serial-identical products."""
+    monitor, _ = backend_products[backend]
+    serial_monitor, reference = backend_products["serial"]
+    save_checkpoint(str(tmp_path / backend), monitor)
+    save_checkpoint(str(tmp_path / "serial"), serial_monitor)
+    restored = load_checkpoint(str(tmp_path / backend))
+    restored_serial = load_checkpoint(str(tmp_path / "serial"))
+    assert restored.step == restored_serial.step
+    assert restored.rack_values() == restored_serial.rack_values()
+    assert restored.rack_values() == reference["rack_values"]
+
+
+def test_monitor_usable_after_close(backend_products, fleet_stream):
+    """close() lands worker-resident state; post-close queries run serially."""
+    for backend in BACKENDS:
+        monitor, products = backend_products[backend]
+        # Post-close work degrades to a lazily started serial executor.
+        assert monitor.executor is None or monitor.executor.backend == "serial"
+        assert monitor.rack_values() == products["rack_values"], backend
+        follow_up = monitor.ingest(fleet_stream.values[:, :480][:, -60:])
+        assert follow_up.step == 540, backend
+
+
+def test_executor_is_held_open_across_ingests(fleet_stream):
+    monitor = FleetMonitor.from_stream(
+        fleet_stream, policy=RackSharding(), config=CONFIG, executor="thread",
+        max_workers=2,
+    )
+    with monitor:
+        assert monitor.executor is None, "executor starts lazily"
+        monitor.ingest(fleet_stream.values[:, :240])
+        executor = monitor.executor
+        assert executor is not None and executor.started
+        monitor.ingest(fleet_stream.values[:, 240:])
+        assert monitor.executor is executor, "same executor across ingests"
+    assert monitor.executor is None
+    assert executor.closed
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ingest_and_alert_matches_sequential_path(fleet_stream, backend):
+    """The overlapped path fires bit-for-bit the same alerts and snapshots."""
+    chunks = [(0, 240), (240, 320), (320, 400), (400, 480)]
+
+    sink_seq = RingBufferSink()
+    sequential = FleetMonitor.from_stream(
+        fleet_stream, policy=RackSharding(), config=CONFIG,
+        alert_engine=AlertEngine(rules=default_rules(), sinks=[sink_seq], cooldown=60),
+    )
+    with sequential:
+        sequential.ingest(fleet_stream.values[:, slice(*chunks[0])])
+        seq_products = []
+        for lo, hi in chunks[1:]:
+            snapshot = sequential.ingest(fleet_stream.values[:, lo:hi])
+            alerts = sequential.evaluate_alerts(window=150)
+            seq_products.append((snapshot, alerts))
+
+    sink_overlap = RingBufferSink()
+    overlapped = FleetMonitor.from_stream(
+        fleet_stream, policy=RackSharding(), config=CONFIG,
+        alert_engine=AlertEngine(
+            rules=default_rules(), sinks=[sink_overlap], cooldown=60
+        ),
+        executor=backend,
+        max_workers=2,
+    )
+    with overlapped:
+        overlapped.ingest(fleet_stream.values[:, slice(*chunks[0])])
+        overlap_products = []
+        for lo, hi in chunks[1:]:
+            snapshot, alerts = overlapped.ingest_and_alert(
+                fleet_stream.values[:, lo:hi], window=150
+            )
+            overlap_products.append((snapshot, alerts))
+
+    assert overlap_products == seq_products
+    assert [a.to_dict() for a in sink_overlap.alerts] == [
+        a.to_dict() for a in sink_seq.alerts
+    ]
+
+
+def test_ingest_and_alert_without_engine(fleet_stream):
+    with FleetMonitor.from_stream(
+        fleet_stream, policy=RackSharding(), config=CONFIG, executor="thread"
+    ) as monitor:
+        snapshot, alerts = monitor.ingest_and_alert(fleet_stream.values[:, :240])
+        assert snapshot.step == 240
+        assert alerts == []
+
+
+def test_pooled_ingest_conflicts_with_persistent_executor(fleet_stream):
+    with FleetMonitor.from_stream(
+        fleet_stream, policy=RackSharding(), config=CONFIG, executor="thread"
+    ) as monitor:
+        monitor.ingest(fleet_stream.values[:, :240])
+        with pytest.raises(ValueError, match="persistent"):
+            monitor.ingest(fleet_stream.values[:, 240:], processes=2)
+
+
+def test_ingest_rejects_invalid_processes(fleet_stream):
+    monitor = FleetMonitor.from_stream(fleet_stream, policy=RackSharding(), config=CONFIG)
+    with pytest.raises(ValueError, match="processes"):
+        monitor.ingest(fleet_stream.values[:, :240], processes=0)
+    with pytest.raises(ValueError, match="processes"):
+        monitor.ingest(fleet_stream.values[:, :240], processes=-2)
+
+
+def test_legacy_pooled_ingest_matches_serial(fleet_stream):
+    """The deprecated per-ingest pool still produces identical products."""
+    serial = FleetMonitor.from_stream(fleet_stream, policy=RackSharding(), config=CONFIG)
+    serial.ingest(fleet_stream.values[:, :240])
+    serial.ingest(fleet_stream.values[:, 240:])
+
+    pooled = FleetMonitor.from_stream(fleet_stream, policy=RackSharding(), config=CONFIG)
+    pooled.ingest(fleet_stream.values[:, :240])
+    pooled.ingest(fleet_stream.values[:, 240:], processes=2)
+
+    assert pooled.rack_values() == serial.rack_values()

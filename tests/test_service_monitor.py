@@ -113,6 +113,40 @@ def test_ingest_rejects_bad_shapes(rack_monitor):
         rack_monitor.ingest(np.zeros(8))
 
 
+def test_ingest_rejects_missing_rows(rack_monitor, fleet_stream):
+    with pytest.raises(ValueError, match="covers rows up to"):
+        rack_monitor.ingest(fleet_stream.values[:-1, :240])
+
+
+def test_ingest_rejects_extra_rows(rack_monitor, fleet_stream):
+    # Regression: extra rows used to be silently dropped by the partition.
+    padded = np.vstack([fleet_stream.values[:, :240], np.zeros((3, 240))])
+    with pytest.raises(ValueError, match="extra rows"):
+        rack_monitor.ingest(padded)
+
+
+def test_extra_rows_ignore_opt_in(fleet_stream):
+    monitor = FleetMonitor.from_stream(
+        fleet_stream, policy=RackSharding(), config=CONFIG, extra_rows="ignore"
+    )
+    padded = np.vstack([fleet_stream.values[:, :240], np.zeros((3, 240))])
+    snapshot = monitor.ingest(padded)
+    assert snapshot.step == 240
+
+    reference = FleetMonitor.from_stream(
+        fleet_stream, policy=RackSharding(), config=CONFIG
+    )
+    reference.ingest(fleet_stream.values[:, :240])
+    assert monitor.rack_values() == reference.rack_values()
+
+
+def test_extra_rows_validation():
+    with pytest.raises(ValueError, match="extra_rows"):
+        FleetMonitor(dt=1.0, shards=SingleShard().partition(
+            np.array(["s0", "s1"], dtype=object), np.array([0, 1])
+        ), extra_rows="maybe")
+
+
 def test_monitor_without_engine_returns_no_alerts(rack_monitor):
     assert rack_monitor.evaluate_alerts() == []
 

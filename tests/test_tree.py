@@ -243,6 +243,60 @@ class TestModeTableAndReconstruction:
         assert recon.shape == (4, 40)
 
 
+class TestWindowedReconstruction:
+    def _multi_node_tree(self) -> MrDMDTree:
+        """Uneven tree with a partial contribution window (post-append shape)."""
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        level1 = make_node(level=1, n_snapshots=100)
+        level1.contribution_start = 60  # the incremental-append shape
+        tree.add(level1)
+        tree.add(make_node(level=2, start=0, n_snapshots=60))
+        tree.add(make_node(level=3, start=0, n_snapshots=30))
+        tree.add(make_node(level=3, start=30, bin_index=1, n_snapshots=30))
+        tree.add(make_node(level=2, start=60, bin_index=1, n_snapshots=40))
+        return tree
+
+    # Windowed output matches the corresponding slice of the full
+    # reconstruction to machine precision.  (Exact bitwise equality is not
+    # guaranteed: BLAS may order the mode-sum differently for different
+    # column counts, which perturbs the last ulp.)
+    TOL = dict(rtol=1e-12, atol=1e-12)
+
+    def test_window_equals_slice_of_full(self):
+        tree = self._multi_node_tree()
+        full = tree.reconstruct(100)
+        for lo, hi in [(0, 100), (0, 10), (45, 75), (90, 100), (59, 61)]:
+            windowed = tree.reconstruct(100, time_range=(lo, hi))
+            assert windowed.shape == (4, hi - lo)
+            assert np.allclose(windowed, full[:, lo:hi], **self.TOL), (lo, hi)
+
+    def test_window_equals_slice_with_filters(self):
+        tree = self._multi_node_tree()
+        power = np.concatenate([n.power for n in tree])
+        min_power = float(np.median(power))
+        full = tree.reconstruct(100, min_power=min_power, frequency_range=(0.0, 0.01))
+        windowed = tree.reconstruct(
+            100, time_range=(20, 80), min_power=min_power, frequency_range=(0.0, 0.01)
+        )
+        assert np.allclose(windowed, full[:, 20:80], **self.TOL)
+
+    def test_window_is_clamped_to_timeline(self):
+        tree = self._multi_node_tree()
+        full = tree.reconstruct(100)
+        windowed = tree.reconstruct(100, time_range=(-25, 1000))
+        assert np.allclose(windowed, full, **self.TOL)
+
+    def test_empty_window(self):
+        tree = self._multi_node_tree()
+        assert tree.reconstruct(100, time_range=(40, 40)).shape == (4, 0)
+        assert tree.reconstruct(100, time_range=(200, 300)).shape == (4, 0)
+
+    def test_reversed_window_rejected(self):
+        tree = self._multi_node_tree()
+        with pytest.raises(ValueError, match="time_range"):
+            tree.reconstruct(100, time_range=(50, 10))
+
+
 class TestSerialization:
     def test_round_trip(self):
         tree = MrDMDTree(dt=0.5, n_features=4)

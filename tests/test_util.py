@@ -14,12 +14,18 @@ from repro.util import (
     ensure_positive,
     ensure_probability,
     iter_chunks,
+    make_shard_executor,
     parallel_map,
     require,
     rolling_mean,
     running_moments,
     split_columns,
     timeit,
+)
+from repro.util.parallel import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ThreadShardExecutor,
 )
 
 
@@ -118,6 +124,145 @@ class TestParallelMap:
 
     def test_single_item_never_spawns(self):
         assert parallel_map(_square, [5], processes=4) == [25]
+
+    def test_invalid_processes_rejected(self):
+        for bad in (0, -1, -8):
+            with pytest.raises(ValueError, match="processes"):
+                parallel_map(_square, [1, 2, 3], processes=bad)
+
+    def test_invalid_chunksize_rejected(self):
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="chunksize"):
+                parallel_map(_square, [1, 2, 3], chunksize=bad)
+
+
+# --------------------------------------------------------------------------- #
+# Persistent shard executors
+# --------------------------------------------------------------------------- #
+class _Accumulator:
+    """Stateful shard object (top-level so the process backend can ship it)."""
+
+    def __init__(self, total: int = 0) -> None:
+        self.total = total
+        self.calls: list[int] = []
+
+
+def _add(acc: _Accumulator, amount: int) -> int:
+    acc.total += amount
+    acc.calls.append(amount)
+    return acc.total
+
+
+def _read_total(acc: _Accumulator) -> int:
+    return acc.total
+
+
+def _boom(acc: _Accumulator) -> None:
+    raise RuntimeError("boom in worker")
+
+
+BACKENDS = ["serial", "thread", "process"]
+
+
+@pytest.fixture(params=BACKENDS)
+def executor(request):
+    ex = make_shard_executor(request.param, max_workers=2)
+    yield ex
+    ex.close()
+
+
+class TestShardExecutor:
+    def test_factory_backends(self):
+        assert isinstance(make_shard_executor(None), SerialShardExecutor)
+        assert isinstance(make_shard_executor("serial"), SerialShardExecutor)
+        assert isinstance(make_shard_executor("thread"), ThreadShardExecutor)
+        assert isinstance(make_shard_executor("process"), ProcessShardExecutor)
+        with pytest.raises(ValueError, match="backend"):
+            make_shard_executor("fork-bomb")
+
+    def test_factory_passthrough_rules(self):
+        fresh = SerialShardExecutor()
+        assert make_shard_executor(fresh) is fresh
+        with pytest.raises(ValueError, match="max_workers"):
+            make_shard_executor(SerialShardExecutor(), max_workers=2)
+        used = SerialShardExecutor()
+        used.start({"a": _Accumulator()})
+        with pytest.raises(ValueError, match="fresh"):
+            make_shard_executor(used)
+
+    def test_submit_call_and_per_shard_fifo(self, executor):
+        executor.start({"a": _Accumulator(), "b": _Accumulator(100)})
+        tasks = [executor.submit("a", _add, amount) for amount in (1, 2, 3)]
+        assert [t.result() for t in tasks] == [1, 3, 6]
+        assert executor.call("b", _add, 5) == 105
+        # A query submitted after an ingest-style call sees its effect.
+        executor.submit("a", _add, 10)
+        assert executor.call("a", _read_total) == 16
+
+    def test_broadcast_and_map(self, executor):
+        executor.start({"a": _Accumulator(), "b": _Accumulator(100)})
+        assert executor.broadcast(_add, 7) == {"a": 7, "b": 107}
+        assert executor.map(_add, {"a": (3,), "b": (4,)}) == {"a": 10, "b": 111}
+
+    def test_worker_exception_propagates(self, executor):
+        executor.start({"a": _Accumulator()})
+        task = executor.submit("a", _boom)
+        with pytest.raises(RuntimeError, match="boom in worker"):
+            task.result()
+        # The worker survives a failed task.
+        assert executor.call("a", _add, 2) == 2
+
+    def test_pull_returns_resident_state(self, executor):
+        acc = _Accumulator()
+        executor.start({"a": acc})
+        executor.call("a", _add, 11)
+        pulled = executor.pull()["a"]
+        assert pulled.total == 11
+        if executor.backend in ("serial", "thread"):
+            assert pulled is acc, "serial/thread share the parent's objects"
+
+    def test_install_replaces_resident_object(self, executor):
+        executor.start({"a": _Accumulator()})
+        executor.call("a", _add, 5)
+        executor.install("a", _Accumulator(1000))
+        assert executor.call("a", _read_total) == 1000
+
+    def test_lifecycle_errors(self, executor):
+        with pytest.raises(RuntimeError, match="not started"):
+            executor.submit("a", _read_total)
+        executor.start({"a": _Accumulator()})
+        with pytest.raises(RuntimeError, match="already started"):
+            executor.start({"a": _Accumulator()})
+        with pytest.raises(KeyError):
+            executor.submit("nope", _read_total)
+        executor.close()
+        executor.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.submit("a", _read_total)
+
+    def test_start_requires_shards(self, executor):
+        with pytest.raises(ValueError, match="at least one"):
+            executor.start({})
+
+    def test_context_manager_closes(self):
+        with make_shard_executor("thread", max_workers=1) as ex:
+            ex.start({"a": _Accumulator()})
+            assert ex.call("a", _add, 1) == 1
+        assert ex.closed
+
+    def test_process_backend_keeps_state_remote(self):
+        acc = _Accumulator()
+        with make_shard_executor("process", max_workers=1) as ex:
+            ex.start({"a": acc})
+            assert ex.call("a", _add, 9) == 9
+            # The parent's copy is untouched until pulled.
+            assert acc.total == 0
+            assert ex.pull()["a"].total == 9
+
+    def test_more_shards_than_workers(self, executor):
+        shards = {f"s{i}": _Accumulator(i) for i in range(5)}
+        executor.start(shards)
+        assert executor.broadcast(_read_total) == {f"s{i}": i for i in range(5)}
 
 
 class TestStats:
