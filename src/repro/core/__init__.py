@@ -15,8 +15,8 @@ from .baseline import (
     compute_zscores,
     select_baseline_mask,
 )
-from .dmd import DMDResult, compute_dmd, slow_mode_mask
-from .imrdmd import IncrementalMrDMD, UpdateRecord
+from .dmd import DMDResult, compute_dmd, compute_dmd_projected, slow_mode_mask
+from .imrdmd import RETENTION_POLICIES, IncrementalMrDMD, UpdateRecord
 from .isvd import IncrementalSVD, ISVDState
 from .mrdmd import MrDMDConfig, compute_mrdmd, decompose_window
 from .reconstruction import (
@@ -41,6 +41,8 @@ __all__ = [
     "select_baseline_mask",
     "DMDResult",
     "compute_dmd",
+    "compute_dmd_projected",
+    "RETENTION_POLICIES",
     "slow_mode_mask",
     "IncrementalMrDMD",
     "UpdateRecord",

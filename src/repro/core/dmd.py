@@ -27,9 +27,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .svht import SVHTResult, truncate_singular_triplets
+from .svht import SVHTResult, svht_rank, truncate_singular_triplets
 
-__all__ = ["DMDResult", "compute_dmd", "slow_mode_mask"]
+__all__ = ["DMDResult", "compute_dmd", "compute_dmd_projected", "slow_mode_mask"]
 
 
 @dataclass
@@ -156,18 +156,25 @@ class DMDResult:
 
 
 def _fit_window_amplitudes(
-    modes: np.ndarray, eigenvalues: np.ndarray, data: np.ndarray
+    modes: np.ndarray,
+    eigenvalues: np.ndarray,
+    data: np.ndarray,
+    powers: np.ndarray | None = None,
 ) -> np.ndarray:
     """Least-squares mode amplitudes against every snapshot of the window.
 
     Solves ``min_a || sum_i a_i phi_i lambda_i^t - x_t ||`` jointly over all
     ``t`` by flattening the (P, T) problem into a single tall least-squares
-    system with ``r`` unknowns.
+    system with ``r`` unknowns.  ``powers`` optionally gives the snapshot
+    index of each data column (default ``0 .. T-1``); the streaming path
+    uses this to fit against a trailing slice of a longer window without
+    touching the rest of it.
     """
     n_snapshots = data.shape[1]
     r = modes.shape[1]
     # Vandermonde of eigenvalues: (r, T)
-    powers = np.arange(n_snapshots)
+    if powers is None:
+        powers = np.arange(n_snapshots)
     vander = eigenvalues[:, None] ** powers[None, :]
     # Design matrix: column i is vec(phi_i outer lambda_i^t); build (P, T, r)
     # then flatten the first two axes to obtain the (P*T, r) system.
@@ -177,6 +184,26 @@ def _fit_window_amplitudes(
     target = np.asarray(data, dtype=complex).reshape(-1)
     amplitudes, *_ = np.linalg.lstsq(design, target, rcond=None)
     return amplitudes
+
+
+def _eig_from_projection(
+    u_r: np.ndarray, s_r: np.ndarray, yv_r: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eigenvalues and exact DMD modes from the projected cross product.
+
+    ``yv_r = Y V_r`` is the only quantity the operator projection needs
+    from the right factor: ``Atilde = U^H (Y V S^{-1})`` and
+    ``Phi = (Y V S^{-1}) W``.  Shared by :func:`compute_dmd` (which forms
+    ``Y V`` densely) and :func:`compute_dmd_projected` (which receives it
+    incrementally maintained), so both paths run the identical
+    instruction sequence from here on.
+    """
+    yvs = yv_r / s_r[None, :]                 # (P, r), scaled columns
+    atilde = u_r.conj().T @ yvs               # (r, r)
+    eigenvalues, w = np.linalg.eig(atilde)
+    # Exact DMD modes: Phi = Y V S^{-1} W
+    modes = yvs @ w                           # (P, r)
+    return eigenvalues, modes
 
 
 def _empty_result(n_features: int, dt: float, n_snapshots: int) -> DMDResult:
@@ -275,12 +302,7 @@ def compute_dmd(
 
     # Atilde = U' Y V S^{-1}  -- work entirely in the r-dimensional space.
     yv = y @ vh_r.conj().T                    # (P, r)
-    yvs = yv / s_r[None, :]                   # (P, r), scaled columns
-    atilde = u_r.conj().T @ yvs               # (r, r)
-
-    eigenvalues, w = np.linalg.eig(atilde)
-    # Exact DMD modes: Phi = Y V S^{-1} W
-    modes = yvs @ w                           # (P, r)
+    eigenvalues, modes = _eig_from_projection(u_r, s_r, yv)
 
     if amplitude_method == "first":
         # Amplitudes from the first snapshot: min ||Phi a - x_1||_2
@@ -292,6 +314,109 @@ def compute_dmd(
         raise ValueError(
             f"amplitude_method must be 'first' or 'window', got {amplitude_method!r}"
         )
+
+    return DMDResult(
+        modes=modes,
+        eigenvalues=eigenvalues,
+        amplitudes=amplitudes,
+        dt=dt,
+        n_snapshots=n_snapshots,
+        svd_rank=r,
+        svht=decision if use_svht else None,
+    )
+
+
+def compute_dmd_projected(
+    u: np.ndarray,
+    s: np.ndarray,
+    yv: np.ndarray,
+    *,
+    dt: float,
+    n_snapshots: int,
+    svd_rank: int | None = None,
+    use_svht: bool = True,
+    noise_sigma: float | None = None,
+    amplitude_data: np.ndarray,
+    amplitude_powers: np.ndarray | None = None,
+) -> DMDResult:
+    """Exact DMD from streaming-maintained projected factors — no ``Vh``.
+
+    This is the flat-cost sibling of :func:`compute_dmd` for the
+    incremental path: everything the operator projection needs from the
+    ``(q, T)`` right factor is the ``(P, q)`` cross product
+    ``yv = Y Vh^H`` (``X = data[:, :-1]``, ``Y = data[:, 1:]``), which
+    :class:`~repro.core.imrdmd.IncrementalMrDMD` maintains incrementally
+    from :attr:`IncrementalSVD.last_update_ops` in ``O(P q (q + c))`` per
+    chunk.  Rank selection (zero-singular-value guard + SVHT), operator
+    projection, eigendecomposition and mode lifting follow the exact same
+    steps as :func:`compute_dmd` (the assembly is shared code); only the
+    amplitude fit differs structurally: it is solved over the
+    ``amplitude_data`` columns (typically the freshly appended chunk —
+    the only range an incremental level-1 node contributes to
+    reconstructions), whose absolute snapshot indices are given by
+    ``amplitude_powers``.
+
+    Parameters
+    ----------
+    u, s:
+        Current left factors / singular values of ``X`` (from
+        :class:`~repro.core.isvd.IncrementalSVD`).
+    yv:
+        The ``(P, q)`` cross product ``Y @ Vh^H`` for the *full* current
+        right factor.
+    dt:
+        Sampling interval of the (possibly subsampled) snapshots.
+    n_snapshots:
+        Number of snapshots ``T`` the decomposition covers (``X`` has
+        ``T - 1`` columns).
+    svd_rank, use_svht, noise_sigma:
+        Rank-selection knobs, as in :func:`compute_dmd`.
+    amplitude_data:
+        ``(P, k)`` columns the mode amplitudes are least-squares fitted
+        against (``k >= 1``).
+    amplitude_powers:
+        Snapshot index of each ``amplitude_data`` column (default
+        ``0 .. k-1``).
+    """
+    u = np.asarray(u)
+    s = np.asarray(s, dtype=float)
+    yv = np.asarray(yv)
+    amplitude_data = np.asarray(amplitude_data)
+    n_features = u.shape[0]
+    x_shape = (n_features, n_snapshots - 1)
+    if n_snapshots < 2 or n_features == 0 or s.size == 0:
+        return _empty_result(n_features, dt, n_snapshots)
+    if yv.shape != (n_features, s.size):
+        raise ValueError(
+            f"yv shape {yv.shape} inconsistent with factors "
+            f"({n_features}, {s.size})"
+        )
+
+    # Same zero-singular-value guard as compute_dmd; dropping row i of Vh
+    # drops column i of Y Vh^H.
+    positive = s > max(s[0], 1.0) * np.finfo(float).eps * max(x_shape)
+    u, s, yv = u[:, positive], s[positive], yv[:, positive]
+    if s.size == 0:
+        return _empty_result(n_features, dt, n_snapshots)
+
+    if use_svht:
+        decision = svht_rank(s, x_shape, sigma=noise_sigma, max_rank=svd_rank)
+    else:
+        rank = s.size if svd_rank is None else min(int(svd_rank), s.size)
+        decision = SVHTResult(
+            rank=max(rank, 1) if s.size else 0,
+            threshold=0.0,
+            beta=min(x_shape) / max(x_shape),
+            noise_sigma=noise_sigma,
+        )
+    r = decision.rank
+    if r == 0:
+        return _empty_result(n_features, dt, n_snapshots)
+
+    eigenvalues, modes = _eig_from_projection(u[:, :r], s[:r], yv[:, :r])
+    amplitudes = _fit_window_amplitudes(
+        modes, eigenvalues, amplitude_data, powers=amplitude_powers
+    )
 
     return DMDResult(
         modes=modes,

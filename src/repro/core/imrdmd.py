@@ -32,12 +32,16 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from .dmd import compute_dmd, slow_mode_mask
+from ..util.growbuf import GrowableMatrix
+from .dmd import compute_dmd, compute_dmd_projected, slow_mode_mask
 from .isvd import IncrementalSVD
 from .mrdmd import MrDMDConfig, compute_mrdmd
 from .tree import MrDMDNode, MrDMDTree
 
-__all__ = ["IncrementalMrDMD", "UpdateRecord"]
+__all__ = ["IncrementalMrDMD", "UpdateRecord", "RETENTION_POLICIES"]
+
+#: Raw-snapshot retention policies (see :class:`IncrementalMrDMD`).
+RETENTION_POLICIES = ("all", "window", "none")
 
 
 @dataclass
@@ -111,11 +115,39 @@ class IncrementalMrDMD:
         drift above which the previously computed levels 2..L are marked
         stale (``stale_levels``).  ``None`` disables the check.
     keep_data:
-        Keep a copy of every snapshot seen.  Required only for
-        :meth:`refresh` (the asynchronous full recomputation of stale
-        levels) and for :meth:`reconstruction_error` without an explicit
-        reference; the streaming deployments the paper targets leave this
-        off to keep memory bounded.
+        Back-compat alias for ``retain_data="all"``: keep a copy of every
+        snapshot seen.  Required only for :meth:`refresh` (the
+        asynchronous full recomputation of stale levels) and for
+        :meth:`reconstruction_error` without an explicit reference; the
+        streaming deployments the paper targets leave this off to keep
+        memory bounded.
+    retain_data:
+        Raw-snapshot retention policy; overrides ``keep_data`` when given.
+        ``"all"`` retains the full ``(P, T)`` timeline (in an
+        amortized-growth buffer), ``"window"`` only the trailing
+        ``retain_window`` snapshots (enough for recent-window diagnostics
+        at bounded memory), ``"none"`` nothing — the model then holds only
+        the mode tree, the level-1 factors and the subsampled level-1
+        grid, honouring the paper's "factors, never the raw matrix"
+        memory claim.
+    retain_window:
+        Number of trailing snapshots kept under ``retain_data="window"``.
+    level1_path:
+        How the updated level-1 DMD is computed on each
+        :meth:`partial_fit`.  ``"projected"`` (default) works entirely in
+        the rank-``q`` projected space — the ``Y Vh^H`` cross product is
+        maintained incrementally, the lazily rotated right factor is never
+        materialised, and the level-1 amplitudes are least-squares fitted
+        over the freshly appended chunk (the only range the new level-1
+        node contributes to reconstructions) — making the per-chunk cost
+        independent of the stream length.  ``"dense"`` reproduces the
+        pre-optimisation behaviour exactly: materialise the full factors
+        and re-fit amplitudes per ``config.amplitude_method`` over the
+        whole (growing) level-1 window, at ``O(T)`` per chunk.
+    lazy_vh:
+        Forwarded to :class:`~repro.core.isvd.IncrementalSVD`
+        ``lazy_rotation``; both settings produce bit-for-bit identical
+        results (the eager mode simply pays the rotation per update).
 
     Examples
     --------
@@ -138,6 +170,10 @@ class IncrementalMrDMD:
         *,
         drift_threshold: float | None = None,
         keep_data: bool = False,
+        retain_data: str | None = None,
+        retain_window: int = 4096,
+        level1_path: str = "projected",
+        lazy_vh: bool = True,
         **config_overrides,
     ) -> None:
         if dt <= 0:
@@ -148,20 +184,42 @@ class IncrementalMrDMD:
             raise TypeError("pass either a config object or keyword overrides, not both")
         if drift_threshold is not None and drift_threshold < 0:
             raise ValueError("drift_threshold must be non-negative")
+        if retain_data is None:
+            retain_data = "all" if keep_data else "none"
+        if retain_data not in RETENTION_POLICIES:
+            raise ValueError(
+                f"retain_data must be one of {RETENTION_POLICIES}, got {retain_data!r}"
+            )
+        if retain_window < 1:
+            raise ValueError("retain_window must be >= 1")
+        if level1_path not in ("projected", "dense"):
+            raise ValueError(
+                f"level1_path must be 'projected' or 'dense', got {level1_path!r}"
+            )
         self.dt = float(dt)
         self.config = config
         self.drift_threshold = drift_threshold
-        self.keep_data = bool(keep_data)
+        self.retain_data = retain_data
+        self.retain_window = int(retain_window)
+        self.keep_data = retain_data == "all"
+        self.level1_path = level1_path
+        self.lazy_vh = bool(lazy_vh)
 
         self._tree: MrDMDTree | None = None
         self._isvd: IncrementalSVD | None = None
         self._level1_stride: int = 1
-        self._sub: np.ndarray | None = None          # subsampled level-1 matrix
+        # Subsampled level-1 matrix, grown in place (O(1) amortized append).
+        self._sub: GrowableMatrix | None = None
         self._next_sub_index: int = 0                 # next absolute index to subsample
         self._n_snapshots: int = 0
         self._n_features: int = 0
         self._level1_modes: np.ndarray = np.zeros((0, 0), dtype=complex)
-        self._data: np.ndarray | None = None
+        # Y Vh^H of the shifted level-1 matrix, advanced per update from
+        # the iSVD's rotation ops (the projected path's whole view of Vh).
+        self._level1_cross: np.ndarray | None = None
+        # Retained raw snapshots: GrowableMatrix ("all"), trailing ndarray
+        # ("window"), or None ("none").
+        self._data: GrowableMatrix | np.ndarray | None = None
         self._stale: bool = False
         self._history: list[UpdateRecord] = []
 
@@ -237,26 +295,57 @@ class IncrementalMrDMD:
         # later appends extend a consistent subsampled grid.
         self._level1_stride = self.config.stride_for(t0)
         sub = np.ascontiguousarray(data[:, :: self._level1_stride])
-        self._sub = sub
+        self._sub = GrowableMatrix.from_array(sub)
         self._next_sub_index = (
             ((t0 - 1) // self._level1_stride + 1) * self._level1_stride
         )
         self._isvd = IncrementalSVD(
             rank=self.config.svd_rank,
             use_svht=self.config.use_svht,
+            lazy_rotation=self.lazy_vh,
         )
+        self._level1_cross = None
         if sub.shape[1] >= 2:
             self._isvd.initialize(sub[:, :-1])
+            if self.level1_path == "projected":
+                self._level1_cross = self._initial_cross(sub)
 
         level1_nodes = self._tree.nodes_at_level(1)
         self._level1_modes = (
             level1_nodes[0].modes.copy() if level1_nodes else np.zeros((self._n_features, 0), dtype=complex)
         )
-        if self.keep_data:
-            self._data = data.copy()
+        if self.retain_data == "all":
+            self._data = GrowableMatrix.from_array(data)
+        elif self.retain_data == "window":
+            self._data = np.ascontiguousarray(data[:, -self.retain_window :])
+        else:
+            self._data = None
         self._stale = False
         self._history = []
         return self
+
+    # ------------------------------------------------------------------ #
+    # Level-1 cross-product maintenance (projected path)
+    # ------------------------------------------------------------------ #
+    def _initial_cross(self, sub: np.ndarray) -> np.ndarray:
+        """Batch ``Y Vh^H`` for the freshly (re)initialised level-1 iSVD."""
+        y = np.ascontiguousarray(sub[:, 1:])
+        return y @ self._isvd.vh.conj().T
+
+    def _advance_cross(self, cross: np.ndarray, y_new: np.ndarray) -> np.ndarray:
+        """Advance ``Y Vh^H`` through the iSVD's latest right-factor ops.
+
+        An ``("extend", R, B)`` op means ``Vh <- [R Vh, B]`` while ``Y``
+        gained the columns ``y_new``, so ``G <- G R^H + y_new B^H``; a
+        ``("rotate", M)`` op (re-orthogonalisation) means ``G <- G M^H``.
+        Cost is ``O(P q (q + c))`` per update — never ``O(T)``.
+        """
+        for op in self._isvd.last_update_ops:
+            if op[0] == "extend":
+                cross = cross @ op[1].conj().T + y_new @ op[2].conj().T
+            else:
+                cross = cross @ op[1].conj().T
+        return cross
 
     # ------------------------------------------------------------------ #
     # Incremental update
@@ -288,35 +377,70 @@ class IncrementalMrDMD:
 
         # ---- 1. extend the level-1 subsampled grid ------------------- #
         new_sub_indices = np.arange(self._next_sub_index, t_total, self._level1_stride)
+        new_cols: np.ndarray | None = None
         if new_sub_indices.size:
-            cols = new_data[:, new_sub_indices - t_old]
-            old_sub_cols = self._sub.shape[1]
-            self._sub = np.hstack([self._sub, cols])
+            new_cols = np.ascontiguousarray(new_data[:, new_sub_indices - t_old])
+            old_sub_cols = self._sub.n_cols
+            self._sub.append(new_cols)
             self._next_sub_index = int(new_sub_indices[-1]) + self._level1_stride
-            # The shifted matrix X = sub[:, :-1] gains the columns between
-            # the previous X end and the new one.
-            update_block = self._sub[:, old_sub_cols - 1 : self._sub.shape[1] - 1]
             if self._isvd.initialized:
+                # The shifted matrix X = sub[:, :-1] gains the columns
+                # between the previous X end and the new one; the shifted
+                # targets Y = sub[:, 1:] gain exactly `new_cols`.
+                update_block = self._sub.slice(old_sub_cols - 1, self._sub.n_cols - 1)
                 if update_block.shape[1]:
                     self._isvd.update(update_block)
-            elif self._sub.shape[1] >= 2:
-                self._isvd.initialize(self._sub[:, :-1])
+                    if self._level1_cross is not None:
+                        self._level1_cross = self._advance_cross(
+                            self._level1_cross, new_cols
+                        )
+            elif self._sub.n_cols >= 2:
+                self._isvd.initialize(self._sub.slice(0, self._sub.n_cols - 1))
+                if self.level1_path == "projected":
+                    self._level1_cross = self._initial_cross(self._sub.view())
 
         # ---- 2. updated level-1 DMD over the full timeline ----------- #
         rho = self.config.rho_for(t_total, self.dt)
         local_dt = self.dt * self._level1_stride
-        if self._isvd.initialized and self._sub.shape[1] >= 2:
-            dmd = compute_dmd(
-                self._sub,
-                local_dt,
-                svd_rank=self.config.svd_rank,
-                use_svht=self.config.use_svht,
-                svd_factors=self._isvd.factors(),
-                amplitude_method=self.config.amplitude_method,
-            )
+        n_sub = self._sub.n_cols
+        if self._isvd.initialized and n_sub >= 2:
+            if self.level1_path == "projected" and self._level1_cross is not None:
+                # Flat-cost path: the operator projection reads only the
+                # incrementally maintained (P, q) cross product, and the
+                # amplitudes are fitted over the appended chunk's columns
+                # (the only range this node contributes to, see
+                # `contribution_start` below) at their absolute positions.
+                if new_cols is not None and new_cols.shape[1]:
+                    amp_data = new_cols
+                    amp_powers = np.arange(n_sub - new_cols.shape[1], n_sub)
+                else:
+                    # Chunk shorter than the stride: no new grid column;
+                    # anchor the fit at the latest retained column.
+                    amp_data = self._sub.column(n_sub - 1)[:, None]
+                    amp_powers = np.arange(n_sub - 1, n_sub)
+                dmd = compute_dmd_projected(
+                    self._isvd.u,
+                    self._isvd.s,
+                    self._level1_cross,
+                    dt=local_dt,
+                    n_snapshots=n_sub,
+                    svd_rank=self.config.svd_rank,
+                    use_svht=self.config.use_svht,
+                    amplitude_data=amp_data,
+                    amplitude_powers=amp_powers,
+                )
+            else:
+                dmd = compute_dmd(
+                    self._sub.materialize(),
+                    local_dt,
+                    svd_rank=self.config.svd_rank,
+                    use_svht=self.config.use_svht,
+                    svd_factors=self._isvd.factors(),
+                    amplitude_method=self.config.amplitude_method,
+                )
         else:
             dmd = compute_dmd(
-                self._sub,
+                self._sub.materialize(),
                 local_dt,
                 use_svht=self.config.use_svht,
                 amplitude_method=self.config.amplitude_method,
@@ -378,10 +502,15 @@ class IncrementalMrDMD:
 
         # ---- 5. install the new level-1 node and bookkeeping ---------- #
         self._tree.add(new_level1)
-        self._level1_modes = slow.modes.copy()
+        # complex by contract, like the node arrays (eig may return real)
+        self._level1_modes = np.asarray(slow.modes, dtype=complex)
         self._n_snapshots = t_total
-        if self.keep_data:
-            self._data = np.hstack([self._data, new_data])
+        if self.retain_data == "all":
+            self._data.append(new_data)
+        elif self.retain_data == "window":
+            self._data = np.ascontiguousarray(
+                np.concatenate([self._data, new_data], axis=1)[:, -self.retain_window :]
+            )
 
         record = UpdateRecord(
             chunk_size=t1,
@@ -408,19 +537,30 @@ class IncrementalMrDMD:
         the stream bit-for-bit where the original left off.
         """
         self._require_fitted()
+        if self.retain_data == "all":
+            retained = self._data.materialize()
+        elif self.retain_data == "window":
+            retained = self._data
+        else:
+            retained = None
         return {
             "dt": self.dt,
             "config": asdict(self.config),
             "drift_threshold": self.drift_threshold,
             "keep_data": self.keep_data,
+            "retain_data": self.retain_data,
+            "retain_window": self.retain_window,
+            "level1_path": self.level1_path,
+            "lazy_vh": self.lazy_vh,
             "level1_stride": self._level1_stride,
             "next_sub_index": self._next_sub_index,
             "n_snapshots": self._n_snapshots,
             "n_features": self._n_features,
             "stale": self._stale,
-            "sub": self._sub,
+            "sub": None if self._sub is None else self._sub.materialize(),
             "level1_modes": self._level1_modes,
-            "data": self._data if self.keep_data else None,
+            "level1_cross": self._level1_cross,
+            "data": retained,
             "isvd": None if self._isvd is None else self._isvd.to_dict(),
             "tree": self._tree.to_dict(),
             "history": [asdict(record) for record in self._history],
@@ -428,12 +568,24 @@ class IncrementalMrDMD:
 
     @classmethod
     def from_state_dict(cls, state: dict) -> "IncrementalMrDMD":
-        """Rebuild a fitted model from :meth:`state_dict` output."""
+        """Rebuild a fitted model from :meth:`state_dict` output.
+
+        Checkpoints written before the streaming-core overhaul lack the
+        ``retain_data`` / ``level1_cross`` keys: retention is then derived
+        from ``keep_data`` and the level-1 cross product is recomputed
+        from the stored subsampled matrix and factors, so old checkpoints
+        keep resuming (deterministically, via the same batch product the
+        initial fit uses).
+        """
         model = cls(
             dt=float(state["dt"]),
             config=MrDMDConfig(**state["config"]),
             drift_threshold=state["drift_threshold"],
             keep_data=bool(state["keep_data"]),
+            retain_data=state.get("retain_data"),
+            retain_window=int(state.get("retain_window", 4096)),
+            level1_path=str(state.get("level1_path", "projected")),
+            lazy_vh=bool(state.get("lazy_vh", True)),
         )
         model._tree = MrDMDTree.from_dict(state["tree"])
         model._isvd = (
@@ -444,9 +596,30 @@ class IncrementalMrDMD:
         model._n_snapshots = int(state["n_snapshots"])
         model._n_features = int(state["n_features"])
         model._stale = bool(state["stale"])
-        model._sub = None if state["sub"] is None else np.asarray(state["sub"], dtype=float)
+        model._sub = (
+            None
+            if state["sub"] is None
+            else GrowableMatrix.from_array(np.asarray(state["sub"], dtype=float))
+        )
         model._level1_modes = np.asarray(state["level1_modes"], dtype=complex)
-        model._data = None if state["data"] is None else np.asarray(state["data"], dtype=float)
+        cross = state.get("level1_cross")
+        if cross is not None:
+            model._level1_cross = np.asarray(cross, dtype=float)
+        elif (
+            model.level1_path == "projected"
+            and model._isvd is not None
+            and model._isvd.initialized
+            and model._sub is not None
+            and model._sub.n_cols >= 2
+        ):
+            model._level1_cross = model._initial_cross(model._sub.view())
+        raw = state["data"]
+        if raw is None:
+            model._data = None
+        elif model.retain_data == "all":
+            model._data = GrowableMatrix.from_array(np.asarray(raw, dtype=float))
+        else:
+            model._data = np.asarray(raw, dtype=float)
         model._history = [UpdateRecord(**record) for record in state["history"]]
         return model
 
@@ -458,13 +631,16 @@ class IncrementalMrDMD:
 
         This is the "asynchronous recomputation of levels 2..L" the paper
         defers to operators when the drift threshold is crossed.  Requires
-        ``keep_data=True``.  The refreshed tree replaces the incremental
+        the full raw timeline (``retain_data="all"`` /
+        ``keep_data=True``).  The refreshed tree replaces the incremental
         one and the stale flag is cleared.
         """
         self._require_fitted()
-        if not self.keep_data or self._data is None:
-            raise RuntimeError("refresh() requires keep_data=True")
-        self._tree = compute_mrdmd(self._data, self.dt, self.config)
+        if self.retain_data != "all" or self._data is None:
+            raise RuntimeError(
+                "refresh() requires retain_data='all' (keep_data=True)"
+            )
+        self._tree = compute_mrdmd(self._data.materialize(), self.dt, self.config)
         level1_nodes = self._tree.nodes_at_level(1)
         self._level1_modes = (
             level1_nodes[0].modes.copy()
@@ -479,6 +655,29 @@ class IncrementalMrDMD:
         self._require_fitted()
         return self._tree.reconstruct(self._n_snapshots, **kwargs)
 
+    def retained_data(self) -> np.ndarray | None:
+        """Copy of the retained raw snapshots (``None`` under ``"none"``).
+
+        Under ``retain_data="window"`` this is the trailing window only;
+        :meth:`retained_range` gives its absolute snapshot indices.
+        """
+        if self._data is None:
+            return None
+        if isinstance(self._data, GrowableMatrix):
+            return self._data.materialize()
+        return self._data.copy()
+
+    def retained_range(self) -> tuple[int, int] | None:
+        """Absolute ``[start, stop)`` snapshot range of the retained data."""
+        if self._data is None:
+            return None
+        n_kept = (
+            self._data.n_cols
+            if isinstance(self._data, GrowableMatrix)
+            else self._data.shape[1]
+        )
+        return (self._n_snapshots - n_kept, self._n_snapshots)
+
     def reconstruction_error(self, reference: np.ndarray | None = None) -> float:
         """Frobenius norm ``||X - X_hat||_F`` of the reconstruction error.
 
@@ -488,11 +687,12 @@ class IncrementalMrDMD:
         """
         self._require_fitted()
         if reference is None:
-            if not self.keep_data or self._data is None:
+            if self.retain_data != "all" or self._data is None:
                 raise RuntimeError(
-                    "reconstruction_error() without a reference requires keep_data=True"
+                    "reconstruction_error() without a reference requires "
+                    "retain_data='all' (keep_data=True)"
                 )
-            reference = self._data
+            reference = self._data.view()
         reference = np.asarray(reference, dtype=float)
         if reference.shape != (self._n_features, self._n_snapshots):
             raise ValueError(

@@ -20,16 +20,30 @@ column (snapshot) appends:
 
 where ``J K = (I - U U^H) C`` is a thin QR of the out-of-subspace residual.
 The small ``(q + c) x (q + c)`` core matrix is re-diagonalised with a dense
-SVD and the factors are rotated and re-truncated.  Cost per update is
-``O(P (q + c)^2)`` instead of ``O(P T min(P, T))`` for a recomputation —
-this is exactly the asymptotic saving Table I and Fig. 9 measure.
+SVD and the factors are rotated and re-truncated.
+
+**Cost.**  The left factors and singular values are updated in
+``O(P (q + c)^2)`` per call.  The right factor ``Vh`` has ``T`` columns
+(one per snapshot folded in), so rotating it eagerly would cost an extra
+``O(q^2 T)`` *per update* — ``O(T^2)`` summed over a stream, which is
+exactly the degradation Table I and Fig. 9 rule out.  :meth:`IncrementalSVD.update`
+therefore never touches ``Vh``: each update appends its small ``(r, q)``
+core rotation and ``(r, c)`` new-column block to a pending list, and the
+full ``Vh`` is materialised only when a caller actually asks for it
+(:attr:`~IncrementalSVD.vh`, :meth:`~IncrementalSVD.factors`,
+:meth:`~IncrementalSVD.to_dict`, :meth:`~IncrementalSVD.add_rows`).
+Materialisation replays the pending rotations in their original order with
+the exact matrix products the eager scheme would have issued, so the
+result is bit-for-bit identical to eager per-update rotation
+(``lazy_rotation=False``) — it just pays the ``O(q^2 T)`` once per access
+instead of once per update.
 
 The "spatially parallel / temporally serial" structure of the reference
 means the row blocks of ``U`` can be updated independently once the small
-core SVD is known; :meth:`IncrementalSVD.update` exposes this by keeping
-every row operation expressible as a single matrix product, and
-:func:`blockwise_rotate` provides the explicit block-parallel form used by
-:mod:`repro.util.parallel`.
+core SVD is known (see :func:`blockwise_rotate`); the lazy right factor is
+the "temporally serial" half of the same argument — new snapshots never
+force a pass over old ones.
+
 """
 
 from __future__ import annotations
@@ -101,8 +115,17 @@ class IncrementalSVD:
         unbounded growth when SVHT keeps everything.
     reorthogonalize_every:
         Left-basis orthogonality degrades slowly as updates accumulate;
-        every this-many updates a thin QR re-orthogonalisation is applied.
+        every this-many updates (counting both :meth:`update` and
+        :meth:`add_rows` calls) a thin QR re-orthogonalisation is applied.
         ``0`` disables it.
+    lazy_rotation:
+        When ``True`` (default) the right factor ``Vh`` is not rotated
+        during :meth:`update`; the small core rotations are queued and
+        replayed on first access, making ``update`` genuinely
+        ``O(P (q + c)^2)``.  ``False`` restores eager per-update rotation
+        (the pre-optimisation behaviour); both settings yield bit-for-bit
+        identical factors because materialisation replays the exact
+        per-update products in order.
     dtype:
         Working dtype (default ``float64``).
 
@@ -120,6 +143,7 @@ class IncrementalSVD:
         use_svht: bool = True,
         max_rank_cap: int = 512,
         reorthogonalize_every: int = 16,
+        lazy_rotation: bool = True,
         dtype: np.dtype | type = np.float64,
     ) -> None:
         if rank is not None and rank < 1:
@@ -132,10 +156,19 @@ class IncrementalSVD:
         self.use_svht = use_svht
         self.max_rank_cap = int(max_rank_cap)
         self.reorthogonalize_every = int(reorthogonalize_every)
+        self.lazy_rotation = bool(lazy_rotation)
         self.dtype = np.dtype(dtype)
         self._u: np.ndarray | None = None
         self._s: np.ndarray | None = None
         self._vh: np.ndarray | None = None
+        # Right-factor rotations not yet applied to ``_vh``, oldest first.
+        # Ops are ("extend", R, B): Vh <- [R @ Vh, B], or ("rotate", M):
+        # Vh <- M @ Vh (re-orthogonalisation).
+        self._pending_vh_ops: list[tuple] = []
+        # Ops issued by the most recent update()/add_rows() call, for
+        # callers that maintain products against Vh incrementally (the
+        # I-mrDMD level-1 cross product) without materialising it.
+        self._last_update_ops: list[tuple] = []
         self._n_cols_seen = 0
         self._n_updates = 0
 
@@ -151,7 +184,26 @@ class IncrementalSVD:
     def state(self) -> ISVDState:
         """Current factors as an :class:`ISVDState` (copies are not made)."""
         self._require_initialized()
+        self._materialize_vh()
         return ISVDState(u=self._u, s=self._s, vh=self._vh)
+
+    @property
+    def pending_rotations(self) -> int:
+        """Number of right-factor ops queued but not yet applied to ``Vh``."""
+        return len(self._pending_vh_ops)
+
+    @property
+    def last_update_ops(self) -> list[tuple]:
+        """Right-factor ops issued by the most recent update, oldest first.
+
+        Each op is either ``("extend", R, B)`` — ``Vh <- [R @ Vh, B]`` with
+        ``R`` of shape ``(r, q_prev)`` and ``B`` of shape ``(r, c)`` — or
+        ``("rotate", M)`` — ``Vh <- M @ Vh``.  Consumers that maintain a
+        product ``G = A @ Vh^H`` apply ``G <- G @ R^H + A_new @ B^H`` and
+        ``G <- G @ M^H`` respectively, staying ``O(P q^2)`` per update
+        instead of touching the ``(q, T)`` factor.
+        """
+        return list(self._last_update_ops)
 
     @property
     def current_rank(self) -> int:
@@ -190,6 +242,8 @@ class IncrementalSVD:
         self._u = np.ascontiguousarray(u[:, :r])
         self._s = np.ascontiguousarray(s[:r])
         self._vh = np.ascontiguousarray(vh[:r, :])
+        self._pending_vh_ops = []
+        self._last_update_ops = []
         self._n_cols_seen = data.shape[1]
         self._n_updates = 0
         return self
@@ -213,9 +267,10 @@ class IncrementalSVD:
                 f"update has {c_block.shape[0]}"
             )
         if c_block.shape[1] == 0:
+            self._last_update_ops = []
             return self
 
-        u, s, vh = self._u, self._s, self._vh
+        u, s = self._u, self._s
         q = s.size
         c = c_block.shape[1]
 
@@ -242,20 +297,22 @@ class IncrementalSVD:
 
         # Rotate the left basis:  [U J] @ cu  (spatially parallel step).
         new_u = np.hstack([u, j]) @ cu[:, :r]
-        # Rotate/extend the right factors.
-        new_vh = np.empty((r, total_cols), dtype=self.dtype)
-        # old part: cvh[:, :q] @ vh ; new part: cvh[:, q:] (identity block)
-        np.matmul(cvh[:r, :q], vh, out=new_vh[:, : self._n_cols_seen])
-        new_vh[:, self._n_cols_seen:] = cvh[:r, q:]
+        # The right factor becomes [cvh[:r, :q] @ Vh, cvh[:r, q:]] — a
+        # small rotation plus an appended identity-block image.  Queue it
+        # instead of touching the (q, T) factor (temporally serial step).
+        ops: list[tuple] = [("extend", cvh[:r, :q], cvh[:r, q:])]
+        self._pending_vh_ops.append(ops[0])
 
         self._u = new_u
         self._s = np.ascontiguousarray(cs[:r])
-        self._vh = new_vh
         self._n_cols_seen = total_cols
         self._n_updates += 1
 
         if self.reorthogonalize_every and self._n_updates % self.reorthogonalize_every == 0:
-            self._reorthogonalize()
+            ops.append(self._reorthogonalize())
+        self._last_update_ops = ops
+        if not self.lazy_rotation:
+            self._materialize_vh()
         return self
 
     def partial_fit(self, new_columns: np.ndarray) -> "IncrementalSVD":
@@ -274,8 +331,12 @@ class IncrementalSVD:
             [[X], [R]] = [[U, 0], [0, I]] @ [[diag(s)], [R V]] @ Vh
 
         so only the small ``(q + r) x q`` core needs a dense SVD.  The
-        update costs ``O((q + r) q^2 + r T q)`` and re-truncates with the
-        same rank rule as column updates.
+        update costs ``O((q + r) q^2 + r T q)`` — it genuinely reads every
+        retained column (``R V``), so this call materialises a lazily
+        rotated ``Vh`` first — and re-truncates with the same rank rule as
+        column updates.  It also participates in the same
+        ``reorthogonalize_every`` schedule as :meth:`update` (the basis
+        drifts identically whichever direction the factors grow in).
         """
         rows = np.asarray(new_rows, dtype=self.dtype)
         if rows.ndim == 1:
@@ -283,14 +344,16 @@ class IncrementalSVD:
         if rows.ndim != 2:
             raise ValueError(f"new_rows must be 1-D or 2-D, got shape {rows.shape!r}")
         self._require_initialized()
-        if rows.shape[1] != self._vh.shape[1]:
+        if rows.shape[1] != self.n_columns:
             raise ValueError(
-                f"column-count mismatch: factors cover {self._vh.shape[1]} columns, "
+                f"column-count mismatch: factors cover {self.n_columns} columns, "
                 f"new rows have {rows.shape[1]}"
             )
         if rows.shape[0] == 0:
+            self._last_update_ops = []
             return self
 
+        self._materialize_vh()
         u, s, vh = self._u, self._s, self._vh
         q = s.size
         r = rows.shape[0]
@@ -308,6 +371,13 @@ class IncrementalSVD:
         self._s = np.ascontiguousarray(cs[:rank])
         self._vh = cvh[:rank, :] @ vh
         self._n_updates += 1
+
+        ops: list[tuple] = [("rotate", cvh[:rank, :])]
+        if self.reorthogonalize_every and self._n_updates % self.reorthogonalize_every == 0:
+            ops.append(self._reorthogonalize())
+            if not self.lazy_rotation:
+                self._materialize_vh()
+        self._last_update_ops = ops
         return self
 
     # ------------------------------------------------------------------ #
@@ -322,12 +392,17 @@ class IncrementalSVD:
         :meth:`update` calls are bit-for-bit identical to the original's
         (including the re-orthogonalisation schedule, which depends on the
         update counter).
+
+        Accessing the state materialises any pending lazy rotations, so
+        the serialised ``vh`` is always the fully rotated factor.
         """
+        self._materialize_vh()
         return {
             "rank": self.rank,
             "use_svht": self.use_svht,
             "max_rank_cap": self.max_rank_cap,
             "reorthogonalize_every": self.reorthogonalize_every,
+            "lazy_rotation": self.lazy_rotation,
             "dtype": self.dtype.name,
             "u": None if self._u is None else self._u,
             "s": None if self._s is None else self._s,
@@ -344,6 +419,7 @@ class IncrementalSVD:
             use_svht=bool(state["use_svht"]),
             max_rank_cap=int(state["max_rank_cap"]),
             reorthogonalize_every=int(state["reorthogonalize_every"]),
+            lazy_rotation=bool(state.get("lazy_rotation", True)),
             dtype=np.dtype(state["dtype"]),
         )
         if state["u"] is not None:
@@ -354,13 +430,47 @@ class IncrementalSVD:
         obj._n_updates = int(state["n_updates"])
         return obj
 
-    def _reorthogonalize(self) -> None:
-        """Restore left-basis orthogonality via a thin QR + core re-SVD."""
+    def _reorthogonalize(self) -> tuple:
+        """Restore left-basis orthogonality via a thin QR + core re-SVD.
+
+        The left factors are fixed immediately (they are what degrades and
+        what every consumer reads each update); the matching right-factor
+        rotation is queued like any other op and returned so the caller
+        can expose it through :attr:`last_update_ops`.
+        """
         qmat, rmat = np.linalg.qr(self._u)
         ru, rs, rvh = np.linalg.svd(rmat * self._s[None, :], full_matrices=False)
         self._u = qmat @ ru
         self._s = rs
-        self._vh = rvh @ self._vh
+        op = ("rotate", rvh)
+        self._pending_vh_ops.append(op)
+        return op
+
+    def _materialize_vh(self) -> None:
+        """Apply queued right-factor ops to ``Vh``, oldest first.
+
+        The replay issues exactly the matrix products eager per-update
+        rotation would have issued, in the same order, so the materialised
+        factor is bit-for-bit identical to the eager path no matter when
+        (or how often) materialisation happens.
+        """
+        if not self._pending_vh_ops:
+            return
+        vh = self._vh
+        for op in self._pending_vh_ops:
+            if op[0] == "extend":
+                rotation, block = op[1], op[2]
+                n_old = vh.shape[1]
+                new_vh = np.empty(
+                    (rotation.shape[0], n_old + block.shape[1]), dtype=self.dtype
+                )
+                np.matmul(rotation, vh, out=new_vh[:, :n_old])
+                new_vh[:, n_old:] = block
+                vh = new_vh
+            else:
+                vh = op[1] @ vh
+        self._vh = vh
+        self._pending_vh_ops = []
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -377,17 +487,28 @@ class IncrementalSVD:
 
     @property
     def vh(self) -> np.ndarray:
+        """The ``(q, T)`` right factor (materialises pending rotations)."""
         self._require_initialized()
+        self._materialize_vh()
         return self._vh
 
     def factors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Return ``(U, s, Vh)`` suitable for ``compute_dmd(svd_factors=...)``."""
+        """Return ``(U, s, Vh)`` suitable for ``compute_dmd(svd_factors=...)``.
+
+        Materialises pending lazy rotations: this is the full-``Vh``
+        access path, costing ``O(q^2 T)`` when rotations are outstanding.
+        Streaming consumers that only need products against ``Vh`` should
+        track :attr:`last_update_ops` instead (see
+        :func:`repro.core.dmd.compute_dmd_projected`).
+        """
         self._require_initialized()
+        self._materialize_vh()
         return self._u, self._s, self._vh
 
     def reconstruction_error(self, data: np.ndarray) -> float:
         """Frobenius-norm error ``||data - U S Vh||_F`` against a reference block."""
         self._require_initialized()
+        self._materialize_vh()
         data = np.asarray(data, dtype=self.dtype)
         if data.shape != (self._u.shape[0], self._vh.shape[1]):
             raise ValueError(

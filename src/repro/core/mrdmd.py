@@ -62,7 +62,13 @@ class MrDMDConfig:
         Amplitude fitting strategy forwarded to :func:`repro.core.dmd.compute_dmd`
         (``"window"`` default: least squares over the whole subsampled
         window, which gives noticeably better reconstructions than the
-        classic first-snapshot fit at negligible cost).
+        classic first-snapshot fit at negligible cost).  Note: the
+        incremental model's default streaming level-1 path
+        (``IncrementalMrDMD(level1_path="projected")``) overrides this at
+        level 1 only — it fits amplitudes over the appended chunk (the
+        node's contribution window) to keep per-chunk cost flat; all
+        deeper levels, the batch recursion, and
+        ``level1_path="dense"`` honour this setting everywhere.
     """
 
     max_levels: int = 6

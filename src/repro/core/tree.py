@@ -81,6 +81,15 @@ class MrDMDNode:
     contribution_start: int | None = None
     contribution_end: int | None = None
 
+    def __post_init__(self) -> None:
+        # Mode data is complex by contract.  np.linalg.eig returns *real*
+        # arrays when every eigenvalue happens to be real, which would
+        # otherwise make node dtypes — and therefore checkpoint payloads
+        # and bit-for-bit state comparisons — depend on the data.
+        self.modes = np.asarray(self.modes, dtype=complex)
+        self.eigenvalues = np.asarray(self.eigenvalues, dtype=complex)
+        self.amplitudes = np.asarray(self.amplitudes, dtype=complex)
+
     # ------------------------------------------------------------------ #
     @property
     def n_modes(self) -> int:
@@ -244,6 +253,21 @@ class MrDMDTree:
         self.n_features = int(n_features)
         self._nodes: list[MrDMDNode] = []
         self._revision = 0
+        # mode_table() output memoised per revision: spectrum/threshold
+        # queries between structural edits cost a tuple compare instead of
+        # re-concatenating every node's mode arrays.
+        self._mode_table_cache: ModeTable | None = None
+        self._mode_table_revision: int = -1
+
+    # ------------------------------------------------------------------ #
+    # Pickling: the memoised mode table is derived state — drop it so
+    # process-pool payloads and checkpoints stay compact.
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_mode_table_cache"] = None
+        state["_mode_table_revision"] = -1
+        return state
 
     @property
     def revision(self) -> int:
@@ -343,7 +367,25 @@ class MrDMDTree:
     # Analysis products
     # ------------------------------------------------------------------ #
     def mode_table(self) -> ModeTable:
-        """Flatten every node's modes into a single :class:`ModeTable`."""
+        """Flatten every node's modes into a single :class:`ModeTable`.
+
+        The table is cached per tree :attr:`revision`: between structural
+        edits, every spectrum/threshold query shares one flattened table
+        instead of re-concatenating all nodes per call.  Callers must
+        treat the returned table (and tables derived from it via
+        ``filter``) as read-only.
+        """
+        if (
+            self._mode_table_cache is not None
+            and self._mode_table_revision == self._revision
+        ):
+            return self._mode_table_cache
+        table = self._build_mode_table()
+        self._mode_table_cache = table
+        self._mode_table_revision = self._revision
+        return table
+
+    def _build_mode_table(self) -> ModeTable:
         freqs, power, growth, amps = [], [], [], []
         levels, bins, node_ids, vectors = [], [], [], []
         for node_id, node in enumerate(self._nodes):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
+from ..core.imrdmd import RETENTION_POLICIES
 from ..core.mrdmd import MrDMDConfig
 
 __all__ = ["PipelineConfig"]
@@ -47,6 +48,24 @@ class PipelineConfig:
     keep_data:
         Retain raw snapshots inside the I-mrDMD model (needed for
         reconstruction-error reports).
+    retain_data:
+        Raw-snapshot retention policy forwarded to
+        :class:`~repro.core.imrdmd.IncrementalMrDMD`: ``"all"``,
+        ``"window"`` (trailing ``retain_window`` snapshots only) or
+        ``"none"``.  ``None`` (default) derives the policy from
+        ``keep_data`` — ``"all"`` when true, ``"none"`` otherwise.
+        Per-ingest reconstruction-error reporting requires the full
+        timeline and is therefore only computed under ``"all"``.
+    retain_window:
+        Trailing-snapshot count for ``retain_data="window"``.
+    level1_path:
+        Level-1 update strategy forwarded to
+        :class:`~repro.core.imrdmd.IncrementalMrDMD`: ``"projected"``
+        (default; flat per-chunk cost, amplitudes fitted over the
+        appended chunk) or ``"dense"`` (the pre-overhaul whole-timeline
+        behaviour, honouring ``mrdmd.amplitude_method`` at level 1, at
+        O(T) per chunk) — the operator-facing escape hatch when
+        pre-upgrade level-1 numerics must be preserved.
     """
 
     mrdmd: MrDMDConfig = field(default_factory=MrDMDConfig)
@@ -59,6 +78,9 @@ class PipelineConfig:
     zscore_reducer: str = "mean"
     baseline_refit: str = "stale"
     keep_data: bool = True
+    retain_data: str | None = None
+    retain_window: int = 4096
+    level1_path: str = "projected"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.power_quantile <= 1.0:
@@ -67,10 +89,29 @@ class PipelineConfig:
             raise ValueError(
                 f"baseline_refit must be 'stale' or 'never', got {self.baseline_refit!r}"
             )
+        if self.retain_data is not None and self.retain_data not in RETENTION_POLICIES:
+            raise ValueError(
+                f"retain_data must be None or one of {RETENTION_POLICIES}, "
+                f"got {self.retain_data!r}"
+            )
+        if self.retain_window < 1:
+            raise ValueError("retain_window must be >= 1")
+        if self.level1_path not in ("projected", "dense"):
+            raise ValueError(
+                f"level1_path must be 'projected' or 'dense', got {self.level1_path!r}"
+            )
         if self.baseline_range[1] < self.baseline_range[0]:
             raise ValueError("baseline_range must be (low, high)")
         if self.zscore_near <= 0 or self.zscore_extreme < self.zscore_near:
             raise ValueError("thresholds must satisfy 0 < near <= extreme")
+
+    @property
+    def effective_retention(self) -> str:
+        """The retention policy actually applied (``retain_data`` wins,
+        else derived from ``keep_data``)."""
+        if self.retain_data is not None:
+            return self.retain_data
+        return "all" if self.keep_data else "none"
 
     # ------------------------------------------------------------------ #
     # Serialisation (JSON-safe; used by service checkpoints)

@@ -80,7 +80,11 @@ class OnlineAnalysisPipeline:
             dt=dt,
             config=self.config.mrdmd,
             drift_threshold=self.config.drift_threshold,
-            keep_data=self.config.keep_data,
+            # effective_retention is the single source for the
+            # keep_data -> policy derivation at the pipeline level.
+            retain_data=self.config.effective_retention,
+            retain_window=self.config.retain_window,
+            level1_path=self.config.level1_path,
         )
         self.node_of_row = None if node_of_row is None else np.asarray(node_of_row, dtype=int)
         self._baseline: BaselineModel | None = None
@@ -154,7 +158,7 @@ class OnlineAnalysisPipeline:
         else:
             update = self.model.partial_fit(data)
         error = None
-        if self.config.keep_data:
+        if self.model.retain_data == "all":
             error = self.model.reconstruction_error()
         return PipelineSnapshot(
             update=update,

@@ -24,7 +24,6 @@ from __future__ import annotations
 import json
 import os
 from abc import ABC, abstractmethod
-from collections import deque
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Iterable, Sequence
@@ -33,6 +32,7 @@ from ..align.zscore_map import NodeZScores
 from ..core.baseline import ZScoreCategory
 from ..core.imrdmd import UpdateRecord
 from ..hwlog.events import HardwareLog
+from ..util.growbuf import RingBuffer
 
 __all__ = [
     "AlertSeverity",
@@ -293,12 +293,16 @@ class AlertSink(ABC):
 
 
 class RingBufferSink(AlertSink):
-    """Keeps the most recent ``capacity`` alerts in memory."""
+    """Keeps the most recent ``capacity`` alerts in memory.
+
+    Backed by the shared :class:`repro.util.growbuf.RingBuffer` (O(1)
+    append, slots allocated once up front).
+    """
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
-        self._buffer: deque[Alert] = deque(maxlen=capacity)
+        self._buffer: RingBuffer = RingBuffer(capacity)
 
     def emit(self, alert: Alert) -> None:
         self._buffer.append(alert)

@@ -1,6 +1,7 @@
 """Shared utilities: timing, validation, chunking, parallelism, statistics."""
 
 from .chunking import chunk_indices, iter_chunks, split_columns
+from .growbuf import GrowableMatrix, RingBuffer
 from .parallel import (
     ProcessShardExecutor,
     SerialShardExecutor,
@@ -24,6 +25,8 @@ __all__ = [
     "chunk_indices",
     "iter_chunks",
     "split_columns",
+    "GrowableMatrix",
+    "RingBuffer",
     "parallel_map",
     "ShardExecutor",
     "SerialShardExecutor",
