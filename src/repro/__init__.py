@@ -19,6 +19,10 @@ The package is organised as:
   Aligned-UMAP-lite comparison methods (Figs. 8/9);
 * :mod:`repro.pipeline` — the online analysis pipeline and case-study
   drivers tying everything together;
+* :mod:`repro.service` — the fleet-scale monitoring service (sharding,
+  alerting, checkpoint/restore, scenario catalog) for one machine;
+* :mod:`repro.federation` — multi-machine federation: machine registry,
+  federated monitor, cross-machine alert routing, rotating checkpoints;
 * :mod:`repro.util` — timers, validation, chunking and parallel helpers.
 
 Quickstart::

@@ -1,0 +1,59 @@
+"""Multi-machine fleet federation: registry, routed alerts, rotating checkpoints.
+
+``repro.service`` monitors one machine; this package turns N of those
+monitors into a single queryable, alert-routing system:
+
+* :mod:`repro.federation.registry` — :class:`MachineRegistry`, the named
+  membership list (one :class:`~repro.service.FleetMonitor` per machine,
+  each with its own sharding policy, config and executor backend);
+* :mod:`repro.federation.monitor` — :class:`FederatedMonitor`, fanning
+  ingests across machines over the persistent
+  :class:`~repro.util.parallel.ShardExecutor` machinery and merging
+  per-machine products into federated ones;
+* :mod:`repro.federation.routing` — :class:`AlertRouter` (machine
+  stamping, cross-machine cooldown/dedup, global + per-machine sinks) and
+  :class:`FleetWideRule` (>= k machines drifting within a window);
+* :mod:`repro.federation.checkpoint` — whole-federation checkpoints
+  (manifest + one service checkpoint per machine) with step-stamped
+  rotation and bit-for-bit restore;
+* :mod:`repro.federation.scenario` — the ``federated-fleet`` catalog
+  workload and its runner.
+"""
+
+from .checkpoint import (
+    FederatedCheckpointInfo,
+    load_federated_checkpoint,
+    read_federated_manifest,
+    save_federated_checkpoint,
+)
+from .monitor import FederatedMonitor, FederatedSnapshot, FederatedSpectrum
+from .registry import MachineRegistry
+from .routing import AlertRouter, FederatedAlertContext, FleetWideRule
+from .scenario import (
+    FEDERATED_SCENARIOS,
+    FederatedScenario,
+    FederatedScenarioResult,
+    FederatedScenarioRunner,
+    federated_fleet,
+    get_federated_scenario,
+)
+
+__all__ = [
+    "AlertRouter",
+    "FederatedAlertContext",
+    "FleetWideRule",
+    "MachineRegistry",
+    "FederatedMonitor",
+    "FederatedSnapshot",
+    "FederatedSpectrum",
+    "FederatedCheckpointInfo",
+    "save_federated_checkpoint",
+    "load_federated_checkpoint",
+    "read_federated_manifest",
+    "FEDERATED_SCENARIOS",
+    "FederatedScenario",
+    "FederatedScenarioResult",
+    "FederatedScenarioRunner",
+    "federated_fleet",
+    "get_federated_scenario",
+]

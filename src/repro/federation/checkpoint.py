@@ -1,0 +1,194 @@
+"""Checkpoint / restore of a whole federation, with rotating retention.
+
+A federated checkpoint is a directory::
+
+    <dir>/
+      manifest.json          # version, federated step, machine names, router state
+      machines/
+        east/                # one full service checkpoint per machine
+          manifest.json      #   (repro.service.checkpoint format, reused as-is)
+          shard_0.npz
+          ...
+        west/
+          ...
+
+With ``keep_last=N`` the directory is a rotation root of step-stamped
+entries, exactly like ``save_checkpoint(..., keep_last=N)`` one layer down
+(same atomic write-then-rename protocol, same
+:func:`~repro.service.checkpoint.list_checkpoints` history helper — the
+rotation machinery is shared, not duplicated).
+
+Restore rebuilds the registry machine by machine through
+:func:`~repro.service.checkpoint.load_checkpoint` (so every per-machine
+guarantee — bit-for-bit stream resumption, restored engine cooldown state —
+carries over) and re-attaches the router's persisted dedup and fleet-rule
+memory.  Rules, sinks and routers are code, not data: pass them in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..service.alerts import AlertRule, AlertSink
+from ..service.checkpoint import (
+    MANIFEST_NAME,
+    load_checkpoint,
+    resolve_checkpoint_dir,
+    rotate_into,
+    save_checkpoint,
+)
+from ..util.parallel import ShardExecutor
+from .monitor import FederatedMonitor
+from .registry import MachineRegistry
+from .routing import AlertRouter
+
+__all__ = [
+    "FederatedCheckpointInfo",
+    "save_federated_checkpoint",
+    "load_federated_checkpoint",
+    "read_federated_manifest",
+]
+
+FEDERATION_CHECKPOINT_VERSION = 1
+MACHINES_DIRNAME = "machines"
+
+
+@dataclass(frozen=True)
+class FederatedCheckpointInfo:
+    """What :func:`save_federated_checkpoint` wrote."""
+
+    directory: str
+    step: int
+    machines: tuple[str, ...]
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def total_bytes(self) -> int:
+        """On-disk size of the whole federated checkpoint."""
+        total = 0
+        for root, _dirs, files in os.walk(self.directory):
+            total += sum(os.path.getsize(os.path.join(root, name)) for name in files)
+        return total
+
+
+def save_federated_checkpoint(
+    directory: str, federated: FederatedMonitor, *, keep_last: int | None = None
+) -> FederatedCheckpointInfo:
+    """Write the federation's full state under ``directory``.
+
+    Machine state is taken from :attr:`FederatedMonitor.machines`, which
+    syncs process-resident monitors back first — a federation on any
+    fan-out backend checkpoints to identical bytes.  With ``keep_last=N``
+    the checkpoint lands in an atomic step-stamped entry under the
+    rotation root and only the newest ``N`` entries survive.
+    """
+    machines = federated.machines
+    step = federated.step
+
+    def write(target: str) -> None:
+        os.makedirs(os.path.join(target, MACHINES_DIRNAME), exist_ok=True)
+        for name, monitor in machines.items():
+            save_checkpoint(os.path.join(target, MACHINES_DIRNAME, name), monitor)
+        manifest = {
+            "version": FEDERATION_CHECKPOINT_VERSION,
+            "kind": "federation",
+            "step": step,
+            "machines": list(machines),
+            "router": federated.router.state_dict(),
+        }
+        with open(os.path.join(target, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2)
+
+    if keep_last is not None:
+        final = rotate_into(directory, step, keep_last, write)
+    else:
+        os.makedirs(directory, exist_ok=True)
+        write(directory)
+        final = directory
+    return FederatedCheckpointInfo(
+        directory=final, step=step, machines=tuple(machines)
+    )
+
+
+def read_federated_manifest(directory: str) -> dict:
+    """Load and check a *federated* checkpoint's manifest.
+
+    ``directory`` may be a concrete checkpoint or a rotation root (the
+    newest entry is used).  Pointing at a single-machine service
+    checkpoint is reported as such instead of failing on a missing key.
+    """
+    directory = resolve_checkpoint_dir(directory)
+    with open(os.path.join(directory, MANIFEST_NAME), "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if manifest.get("kind") != "federation":
+        raise ValueError(
+            f"{directory!r} holds a single-machine service checkpoint, not a "
+            f"federated one — load it with repro.service.load_checkpoint"
+        )
+    version = manifest.get("version")
+    if version != FEDERATION_CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported federated checkpoint version {version!r} "
+            f"(expected {FEDERATION_CHECKPOINT_VERSION})"
+        )
+    manifest["__directory__"] = directory
+    return manifest
+
+
+def load_federated_checkpoint(
+    directory: str,
+    *,
+    rules: Sequence[AlertRule] | None = None,
+    sinks: Iterable[AlertSink] = (),
+    machine_sinks: Mapping[str, Iterable[AlertSink]] | None = None,
+    router: AlertRouter | None = None,
+    executor: str | ShardExecutor | None = None,
+    machine_executor: str | None = None,
+    max_workers: int | None = None,
+) -> FederatedMonitor:
+    """Rebuild a :class:`FederatedMonitor` from a (possibly rotated) checkpoint.
+
+    ``rules`` recreate each machine's alert engine (persisted per-machine
+    cooldown state is re-attached by the per-machine loader).  The router
+    is rebuilt from ``sinks``/``machine_sinks`` — or pass a pre-configured
+    ``router`` instance (custom fleet rules, cooldown) and its persisted
+    dedup/fleet-rule memory is loaded into it; combining both forms is an
+    error.  ``executor`` configures the federation fan-out,
+    ``machine_executor`` the restored per-machine shard fan-out; both
+    start lazily, and restored products resume **bit-for-bit** (asserted
+    by the tests).
+    """
+    if router is not None and (list(sinks) or machine_sinks):
+        raise ValueError(
+            "pass either a pre-built router or sinks/machine_sinks, not both "
+            "(attach sinks to the router you pass in)"
+        )
+    manifest = read_federated_manifest(directory)
+    directory = manifest.pop("__directory__")
+
+    registry = MachineRegistry()
+    for name in manifest["machines"]:
+        registry.register(
+            name,
+            load_checkpoint(
+                os.path.join(directory, MACHINES_DIRNAME, name),
+                rules=rules,
+                executor=machine_executor,
+            ),
+        )
+
+    if router is None:
+        router = AlertRouter(sinks=sinks, machine_sinks=machine_sinks)
+    router.load_state_dict(manifest["router"])
+
+    federated = FederatedMonitor(
+        registry, router=router, executor=executor, max_workers=max_workers
+    )
+    federated._step = int(manifest["step"])
+    return federated

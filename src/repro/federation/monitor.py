@@ -1,0 +1,513 @@
+"""The federated monitor: one queryable system over N machine monitors.
+
+A :class:`FederatedMonitor` sits on top of a
+:class:`~repro.federation.registry.MachineRegistry` and turns N
+independent :class:`~repro.service.monitor.FleetMonitor` instances into a
+single ingest/alert/query surface:
+
+1. :meth:`ingest_and_alert` fans one chunk per machine out over a
+   persistent :class:`~repro.util.parallel.ShardExecutor` whose resident
+   objects are the *machine monitors themselves* — the same machinery the
+   per-machine monitors use one level down for their shards.  Each machine
+   runs its own sharded ingest + alert evaluation; only snapshots and
+   alerts travel back.
+2. Per-machine products merge into federated equivalents:
+   :class:`FederatedSnapshot` (per-machine and fleet-wide ``max_drift``),
+   :class:`FederatedSpectrum` (``total_power_by_shard`` keyed
+   ``machine/shard``) and fleet z-score maps.
+3. Alerts route through a shared
+   :class:`~repro.federation.routing.AlertRouter`: machine-stamped,
+   federation-level cooldown/dedup, global + per-machine sinks, and
+   fleet-wide rules (:class:`~repro.federation.routing.FleetWideRule`)
+   that no single machine can express.
+
+Backends compose freely with one caveat: a ``process`` federation backend
+hosts its machines in daemon worker processes, which the OS forbids from
+spawning children — machines shipped to a process federation must
+therefore use ``serial`` or ``thread`` shard executors themselves.
+Every backend combination produces bit-for-bit identical products
+(asserted by the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..align.zscore_map import NodeZScores
+from ..hwlog.events import HardwareLog
+from ..service.alerts import Alert
+from ..service.monitor import FleetMonitor, FleetSnapshot, FleetSpectrum
+from ..util.parallel import ShardExecutor, make_shard_executor
+from .registry import MachineRegistry
+from .routing import AlertRouter, FederatedAlertContext
+
+__all__ = ["FederatedMonitor", "FederatedSnapshot", "FederatedSpectrum"]
+
+
+@dataclass
+class FederatedSnapshot:
+    """Merged diagnostics for one federated ingest round."""
+
+    step: int
+    n_machines: int
+    machine_snapshots: dict[str, FleetSnapshot]
+
+    @property
+    def total_modes(self) -> int:
+        return sum(snap.total_modes for snap in self.machine_snapshots.values())
+
+    @property
+    def drift_by_machine(self) -> dict[str, float]:
+        """Largest per-shard drift per machine this round."""
+        return {
+            machine: snap.max_drift
+            for machine, snap in self.machine_snapshots.items()
+        }
+
+    @property
+    def max_drift(self) -> float:
+        """Largest drift across the whole federation this round."""
+        return max(self.drift_by_machine.values(), default=0.0)
+
+
+@dataclass
+class FederatedSpectrum:
+    """Fleet-level power/frequency table merged across machines and shards.
+
+    The same scalar-column merge as
+    :class:`~repro.service.monitor.FleetSpectrum`, with one more origin
+    column: every mode carries both the shard and the machine it came
+    from, and shard-keyed aggregates use ``machine/shard`` keys so shards
+    with the same local name on different machines stay distinct.
+    """
+
+    frequencies: np.ndarray
+    power: np.ndarray
+    levels: np.ndarray
+    shard_ids: np.ndarray  # object array, one local shard id per mode
+    machine_ids: np.ndarray  # object array, one machine name per mode
+
+    @property
+    def n_modes(self) -> int:
+        return int(self.frequencies.size)
+
+    def dominant_frequency(self) -> float:
+        """Frequency (Hz) of the highest-power mode federation-wide."""
+        if self.n_modes == 0:
+            return float("nan")
+        return float(self.frequencies[int(np.argmax(self.power))])
+
+    def _grouped_power(self, keys: np.ndarray) -> dict[str, float]:
+        # Masked .sum() (not a running accumulator): the same pairwise
+        # summation FleetSpectrum.total_power_by_shard uses, so federated
+        # aggregates are bit-for-bit the standalone per-machine ones.
+        out: dict[str, float] = {}
+        as_str = keys.astype(str)
+        for key in np.unique(as_str):
+            out[str(key)] = float(self.power[as_str == key].sum())
+        return out
+
+    def total_power_by_shard(self) -> dict[str, float]:
+        """Summed mode power keyed ``machine/shard``."""
+        keys = np.array(
+            [f"{m}/{s}" for m, s in zip(self.machine_ids, self.shard_ids)],
+            dtype=object,
+        )
+        return self._grouped_power(keys)
+
+    def total_power_by_machine(self) -> dict[str, float]:
+        """Summed mode power per machine (coarse site fingerprint)."""
+        return self._grouped_power(np.asarray(self.machine_ids, dtype=object))
+
+
+# --------------------------------------------------------------------------- #
+# Machine commands: top-level functions so the process backend can pickle
+# them by reference; called as fn(resident_monitor, *args) in the worker.
+# --------------------------------------------------------------------------- #
+def _machine_ingest(monitor: FleetMonitor, values: np.ndarray) -> FleetSnapshot:
+    return monitor.ingest(values)
+
+
+def _machine_ingest_and_alert(
+    monitor: FleetMonitor, values: np.ndarray, hwlog: HardwareLog | None, window: int
+) -> tuple[FleetSnapshot, list[Alert]]:
+    return monitor.ingest_and_alert(values, hwlog=hwlog, window=window)
+
+
+def _machine_node_zscores(
+    monitor: FleetMonitor, time_range, reducer: str
+) -> NodeZScores:
+    return monitor.node_zscores(time_range=time_range, reducer=reducer)
+
+
+def _machine_fleet_spectrum(monitor: FleetMonitor) -> FleetSpectrum:
+    return monitor.fleet_spectrum()
+
+
+def _machine_step(monitor: FleetMonitor) -> int:
+    return monitor.step
+
+
+def _return_machine(monitor: FleetMonitor) -> FleetMonitor:
+    return monitor
+
+
+class FederatedMonitor:
+    """One ingest/alert/query surface over every registered machine.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`MachineRegistry` (or a plain ``name -> FleetMonitor``
+        mapping, wrapped into one).  Membership may change between rounds:
+        the fan-out pool is rebuilt transparently on the next call after a
+        register/deregister (process-resident machine state is pulled back
+        first, so nothing is lost).
+    router:
+        The shared :class:`AlertRouter` (default: one with no sinks and a
+        default :class:`FleetWideRule`).  Pass ``router=None`` explicitly
+        configured instances to attach sinks and fleet rules.
+    executor:
+        Machine fan-out backend: ``None``/``"serial"`` (default),
+        ``"thread"``, ``"process"``, or a fresh
+        :class:`~repro.util.parallel.ShardExecutor`.  Started lazily,
+        held open across rounds; close with :meth:`close` or the context
+        manager.
+    max_workers:
+        Worker count for thread/process fan-out (default: one per
+        machine, capped at the CPU count).
+    """
+
+    def __init__(
+        self,
+        registry: MachineRegistry | Mapping[str, FleetMonitor],
+        *,
+        router: AlertRouter | None = None,
+        executor: str | ShardExecutor | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        if not isinstance(registry, MachineRegistry):
+            registry = MachineRegistry(registry)
+        if len(registry) == 0:
+            raise ValueError("FederatedMonitor needs at least one registered machine")
+        self.registry = registry
+        self.router = router if router is not None else AlertRouter()
+        self._executor_spec: str | ShardExecutor | None = executor
+        self._max_workers = max_workers
+        self._executor: ShardExecutor | None = None
+        self._executor_version: int | None = None
+        #: What each pool worker is resident for: name -> the exact object
+        #: last shipped to (or landed from) the pool.  Landing a pulled
+        #: copy is only legal while the registry still holds that object —
+        #: a machine re-registered under the same name must never be
+        #: clobbered by the replaced machine's resident state.
+        self._shipped: dict[str, FleetMonitor] = {}
+        self._step = max(
+            (monitor.step for monitor in registry.monitors().values()), default=0
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_machines(self) -> int:
+        return len(self.registry)
+
+    @property
+    def machine_names(self) -> tuple[str, ...]:
+        return self.registry.names
+
+    @property
+    def step(self) -> int:
+        """Federated timeline position (max machine step seen so far)."""
+        return self._step
+
+    @property
+    def executor(self) -> ShardExecutor | None:
+        """The live fan-out executor (None until first use / after close)."""
+        return self._executor
+
+    @property
+    def _resident_remote(self) -> bool:
+        return self._executor is not None and self._executor.backend == "process"
+
+    @property
+    def machines(self) -> dict[str, FleetMonitor]:
+        """Name -> monitor.  Serial/thread fan-out returns the live
+        objects; process fan-out pulls fresh copies from the workers and
+        lands them back in the registry (so checkpoints and direct access
+        observe current state)."""
+        if self._resident_remote:
+            for name, monitor in self._executor.pull().items():
+                self._land_pulled(name, monitor)
+        return self.registry.monitors()
+
+    def machine(self, name: str) -> FleetMonitor:
+        """One machine's monitor (see :attr:`machines` for semantics)."""
+        if name not in self.registry:
+            raise KeyError(f"unknown machine {name!r}")
+        if self._executor is not None and self._ensure_executor().backend == "process":
+            # One pickle round trip for this machine only, not a full pull.
+            monitor = self._executor.call(name, _return_machine)
+            self._land_pulled(name, monitor)
+            return monitor
+        return self.registry.get(name)
+
+    def _land_pulled(self, name: str, monitor: FleetMonitor) -> None:
+        """Install a worker's resident copy back into the registry — but
+        only while the registry still holds the object the pool was
+        started with (deregistered or replaced machines keep their own,
+        newer state)."""
+        if name in self.registry and self.registry.get(name) is self._shipped.get(name):
+            self.registry.install(name, monitor)
+            self._shipped[name] = monitor
+
+    # ------------------------------------------------------------------ #
+    # Executor lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_executor(self) -> ShardExecutor:
+        """Start the fan-out pool lazily; rebuild it on membership change."""
+        if (
+            self._executor is not None
+            and self._executor_version != self.registry.version
+        ):
+            # Machines were (de)registered since the pool started: land
+            # resident state back, tear the pool down and fall through to
+            # a fresh start with the current membership.
+            self._land_and_drop_executor()
+        if self._executor is None:
+            self._executor = make_shard_executor(
+                self._executor_spec, max_workers=self._max_workers
+            )
+            shipped = self.registry.monitors()
+            self._executor.start(shipped)
+            self._executor_version = self.registry.version
+            self._shipped = shipped
+        return self._executor
+
+    def _land_and_drop_executor(self) -> None:
+        try:
+            if self._resident_remote and not self._executor.closed:
+                for name, monitor in self._executor.pull().items():
+                    self._land_pulled(name, monitor)
+        finally:
+            self._executor.close()
+            self._executor = None
+            self._shipped = {}
+
+    def close(self) -> None:
+        """Shut the fan-out pool down, landing machine state in-process.
+
+        Machine monitors themselves stay open (the registry owns them);
+        close those via ``registry.close()``.  Idempotent.
+        """
+        if self._executor is None:
+            return
+        self._land_and_drop_executor()
+        if isinstance(self._executor_spec, ShardExecutor):
+            # The instance was consumed by the closed pool; fall back to
+            # its backend name for any later restart.
+            self._executor_spec = self._executor_spec.backend
+
+    def __enter__(self) -> "FederatedMonitor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def _validated_chunks(
+        self, chunks: Mapping[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        names = set(self.registry.names)
+        given = set(chunks)
+        if given != names:
+            missing = sorted(names - given)
+            unknown = sorted(given - names)
+            problems = []
+            if missing:
+                problems.append(f"missing chunks for {missing}")
+            if unknown:
+                problems.append(f"unknown machines {unknown}")
+            raise ValueError(
+                "federated ingest needs exactly one chunk per registered "
+                "machine: " + "; ".join(problems)
+            )
+        # Registry order, not caller order: deterministic fan-out/merge.
+        return {name: chunks[name] for name in self.registry.names}
+
+    def _finish_round(
+        self, snapshots: dict[str, FleetSnapshot]
+    ) -> FederatedSnapshot:
+        self._step = max(
+            self._step, max(snap.step for snap in snapshots.values())
+        )
+        return FederatedSnapshot(
+            step=self._step,
+            n_machines=len(snapshots),
+            machine_snapshots=snapshots,
+        )
+
+    def ingest(self, chunks: Mapping[str, np.ndarray]) -> FederatedSnapshot:
+        """Feed one ``(P_m, T)`` block per machine; no alert evaluation.
+
+        Machines fan out over the persistent executor and ingest
+        concurrently (each one sharding further internally); per-machine
+        :class:`FleetSnapshot` products merge into one
+        :class:`FederatedSnapshot`.
+        """
+        chunks = self._validated_chunks(chunks)
+        executor = self._ensure_executor()
+        snapshots = executor.map(
+            _machine_ingest, {name: (chunk,) for name, chunk in chunks.items()}
+        )
+        return self._finish_round({name: snapshots[name] for name in chunks})
+
+    def ingest_and_alert(
+        self,
+        chunks: Mapping[str, np.ndarray],
+        *,
+        hwlogs: Mapping[str, HardwareLog] | None = None,
+        window: int = 200,
+    ) -> tuple[FederatedSnapshot, list[Alert]]:
+        """Ingest one chunk per machine and route the round's alerts.
+
+        Each machine runs its own overlapped
+        :meth:`~repro.service.monitor.FleetMonitor.ingest_and_alert`
+        (per-machine rules, per-machine cooldown) in the fan-out pool;
+        the per-machine alert streams then pass through the shared
+        :class:`AlertRouter` — machine-stamped, federation-deduped,
+        delivered to global/per-machine sinks — and the fleet-wide rules
+        run against the merged drift picture.  Returns the federated
+        snapshot and the routed alerts, in delivery order.
+        """
+        chunks = self._validated_chunks(chunks)
+        hwlogs = dict(hwlogs) if hwlogs else {}
+        unknown_logs = sorted(set(hwlogs) - set(self.registry.names))
+        if unknown_logs:
+            raise ValueError(f"hwlogs reference unknown machines {unknown_logs}")
+        executor = self._ensure_executor()
+        tasks = [
+            (
+                name,
+                executor.submit(
+                    name,
+                    _machine_ingest_and_alert,
+                    chunk,
+                    hwlogs.get(name),
+                    window,
+                ),
+            )
+            for name, chunk in chunks.items()
+        ]
+        results = {name: task.result() for name, task in tasks}
+        snapshot = self._finish_round({name: results[name][0] for name in results})
+        context = FederatedAlertContext(
+            step=self._step,
+            updates={
+                name: {
+                    shard_id: shard_snap.update
+                    for shard_id, shard_snap in fleet_snap.shard_snapshots.items()
+                }
+                for name, fleet_snap in snapshot.machine_snapshots.items()
+            },
+            window=window,
+        )
+        routed = self.router.route(
+            {name: results[name][1] for name in results}, context
+        )
+        return snapshot, routed
+
+    # ------------------------------------------------------------------ #
+    # Federated analysis products
+    # ------------------------------------------------------------------ #
+    def _query_all(self, fn, *args) -> dict:
+        """Fan a machine command out; answer in-process before first use.
+
+        Once a pool exists it stays authoritative (``_ensure_executor``
+        transparently rebuilds it after membership changes, landing
+        process-resident state first).
+        """
+        if self._executor is None:
+            return {
+                name: fn(monitor, *args)
+                for name, monitor in self.registry.monitors().items()
+            }
+        return self._ensure_executor().broadcast(fn, *args)
+
+    def node_zscores(
+        self,
+        *,
+        time_range: tuple[int, int] | None = None,
+        reducer: str = "mean",
+    ) -> dict[str, NodeZScores]:
+        """Per-machine fleet-merged node z-scores, keyed by machine name.
+
+        Node indices are machine-local (two machines both have a node 0),
+        so scores stay keyed per machine; :meth:`zscore_map` flattens them
+        under ``machine/node`` keys when one global map is wanted.
+        """
+        return self._query_all(_machine_node_zscores, time_range, reducer)
+
+    def rack_values(
+        self,
+        *,
+        time_range: tuple[int, int] | None = None,
+        reducer: str = "mean",
+    ) -> dict[str, dict[int, float]]:
+        """``machine -> {node: zscore}`` — one rack view per machine."""
+        return {
+            name: scores.as_dict()
+            for name, scores in self.node_zscores(
+                time_range=time_range, reducer=reducer
+            ).items()
+        }
+
+    def zscore_map(
+        self,
+        *,
+        time_range: tuple[int, int] | None = None,
+        reducer: str = "mean",
+    ) -> dict[str, float]:
+        """One flat federated z-score map keyed ``machine/node``."""
+        out: dict[str, float] = {}
+        for name, values in self.rack_values(
+            time_range=time_range, reducer=reducer
+        ).items():
+            for node, z in values.items():
+                out[f"{name}/{node}"] = z
+        return out
+
+    def fleet_spectrum(self) -> FederatedSpectrum:
+        """Merged power/frequency table across every machine and shard."""
+        per_machine = self._query_all(_machine_fleet_spectrum)
+        freqs, power, levels, shard_ids, machine_ids = [], [], [], [], []
+        for name in self.registry.names:
+            spectrum = per_machine[name]
+            freqs.append(spectrum.frequencies)
+            power.append(spectrum.power)
+            levels.append(spectrum.levels)
+            shard_ids.append(spectrum.shard_ids)
+            machine_ids.append(np.full(spectrum.n_modes, name, dtype=object))
+        return FederatedSpectrum(
+            frequencies=np.concatenate(freqs) if freqs else np.zeros(0),
+            power=np.concatenate(power) if power else np.zeros(0),
+            levels=np.concatenate(levels) if levels else np.zeros(0, dtype=int),
+            shard_ids=(
+                np.concatenate(shard_ids) if shard_ids else np.zeros(0, dtype=object)
+            ),
+            machine_ids=(
+                np.concatenate(machine_ids)
+                if machine_ids
+                else np.zeros(0, dtype=object)
+            ),
+        )
+
+    def machine_steps(self) -> dict[str, int]:
+        """Per-machine stream positions (authoritative, via the pool)."""
+        return self._query_all(_machine_step)

@@ -1,0 +1,294 @@
+"""Cross-machine alert routing: machine stamping, federated dedup, fleet rules.
+
+Per-machine :class:`~repro.service.alerts.AlertEngine` instances already
+deduplicate within their machine; the :class:`AlertRouter` sits above all
+of them and
+
+* **stamps** every alert with its origin machine (``Alert.machine``) so a
+  merged alert stream stays attributable;
+* applies a second, *federation-level* cooldown keyed
+  ``(rule, machine, shard, node)`` — the cross-machine dedup that keeps a
+  restored federation (or a machine whose engine state was lost) from
+  re-flooding global sinks;
+* fans the stamped stream out to **global sinks** plus optional
+  **per-machine sinks**;
+* evaluates **fleet-wide rules** that no single machine can express —
+  :class:`FleetWideRule` fires when at least ``min_machines`` machines
+  reported level-1 drift within a trailing window, the federated analogue
+  of the paper's "recompute levels 2..L" trigger (a fleet-wide drift burst
+  usually means a shared cause: facility cooling, a firmware rollout, a
+  workload wave).
+
+Router and fleet-rule state are serialisable, so a federation restored
+from a checkpoint keeps suppressing what it already delivered and
+remembers which machines drifted recently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+from ..core.imrdmd import UpdateRecord
+from ..service.alerts import Alert, AlertSeverity, AlertSink
+
+__all__ = [
+    "FederatedAlertContext",
+    "FleetWideRule",
+    "AlertRouter",
+]
+
+
+@dataclass
+class FederatedAlertContext:
+    """What fleet-wide rules may inspect after one federated ingest round.
+
+    Attributes
+    ----------
+    step:
+        Federated timeline position — the maximum machine step after the
+        round (machines ingesting in lockstep all sit at this step).
+    updates:
+        ``machine -> shard -> UpdateRecord`` from the round's ingests
+        (``None`` for shards still in their initial fit).
+    window:
+        Trailing snapshot count rules should consider "recent".
+    """
+
+    step: int
+    updates: dict[str, dict[str, UpdateRecord | None]] = field(default_factory=dict)
+    window: int = 200
+
+
+class FleetWideRule:
+    """Fires when >= ``min_machines`` machines drifted within a window.
+
+    A machine "drifted" in a round when any of its shard updates was
+    flagged stale (its model's own drift threshold) or, when ``threshold``
+    is given, when any shard's drift norm crossed it.  The rule remembers
+    each machine's most recent drift step, so machines drifting a few
+    chunks apart still count into the same burst — exactly the condition a
+    per-machine rule cannot see.
+
+    The context's ``updates`` keys define the federation's current
+    membership (the federated monitor ingests every registered machine
+    each round): machines absent from a round have left the federation
+    and their drift memory is dropped — a decommissioned machine must not
+    keep counting toward ``min_machines``.
+    """
+
+    name = "fleet-wide-drift"
+
+    def __init__(
+        self,
+        min_machines: int = 2,
+        *,
+        window: int | None = None,
+        threshold: float | None = None,
+        severity: AlertSeverity = AlertSeverity.CRITICAL,
+    ) -> None:
+        if min_machines < 1:
+            raise ValueError("min_machines must be >= 1")
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 (or None for the context's)")
+        if threshold is not None and threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.min_machines = int(min_machines)
+        self.window = window
+        self.threshold = threshold
+        self.severity = severity
+        self._last_drift_step: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def _machine_drifted(self, updates: Mapping[str, UpdateRecord | None]) -> bool:
+        for record in updates.values():
+            if record is None:
+                continue
+            if record.stale:
+                return True
+            if self.threshold is not None and record.drift > self.threshold:
+                return True
+        return False
+
+    def evaluate(self, context: FederatedAlertContext) -> list[Alert]:
+        self._last_drift_step = {
+            machine: step
+            for machine, step in self._last_drift_step.items()
+            if machine in context.updates
+        }
+        for machine, updates in context.updates.items():
+            if self._machine_drifted(updates):
+                self._last_drift_step[machine] = context.step
+        window = self.window if self.window is not None else context.window
+        lo = context.step - window
+        drifted = sorted(
+            machine
+            for machine, step in self._last_drift_step.items()
+            if step > lo
+        )
+        if len(drifted) < self.min_machines:
+            return []
+        return [
+            Alert(
+                rule=self.name,
+                severity=self.severity,
+                step=context.step,
+                value=float(len(drifted)),
+                message=(
+                    f"{len(drifted)} machines ({', '.join(drifted)}) reported "
+                    f"level-1 drift within the last {window} snapshots — "
+                    f"fleet-wide cause likely (facility, rollout, workload wave)"
+                ),
+            )
+        ]
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        return {
+            "last_drift_step": [
+                {"machine": machine, "step": step}
+                for machine, step in sorted(self._last_drift_step.items())
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._last_drift_step = {
+            str(entry["machine"]): int(entry["step"])
+            for entry in state["last_drift_step"]
+        }
+
+
+class AlertRouter:
+    """Merges per-machine alert streams into one attributable, deduped flow.
+
+    Parameters
+    ----------
+    sinks:
+        Global sinks receiving *every* routed alert.
+    machine_sinks:
+        Optional ``machine -> [sinks]`` for per-machine delivery (an
+        operator console per site, say); fleet-wide alerts (no origin
+        machine) only reach the global sinks.
+    fleet_rules:
+        Rules evaluated once per federated round against the merged
+        context (default: one :class:`FleetWideRule`).  Pass ``()`` to
+        disable.
+    cooldown:
+        Federation-level cooldown in snapshots, keyed per
+        ``(rule, machine, shard, node)``.  Matching the per-machine engine
+        cooldown (the default) makes the router transparent for alerts the
+        engines already deduplicate while still bounding fleet-wide rules
+        and guarding against engines whose dedup state was lost.
+    """
+
+    def __init__(
+        self,
+        *,
+        sinks: Iterable[AlertSink] = (),
+        machine_sinks: Mapping[str, Iterable[AlertSink]] | None = None,
+        fleet_rules: Sequence[FleetWideRule] | None = None,
+        cooldown: int = 120,
+    ) -> None:
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.sinks = list(sinks)
+        self.machine_sinks = {
+            str(machine): list(machine_sinks[machine]) for machine in machine_sinks
+        } if machine_sinks else {}
+        self.fleet_rules = (
+            list(fleet_rules) if fleet_rules is not None else [FleetWideRule()]
+        )
+        self.cooldown = int(cooldown)
+        self._last_fired: dict[tuple[str, str, str, str], int] = {}
+        self._n_routed = 0
+        self._n_suppressed = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _key(alert: Alert) -> tuple[str, str, str, str]:
+        return (alert.rule, str(alert.machine), str(alert.shard_id), str(alert.node))
+
+    def _admit(self, alert: Alert, step: int) -> bool:
+        key = self._key(alert)
+        last = self._last_fired.get(key)
+        if last is not None and step - last < self.cooldown:
+            self._n_suppressed += 1
+            return False
+        self._last_fired[key] = step
+        return True
+
+    def _deliver(self, alert: Alert) -> None:
+        for sink in self.sinks:
+            sink.emit(alert)
+        if alert.machine is not None:
+            for sink in self.machine_sinks.get(alert.machine, ()):
+                sink.emit(alert)
+
+    def route(
+        self,
+        machine_alerts: Mapping[str, Sequence[Alert]],
+        context: FederatedAlertContext,
+    ) -> list[Alert]:
+        """Stamp, dedup and deliver one round's alerts; returns what passed.
+
+        Per-machine alerts are processed in the mapping's (registration)
+        order, then the fleet rules run against the merged context — so a
+        fleet-wide alert always *follows* the per-machine evidence that
+        triggered it in sinks and in the returned list.
+        """
+        routed: list[Alert] = []
+        for machine, alerts in machine_alerts.items():
+            for alert in alerts:
+                stamped = replace(alert, machine=machine)
+                if not self._admit(stamped, context.step):
+                    continue
+                routed.append(stamped)
+                self._deliver(stamped)
+        for rule in self.fleet_rules:
+            for alert in rule.evaluate(context):
+                if not self._admit(alert, context.step):
+                    continue
+                routed.append(alert)
+                self._deliver(alert)
+        self._n_routed += len(routed)
+        return routed
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"routed": self._n_routed, "suppressed": self._n_suppressed}
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (dedup + fleet-rule memory; sinks and rules are code)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        return {
+            "cooldown": self.cooldown,
+            "last_fired": [
+                {
+                    "rule": key[0],
+                    "machine": key[1],
+                    "shard": key[2],
+                    "node": key[3],
+                    "step": step,
+                }
+                for key, step in sorted(self._last_fired.items())
+            ],
+            "fleet_rules": {rule.name: rule.state_dict() for rule in self.fleet_rules},
+            "n_routed": self._n_routed,
+            "n_suppressed": self._n_suppressed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.cooldown = int(state["cooldown"])
+        self._last_fired = {
+            (entry["rule"], entry["machine"], entry["shard"], entry["node"]): int(
+                entry["step"]
+            )
+            for entry in state["last_fired"]
+        }
+        saved_rules = state.get("fleet_rules", {})
+        for rule in self.fleet_rules:
+            if rule.name in saved_rules:
+                rule.load_state_dict(saved_rules[rule.name])
+        self._n_routed = int(state.get("n_routed", 0))
+        self._n_suppressed = int(state.get("n_suppressed", 0))

@@ -1,0 +1,345 @@
+"""Named multi-machine workloads for the federated monitor.
+
+A federated scenario composes per-machine
+:class:`~repro.service.scenarios.Scenario` workloads (telemetry, hardware
+log, sharding, pipeline config — all reused as-is) into one lockstep
+federation run: every machine streams the same chunk protocol while the
+:class:`~repro.federation.monitor.FederatedMonitor` fans the ingests out,
+routes machine-stamped alerts through a shared
+:class:`~repro.federation.routing.AlertRouter`, checkpoints the whole
+federation into a rotating history after every chunk, and (for the
+catalog's ``federated-fleet`` entry) tears the federation down mid-run and
+restores it from the newest retained checkpoint — the acceptance check is
+that the restart is observationally invisible.
+
+Catalog (``FEDERATED_SCENARIOS``):
+
+* ``federated-fleet`` — three machines: a quiet site, one with a rack
+  cooling failure and one with a noisy-neighbor job (with correlated
+  hardware events), plus rotating checkpoints and a mid-run restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from ..hwlog.events import HardwareLog
+from ..service.alerts import Alert, AlertEngine, AlertSink, default_rules
+from ..service.checkpoint import RotatedCheckpoint, list_checkpoints
+from ..service.monitor import FleetMonitor
+from ..service.scenarios import (
+    Scenario,
+    noisy_neighbor_job,
+    quiet_fleet,
+    rack_cooling_failure,
+)
+from ..telemetry.streaming import StreamingReplay
+from .checkpoint import load_federated_checkpoint, save_federated_checkpoint
+from .monitor import FederatedMonitor
+from .registry import MachineRegistry
+from .routing import AlertRouter, FleetWideRule
+
+__all__ = [
+    "FederatedScenario",
+    "FederatedScenarioResult",
+    "FederatedScenarioRunner",
+    "FEDERATED_SCENARIOS",
+    "get_federated_scenario",
+    "federated_fleet",
+]
+
+
+@dataclass(frozen=True)
+class FederatedScenario:
+    """A named, fully reproducible multi-machine workload.
+
+    Attributes
+    ----------
+    name / description:
+        Catalog identity.
+    machines:
+        Ordered ``(machine_name, per-machine Scenario)`` pairs.  All
+        machines must share the same stream protocol (``total_steps``,
+        ``initial_size``, ``chunk_size``) — the federation ingests in
+        lockstep.
+    restart_after_chunk:
+        When set, the runner tears the federation down after this many
+        streaming chunks and restores it from the newest retained
+        checkpoint.
+    keep_last:
+        Rotating-checkpoint retention depth (the runner checkpoints after
+        every chunk when given a checkpoint directory).
+    min_drift_machines / fleet_drift_threshold:
+        :class:`FleetWideRule` configuration for the shared router.
+    router_cooldown:
+        Federation-level dedup cooldown in snapshots.
+    """
+
+    name: str
+    description: str
+    machines: tuple[tuple[str, Scenario], ...]
+    restart_after_chunk: int | None = None
+    keep_last: int = 2
+    min_drift_machines: int = 2
+    fleet_drift_threshold: float | None = None
+    router_cooldown: int = 120
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise ValueError("a federated scenario needs at least one machine")
+        protocols = {
+            (sc.total_steps, sc.initial_size, sc.chunk_size)
+            for _name, sc in self.machines
+        }
+        if len(protocols) != 1:
+            raise ValueError(
+                "machines must share one stream protocol (total_steps, "
+                f"initial_size, chunk_size); got {sorted(protocols)}"
+            )
+        names = [name for name, _sc in self.machines]
+        if len(set(names)) != len(names):
+            raise ValueError(f"machine names must be unique, got {names}")
+
+    @property
+    def machine_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _sc in self.machines)
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def n_chunks(self) -> int:
+        """Streaming chunks after the initial fit (shared by all machines)."""
+        return self.machines[0][1].n_chunks
+
+
+@dataclass
+class FederatedScenarioResult:
+    """Everything a federated scenario run produced."""
+
+    scenario: FederatedScenario
+    federated: FederatedMonitor
+    alerts: list[Alert]
+    rack_values: dict[str, dict[int, float]]
+    zscore_map: dict[str, float]
+    hwlogs: dict[str, HardwareLog]
+    n_chunks: int
+    restarted: bool
+    checkpoints: list[RotatedCheckpoint]
+
+    def alerts_for_machine(self, machine: str) -> list[Alert]:
+        return [a for a in self.alerts if a.machine == machine]
+
+    def alerts_for_rule(self, rule: str) -> list[Alert]:
+        return [a for a in self.alerts if a.rule == rule]
+
+    def alerted_machines(self) -> set[str]:
+        return {a.machine for a in self.alerts if a.machine is not None}
+
+
+class FederatedScenarioRunner:
+    """Drives a federated scenario end to end.
+
+    Parameters
+    ----------
+    scenario:
+        The workload description.
+    sinks:
+        Global router sinks (re-attached after a restart).
+    checkpoint_dir:
+        Rotation root for the per-chunk federated checkpoints; required
+        when ``scenario.restart_after_chunk`` is set, optional otherwise
+        (no directory means no checkpointing).
+    executor / max_workers:
+        Machine fan-out backend for the federated monitor.
+    machine_executor:
+        Shard fan-out backend inside each machine's monitor.  Leave serial
+        (the default) when ``executor="process"`` — daemon federation
+        workers cannot spawn their own child processes.
+    """
+
+    def __init__(
+        self,
+        scenario: FederatedScenario,
+        *,
+        sinks: Sequence[AlertSink] = (),
+        checkpoint_dir: str | None = None,
+        executor: str | None = None,
+        machine_executor: str | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        if scenario.restart_after_chunk is not None:
+            if checkpoint_dir is None:
+                raise ValueError(
+                    f"scenario {scenario.name!r} restarts mid-run: pass checkpoint_dir"
+                )
+            if not 1 <= scenario.restart_after_chunk <= scenario.n_chunks:
+                raise ValueError(
+                    f"restart_after_chunk must be in [1, {scenario.n_chunks}]"
+                )
+        self.scenario = scenario
+        self.sinks = list(sinks)
+        self.checkpoint_dir = checkpoint_dir
+        self.executor = executor
+        self.machine_executor = machine_executor
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+    def _build_router(self) -> AlertRouter:
+        scenario = self.scenario
+        return AlertRouter(
+            sinks=self.sinks,
+            fleet_rules=[
+                FleetWideRule(
+                    min_machines=scenario.min_drift_machines,
+                    threshold=scenario.fleet_drift_threshold,
+                )
+            ],
+            cooldown=scenario.router_cooldown,
+        )
+
+    def _build_machine(self, scenario: Scenario, stream) -> FleetMonitor:
+        engine = AlertEngine(
+            rules=default_rules(), cooldown=scenario.alert_cooldown
+        )
+        return FleetMonitor.from_stream(
+            stream,
+            policy=scenario.policy,
+            config=scenario.config,
+            alert_engine=engine,
+            executor=self.machine_executor,
+        )
+
+    def run(self) -> FederatedScenarioResult:
+        """Execute the scenario: lockstep stream -> routed alerts -> products.
+
+        When a checkpoint directory is configured the federation
+        checkpoints into the rotation root after *every* chunk (retention
+        bounded by ``scenario.keep_last``); the restart, when scheduled,
+        restores from the newest retained entry.  The returned federation
+        is closed with all machine state landed in-process, so post-run
+        queries keep working.
+        """
+        scenario = self.scenario
+        streams = {name: sc.build_stream() for name, sc in scenario.machines}
+        hwlogs = {name: sc.build_hwlog() for name, sc in scenario.machines}
+        replays = {
+            name: StreamingReplay(
+                stream=streams[name],
+                initial_size=sc.initial_size,
+                chunk_size=sc.chunk_size,
+            )
+            for name, sc in scenario.machines
+        }
+
+        registry = MachineRegistry(
+            {
+                name: self._build_machine(sc, streams[name])
+                for name, sc in scenario.machines
+            }
+        )
+        federated = FederatedMonitor(
+            registry,
+            router=self._build_router(),
+            executor=self.executor,
+            max_workers=self.max_workers,
+        )
+        alerts: list[Alert] = []
+        restarted = False
+        # try/finally: a mid-run failure must not leak the fan-out pool or
+        # the machine executors (the restart path rebinds `federated`).
+        try:
+            federated.ingest({name: replay.initial() for name, replay in replays.items()})
+            chunk_iters = {name: replay.chunks() for name, replay in replays.items()}
+            for index in range(1, scenario.n_chunks + 1):
+                chunks = {name: next(chunk_iters[name]) for name in replays}
+                _, fired = federated.ingest_and_alert(chunks, hwlogs=hwlogs)
+                alerts.extend(fired)
+                if self.checkpoint_dir is not None:
+                    save_federated_checkpoint(
+                        self.checkpoint_dir, federated, keep_last=scenario.keep_last
+                    )
+                if scenario.restart_after_chunk == index:
+                    # Tear the whole federation down and resume from the
+                    # newest retained rotation entry; the restored run must
+                    # continue exactly where this one stopped.
+                    federated.close()
+                    federated.registry.close()
+                    federated = load_federated_checkpoint(
+                        self.checkpoint_dir,
+                        rules=default_rules(),
+                        router=self._build_router(),
+                        executor=self.executor,
+                        machine_executor=self.machine_executor,
+                        max_workers=self.max_workers,
+                    )
+                    restarted = True
+
+            rack_values = federated.rack_values()
+            zscore_map = federated.zscore_map()
+        finally:
+            federated.close()
+            federated.registry.close()
+        return FederatedScenarioResult(
+            scenario=scenario,
+            federated=federated,
+            alerts=alerts,
+            rack_values=rack_values,
+            zscore_map=zscore_map,
+            hwlogs=hwlogs,
+            n_chunks=scenario.n_chunks,
+            restarted=restarted,
+            checkpoints=(
+                list_checkpoints(self.checkpoint_dir) if self.checkpoint_dir else []
+            ),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Catalog
+# --------------------------------------------------------------------------- #
+def federated_fleet() -> FederatedScenario:
+    """Three machines, one federation: quiet / cooling failure / noisy job.
+
+    Each machine reuses a single-machine catalog workload under its own
+    seed, so their telemetry is independent; the cooling failure and the
+    hot job give the router machine-attributable alerts from two different
+    sites while the quiet machine stays silent.  Rotating checkpoints are
+    written every chunk and the federation restarts after chunk 2.
+    """
+    return FederatedScenario(
+        name="federated-fleet",
+        description=(
+            "Three-machine federation (quiet / rack cooling failure / "
+            "noisy-neighbor job) with rotating checkpoints and a mid-run "
+            "restart; resumed products must match an uninterrupted run exactly."
+        ),
+        machines=(
+            ("east", replace(quiet_fleet(), seed=21)),
+            ("west", rack_cooling_failure()),
+            ("north", replace(noisy_neighbor_job(), seed=41)),
+        ),
+        restart_after_chunk=2,
+        keep_last=2,
+        min_drift_machines=2,
+    )
+
+
+FEDERATED_SCENARIOS: dict[str, Callable[[], FederatedScenario]] = {
+    "federated-fleet": federated_fleet,
+}
+
+
+def get_federated_scenario(name: str) -> FederatedScenario:
+    """Look a federated scenario up by catalog name (``_``/``-`` agnostic)."""
+    key = name.replace("_", "-")
+    try:
+        factory = FEDERATED_SCENARIOS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown federated scenario {name!r}; available: "
+            f"{sorted(FEDERATED_SCENARIOS)}"
+        ) from None
+    return factory()

@@ -111,13 +111,16 @@ class HardwareErrorModel:
         rng = np.random.default_rng(self.seed)
         log = HardwareLog()
         hot_set = set(int(n) for n in hot_nodes)
-        flaky = set(int(n) for n in self.flaky_nodes())
+        flaky = sorted(int(n) for n in self.flaky_nodes())
         window = hot_window or (0, n_timesteps)
-        thermal_types = {
+        # A tuple, not a set: enum members hash by identity, so set
+        # iteration order — and with it the RNG draw sequence and the
+        # generated events — would vary with each process's hash seed.
+        thermal_types = (
             HardwareEventType.THERMAL_TRIP,
             HardwareEventType.NODE_DOWN,
             HardwareEventType.CORRECTABLE_MEMORY_ERROR,
-        }
+        )
 
         scale = n_timesteps / 10_000.0
         for event_type, base_rate in self.background_rates.items():
@@ -129,7 +132,7 @@ class HardwareErrorModel:
                 HardwareEventType.CORRECTABLE_MEMORY_ERROR,
                 HardwareEventType.UNCORRECTABLE_MEMORY_ERROR,
             ):
-                lam[list(flaky)] *= self.flaky_multiplier
+                lam[flaky] *= self.flaky_multiplier
             counts = rng.poisson(lam)
             for node in np.flatnonzero(counts):
                 for _ in range(int(counts[node])):

@@ -30,7 +30,15 @@ from .alerts import (
     ZScoreRule,
     default_rules,
 )
-from .checkpoint import CheckpointInfo, load_checkpoint, read_manifest, save_checkpoint
+from .checkpoint import (
+    CheckpointInfo,
+    RotatedCheckpoint,
+    list_checkpoints,
+    load_checkpoint,
+    read_manifest,
+    resolve_checkpoint_dir,
+    save_checkpoint,
+)
 from .monitor import FleetMonitor, FleetSnapshot, FleetSpectrum
 from .scenarios import (
     SCENARIOS,
@@ -67,8 +75,11 @@ __all__ = [
     "ZScoreRule",
     "default_rules",
     "CheckpointInfo",
+    "RotatedCheckpoint",
+    "list_checkpoints",
     "load_checkpoint",
     "read_manifest",
+    "resolve_checkpoint_dir",
     "save_checkpoint",
     "FleetMonitor",
     "FleetSnapshot",

@@ -6,11 +6,16 @@ Runs any scenario from the catalog straight from the shell::
     python -m repro.service rack-cooling-failure
     python -m repro.service mid-run-restart --executor process --workers 4
     python -m repro.service noisy-neighbor-job --alerts-jsonl alerts.jsonl
+    python -m repro.service federated_fleet --executor thread
 
-The runner drives a :class:`~repro.service.monitor.FleetMonitor` through
-the scenario's stream on a persistent shard executor, evaluating alerts
-after every chunk, and prints an operator-style summary (alert trail,
-alerted racks, the hottest rack-view values over the recent window).
+The runner drives a :class:`~repro.service.monitor.FleetMonitor` (or, for
+federated scenarios, a
+:class:`~repro.federation.monitor.FederatedMonitor` over a machine
+registry) through the scenario's stream on persistent executors,
+evaluating alerts after every chunk, and prints an operator-style summary
+(alert trail, alerted racks/machines, the hottest rack-view values over
+the recent window).  Scenario names accept ``-`` and ``_``
+interchangeably; an unknown name prints the catalog and exits non-zero.
 """
 
 from __future__ import annotations
@@ -19,6 +24,11 @@ import argparse
 import sys
 import tempfile
 
+from ..federation.scenario import (
+    FEDERATED_SCENARIOS,
+    FederatedScenarioRunner,
+    get_federated_scenario,
+)
 from .alerts import AlertSeverity, JsonLinesSink, RingBufferSink
 from .scenarios import SCENARIOS, get_scenario
 from .scenarios import ScenarioRunner
@@ -32,7 +42,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "scenario",
         nargs="?",
-        help=f"catalog name (one of: {', '.join(sorted(SCENARIOS))})",
+        help="catalog name (see --list; '-' and '_' are interchangeable)",
     )
     parser.add_argument(
         "--list", action="store_true", help="list the scenario catalog and exit"
@@ -41,20 +51,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--executor",
         choices=("serial", "thread", "process"),
         default="serial",
-        help="shard fan-out backend (persistent across chunks; default serial)",
+        help="fan-out backend: shards for single-machine scenarios, machines "
+        "for federated ones (persistent across chunks; default serial)",
+    )
+    parser.add_argument(
+        "--machine-executor",
+        choices=("serial", "thread"),
+        default="serial",
+        help="per-machine shard fan-out inside a federated scenario "
+        "(default serial; process is reserved for the machine level)",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
         metavar="N",
-        help="worker count for thread/process executors (default: one per shard)",
+        help="worker count for thread/process executors (default: one per "
+        "shard/machine)",
     )
     parser.add_argument(
         "--checkpoint-dir",
         default=None,
         metavar="DIR",
-        help="where restart scenarios persist their checkpoint "
+        help="where (restart / federated) scenarios persist checkpoints "
         "(default: a temporary directory)",
     )
     parser.add_argument(
@@ -80,8 +99,29 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run(args: argparse.Namespace) -> int:
-    scenario = get_scenario(args.scenario)
+def _catalog_lines() -> list[str]:
+    lines = []
+    for name in sorted(SCENARIOS):
+        lines.append(f"{name:24s} {SCENARIOS[name]().description}")
+    for name in sorted(FEDERATED_SCENARIOS):
+        lines.append(f"{name:24s} [federated] {FEDERATED_SCENARIOS[name]().description}")
+    return lines
+
+
+def _print_alert_trail(alerts, top: int) -> None:
+    for severity in reversed(AlertSeverity):
+        count = sum(1 for alert in alerts if alert.severity is severity)
+        if count:
+            print(f"  {severity.name:8s} {count}")
+    for alert in alerts[:top]:
+        origin = f" [{alert.machine}]" if alert.machine else ""
+        print(f"  [{alert.severity.name:8s}]{origin} step {alert.step}: {alert.message}")
+    if len(alerts) > top:
+        print(f"  ... and {len(alerts) - top} more")
+
+
+def _run(args: argparse.Namespace, name: str) -> int:
+    scenario = get_scenario(name)
     machine = scenario.machine
     print(f"scenario: {scenario.name} — {scenario.description}")
     print(
@@ -117,14 +157,7 @@ def _run(args: argparse.Namespace) -> int:
         f"\n{len(result.alerts)} alert(s) over {result.n_chunks} chunks"
         + (" (service restarted mid-run)" if result.restarted else "")
     )
-    for severity in reversed(AlertSeverity):
-        count = sum(1 for alert in result.alerts if alert.severity is severity)
-        if count:
-            print(f"  {severity.name:8s} {count}")
-    for alert in result.alerts[: args.top]:
-        print(f"  [{alert.severity.name:8s}] step {alert.step}: {alert.message}")
-    if len(result.alerts) > args.top:
-        print(f"  ... and {len(result.alerts) - args.top} more")
+    _print_alert_trail(result.alerts, args.top)
 
     alerted_racks = sorted(
         {machine.rack_of_node(node) for node in result.alerted_nodes()}
@@ -145,20 +178,88 @@ def _run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_federated(args: argparse.Namespace, name: str) -> int:
+    scenario = get_federated_scenario(name)
+    print(f"scenario: {scenario.name} — {scenario.description}")
+    for machine_name, sc in scenario.machines:
+        print(
+            f"machine {machine_name:8s} {sc.machine.n_nodes} nodes in "
+            f"{sc.machine.n_racks} racks — {sc.name}"
+        )
+    print(
+        f"stream:   {scenario.machines[0][1].total_steps} snapshots per machine, "
+        f"{scenario.n_chunks} chunks; fan-out executor={args.executor}, "
+        f"machine executor={args.machine_executor}; rotating checkpoints "
+        f"keep_last={scenario.keep_last}"
+    )
+
+    sinks = [RingBufferSink()]
+    if args.alerts_jsonl:
+        sinks.append(JsonLinesSink(args.alerts_jsonl))
+
+    def run_with(checkpoint_dir: str | None):
+        return FederatedScenarioRunner(
+            scenario,
+            sinks=sinks,
+            checkpoint_dir=checkpoint_dir,
+            executor=args.executor,
+            machine_executor=args.machine_executor,
+            max_workers=args.workers,
+        ).run()
+
+    if args.checkpoint_dir is None:
+        with tempfile.TemporaryDirectory() as checkpoint_dir:
+            result = run_with(checkpoint_dir)
+    else:
+        result = run_with(args.checkpoint_dir)
+
+    print(
+        f"\n{len(result.alerts)} alert(s) over {result.n_chunks} chunks"
+        + (" (federation restarted mid-run)" if result.restarted else "")
+    )
+    _print_alert_trail(result.alerts, args.top)
+    print(f"alerted machines: {sorted(result.alerted_machines()) or 'none'}")
+    fleet_wide = result.alerts_for_rule("fleet-wide-drift")
+    if fleet_wide:
+        print(f"fleet-wide drift alerts: {len(fleet_wide)}")
+    if result.checkpoints:
+        steps = [entry.step for entry in result.checkpoints]
+        print(
+            f"retained checkpoints (newest first): steps {steps} "
+            f"(keep_last={scenario.keep_last})"
+        )
+
+    federated = result.federated
+    lo = max(0, federated.step - args.window)
+    zmap = federated.zscore_map(time_range=(lo, federated.step))
+    hottest = sorted(zmap.items(), key=lambda item: item[1], reverse=True)
+    print(f"hottest machine/node over the last {federated.step - lo} snapshots:")
+    for key, z in hottest[: args.top]:
+        print(f"  {key:16s} z = {z:+.2f}")
+    if args.alerts_jsonl:
+        print(f"alert audit trail appended to {args.alerts_jsonl}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.list:
-        for name in sorted(SCENARIOS):
-            print(f"{name:24s} {SCENARIOS[name]().description}")
+        for line in _catalog_lines():
+            print(line)
         return 0
     if args.scenario is None:
         parser.error("a scenario name (or --list) is required")
-    if args.scenario not in SCENARIOS:
-        parser.error(
-            f"unknown scenario {args.scenario!r}; available: {sorted(SCENARIOS)}"
-        )
-    return _run(args)
+    name = args.scenario.replace("_", "-")
+    if name in FEDERATED_SCENARIOS:
+        return _run_federated(args, name)
+    if name in SCENARIOS:
+        return _run(args, name)
+    # Unknown name: show the catalog instead of a traceback, exit non-zero.
+    print(f"unknown scenario {args.scenario!r}; available:", file=sys.stderr)
+    for line in _catalog_lines():
+        print(f"  {line}", file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":

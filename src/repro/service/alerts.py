@@ -78,6 +78,10 @@ class Alert:
         Shard the evidence came from, when shard-scoped.
     value:
         The triggering measurement (z-score, drift norm, event count).
+    machine:
+        Origin machine in a federated deployment (stamped by
+        :class:`repro.federation.AlertRouter`); ``None`` for single-machine
+        monitors and for fleet-wide alerts that span machines.
     """
 
     rule: str
@@ -87,6 +91,7 @@ class Alert:
     node: int | None = None
     shard_id: str | None = None
     value: float | None = None
+    machine: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -97,10 +102,19 @@ class Alert:
             "node": self.node,
             "shard_id": self.shard_id,
             "value": self.value,
+            "machine": self.machine,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Alert":
+        """Rebuild an alert from :meth:`to_dict` output.
+
+        Forward/backward compatible by construction: only the known keys
+        are read, so payloads written by newer versions (extra keys) and
+        older ones (missing optional keys, e.g. pre-federation alerts
+        without ``machine``) both load cleanly.
+        """
+        machine = payload.get("machine")
         return cls(
             rule=str(payload["rule"]),
             severity=AlertSeverity[str(payload["severity"])],
@@ -109,6 +123,7 @@ class Alert:
             node=None if payload.get("node") is None else int(payload["node"]),
             shard_id=payload.get("shard_id"),
             value=None if payload.get("value") is None else float(payload["value"]),
+            machine=None if machine is None else str(machine),
         )
 
 

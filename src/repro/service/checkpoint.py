@@ -9,6 +9,16 @@ restarts.  A checkpoint is a directory::
       shard_1.npz
       ...
 
+With ``save_checkpoint(..., keep_last=N)`` the directory becomes a
+*rotation root* instead: each save lands in a step-stamped subdirectory
+(``step_000000000480/``), written to a temporary sibling first and renamed
+into place so a crash mid-write never leaves a half-checkpoint that looks
+loadable, and only the newest ``N`` are retained (older ones are renamed
+aside before removal — pruning is atomic too).  :func:`list_checkpoints`
+returns the retained history newest-first and :func:`load_checkpoint`
+accepts either a concrete checkpoint directory or a rotation root (it
+resumes from the newest entry).
+
 Each ``shard_k.npz`` holds the *complete* per-shard pipeline state — the
 I-mrDMD mode tree, the level-1 incremental-SVD factors, the subsampled
 level-1 matrix and counters, and the fitted baseline — through
@@ -27,8 +37,10 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import shutil
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..io.storage import load_state, save_state
 from ..pipeline.config import PipelineConfig
@@ -37,10 +49,23 @@ from .alerts import AlertEngine, AlertRule, AlertSink
 from .monitor import FleetMonitor
 from .sharding import ShardSpec
 
-__all__ = ["CheckpointInfo", "save_checkpoint", "load_checkpoint", "read_manifest"]
+__all__ = [
+    "CheckpointInfo",
+    "RotatedCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_manifest",
+    "list_checkpoints",
+    "resolve_checkpoint_dir",
+    "rotate_into",
+]
 
 CHECKPOINT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
+
+#: Step-stamped rotation entries: ``step_<12-digit zero-padded step>``.
+STEP_DIR_PREFIX = "step_"
+_STEP_DIR_RE = re.compile(r"^step_(\d{12})$")
 
 
 @dataclass(frozen=True)
@@ -58,18 +83,137 @@ class CheckpointInfo:
         return sum(os.path.getsize(path) for path in self.files)
 
 
+@dataclass(frozen=True)
+class RotatedCheckpoint:
+    """One retained entry of a rotated checkpoint history."""
+
+    step: int
+    path: str
+
+
 def _shard_filename(index: int) -> str:
     return f"shard_{index}.npz"
 
 
-def save_checkpoint(directory: str, monitor: FleetMonitor) -> CheckpointInfo:
+def list_checkpoints(directory: str) -> list[RotatedCheckpoint]:
+    """Retained step-stamped checkpoints under a rotation root, newest first.
+
+    Only *complete* entries count: a step directory missing its manifest
+    (e.g. an interrupted write under a non-atomic filesystem) is skipped,
+    as are the transient ``*.tmp`` / ``*.trash`` siblings the rotation
+    protocol uses.  A missing root yields an empty history.
+    """
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for name in os.listdir(directory):
+        match = _STEP_DIR_RE.match(name)
+        path = os.path.join(directory, name)
+        if (
+            match
+            and os.path.isdir(path)
+            and os.path.exists(os.path.join(path, MANIFEST_NAME))
+        ):
+            entries.append(RotatedCheckpoint(step=int(match.group(1)), path=path))
+    entries.sort(key=lambda entry: entry.step, reverse=True)
+    return entries
+
+
+def _discard(path: str) -> None:
+    """Remove a checkpoint directory atomically.
+
+    The directory is renamed aside first (one atomic operation that takes
+    it out of :func:`list_checkpoints`' view), then deleted — a crash
+    mid-removal can never leave a partially deleted directory that still
+    looks like a valid checkpoint.
+    """
+    trash = path + ".trash"
+    if os.path.exists(trash):
+        shutil.rmtree(trash)
+    os.rename(path, trash)
+    shutil.rmtree(trash)
+
+
+def rotate_into(
+    directory: str, step: int, keep_last: int, writer: Callable[[str], None]
+) -> str:
+    """Write one step-stamped checkpoint under a rotation root; prune old ones.
+
+    ``writer`` receives a fresh temporary directory and must fully populate
+    it; the directory is then renamed to ``step_<step>`` in one atomic
+    operation (same filesystem), so readers never observe a half-written
+    checkpoint.  Re-checkpointing the same step replaces the previous
+    entry.  After the rename, any *newer* entries are discarded — they
+    belong to a timeline abandoned by restoring an older checkpoint and
+    resuming, and the resumed stream is now authoritative — then all but
+    the newest ``keep_last`` entries are pruned (the entry just written is
+    by construction the newest, so it always survives).  Returns the final
+    checkpoint path.
+
+    Shared by the single-machine and federated checkpoint writers.
+    """
+    if keep_last < 1:
+        raise ValueError(f"keep_last must be >= 1, got {keep_last!r}")
+    if step < 0:
+        raise ValueError(f"step must be non-negative, got {step!r}")
+    os.makedirs(directory, exist_ok=True)
+    final = os.path.join(directory, f"{STEP_DIR_PREFIX}{step:012d}")
+    tmp = final + ".tmp"
+    if os.path.exists(tmp):
+        shutil.rmtree(tmp)
+    os.makedirs(tmp)
+    try:
+        writer(tmp)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    if os.path.exists(final):
+        _discard(final)
+    os.rename(tmp, final)
+    for entry in list_checkpoints(directory):
+        if entry.step > step:
+            _discard(entry.path)
+    for stale in list_checkpoints(directory)[keep_last:]:
+        _discard(stale.path)
+    return final
+
+
+def save_checkpoint(
+    directory: str, monitor: FleetMonitor, *, keep_last: int | None = None
+) -> CheckpointInfo:
     """Write the monitor's full state under ``directory`` (created if needed).
 
     Per-shard state is collected through the monitor's executor
     (:meth:`FleetMonitor.shard_state_dicts`), so remote-resident backends
     ship only state dicts — identical bytes to a serial monitor's, as the
     parity tests assert.
+
+    With ``keep_last=N`` the directory is treated as a *rotation root*:
+    the checkpoint lands in an atomic step-stamped subdirectory
+    (``step_000000000480/``) and only the newest ``N`` entries survive.
+    The returned :class:`CheckpointInfo` then points at the step
+    directory; :func:`load_checkpoint` accepts either form.
     """
+    if keep_last is not None:
+        final = rotate_into(
+            directory,
+            monitor.step,
+            keep_last,
+            lambda tmp: _write_checkpoint(tmp, monitor),
+        )
+        manifest = read_manifest(final)
+        files = [os.path.join(final, name) for name in manifest["shard_files"]]
+        files.append(os.path.join(final, MANIFEST_NAME))
+        return CheckpointInfo(
+            directory=final,
+            step=monitor.step,
+            n_shards=monitor.n_shards,
+            files=tuple(files),
+        )
+    return _write_checkpoint(directory, monitor)
+
+
+def _write_checkpoint(directory: str, monitor: FleetMonitor) -> CheckpointInfo:
     os.makedirs(directory, exist_ok=True)
     files = []
     # One shard at a time: fetch, write, drop — peak memory stays at a
@@ -113,6 +257,24 @@ def read_manifest(directory: str) -> dict:
     return manifest
 
 
+def resolve_checkpoint_dir(directory: str) -> str:
+    """Map ``directory`` to a concrete checkpoint directory.
+
+    A directory holding a manifest *is* a checkpoint; a rotation root
+    resolves to its newest retained entry.  Anything else raises
+    ``FileNotFoundError``.
+    """
+    if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+        return directory
+    history = list_checkpoints(directory)
+    if history:
+        return history[0].path
+    raise FileNotFoundError(
+        f"no checkpoint under {directory!r}: neither a {MANIFEST_NAME} nor any "
+        f"retained {STEP_DIR_PREFIX}* entries"
+    )
+
+
 def load_checkpoint(
     directory: str,
     *,
@@ -131,7 +293,12 @@ def load_checkpoint(
     fan-out exactly as the :class:`FleetMonitor` constructor does; the
     executor starts lazily on first use, after the restored pipelines are
     installed.
+
+    ``directory`` may be either a concrete checkpoint or a rotation root
+    written with ``save_checkpoint(..., keep_last=N)`` — the latter
+    resumes from the newest retained entry.
     """
+    directory = resolve_checkpoint_dir(directory)
     manifest = read_manifest(directory)
     shards = [ShardSpec.from_dict(payload) for payload in manifest["shards"]]
 

@@ -306,6 +306,33 @@ class FleetMonitor:
         self.close()
 
     # ------------------------------------------------------------------ #
+    # Pickling (federation support)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Pickle the monitor as its *state*, never its worker pool.
+
+        A pickled monitor carries the in-process pipelines (pulled fresh
+        from process-resident workers first, so no state is lost), the
+        shard layout and the executor *specification* — the live executor
+        itself (threads, pipes, child processes) stays behind and is
+        lazily recreated on the other side at the next ingest.  This is
+        what lets :class:`repro.federation.FederatedMonitor` ship whole
+        machines to resident federation workers.
+        """
+        state = self.__dict__.copy()
+        if self._resident_remote and not self._executor.closed:
+            state["_pipelines"] = self._executor.pull()
+        state["_executor"] = None
+        spec = state["_executor_spec"]
+        if isinstance(spec, ShardExecutor):
+            # A live instance cannot travel; its backend name can.
+            state["_executor_spec"] = spec.backend
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property

@@ -123,3 +123,37 @@ class TestHardwareErrorModel:
     def test_zero_flaky_fraction(self):
         model = HardwareErrorModel(n_nodes=10, seed=0, flaky_fraction=0.0)
         assert model.flaky_nodes().size == 0
+
+
+def test_generation_is_deterministic_across_hash_seeds():
+    """The generator's RNG draw order must not depend on the process's
+    hash seed (regression: thermally-correlated event types were iterated
+    from a set of enum members, whose order is identity-hash randomized —
+    scenario hardware logs differed from process to process)."""
+    import json
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.hwlog import HardwareErrorModel\n"
+        "import json\n"
+        "model = HardwareErrorModel(n_nodes=32, seed=9, hot_node_multiplier=60.0)\n"
+        "log = model.generate(2000, hot_nodes=[3, 4, 5])\n"
+        "print(json.dumps([(e.node, e.event_type.value, e.start_step, e.end_step)"
+        " for e in log]))\n"
+    )
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    outputs = []
+    for hash_seed in ("0", "1"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH", "")) if p
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        outputs.append(json.loads(result.stdout))
+    assert outputs[0] == outputs[1]
+    assert len(outputs[0]) > 0

@@ -134,6 +134,40 @@ def test_json_lines_sink_round_trip(tmp_path):
     assert all(isinstance(a, Alert) for a in restored)
 
 
+def test_alert_dict_round_trip_with_machine():
+    alert = Alert(
+        rule="zscore", severity=AlertSeverity.CRITICAL, step=42,
+        message="hot", node=7, shard_id="rack-1", value=3.2, machine="east",
+    )
+    assert Alert.from_dict(alert.to_dict()) == alert
+
+
+def test_alert_from_dict_loads_pre_federation_payloads():
+    """Alerts serialised before the machine field existed still load."""
+    old = {
+        "rule": "zscore", "severity": "WARNING", "step": 10,
+        "message": "cold", "node": 3, "shard_id": "rack-0", "value": -2.5,
+    }
+    alert = Alert.from_dict(old)
+    assert alert.machine is None
+    assert alert.node == 3 and alert.severity is AlertSeverity.WARNING
+
+
+def test_alert_from_dict_tolerates_forward_compatible_extras():
+    """Payloads from newer writers (unknown keys) load; known keys win."""
+    payload = Alert(
+        rule="drift", severity=AlertSeverity.WARNING, step=5,
+        message="m", shard_id="rack-2", machine="west",
+    ).to_dict()
+    payload["not_yet_invented"] = {"nested": True}
+    payload["another_extra"] = 123
+    alert = Alert.from_dict(payload)
+    assert alert.machine == "west"
+    assert alert.shard_id == "rack-2"
+    # And the round trip back out only carries the schema's keys.
+    assert "not_yet_invented" not in alert.to_dict()
+
+
 def test_engine_state_round_trip_preserves_cooldown():
     engine = AlertEngine(rules=[ZScoreRule()], cooldown=50)
     engine.evaluate(context(step=100, scores=node_scores({1: 3.0})))

@@ -20,8 +20,10 @@ from repro.service import (
     RackSharding,
     RingBufferSink,
     ZScoreRule,
+    list_checkpoints,
     load_checkpoint,
     read_manifest,
+    resolve_checkpoint_dir,
     save_checkpoint,
 )
 from repro.service.alerts import AlertEngine
@@ -232,3 +234,95 @@ def test_manifest_version_check(monitored_stream, tmp_path):
     manifest_path.write_text(manifest_path.read_text().replace('"version": 1', '"version": 99'))
     with pytest.raises(ValueError, match="version"):
         load_checkpoint(str(tmp_path / "ckpt"))
+
+
+# --------------------------------------------------------------------------- #
+# Rotating retention (save_checkpoint(..., keep_last=N))
+# --------------------------------------------------------------------------- #
+def test_rotated_checkpoints_prune_to_keep_last(monitored_stream, tmp_path):
+    root = str(tmp_path / "rotating")
+    monitor = build_monitor(monitored_stream)
+    steps = (240, 320, 400, 480)
+    lo = 0
+    for hi in steps:
+        monitor.ingest(monitored_stream.values[:, lo:hi])
+        info = save_checkpoint(root, monitor, keep_last=2)
+        assert info.directory.startswith(root)
+        assert f"step_{hi:012d}" in info.directory
+        lo = hi
+
+    history = list_checkpoints(root)
+    assert [entry.step for entry in history] == [480, 400], "newest first"
+    for entry in history:
+        assert os.path.isdir(entry.path)
+        assert read_manifest(entry.path)["step"] == entry.step
+    # Pruned entries are fully gone — no trash/tmp residue either.
+    assert sorted(os.listdir(root)) == ["step_000000000400", "step_000000000480"]
+
+
+def test_load_checkpoint_resumes_from_rotation_root(monitored_stream, tmp_path):
+    root = str(tmp_path / "rotating")
+    monitor = build_monitor(monitored_stream)
+    monitor.ingest(monitored_stream.values[:, :240])
+    save_checkpoint(root, monitor, keep_last=3)
+    monitor.ingest(monitored_stream.values[:, 240:320])
+    save_checkpoint(root, monitor, keep_last=3)
+
+    assert resolve_checkpoint_dir(root) == list_checkpoints(root)[0].path
+    restored = load_checkpoint(root, rules=[ZScoreRule()])
+    assert restored.step == 320
+    assert restored.rack_values() == monitor.rack_values()
+    # An older entry is still loadable explicitly.
+    older = load_checkpoint(list_checkpoints(root)[1].path)
+    assert older.step == 240
+
+
+def test_rollback_save_discards_abandoned_future_entries(monitored_stream, tmp_path):
+    """Restore an older rotation entry, resume, checkpoint again: entries
+    newer than the resumed timeline are from an abandoned future and must
+    be discarded — and the just-written checkpoint must survive (it used
+    to be pruned as the 'oldest' entry and the save crashed)."""
+    root = str(tmp_path / "rotating")
+    monitor = build_monitor(monitored_stream)
+    lo = 0
+    for hi in (240, 320, 400):
+        monitor.ingest(monitored_stream.values[:, lo:hi])
+        save_checkpoint(root, monitor, keep_last=2)
+        lo = hi
+    assert [e.step for e in list_checkpoints(root)] == [400, 320]
+
+    # Roll back to step 320 and resume on a shorter cadence.
+    rolled = load_checkpoint(list_checkpoints(root)[1].path, rules=[ZScoreRule()])
+    rolled.ingest(monitored_stream.values[:, 320:360])
+    info = save_checkpoint(root, rolled, keep_last=2)
+    assert os.path.isdir(info.directory)
+    history = list_checkpoints(root)
+    assert [e.step for e in history] == [360, 320], "step_400 was abandoned"
+    assert load_checkpoint(root).step == 360
+
+
+def test_rotated_save_replaces_same_step(monitored_stream, tmp_path):
+    root = str(tmp_path / "rotating")
+    monitor = build_monitor(monitored_stream)
+    monitor.ingest(monitored_stream.values[:, :240])
+    save_checkpoint(root, monitor, keep_last=2)
+    save_checkpoint(root, monitor, keep_last=2)  # same step again
+    assert [entry.step for entry in list_checkpoints(root)] == [240]
+
+
+def test_list_checkpoints_ignores_partial_and_foreign_entries(tmp_path):
+    root = tmp_path / "rotating"
+    root.mkdir()
+    (root / "step_000000000100").mkdir()  # no manifest: incomplete write
+    (root / "step_000000000200.tmp").mkdir()  # in-flight write
+    (root / "not-a-checkpoint").mkdir()
+    assert list_checkpoints(str(root)) == []
+    with pytest.raises(FileNotFoundError, match="no checkpoint"):
+        load_checkpoint(str(root))
+
+
+def test_keep_last_validation(monitored_stream, tmp_path):
+    monitor = build_monitor(monitored_stream)
+    monitor.ingest(monitored_stream.values[:, :240])
+    with pytest.raises(ValueError, match="keep_last"):
+        save_checkpoint(str(tmp_path / "rot"), monitor, keep_last=0)
