@@ -16,7 +16,13 @@ from .baseline import (
     select_baseline_mask,
 )
 from .dmd import DMDResult, compute_dmd, compute_dmd_projected, slow_mode_mask
-from .imrdmd import RETENTION_POLICIES, IncrementalMrDMD, UpdateRecord
+from .imrdmd import (
+    MISSING_VALUE_POLICIES,
+    RETENTION_POLICIES,
+    IncrementalMrDMD,
+    TopologyChange,
+    UpdateRecord,
+)
 from .isvd import IncrementalSVD, ISVDState
 from .mrdmd import MrDMDConfig, compute_mrdmd, decompose_window
 from .reconstruction import (
@@ -43,8 +49,10 @@ __all__ = [
     "compute_dmd",
     "compute_dmd_projected",
     "RETENTION_POLICIES",
+    "MISSING_VALUE_POLICIES",
     "slow_mode_mask",
     "IncrementalMrDMD",
+    "TopologyChange",
     "UpdateRecord",
     "IncrementalSVD",
     "ISVDState",

@@ -38,10 +38,20 @@ from .isvd import IncrementalSVD
 from .mrdmd import MrDMDConfig, compute_mrdmd
 from .tree import MrDMDNode, MrDMDTree
 
-__all__ = ["IncrementalMrDMD", "UpdateRecord", "RETENTION_POLICIES"]
+__all__ = [
+    "IncrementalMrDMD",
+    "UpdateRecord",
+    "TopologyChange",
+    "RETENTION_POLICIES",
+    "MISSING_VALUE_POLICIES",
+]
 
 #: Raw-snapshot retention policies (see :class:`IncrementalMrDMD`).
 RETENTION_POLICIES = ("all", "window", "none")
+
+#: What to do with non-finite readings in ingested data (see
+#: :class:`IncrementalMrDMD`).
+MISSING_VALUE_POLICIES = ("raise", "zero")
 
 
 @dataclass
@@ -75,6 +85,41 @@ class UpdateRecord:
     drift: float
     stale: bool
     new_nodes: int
+
+
+@dataclass
+class TopologyChange:
+    """One row-growth event: new sensors joining a live decomposition.
+
+    This is the first-class record threaded through every layer of the
+    stack (model → pipeline → shard → machine → federation): the model
+    emits it from :meth:`IncrementalMrDMD.add_rows`, the pipeline and the
+    fleet monitor enrich/forward it, and checkpoints persist the history so
+    a restored system knows which rows existed when.
+
+    Attributes
+    ----------
+    step:
+        Absolute snapshot index at which the rows joined.  Rows onboarded
+        with back-filled history carry ``step=0`` (they are treated as
+        having existed from the start); rows onboarded without history are
+        born at the current stream position.
+    n_new_rows:
+        How many rows joined in this event.
+    total_rows:
+        State dimension ``P`` after the event.
+    backfilled:
+        Whether caller-supplied history covered the existing timeline.
+    tree_revision:
+        The mode-tree revision after the event (caches/baselines keyed on
+        the revision invalidate exactly once per event).
+    """
+
+    step: int
+    n_new_rows: int
+    total_rows: int
+    backfilled: bool
+    tree_revision: int
 
 
 def _mode_drift(previous: np.ndarray, current: np.ndarray) -> float:
@@ -174,6 +219,7 @@ class IncrementalMrDMD:
         retain_window: int = 4096,
         level1_path: str = "projected",
         lazy_vh: bool = True,
+        missing_values: str = "raise",
         **config_overrides,
     ) -> None:
         if dt <= 0:
@@ -196,6 +242,11 @@ class IncrementalMrDMD:
             raise ValueError(
                 f"level1_path must be 'projected' or 'dense', got {level1_path!r}"
             )
+        if missing_values not in MISSING_VALUE_POLICIES:
+            raise ValueError(
+                f"missing_values must be one of {MISSING_VALUE_POLICIES}, "
+                f"got {missing_values!r}"
+            )
         self.dt = float(dt)
         self.config = config
         self.drift_threshold = drift_threshold
@@ -204,12 +255,17 @@ class IncrementalMrDMD:
         self.keep_data = retain_data == "all"
         self.level1_path = level1_path
         self.lazy_vh = bool(lazy_vh)
+        self.missing_values = missing_values
 
         self._tree: MrDMDTree | None = None
         self._isvd: IncrementalSVD | None = None
         self._level1_stride: int = 1
         # Subsampled level-1 matrix, grown in place (O(1) amortized append).
+        # Under minimal retention (retain_data="none" + projected path) only
+        # the trailing column is stored; ``_sub_offset`` counts the leading
+        # grid columns dropped, so absolute grid indices stay recoverable.
         self._sub: GrowableMatrix | None = None
+        self._sub_offset: int = 0
         self._next_sub_index: int = 0                 # next absolute index to subsample
         self._n_snapshots: int = 0
         self._n_features: int = 0
@@ -222,6 +278,9 @@ class IncrementalMrDMD:
         self._data: GrowableMatrix | np.ndarray | None = None
         self._stale: bool = False
         self._history: list[UpdateRecord] = []
+        # Elastic topology: absolute birth step per row + event history.
+        self._row_birth: np.ndarray = np.zeros(0, dtype=int)
+        self._topology: list[TopologyChange] = []
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -262,9 +321,37 @@ class IncrementalMrDMD:
         """Array of level-1 drifts, one entry per :meth:`partial_fit`."""
         return np.array([rec.drift for rec in self._history], dtype=float)
 
+    @property
+    def row_birth(self) -> np.ndarray:
+        """Absolute snapshot index at which each row joined (0 = original)."""
+        return self._row_birth.copy()
+
+    @property
+    def topology_history(self) -> list[TopologyChange]:
+        """Row-growth events, in chronological order."""
+        return list(self._topology)
+
     def _require_fitted(self) -> None:
         if not self.fitted:
             raise RuntimeError("IncrementalMrDMD must be fitted before use")
+
+    def _sanitize(self, data: np.ndarray, what: str) -> np.ndarray:
+        """Police non-finite readings per the ``missing_values`` policy.
+
+        ``"raise"`` (default) rejects them with a clear error; ``"zero"``
+        fills them with 0.0 — the same fill the elastic ``add_rows``
+        backfill uses for pre-birth history, so a sensor that is registered
+        in the topology but not yet reporting contributes nothing.
+        """
+        if np.isfinite(data).all():
+            return data
+        if self.missing_values == "raise":
+            raise ValueError(
+                f"{what} contains non-finite values; pass missing_values='zero' "
+                f"(PipelineConfig.missing_values) to treat missing readings as "
+                f"zero-filled"
+            )
+        return np.nan_to_num(data, nan=0.0, posinf=0.0, neginf=0.0)
 
     # ------------------------------------------------------------------ #
     # Fitting
@@ -285,8 +372,12 @@ class IncrementalMrDMD:
                 f"initial fit needs at least min_window={self.config.min_window} "
                 f"snapshots, got {data.shape[1]}"
             )
+        data = self._sanitize(data, "fit data")
         self._n_features, t0 = data.shape
         self._n_snapshots = t0
+        self._row_birth = np.zeros(self._n_features, dtype=int)
+        self._topology = []
+        self._sub_offset = 0
 
         # Batch tree for the initial window.
         self._tree = compute_mrdmd(data, self.dt, self.config)
@@ -322,7 +413,36 @@ class IncrementalMrDMD:
             self._data = None
         self._stale = False
         self._history = []
+        self._shrink_level1_grid()
         return self
+
+    def _shrink_level1_grid(self) -> None:
+        """Minimal level-1 retention: keep only the trailing grid column.
+
+        Under ``retain_data="none"`` with the projected level-1 path the
+        only grid reads are the trailing column (the anchor for the next
+        update block and the stride-shorter amplitude fit) — the dense
+        fallback, ``state_dict`` re-derivation and re-initialisation all
+        need the full grid, so shrinking is gated on the projected path
+        with an initialised iSVD.  This reaches the
+        ``O(P q + q T/stride)`` → ``O(P q)`` memory target for the grid;
+        ``_sub_offset`` keeps absolute column indices recoverable.
+        """
+        if (
+            self.retain_data != "none"
+            or self.level1_path != "projected"
+            or self._sub is None
+            or self._isvd is None
+            or not self._isvd.initialized
+            or self._level1_cross is None
+        ):
+            return
+        drop = self._sub.n_cols - 1
+        if drop <= 0:
+            return
+        last = self._sub.column(self._sub.n_cols - 1)
+        self._sub = GrowableMatrix.from_array(last[:, None])
+        self._sub_offset += drop
 
     # ------------------------------------------------------------------ #
     # Level-1 cross-product maintenance (projected path)
@@ -371,6 +491,7 @@ class IncrementalMrDMD:
         t1 = new_data.shape[1]
         if t1 == 0:
             raise ValueError("new_data must contain at least one snapshot")
+        new_data = self._sanitize(new_data, "new_data")
 
         t_old = self._n_snapshots
         t_total = t_old + t1
@@ -402,7 +523,9 @@ class IncrementalMrDMD:
         # ---- 2. updated level-1 DMD over the full timeline ----------- #
         rho = self.config.rho_for(t_total, self.dt)
         local_dt = self.dt * self._level1_stride
-        n_sub = self._sub.n_cols
+        # Absolute grid-column count; the stored buffer may hold only the
+        # trailing column under minimal retention (see _shrink_level1_grid).
+        n_sub = self._sub_offset + self._sub.n_cols
         if self._isvd.initialized and n_sub >= 2:
             if self.level1_path == "projected" and self._level1_cross is not None:
                 # Flat-cost path: the operator projection reads only the
@@ -416,7 +539,7 @@ class IncrementalMrDMD:
                 else:
                     # Chunk shorter than the stride: no new grid column;
                     # anchor the fit at the latest retained column.
-                    amp_data = self._sub.column(n_sub - 1)[:, None]
+                    amp_data = self._sub.column(self._sub.n_cols - 1)[:, None]
                     amp_powers = np.arange(n_sub - 1, n_sub)
                 dmd = compute_dmd_projected(
                     self._isvd.u,
@@ -522,7 +645,136 @@ class IncrementalMrDMD:
             new_nodes=new_nodes,
         )
         self._history.append(record)
+        self._shrink_level1_grid()
         return record
+
+    # ------------------------------------------------------------------ #
+    # Elastic topology: streaming new sensor rows
+    # ------------------------------------------------------------------ #
+    def add_rows(self, new_rows: int | np.ndarray) -> TopologyChange:
+        """Fold new *sensor rows* into a live decomposition (topology event).
+
+        This closes the paper's stated future-work loop ("add new entire
+        time series or sensor measurements incrementally") end to end:
+
+        * ``new_rows`` as an **int** onboards that many sensors *now*, with
+          no history — their pre-birth timeline is treated as missing
+          (zero-filled), which makes the whole event O(k) in the number of
+          new sensors and **independent of the stream length**: the iSVD
+          takes its all-zero-rows fast path (no right-factor
+          materialisation), the ``Y Vh^H`` cross product gains zero rows,
+          and existing tree nodes gain zero mode rows.
+        * ``new_rows`` as a ``(r, T)`` **array** back-fills caller-supplied
+          history over the full ingested timeline (NaNs are zero-filled);
+          the basis extension then genuinely reads every retained column,
+          so this form is O(T) by necessity.
+
+        Either way the mode-tree revision is bumped exactly once, so every
+        derived cache (mode tables, reconstruction windows, power-quantile
+        thresholds) and every revision-tracking baseline invalidates
+        correctly, and subsequent :meth:`partial_fit` chunks must carry the
+        grown row count.  Returns the :class:`TopologyChange` record (also
+        appended to :attr:`topology_history` and checkpointed).
+        """
+        self._require_fitted()
+        t_now = self._n_snapshots
+        if isinstance(new_rows, (int, np.integer)):
+            r = int(new_rows)
+            if r < 1:
+                raise ValueError(f"new_rows must be >= 1, got {new_rows!r}")
+            history = None
+        else:
+            history = np.asarray(new_rows, dtype=float)
+            if history.ndim == 1:
+                history = history[None, :]
+            if history.ndim != 2:
+                raise ValueError(
+                    f"new_rows must be an int or a 1-D/2-D array, "
+                    f"got shape {history.shape!r}"
+                )
+            if history.shape[1] != t_now:
+                raise ValueError(
+                    f"history must cover the full ingested timeline: model has "
+                    f"{t_now} snapshots, history has {history.shape[1]}"
+                )
+            r = history.shape[0]
+            if r == 0:
+                raise ValueError("new_rows must contain at least one row")
+            # Pre-birth gaps in supplied history are missing data by
+            # definition; zero-fill regardless of the ingest policy.
+            history = np.nan_to_num(history, nan=0.0, posinf=0.0, neginf=0.0)
+        birth = 0 if history is not None else t_now
+
+        n_sub = self._sub_offset + self._sub.n_cols
+        stride = self._level1_stride
+
+        # ---- 1. widen the level-1 grid ------------------------------- #
+        stored_abs = np.arange(self._sub_offset, n_sub) * stride
+        if history is not None:
+            grid_rows = np.ascontiguousarray(history[:, stored_abs])
+        else:
+            grid_rows = np.zeros((r, stored_abs.size), dtype=float)
+        self._sub.add_rows(grid_rows)
+
+        # ---- 2. extend the iSVD basis and the cross product ---------- #
+        if self._isvd is not None and self._isvd.initialized:
+            if history is not None:
+                isvd_rows = np.ascontiguousarray(
+                    history[:, np.arange(self._isvd.n_columns) * stride]
+                )
+            else:
+                isvd_rows = np.zeros((r, self._isvd.n_columns), dtype=float)
+            self._isvd.add_rows(isvd_rows)
+            if self._level1_cross is not None:
+                cross = self._level1_cross
+                # The row-append rotates Vh (no-op on the zero fast path);
+                # advance the existing rows through the recorded ops, then
+                # append the new rows' Y Vh^H block.
+                for op in self._isvd.last_update_ops:
+                    cross = cross @ op[1].conj().T
+                if history is not None:
+                    y_rows = np.ascontiguousarray(
+                        history[:, np.arange(1, n_sub) * stride]
+                    )
+                    new_cross_rows = y_rows @ self._isvd.vh.conj().T
+                else:
+                    new_cross_rows = np.zeros((r, cross.shape[1]), dtype=cross.dtype)
+                self._level1_cross = np.vstack([cross, new_cross_rows])
+
+        # ---- 3. widen the mode tree and bookkeeping ------------------ #
+        self._tree.add_features(r)
+        self._level1_modes = np.vstack(
+            [
+                self._level1_modes,
+                np.zeros((r, self._level1_modes.shape[1]), dtype=complex),
+            ]
+        )
+        if self.retain_data == "all":
+            if history is not None:
+                self._data.add_rows(history)
+            else:
+                self._data.add_rows(np.zeros((r, self._data.n_cols), dtype=float))
+        elif self.retain_data == "window":
+            w = self._data.shape[1]
+            if history is not None:
+                block = history[:, t_now - w : t_now]
+            else:
+                block = np.zeros((r, w), dtype=float)
+            self._data = np.ascontiguousarray(np.vstack([self._data, block]))
+
+        self._n_features += r
+        self._row_birth = np.concatenate(
+            [self._row_birth, np.full(r, birth, dtype=int)]
+        )
+        change = TopologyChange(
+            step=birth,
+            n_new_rows=r,
+            total_rows=self._n_features,
+            backfilled=history is not None,
+            tree_revision=self._tree.revision,
+        )
+        self._topology.append(change)
+        return change
 
     # ------------------------------------------------------------------ #
     # Serialisation (checkpoint / restore)
@@ -552,7 +804,9 @@ class IncrementalMrDMD:
             "retain_window": self.retain_window,
             "level1_path": self.level1_path,
             "lazy_vh": self.lazy_vh,
+            "missing_values": self.missing_values,
             "level1_stride": self._level1_stride,
+            "sub_offset": self._sub_offset,
             "next_sub_index": self._next_sub_index,
             "n_snapshots": self._n_snapshots,
             "n_features": self._n_features,
@@ -564,7 +818,19 @@ class IncrementalMrDMD:
             "isvd": None if self._isvd is None else self._isvd.to_dict(),
             "tree": self._tree.to_dict(),
             "history": [asdict(record) for record in self._history],
+            "row_birth": self._row_birth,
+            "topology": [asdict(change) for change in self._topology],
         }
+
+    def is_topology_bearing(self) -> bool:
+        """Whether this state can only resume on elastic-aware code.
+
+        True once rows have joined mid-stream or the level-1 grid has been
+        shrunk to its trailing column — pre-elastic loaders would silently
+        mis-resume such state, so checkpoints carrying it are stamped with
+        a newer format version (see :mod:`repro.service.checkpoint`).
+        """
+        return bool(self._topology) or self._sub_offset > 0
 
     @classmethod
     def from_state_dict(cls, state: dict) -> "IncrementalMrDMD":
@@ -586,12 +852,14 @@ class IncrementalMrDMD:
             retain_window=int(state.get("retain_window", 4096)),
             level1_path=str(state.get("level1_path", "projected")),
             lazy_vh=bool(state.get("lazy_vh", True)),
+            missing_values=str(state.get("missing_values", "raise")),
         )
         model._tree = MrDMDTree.from_dict(state["tree"])
         model._isvd = (
             None if state["isvd"] is None else IncrementalSVD.from_dict(state["isvd"])
         )
         model._level1_stride = int(state["level1_stride"])
+        model._sub_offset = int(state.get("sub_offset", 0))
         model._next_sub_index = int(state["next_sub_index"])
         model._n_snapshots = int(state["n_snapshots"])
         model._n_features = int(state["n_features"])
@@ -621,6 +889,17 @@ class IncrementalMrDMD:
         else:
             model._data = np.asarray(raw, dtype=float)
         model._history = [UpdateRecord(**record) for record in state["history"]]
+        # Pre-elastic checkpoints lack the provenance keys: every row is
+        # then original (birth 0) with no topology events.
+        birth = state.get("row_birth")
+        model._row_birth = (
+            np.zeros(model._n_features, dtype=int)
+            if birth is None
+            else np.asarray(birth, dtype=int)
+        )
+        model._topology = [
+            TopologyChange(**change) for change in state.get("topology", [])
+        ]
         return model
 
     # ------------------------------------------------------------------ #

@@ -352,6 +352,21 @@ class IncrementalSVD:
         if rows.shape[0] == 0:
             self._last_update_ops = []
             return self
+        if not np.any(rows):
+            # Fast path for the elastic-topology case: sensors that join a
+            # live stream with no back-filled history contribute all-zero
+            # rows, and ``[[X], [0]]`` factors *exactly* as
+            # ``[[U], [0]] diag(s) Vh`` — the singular values, the right
+            # factor (and its pending lazy rotations) and the cross
+            # products against ``Vh`` are all unchanged, so nothing is
+            # materialised and the call is O(r q), independent of the
+            # stream length.  The retained rank is left as-is (the SVHT
+            # rule re-evaluates on the next column update anyway).
+            self._u = np.vstack(
+                [self._u, np.zeros((rows.shape[0], self._u.shape[1]), dtype=self.dtype)]
+            )
+            self._last_update_ops = []
+            return self
 
         self._materialize_vh()
         u, s, vh = self._u, self._s, self._vh

@@ -251,6 +251,11 @@ class MrDMDTree:
             raise ValueError(f"n_features must be positive, got {n_features!r}")
         self.dt = float(dt)
         self.n_features = int(n_features)
+        # Narrowest node width this tree accepts: the row count before any
+        # add_features topology event.  Trees that never grew keep the
+        # strict width check (a too-narrow node is a bug, not a
+        # pre-topology-event survivor).
+        self._min_node_features = int(n_features)
         self._nodes: list[MrDMDNode] = []
         self._revision = 0
         # mode_table() output memoised per revision: spectrum/threshold
@@ -283,10 +288,24 @@ class MrDMDTree:
     # Collection protocol
     # ------------------------------------------------------------------ #
     def add(self, node: MrDMDNode) -> None:
-        """Append a node (validating its feature dimension)."""
-        if node.n_features != self.n_features:
+        """Append a node (validating its feature dimension).
+
+        Nodes *narrower* than the tree are legal only down to the width
+        the tree had before its first :meth:`add_features` topology event:
+        such nodes predate the event and implicitly contribute zero to the
+        rows that did not exist when their window was decomposed.  On a
+        tree that never grew the check stays exact.
+        """
+        minimum = getattr(self, "_min_node_features", self.n_features)
+        if not minimum <= node.n_features <= self.n_features:
             raise ValueError(
-                f"node has {node.n_features} features, tree expects {self.n_features}"
+                f"node has {node.n_features} features, tree expects "
+                f"{self.n_features}"
+                + (
+                    f" (or down to {minimum} for pre-topology-event nodes)"
+                    if minimum < self.n_features
+                    else ""
+                )
             )
         self._nodes.append(node)
         self._revision += 1
@@ -363,6 +382,26 @@ class MrDMDTree:
         for node in new_nodes:
             self.add(node)
 
+    def add_features(self, n_new: int) -> None:
+        """Widen the row space by ``n_new`` features (elastic topology).
+
+        Existing nodes are *not* touched: they keep their birth-time
+        width, and every consumer (:meth:`reconstruct`,
+        :meth:`mode_table`) zero-extends them on the fly — sensors that
+        join mid-stream contribute nothing to windows decomposed before
+        they existed.  That makes the topology event O(1) in the tree
+        size, so onboarding cost stays independent of how long the stream
+        has been running (the node count grows with the timeline).  Bumps
+        the revision so every derived cache (mode tables, reconstruction
+        windows, baselines keyed on the revision) invalidates.
+        """
+        if n_new < 0:
+            raise ValueError(f"n_new must be non-negative, got {n_new!r}")
+        if n_new == 0:
+            return
+        self.n_features += n_new
+        self._revision += 1
+
     # ------------------------------------------------------------------ #
     # Analysis products
     # ------------------------------------------------------------------ #
@@ -399,7 +438,13 @@ class MrDMDTree:
             levels.append(np.full(m, node.level, dtype=int))
             bins.append(np.full(m, node.bin_index, dtype=int))
             node_ids.append(np.full(m, node_id, dtype=int))
-            vectors.append(node.modes.T)
+            if node.n_features < self.n_features:
+                # Pre-topology-event node: zero-extend to the grown width.
+                padded = np.zeros((m, self.n_features), dtype=complex)
+                padded[:, : node.n_features] = node.modes.T
+                vectors.append(padded)
+            else:
+                vectors.append(node.modes.T)
         if not freqs:
             empty_f = np.zeros(0, dtype=float)
             empty_i = np.zeros(0, dtype=int)
@@ -493,8 +538,11 @@ class MrDMDTree:
                     amplitudes=node.amplitudes[mask],
                 )
             offset = lo - node.start
-            out[:, lo - window_lo : hi - window_lo] += use.local_reconstruction_range(
-                offset, hi - lo
+            # Nodes predating a topology event are narrower than the tree:
+            # their contribution lands in the leading rows (row order is
+            # append-only) and the newer rows stay zero over their window.
+            out[: use.n_features, lo - window_lo : hi - window_lo] += (
+                use.local_reconstruction_range(offset, hi - lo)
             )
         return out
 
@@ -530,6 +578,12 @@ class MrDMDTree:
     def from_dict(cls, payload: dict) -> "MrDMDTree":
         """Inverse of :meth:`to_dict`."""
         tree = cls(dt=float(payload["dt"]), n_features=int(payload["n_features"]))
+        # A serialised elastic tree may hold nodes narrower than its
+        # current width (they predate growth events); accept the narrowest
+        # stored width as the floor while rebuilding.
+        widths = [np.asarray(nd["modes"]).shape[0] for nd in payload["nodes"]]
+        if widths:
+            tree._min_node_features = min(widths)
         for nd in payload["nodes"]:
             tree.add(
                 MrDMDNode(

@@ -26,9 +26,15 @@ from .checkpoint import (
     read_federated_manifest,
     save_federated_checkpoint,
 )
+from .chunklog import ChunkLog, ChunkLogEntry
 from .monitor import FederatedMonitor, FederatedSnapshot, FederatedSpectrum
 from .registry import MachineRegistry
-from .routing import AlertRouter, FederatedAlertContext, FleetWideRule
+from .routing import (
+    AlertRouter,
+    FederatedAlertContext,
+    FleetWideRule,
+    FleetWideZScoreRule,
+)
 from .scenario import (
     FEDERATED_SCENARIOS,
     FederatedScenario,
@@ -42,6 +48,9 @@ __all__ = [
     "AlertRouter",
     "FederatedAlertContext",
     "FleetWideRule",
+    "FleetWideZScoreRule",
+    "ChunkLog",
+    "ChunkLogEntry",
     "MachineRegistry",
     "FederatedMonitor",
     "FederatedSnapshot",

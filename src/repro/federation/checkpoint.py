@@ -41,6 +41,7 @@ from ..service.checkpoint import (
     save_checkpoint,
 )
 from ..util.parallel import ShardExecutor
+from .chunklog import ChunkLog
 from .monitor import FederatedMonitor
 from .registry import MachineRegistry
 from .routing import AlertRouter
@@ -151,6 +152,7 @@ def load_federated_checkpoint(
     executor: str | ShardExecutor | None = None,
     machine_executor: str | None = None,
     max_workers: int | None = None,
+    chunk_log: ChunkLog | None = None,
 ) -> FederatedMonitor:
     """Rebuild a :class:`FederatedMonitor` from a (possibly rotated) checkpoint.
 
@@ -188,7 +190,11 @@ def load_federated_checkpoint(
     router.load_state_dict(manifest["router"])
 
     federated = FederatedMonitor(
-        registry, router=router, executor=executor, max_workers=max_workers
+        registry,
+        router=router,
+        executor=executor,
+        max_workers=max_workers,
+        chunk_log=chunk_log,
     )
     federated._step = int(manifest["step"])
     return federated

@@ -41,6 +41,7 @@ from ..hwlog.events import HardwareLog
 from ..service.alerts import Alert
 from ..service.monitor import FleetMonitor, FleetSnapshot, FleetSpectrum
 from ..util.parallel import ShardExecutor, make_shard_executor
+from .chunklog import ChunkLog
 from .registry import MachineRegistry
 from .routing import AlertRouter, FederatedAlertContext
 
@@ -139,7 +140,17 @@ def _machine_ingest_and_alert(
 
 def _machine_node_zscores(
     monitor: FleetMonitor, time_range, reducer: str
-) -> NodeZScores:
+) -> NodeZScores | None:
+    if time_range is not None:
+        # Machines advance at their own pace (staggered rounds, joiners):
+        # clamp the fleet-level window to this machine's timeline and skip
+        # machines with nothing in it.
+        lo, hi = time_range
+        hi = min(int(hi), monitor.step)
+        lo = max(0, min(int(lo), hi))
+        if hi <= lo:
+            return None
+        time_range = (lo, hi)
     return monitor.node_zscores(time_range=time_range, reducer=reducer)
 
 
@@ -149,6 +160,14 @@ def _machine_fleet_spectrum(monitor: FleetMonitor) -> FleetSpectrum:
 
 def _machine_step(monitor: FleetMonitor) -> int:
     return monitor.step
+
+
+def _machine_add_sensors(
+    monitor: FleetMonitor, sensor_names, node_of_row, history, policy, machine
+):
+    return monitor.add_sensors(
+        sensor_names, node_of_row, history=history, policy=policy, machine=machine
+    )
 
 
 def _return_machine(monitor: FleetMonitor) -> FleetMonitor:
@@ -179,6 +198,12 @@ class FederatedMonitor:
     max_workers:
         Worker count for thread/process fan-out (default: one per
         machine, capped at the CPU count).
+    chunk_log:
+        Optional shared :class:`~repro.federation.chunklog.ChunkLog`.
+        When set, every fanned-out chunk is recorded, enabling
+        :meth:`catch_up` — a machine restored from an older checkpoint
+        (or registered mid-run) replays the logged tail before rejoining
+        alert evaluation.
     """
 
     def __init__(
@@ -188,12 +213,14 @@ class FederatedMonitor:
         router: AlertRouter | None = None,
         executor: str | ShardExecutor | None = None,
         max_workers: int | None = None,
+        chunk_log: ChunkLog | None = None,
     ) -> None:
         if not isinstance(registry, MachineRegistry):
             registry = MachineRegistry(registry)
         if len(registry) == 0:
             raise ValueError("FederatedMonitor needs at least one registered machine")
         self.registry = registry
+        self.chunk_log = chunk_log
         self.router = router if router is not None else AlertRouter()
         self._executor_spec: str | ShardExecutor | None = executor
         self._max_workers = max_workers
@@ -324,22 +351,20 @@ class FederatedMonitor:
     def _validated_chunks(
         self, chunks: Mapping[str, np.ndarray]
     ) -> dict[str, np.ndarray]:
+        """Validate a round's chunks; rounds may be *partial*.
+
+        Every chunk must belong to a registered machine, but machines may
+        skip rounds (staggered sites, a machine catching up after a
+        restore) — absent machines simply do not advance this round.
+        """
         names = set(self.registry.names)
-        given = set(chunks)
-        if given != names:
-            missing = sorted(names - given)
-            unknown = sorted(given - names)
-            problems = []
-            if missing:
-                problems.append(f"missing chunks for {missing}")
-            if unknown:
-                problems.append(f"unknown machines {unknown}")
-            raise ValueError(
-                "federated ingest needs exactly one chunk per registered "
-                "machine: " + "; ".join(problems)
-            )
+        unknown = sorted(set(chunks) - names)
+        if unknown:
+            raise ValueError(f"chunks reference unknown machines {unknown}")
+        if not chunks:
+            raise ValueError("a federated round needs at least one machine's chunk")
         # Registry order, not caller order: deterministic fan-out/merge.
-        return {name: chunks[name] for name in self.registry.names}
+        return {name: chunks[name] for name in self.registry.names if name in chunks}
 
     def _finish_round(
         self, snapshots: dict[str, FleetSnapshot]
@@ -353,19 +378,34 @@ class FederatedMonitor:
             machine_snapshots=snapshots,
         )
 
+    def _record_round(
+        self,
+        chunks: Mapping[str, np.ndarray],
+        snapshots: Mapping[str, FleetSnapshot],
+    ) -> None:
+        if self.chunk_log is None:
+            return
+        for name, chunk in chunks.items():
+            chunk = np.asarray(chunk)
+            self.chunk_log.record(
+                name, snapshots[name].step - chunk.shape[1], chunk
+            )
+
     def ingest(self, chunks: Mapping[str, np.ndarray]) -> FederatedSnapshot:
-        """Feed one ``(P_m, T)`` block per machine; no alert evaluation.
+        """Feed one ``(P_m, T)`` block per participating machine; no alerts.
 
         Machines fan out over the persistent executor and ingest
         concurrently (each one sharding further internally); per-machine
         :class:`FleetSnapshot` products merge into one
-        :class:`FederatedSnapshot`.
+        :class:`FederatedSnapshot`.  Rounds may be partial: machines
+        absent from ``chunks`` skip the round and keep their position.
         """
         chunks = self._validated_chunks(chunks)
         executor = self._ensure_executor()
         snapshots = executor.map(
             _machine_ingest, {name: (chunk,) for name, chunk in chunks.items()}
         )
+        self._record_round(chunks, snapshots)
         return self._finish_round({name: snapshots[name] for name in chunks})
 
     def ingest_and_alert(
@@ -383,8 +423,11 @@ class FederatedMonitor:
         the per-machine alert streams then pass through the shared
         :class:`AlertRouter` — machine-stamped, federation-deduped,
         delivered to global/per-machine sinks — and the fleet-wide rules
-        run against the merged drift picture.  Returns the federated
-        snapshot and the routed alerts, in delivery order.
+        run against the merged picture.  Rounds may be partial (machines
+        may skip); fleet rules still see the full registered membership,
+        so skipping a round neither drops a machine's drift memory nor
+        counts it as drifting.  Returns the federated snapshot and the
+        routed alerts, in delivery order.
         """
         chunks = self._validated_chunks(chunks)
         hwlogs = dict(hwlogs) if hwlogs else {}
@@ -406,7 +449,9 @@ class FederatedMonitor:
             for name, chunk in chunks.items()
         ]
         results = {name: task.result() for name, task in tasks}
-        snapshot = self._finish_round({name: results[name][0] for name in results})
+        snapshots = {name: results[name][0] for name in results}
+        self._record_round(chunks, snapshots)
+        snapshot = self._finish_round(snapshots)
         context = FederatedAlertContext(
             step=self._step,
             updates={
@@ -417,11 +462,131 @@ class FederatedMonitor:
                 for name, fleet_snap in snapshot.machine_snapshots.items()
             },
             window=window,
+            machines=self.registry.names,
         )
         routed = self.router.route(
             {name: results[name][1] for name in results}, context
         )
         return snapshot, routed
+
+    # ------------------------------------------------------------------ #
+    # Elastic topology: new sensors / shards inside a member machine
+    # ------------------------------------------------------------------ #
+    def add_sensors(
+        self,
+        name: str,
+        sensor_names,
+        node_of_row,
+        *,
+        history: np.ndarray | None = None,
+        policy=None,
+        machine=None,
+    ):
+        """Stream new sensors into one member machine's live monitor.
+
+        Ships the :meth:`FleetMonitor.add_sensors` command to the
+        *resident* monitor (worker pools keep running on every backend);
+        existing shards absorb their rows, new shards join the machine's
+        executor pool, and the machine's next chunks must carry its grown
+        row count.  Returns the machine's
+        :class:`~repro.service.monitor.TopologyUpdate`.
+        """
+        if name not in self.registry:
+            raise KeyError(f"unknown machine {name!r}")
+        if self._executor is None:
+            return _machine_add_sensors(
+                self.registry.get(name),
+                sensor_names,
+                node_of_row,
+                history,
+                policy,
+                machine,
+            )
+        return self._ensure_executor().call(
+            name,
+            _machine_add_sensors,
+            sensor_names,
+            node_of_row,
+            history,
+            policy,
+            machine,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Elastic membership: mid-run registration and stale-restore catch-up
+    # ------------------------------------------------------------------ #
+    def register_machine(
+        self, name: str, monitor: FleetMonitor, *, catch_up: bool = True
+    ) -> int:
+        """Register a machine mid-run; the fan-out pool rebuilds lazily.
+
+        With a chunk log configured the newcomer is caught up on any
+        chunks already logged under its name (normally none for a truly
+        new machine).  Returns the number of chunks replayed.
+        """
+        self.registry.register(name, monitor)
+        if catch_up and self.chunk_log is not None:
+            return self.catch_up(name)
+        return 0
+
+    def deregister_machine(self, name: str) -> FleetMonitor:
+        """Deregister a machine and drop its chunk-log history."""
+        monitor = self.registry.deregister(name)
+        if self.chunk_log is not None:
+            self.chunk_log.forget(name)
+        return monitor
+
+    def reattach_machine(
+        self, name: str, monitor: FleetMonitor, *, catch_up: bool = True
+    ) -> int:
+        """Swap in a restored monitor for ``name`` and catch it up.
+
+        This is the stale-restore flow: a machine that crashed is rebuilt
+        from its newest (possibly older) retained checkpoint, reattached
+        here, and — before it rejoins alert evaluation — replays every
+        chunk the shared log recorded past its restored position, so its
+        next round ingests from the live stream edge.  The registry swap
+        bumps the membership version, so the fan-out pool rebuilds with
+        the new object on next use.  Returns the number of chunks
+        replayed.
+        """
+        if name in self.registry:
+            self.registry.deregister(name)
+        self.registry.register(name, monitor)
+        if catch_up and self.chunk_log is not None:
+            return self.catch_up(name)
+        return 0
+
+    def catch_up(self, name: str) -> int:
+        """Replay logged chunks into a lagging machine (no alert evaluation).
+
+        Replays straight into the registry's monitor in-process — the
+        fan-out pool rebuilds from the registry on next use (the
+        membership version changed when the machine was (re)attached), so
+        resident workers never hold the stale object.  Alert engines are
+        deliberately not consulted during replay: the federation already
+        routed (and deduplicated) this history when it happened live.
+        """
+        if self.chunk_log is None:
+            raise RuntimeError("catch_up requires a chunk_log on the federation")
+        if self._executor is not None:
+            # Workers may hold newer resident state (process backend) and
+            # must not keep serving the object being replaced: land state
+            # back and let the pool rebuild from the registry on next use.
+            self._land_and_drop_executor()
+        monitor = self.registry.get(name)
+        replayed = 0
+        for entry in self.chunk_log.entries_since(name, monitor.step):
+            values = entry.values
+            if entry.start < monitor.step:
+                # Partially covered entry (restore mid-chunk): replay only
+                # the unseen tail.
+                values = values[:, monitor.step - entry.start :]
+            if values.shape[1] == 0:
+                continue
+            monitor.ingest(values)
+            replayed += 1
+        return replayed
 
     # ------------------------------------------------------------------ #
     # Federated analysis products
@@ -451,8 +616,11 @@ class FederatedMonitor:
         Node indices are machine-local (two machines both have a node 0),
         so scores stay keyed per machine; :meth:`zscore_map` flattens them
         under ``machine/node`` keys when one global map is wanted.
+        Machines whose own timeline has no data in ``time_range``
+        (staggered joiners lagging the fleet edge) are omitted.
         """
-        return self._query_all(_machine_node_zscores, time_range, reducer)
+        results = self._query_all(_machine_node_zscores, time_range, reducer)
+        return {name: scores for name, scores in results.items() if scores is not None}
 
     def rack_values(
         self,

@@ -35,6 +35,7 @@ from ..service.alerts import Alert, AlertSeverity, AlertSink
 __all__ = [
     "FederatedAlertContext",
     "FleetWideRule",
+    "FleetWideZScoreRule",
     "AlertRouter",
 ]
 
@@ -47,17 +48,37 @@ class FederatedAlertContext:
     ----------
     step:
         Federated timeline position — the maximum machine step after the
-        round (machines ingesting in lockstep all sit at this step).
+        round.
     updates:
         ``machine -> shard -> UpdateRecord`` from the round's ingests
-        (``None`` for shards still in their initial fit).
+        (``None`` for shards still in their initial fit).  With partial
+        (staggered) rounds this covers only the machines that ingested
+        this round.
     window:
         Trailing snapshot count rules should consider "recent".
+    machines:
+        The federation's *registered* membership at evaluation time.
+        Rules prune per-machine memory against this — not against the
+        round's ``updates`` keys, which under partial rounds merely say
+        who ingested, not who still exists.  ``None`` (legacy contexts)
+        falls back to the ``updates`` keys.
+    machine_alerts:
+        ``machine -> alerts`` the per-machine engines emitted this round
+        (pre-routing).  Populated by :meth:`AlertRouter.route` before the
+        fleet rules run; :class:`FleetWideZScoreRule` feeds on it.
     """
 
     step: int
     updates: dict[str, dict[str, UpdateRecord | None]] = field(default_factory=dict)
     window: int = 200
+    machines: tuple[str, ...] | None = None
+    machine_alerts: dict[str, tuple[Alert, ...]] = field(default_factory=dict)
+
+    def membership(self) -> tuple[str, ...]:
+        """Registered machines (falls back to the round's ingest keys)."""
+        if self.machines is not None:
+            return self.machines
+        return tuple(self.updates)
 
 
 class FleetWideRule:
@@ -70,11 +91,12 @@ class FleetWideRule:
     chunks apart still count into the same burst — exactly the condition a
     per-machine rule cannot see.
 
-    The context's ``updates`` keys define the federation's current
-    membership (the federated monitor ingests every registered machine
-    each round): machines absent from a round have left the federation
-    and their drift memory is dropped — a decommissioned machine must not
-    keep counting toward ``min_machines``.
+    The context's :meth:`~FederatedAlertContext.membership` defines the
+    federation's current membership: deregistered machines lose their
+    drift memory — a decommissioned machine must not keep counting toward
+    ``min_machines`` — while machines that merely *skipped* a partial
+    round keep theirs (they are still members; their last drift simply
+    ages out of the window).
     """
 
     name = "fleet-wide-drift"
@@ -111,10 +133,11 @@ class FleetWideRule:
         return False
 
     def evaluate(self, context: FederatedAlertContext) -> list[Alert]:
+        members = set(context.membership())
         self._last_drift_step = {
             machine: step
             for machine, step in self._last_drift_step.items()
-            if machine in context.updates
+            if machine in members
         }
         for machine, updates in context.updates.items():
             if self._machine_drifted(updates):
@@ -155,6 +178,104 @@ class FleetWideRule:
         self._last_drift_step = {
             str(entry["machine"]): int(entry["step"])
             for entry in state["last_drift_step"]
+        }
+
+
+class FleetWideZScoreRule:
+    """Fires when >= ``min_machines`` machines raised z-score alerts in a window.
+
+    The z-score sibling of :class:`FleetWideRule`: a single hot node is a
+    per-machine story, but thermal z-score alerts bursting across several
+    machines at once point at a shared cause (facility cooling margin, a
+    scheduler wave packing hot jobs, a firmware rollout).  A machine
+    "burst" in a round when its engine emitted at least ``min_alerts``
+    ``zscore``-rule alerts of at least ``min_severity``; the rule
+    remembers each machine's most recent burst step, so machines bursting
+    a few chunks apart still count together.  Dedup semantics match the
+    drift rule exactly: the emitted alert carries no machine/shard/node
+    scope, so the router's federation-level cooldown keys it per rule,
+    and membership pruning follows :meth:`FederatedAlertContext.membership`.
+    """
+
+    name = "fleet-wide-zscore"
+
+    def __init__(
+        self,
+        min_machines: int = 2,
+        *,
+        min_alerts: int = 1,
+        window: int | None = None,
+        min_severity: AlertSeverity = AlertSeverity.WARNING,
+        severity: AlertSeverity = AlertSeverity.CRITICAL,
+    ) -> None:
+        if min_machines < 1:
+            raise ValueError("min_machines must be >= 1")
+        if min_alerts < 1:
+            raise ValueError("min_alerts must be >= 1")
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 (or None for the context's)")
+        self.min_machines = int(min_machines)
+        self.min_alerts = int(min_alerts)
+        self.window = window
+        self.min_severity = min_severity
+        self.severity = severity
+        self._last_burst_step: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def _machine_burst(self, alerts: Sequence[Alert]) -> bool:
+        count = sum(
+            1
+            for alert in alerts
+            if alert.rule == "zscore" and alert.severity >= self.min_severity
+        )
+        return count >= self.min_alerts
+
+    def evaluate(self, context: FederatedAlertContext) -> list[Alert]:
+        members = set(context.membership())
+        self._last_burst_step = {
+            machine: step
+            for machine, step in self._last_burst_step.items()
+            if machine in members
+        }
+        for machine, alerts in context.machine_alerts.items():
+            if self._machine_burst(alerts):
+                self._last_burst_step[machine] = context.step
+        window = self.window if self.window is not None else context.window
+        lo = context.step - window
+        burst = sorted(
+            machine
+            for machine, step in self._last_burst_step.items()
+            if step > lo
+        )
+        if len(burst) < self.min_machines:
+            return []
+        return [
+            Alert(
+                rule=self.name,
+                severity=self.severity,
+                step=context.step,
+                value=float(len(burst)),
+                message=(
+                    f"{len(burst)} machines ({', '.join(burst)}) raised z-score "
+                    f"alerts within the last {window} snapshots — fleet-wide "
+                    f"thermal cause likely (facility, scheduler wave, rollout)"
+                ),
+            )
+        ]
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        return {
+            "last_burst_step": [
+                {"machine": machine, "step": step}
+                for machine, step in sorted(self._last_burst_step.items())
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._last_burst_step = {
+            str(entry["machine"]): int(entry["step"])
+            for entry in state["last_burst_step"]
         }
 
 
@@ -237,6 +358,12 @@ class AlertRouter:
         triggered it in sinks and in the returned list.
         """
         routed: list[Alert] = []
+        # Fleet rules see the round's raw per-machine streams (pre-dedup):
+        # suppression protects sinks from repeats, but a suppressed repeat
+        # is still evidence of an ongoing condition.
+        context.machine_alerts = {
+            machine: tuple(alerts) for machine, alerts in machine_alerts.items()
+        }
         for machine, alerts in machine_alerts.items():
             for alert in alerts:
                 stamped = replace(alert, machine=machine)

@@ -21,24 +21,31 @@ Catalog (``FEDERATED_SCENARIOS``):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
+
+import numpy as np
 
 from ..hwlog.events import HardwareLog
 from ..service.alerts import Alert, AlertEngine, AlertSink, default_rules
-from ..service.checkpoint import RotatedCheckpoint, list_checkpoints
-from ..service.monitor import FleetMonitor
+from ..service.checkpoint import RotatedCheckpoint, list_checkpoints, load_checkpoint
+from ..service.monitor import FleetMonitor, TopologyUpdate
 from ..service.scenarios import (
     Scenario,
+    _initial_live_rows,
+    _row_prefix_stream,
+    mid_run_add_sensors,
     noisy_neighbor_job,
     quiet_fleet,
     rack_cooling_failure,
 )
 from ..telemetry.streaming import StreamingReplay
-from .checkpoint import load_federated_checkpoint, save_federated_checkpoint
+from .checkpoint import MACHINES_DIRNAME, load_federated_checkpoint, save_federated_checkpoint
+from .chunklog import ChunkLog
 from .monitor import FederatedMonitor
 from .registry import MachineRegistry
-from .routing import AlertRouter, FleetWideRule
+from .routing import AlertRouter, FleetWideRule, FleetWideZScoreRule
 
 __all__ = [
     "FederatedScenario",
@@ -47,6 +54,7 @@ __all__ = [
     "FEDERATED_SCENARIOS",
     "get_federated_scenario",
     "federated_fleet",
+    "elastic_fleet",
 ]
 
 
@@ -72,8 +80,24 @@ class FederatedScenario:
         every chunk when given a checkpoint directory).
     min_drift_machines / fleet_drift_threshold:
         :class:`FleetWideRule` configuration for the shared router.
+    min_zscore_machines:
+        When set, a :class:`FleetWideZScoreRule` with this machine
+        threshold joins the router's fleet rules.
     router_cooldown:
         Federation-level dedup cooldown in snapshots.
+    joiners / join_after_chunk:
+        Machines that register with the running federation after this
+        many streaming chunks (``(name, workload)`` pairs, same stream
+        protocol).  A joiner starts its own stream from zero — the
+        federation's rounds become *partial* from its perspective until
+        it catches up in wall-clock terms.
+    stale_restore_machine / stale_restore_after_chunk:
+        When set, after this many chunks the named machine is torn down
+        and rebuilt from the *previous* retained rotation entry (one
+        chunk stale), then caught up from the federation's shared chunk
+        log before rejoining alert evaluation — the machine-local
+        restore flow.  Requires a checkpoint directory and
+        ``keep_last >= 2``.
     """
 
     name: str
@@ -83,23 +107,57 @@ class FederatedScenario:
     keep_last: int = 2
     min_drift_machines: int = 2
     fleet_drift_threshold: float | None = None
+    min_zscore_machines: int | None = None
     router_cooldown: int = 120
+    joiners: tuple[tuple[str, Scenario], ...] = ()
+    join_after_chunk: int | None = None
+    stale_restore_machine: str | None = None
+    stale_restore_after_chunk: int | None = None
 
     def __post_init__(self) -> None:
         if not self.machines:
             raise ValueError("a federated scenario needs at least one machine")
         protocols = {
             (sc.total_steps, sc.initial_size, sc.chunk_size)
-            for _name, sc in self.machines
+            for _name, sc in (*self.machines, *self.joiners)
         }
         if len(protocols) != 1:
             raise ValueError(
                 "machines must share one stream protocol (total_steps, "
                 f"initial_size, chunk_size); got {sorted(protocols)}"
             )
-        names = [name for name, _sc in self.machines]
+        names = [name for name, _sc in (*self.machines, *self.joiners)]
         if len(set(names)) != len(names):
             raise ValueError(f"machine names must be unique, got {names}")
+        if self.joiners and self.join_after_chunk is None:
+            raise ValueError("joiners require join_after_chunk")
+        if self.join_after_chunk is not None and not self.joiners:
+            raise ValueError("join_after_chunk requires joiners")
+        if (self.stale_restore_machine is None) != (
+            self.stale_restore_after_chunk is None
+        ):
+            raise ValueError(
+                "stale_restore_machine and stale_restore_after_chunk go together"
+            )
+        if (
+            self.stale_restore_machine is not None
+            and self.stale_restore_machine not in dict(self.machines)
+        ):
+            raise ValueError(
+                f"stale_restore_machine {self.stale_restore_machine!r} is not an "
+                f"initial machine"
+            )
+        if self.stale_restore_machine is not None and self.keep_last < 2:
+            raise ValueError("a stale restore needs keep_last >= 2")
+        if (
+            self.stale_restore_machine is not None
+            and dict(self.machines)[self.stale_restore_machine].grows_mid_run
+        ):
+            raise ValueError(
+                "stale_restore_machine must not grow mid-run: the chunk log "
+                "records data, not topology events, so a replay cannot cross "
+                "the machine's own growth boundary"
+            )
 
     @property
     def machine_names(self) -> tuple[str, ...]:
@@ -128,6 +186,14 @@ class FederatedScenarioResult:
     n_chunks: int
     restarted: bool
     checkpoints: list[RotatedCheckpoint]
+    #: machine -> TopologyUpdate for mid-run sensor growth events.
+    topology_updates: dict[str, TopologyUpdate] = field(default_factory=dict)
+    #: Machines that registered mid-run, in registration order.
+    joined: tuple[str, ...] = ()
+    #: Whether the stale-restore flow ran, and how many chunks the
+    #: restored machine replayed from the shared chunk log.
+    stale_restored: bool = False
+    chunks_replayed: int = 0
 
     def alerts_for_machine(self, machine: str) -> list[Alert]:
         return [a for a in self.alerts if a.machine == machine]
@@ -179,6 +245,39 @@ class FederatedScenarioRunner:
                 raise ValueError(
                     f"restart_after_chunk must be in [1, {scenario.n_chunks}]"
                 )
+        if scenario.stale_restore_after_chunk is not None:
+            if checkpoint_dir is None:
+                raise ValueError(
+                    f"scenario {scenario.name!r} restores a stale machine "
+                    f"mid-run: pass checkpoint_dir"
+                )
+            if not 2 <= scenario.stale_restore_after_chunk <= scenario.n_chunks:
+                raise ValueError(
+                    f"stale_restore_after_chunk must be in [2, {scenario.n_chunks}] "
+                    f"(an older rotation entry must exist)"
+                )
+        if scenario.join_after_chunk is not None and not (
+            1 <= scenario.join_after_chunk < scenario.n_chunks
+        ):
+            # == n_chunks would register joiners after the last round:
+            # they would silently never stream.
+            raise ValueError(
+                f"join_after_chunk must be in [1, {scenario.n_chunks - 1}]"
+            )
+        for name, workload in (*scenario.machines, *scenario.joiners):
+            if not workload.grows_mid_run:
+                continue
+            # A joiner starts streaming join_after_chunk + 1 rounds late,
+            # so its growth event must fit in the rounds it actually gets.
+            budget = scenario.n_chunks
+            if name in dict(scenario.joiners):
+                budget -= scenario.join_after_chunk + 1
+            if not 1 <= workload.grow_after_chunk <= budget:
+                raise ValueError(
+                    f"machine {name!r}: grow_after_chunk="
+                    f"{workload.grow_after_chunk} never fires (this machine "
+                    f"streams at most {budget} chunk(s))"
+                )
         self.scenario = scenario
         self.sinks = list(sinks)
         self.checkpoint_dir = checkpoint_dir
@@ -189,14 +288,19 @@ class FederatedScenarioRunner:
     # ------------------------------------------------------------------ #
     def _build_router(self) -> AlertRouter:
         scenario = self.scenario
+        fleet_rules: list = [
+            FleetWideRule(
+                min_machines=scenario.min_drift_machines,
+                threshold=scenario.fleet_drift_threshold,
+            )
+        ]
+        if scenario.min_zscore_machines is not None:
+            fleet_rules.append(
+                FleetWideZScoreRule(min_machines=scenario.min_zscore_machines)
+            )
         return AlertRouter(
             sinks=self.sinks,
-            fleet_rules=[
-                FleetWideRule(
-                    min_machines=scenario.min_drift_machines,
-                    threshold=scenario.fleet_drift_threshold,
-                )
-            ],
+            fleet_rules=fleet_rules,
             cooldown=scenario.router_cooldown,
         )
 
@@ -204,6 +308,8 @@ class FederatedScenarioRunner:
         engine = AlertEngine(
             rules=default_rules(), cooldown=scenario.alert_cooldown
         )
+        if scenario.grows_mid_run:
+            stream = _row_prefix_stream(stream, _initial_live_rows(scenario, stream))
         return FleetMonitor.from_stream(
             stream,
             policy=scenario.policy,
@@ -213,25 +319,33 @@ class FederatedScenarioRunner:
         )
 
     def run(self) -> FederatedScenarioResult:
-        """Execute the scenario: lockstep stream -> routed alerts -> products.
+        """Execute the scenario: staggered stream -> routed alerts -> products.
 
         When a checkpoint directory is configured the federation
         checkpoints into the rotation root after *every* chunk (retention
-        bounded by ``scenario.keep_last``); the restart, when scheduled,
-        restores from the newest retained entry.  The returned federation
-        is closed with all machine state landed in-process, so post-run
-        queries keep working.
+        bounded by ``scenario.keep_last``); the full restart, when
+        scheduled, restores from the newest retained entry, and the
+        stale-machine restore rebuilds one machine from the *previous*
+        entry and catches it up from the shared chunk log.  Joiners
+        register mid-run and stream from their own step zero (partial
+        rounds).  The returned federation is closed with all machine
+        state landed in-process, so post-run queries keep working.
         """
         scenario = self.scenario
-        streams = {name: sc.build_stream() for name, sc in scenario.machines}
-        hwlogs = {name: sc.build_hwlog() for name, sc in scenario.machines}
+        workloads = {**dict(scenario.machines), **dict(scenario.joiners)}
+        streams = {name: sc.build_stream() for name, sc in workloads.items()}
+        hwlogs = {name: sc.build_hwlog() for name, sc in workloads.items()}
         replays = {
             name: StreamingReplay(
                 stream=streams[name],
                 initial_size=sc.initial_size,
                 chunk_size=sc.chunk_size,
             )
-            for name, sc in scenario.machines
+            for name, sc in workloads.items()
+        }
+        live_rows = {
+            name: _initial_live_rows(sc, streams[name])
+            for name, sc in workloads.items()
         }
 
         registry = MachineRegistry(
@@ -245,17 +359,44 @@ class FederatedScenarioRunner:
             router=self._build_router(),
             executor=self.executor,
             max_workers=self.max_workers,
+            chunk_log=ChunkLog(),
         )
         alerts: list[Alert] = []
+        topology_updates: dict[str, TopologyUpdate] = {}
+        joined: list[str] = []
         restarted = False
+        stale_restored = False
+        chunks_replayed = 0
+        needs_initial: set[str] = set()
+        chunk_iters = {}
+        chunks_done = {name: 0 for name in workloads}
         # try/finally: a mid-run failure must not leak the fan-out pool or
         # the machine executors (the restart path rebinds `federated`).
         try:
-            federated.ingest({name: replay.initial() for name, replay in replays.items()})
-            chunk_iters = {name: replay.chunks() for name, replay in replays.items()}
+            federated.ingest(
+                {
+                    name: replays[name].initial()[: live_rows[name]]
+                    for name, _sc in scenario.machines
+                }
+            )
+            chunk_iters = {
+                name: replays[name].chunks() for name, _sc in scenario.machines
+            }
             for index in range(1, scenario.n_chunks + 1):
-                chunks = {name: next(chunk_iters[name]) for name in replays}
-                _, fired = federated.ingest_and_alert(chunks, hwlogs=hwlogs)
+                chunks = {}
+                for name in federated.machine_names:
+                    if name in needs_initial:
+                        chunks[name] = replays[name].initial()[: live_rows[name]]
+                        needs_initial.discard(name)
+                        chunk_iters[name] = replays[name].chunks()
+                        continue
+                    chunk = next(chunk_iters[name], None)
+                    if chunk is not None:
+                        chunks[name] = chunk[: live_rows[name]]
+                        chunks_done[name] += 1
+                _, fired = federated.ingest_and_alert(
+                    chunks, hwlogs={name: hwlogs[name] for name in chunks}
+                )
                 alerts.extend(fired)
                 if self.checkpoint_dir is not None:
                     save_federated_checkpoint(
@@ -265,6 +406,7 @@ class FederatedScenarioRunner:
                     # Tear the whole federation down and resume from the
                     # newest retained rotation entry; the restored run must
                     # continue exactly where this one stopped.
+                    chunk_log = federated.chunk_log
                     federated.close()
                     federated.registry.close()
                     federated = load_federated_checkpoint(
@@ -274,8 +416,46 @@ class FederatedScenarioRunner:
                         executor=self.executor,
                         machine_executor=self.machine_executor,
                         max_workers=self.max_workers,
+                        chunk_log=chunk_log,
                     )
                     restarted = True
+                if scenario.stale_restore_after_chunk == index:
+                    # Machine-local failure: rebuild one machine from the
+                    # previous (stale) rotation entry, then replay the
+                    # shared chunk log so it rejoins at the stream edge.
+                    entries = list_checkpoints(self.checkpoint_dir)
+                    stale_entry = entries[1] if len(entries) > 1 else entries[0]
+                    name = scenario.stale_restore_machine
+                    stale_monitor = load_checkpoint(
+                        os.path.join(stale_entry.path, MACHINES_DIRNAME, name),
+                        rules=default_rules(),
+                        executor=self.machine_executor,
+                    )
+                    chunks_replayed = federated.reattach_machine(name, stale_monitor)
+                    stale_restored = True
+                if scenario.join_after_chunk == index:
+                    for name, sc in scenario.joiners:
+                        federated.register_machine(
+                            name, self._build_machine(sc, streams[name])
+                        )
+                        needs_initial.add(name)
+                        joined.append(name)
+                for name, sc in workloads.items():
+                    if (
+                        sc.grows_mid_run
+                        and name in federated.machine_names
+                        and chunks_done[name] == sc.grow_after_chunk
+                        and name not in topology_updates
+                    ):
+                        stream = streams[name]
+                        topology_updates[name] = federated.add_sensors(
+                            name,
+                            np.asarray(stream.sensor_names)[live_rows[name] :],
+                            np.asarray(stream.node_indices)[live_rows[name] :],
+                            policy=sc.policy,
+                            machine=sc.machine,
+                        )
+                        live_rows[name] = stream.n_rows
 
             rack_values = federated.rack_values()
             zscore_map = federated.zscore_map()
@@ -294,6 +474,10 @@ class FederatedScenarioRunner:
             checkpoints=(
                 list_checkpoints(self.checkpoint_dir) if self.checkpoint_dir else []
             ),
+            topology_updates=topology_updates,
+            joined=tuple(joined),
+            stale_restored=stale_restored,
+            chunks_replayed=chunks_replayed,
         )
 
 
@@ -327,8 +511,68 @@ def federated_fleet() -> FederatedScenario:
     )
 
 
+def elastic_fleet() -> FederatedScenario:
+    """Every layer of the topology grows mid-stream, in one run.
+
+    Three elastic events against a running two-machine federation:
+
+    1. **new sensors into existing shards** — machine ``west`` (rack
+       sharded) starts on ``cpu_temp`` only; after its second chunk the
+       ``node_power`` rows stream in and every rack shard absorbs its own
+       new rows in place;
+    2. **a new shard** — machine ``east`` (metric sharded) onboards the
+       same channel, which no existing shard can take, so a
+       ``metric-node_power`` shard is minted into its live executor pool;
+    3. **a new machine** — ``south`` registers after chunk 2 and streams
+       from its own step zero (rounds become partial: sites are
+       staggered, not lockstep);
+
+    plus the machine-local failure flow: after chunk 3 the quiet machine
+    ``north`` is torn down, rebuilt from the *previous* rotation entry
+    (one chunk stale) and caught up from the federation's shared chunk
+    log before rejoining alert evaluation.  Per-chunk rotating
+    checkpoints cover the whole run, and the z-score burst fleet rule
+    watches the merged alert stream.
+    """
+    east = replace(
+        mid_run_add_sensors(),
+        seed=21,
+        # Growth event for east happens later than west's so the two
+        # event kinds are distinguishable in the alert/product trail.
+        grow_after_chunk=3,
+    )
+    west = replace(
+        quiet_fleet(),
+        seed=31,
+        sensors=("cpu_temp", "node_power"),
+        initial_sensors=("cpu_temp",),
+        grow_after_chunk=2,
+    )
+    north = replace(quiet_fleet(), seed=36)
+    south = replace(noisy_neighbor_job(), seed=41)
+    return FederatedScenario(
+        name="elastic-fleet",
+        description=(
+            "Federation that grows everywhere mid-stream: west extends its "
+            "rack shards with node_power rows, east mints a new metric "
+            "shard, south registers as a new machine (staggered rounds), "
+            "and quiet north is later restored one chunk stale and caught "
+            "up from the shared chunk log."
+        ),
+        machines=(("east", east), ("west", west), ("north", north)),
+        joiners=(("south", south),),
+        join_after_chunk=2,
+        stale_restore_machine="north",
+        stale_restore_after_chunk=3,
+        keep_last=2,
+        min_drift_machines=2,
+        min_zscore_machines=2,
+    )
+
+
 FEDERATED_SCENARIOS: dict[str, Callable[[], FederatedScenario]] = {
     "federated-fleet": federated_fleet,
+    "elastic-fleet": elastic_fleet,
 }
 
 

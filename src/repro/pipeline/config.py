@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
-from ..core.imrdmd import RETENTION_POLICIES
+from ..core.imrdmd import MISSING_VALUE_POLICIES, RETENTION_POLICIES
 from ..core.mrdmd import MrDMDConfig
 
 __all__ = ["PipelineConfig"]
@@ -66,6 +66,12 @@ class PipelineConfig:
         behaviour, honouring ``mrdmd.amplitude_method`` at level 1, at
         O(T) per chunk) — the operator-facing escape hatch when
         pre-upgrade level-1 numerics must be preserved.
+    missing_values:
+        Non-finite-reading policy forwarded to
+        :class:`~repro.core.imrdmd.IncrementalMrDMD`: ``"raise"``
+        (default) rejects NaN/inf input with a clear error; ``"zero"``
+        zero-fills it — required when the fleet monitor pads not-yet-
+        reporting sensor rows with NaN (``missing_rows="nan"``).
     """
 
     mrdmd: MrDMDConfig = field(default_factory=MrDMDConfig)
@@ -81,6 +87,7 @@ class PipelineConfig:
     retain_data: str | None = None
     retain_window: int = 4096
     level1_path: str = "projected"
+    missing_values: str = "raise"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.power_quantile <= 1.0:
@@ -99,6 +106,11 @@ class PipelineConfig:
         if self.level1_path not in ("projected", "dense"):
             raise ValueError(
                 f"level1_path must be 'projected' or 'dense', got {self.level1_path!r}"
+            )
+        if self.missing_values not in MISSING_VALUE_POLICIES:
+            raise ValueError(
+                f"missing_values must be one of {MISSING_VALUE_POLICIES}, "
+                f"got {self.missing_values!r}"
             )
         if self.baseline_range[1] < self.baseline_range[0]:
             raise ValueError("baseline_range must be (low, high)")

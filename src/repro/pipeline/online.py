@@ -26,7 +26,7 @@ import numpy as np
 from ..align.report import AlignmentReport, build_alignment_report
 from ..align.zscore_map import NodeZScores, map_zscores_to_nodes
 from ..core.baseline import BaselineModel, BaselineSpec, ZScoreResult
-from ..core.imrdmd import IncrementalMrDMD, UpdateRecord
+from ..core.imrdmd import IncrementalMrDMD, TopologyChange, UpdateRecord
 from ..core.reconstruction import evaluate_reconstruction, ReconstructionReport
 from ..core.spectrum import MrDMDSpectrum
 from ..hwlog.events import HardwareLog
@@ -85,6 +85,7 @@ class OnlineAnalysisPipeline:
             retain_data=self.config.effective_retention,
             retain_window=self.config.retain_window,
             level1_path=self.config.level1_path,
+            missing_values=self.config.missing_values,
         )
         self.node_of_row = None if node_of_row is None else np.asarray(node_of_row, dtype=int)
         self._baseline: BaselineModel | None = None
@@ -166,6 +167,152 @@ class OnlineAnalysisPipeline:
             n_modes=self.model.tree.total_modes,
             reconstruction_error=error,
         )
+
+    # ------------------------------------------------------------------ #
+    # Elastic topology
+    # ------------------------------------------------------------------ #
+    def add_sensors(
+        self,
+        node_of_row: np.ndarray | None = None,
+        *,
+        history: np.ndarray | None = None,
+        n_rows: int | None = None,
+    ) -> TopologyChange:
+        """Stream new sensor rows into a live pipeline (topology event).
+
+        Extends the I-mrDMD basis via
+        :meth:`~repro.core.imrdmd.IncrementalMrDMD.add_rows`, re-derives
+        the node/row map, and keeps the fitted baseline usable across the
+        event: the *unaffected* rows keep their fitted statistics (the
+        grown tree reconstructs them identically — new sensors contribute
+        zero mode rows to old windows), while statistics for the new rows
+        are fitted fresh from the current reconstruction.  Baselines
+        pinned to caller-supplied data cannot be replayed over a grown
+        row space and are dropped (the next scoring call fits fresh).
+
+        Parameters
+        ----------
+        node_of_row:
+            Populated-node index per new row; required when the pipeline
+            tracks a node/row map, forbidden when it does not.
+        history:
+            Optional ``(r, T)`` back-filled readings over the full
+            ingested timeline (NaN = missing).  Without it the rows join
+            *now* at O(r) cost, independent of the stream length; their
+            pre-birth timeline reconstructs as zero, so full-timeline
+            aggregates dilute young rows — score recent windows
+            (``time_range=...``), as the alert engine does.
+        n_rows:
+            Row count when neither ``node_of_row`` nor ``history`` pins it.
+        """
+        new_nodes = None
+        if node_of_row is not None:
+            new_nodes = np.asarray(node_of_row, dtype=int)
+            if new_nodes.ndim != 1 or new_nodes.size == 0:
+                raise ValueError("node_of_row must be a non-empty 1-D index array")
+        if self.node_of_row is not None and new_nodes is None:
+            raise ValueError(
+                "this pipeline tracks a node/row map: pass node_of_row for the "
+                "new rows"
+            )
+        if self.node_of_row is None and new_nodes is not None:
+            raise ValueError(
+                "this pipeline has no node/row map; pass history/n_rows only"
+            )
+        if history is not None:
+            history = np.asarray(history, dtype=float)
+            if history.ndim == 1:
+                history = history[None, :]
+        counts = {
+            name: count
+            for name, count in (
+                ("node_of_row", None if new_nodes is None else int(new_nodes.size)),
+                ("history", None if history is None else int(history.shape[0])),
+                ("n_rows", None if n_rows is None else int(n_rows)),
+            )
+            if count is not None
+        }
+        if not counts:
+            raise ValueError("pass node_of_row, history or n_rows")
+        if len(set(counts.values())) != 1:
+            raise ValueError(f"inconsistent new-row counts: {counts}")
+        n_rows = next(iter(counts.values()))
+        if n_rows < 1:
+            raise ValueError("at least one new row is required")
+
+        # Baseline freshness *before* the event (the event itself bumps the
+        # tree revision, which must not count as staleness for old rows).
+        extendable = (
+            self._baseline is not None
+            and not self._baseline_pinned
+            and not self.baseline_is_stale()
+        )
+        change = self.model.add_rows(history if history is not None else n_rows)
+        if new_nodes is not None:
+            self.node_of_row = np.concatenate([self.node_of_row, new_nodes])
+        self.clear_caches()
+
+        if self._baseline is None:
+            pass
+        elif self._baseline_pinned or self.config.baseline_refit == "never":
+            # Caller-supplied fit data cannot be replayed over the grown
+            # row space, and a "never"-refit baseline would freeze the
+            # new rows' placeholder statistics (zero mean, floored std)
+            # forever — both drop the baseline; the next scoring call
+            # fits a fresh full-width one.
+            self._baseline = None
+            self._baseline_spec = None
+            self._baseline_pinned = False
+            self._baseline_revision = None
+            self._baseline_tree_ref = None
+        else:
+            # Under "stale" refit the extension only bridges until the
+            # next ingest bumps the revision and triggers the full refit.
+            self._extend_baseline(n_rows, fresh=extendable)
+        return change
+
+    def _extend_baseline(self, n_new: int, *, fresh: bool) -> None:
+        """Widen the fitted baseline for the rows a topology event added.
+
+        Only the *affected* rows are refitted: new rows get statistics
+        from the current reconstruction under the baseline's original
+        spec, existing rows keep theirs.  A baseline that was fresh before
+        the event is re-anchored to the post-event tree revision (no
+        spurious full refit on the next scoring call); one that was
+        already stale stays stale.
+        """
+        old = self._baseline
+        spec = self._baseline_spec or BaselineSpec(
+            value_range=self.config.baseline_range
+        )
+        # At event time the new rows reconstruct as exactly zero — no tree
+        # node spans them yet (pre-event nodes keep their narrower width,
+        # and the event itself adds none) — so their statistics come from
+        # a single zero column instead of reconstructing (or even
+        # allocating) the timeline: per-row the result is identical (mean
+        # 0, std at the fallback floor) and the event stays O(r).  Real
+        # statistics arrive with the next refit, once post-event nodes
+        # exist.
+        grown = BaselineModel.from_data(
+            np.zeros((n_new, 1)),
+            spec,
+            near=self.config.zscore_near,
+            extreme=self.config.zscore_extreme,
+        )
+        self._baseline = BaselineModel(
+            np.concatenate([old.mean, grown.mean]),
+            np.concatenate([old.std, grown.std]),
+            near=old.near,
+            extreme=old.extreme,
+            std_floor=old.std_floor,
+        )
+        if fresh and self.model.fitted:
+            self._baseline_revision = self.model.tree.revision
+            self._baseline_tree_ref = weakref.ref(self.model.tree)
+
+    def is_topology_bearing(self) -> bool:
+        """Whether checkpointed state needs an elastic-aware loader."""
+        return self.model.fitted and self.model.is_topology_bearing()
 
     # ------------------------------------------------------------------ #
     # Analysis products

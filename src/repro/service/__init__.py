@@ -39,7 +39,7 @@ from .checkpoint import (
     resolve_checkpoint_dir,
     save_checkpoint,
 )
-from .monitor import FleetMonitor, FleetSnapshot, FleetSpectrum
+from .monitor import FleetMonitor, FleetSnapshot, FleetSpectrum, TopologyUpdate
 from .scenarios import (
     SCENARIOS,
     Scenario,
@@ -84,6 +84,7 @@ __all__ = [
     "FleetMonitor",
     "FleetSnapshot",
     "FleetSpectrum",
+    "TopologyUpdate",
     "SCENARIOS",
     "Scenario",
     "ScenarioResult",

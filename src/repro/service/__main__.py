@@ -219,6 +219,21 @@ def _run_federated(args: argparse.Namespace, name: str) -> int:
     )
     _print_alert_trail(result.alerts, args.top)
     print(f"alerted machines: {sorted(result.alerted_machines()) or 'none'}")
+    for machine_name, update in result.topology_updates.items():
+        grown = ", ".join(sorted(update.extended)) or "none"
+        minted = ", ".join(update.minted) or "none"
+        print(
+            f"topology: {machine_name} +{update.n_new_rows} sensors at step "
+            f"{update.step} (extended shards: {grown}; minted: {minted})"
+        )
+    if result.joined:
+        print(f"machines joined mid-run: {list(result.joined)}")
+    if result.stale_restored:
+        print(
+            f"stale restore: {result.scenario.stale_restore_machine} rebuilt "
+            f"one rotation entry behind, {result.chunks_replayed} chunk(s) "
+            f"replayed from the shared log"
+        )
     fleet_wide = result.alerts_for_rule("fleet-wide-drift")
     if fleet_wide:
         print(f"fleet-wide drift alerts: {len(fleet_wide)}")

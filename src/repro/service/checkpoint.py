@@ -60,7 +60,15 @@ __all__ = [
     "rotate_into",
 ]
 
+#: Base manifest version — written whenever the state could also resume on
+#: pre-elastic code (every row present since the start, full level-1 grids).
 CHECKPOINT_VERSION = 1
+#: Written when the state is *topology-bearing* (rows added mid-stream, a
+#: shard minted mid-run, or a level-1 grid shrunk to its trailing column):
+#: pre-elastic loaders would silently mis-resume such state, so their
+#: ``version != 1`` check makes them refuse cleanly instead.
+ELASTIC_CHECKPOINT_VERSION = 2
+SUPPORTED_CHECKPOINT_VERSIONS = (CHECKPOINT_VERSION, ELASTIC_CHECKPOINT_VERSION)
 MANIFEST_NAME = "manifest.json"
 
 #: Step-stamped rotation entries: ``step_<12-digit zero-padded step>``.
@@ -213,22 +221,42 @@ def save_checkpoint(
     return _write_checkpoint(directory, monitor)
 
 
+def _state_is_topology_bearing(state: dict) -> bool:
+    """Whether a pipeline state dict needs an elastic-aware loader."""
+    model = state.get("model")
+    if not model:
+        return False
+    if int(model.get("sub_offset") or 0) > 0:
+        return True
+    topology = model.get("topology")
+    return topology is not None and len(topology) > 0
+
+
 def _write_checkpoint(directory: str, monitor: FleetMonitor) -> CheckpointInfo:
     os.makedirs(directory, exist_ok=True)
     files = []
+    elastic = any(spec.start_step > 0 for spec in monitor.shards)
     # One shard at a time: fetch, write, drop — peak memory stays at a
     # single shard's state even for fleets retaining raw data.
     for index, spec in enumerate(monitor.shards):
         path = os.path.join(directory, _shard_filename(index))
-        save_state(path, monitor.shard_state_dict(spec.shard_id))
+        state = monitor.shard_state_dict(spec.shard_id)
+        elastic = elastic or _state_is_topology_bearing(state)
+        save_state(path, state)
         files.append(path)
     manifest = {
-        "version": CHECKPOINT_VERSION,
+        "version": ELASTIC_CHECKPOINT_VERSION if elastic else CHECKPOINT_VERSION,
         "step": monitor.step,
         "dt": monitor.dt,
         "config": monitor.config.to_dict(),
         "shards": [spec.to_dict() for spec in monitor.shards],
         "shard_files": [os.path.basename(path) for path in files],
+        # Row-policing modes are behaviour, not derivable from state: a
+        # restored monitor watching registered-but-not-yet-reporting
+        # sensors must keep padding their rows, not crash on the next
+        # short chunk.
+        "extra_rows": monitor.extra_rows,
+        "missing_rows": monitor.missing_rows,
         "alert_engine": (
             None if monitor.alert_engine is None else monitor.alert_engine.state_dict()
         ),
@@ -250,9 +278,10 @@ def read_manifest(directory: str) -> dict:
     with open(os.path.join(directory, MANIFEST_NAME), "r", encoding="utf-8") as handle:
         manifest = json.load(handle)
     version = manifest.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in SUPPORTED_CHECKPOINT_VERSIONS:
         raise ValueError(
-            f"unsupported checkpoint version {version!r} (expected {CHECKPOINT_VERSION})"
+            f"unsupported checkpoint version {version!r} "
+            f"(expected one of {SUPPORTED_CHECKPOINT_VERSIONS})"
         )
     return manifest
 
@@ -316,6 +345,8 @@ def load_checkpoint(
         alert_engine=engine,
         executor=executor,
         max_workers=max_workers,
+        extra_rows=str(manifest.get("extra_rows", "raise")),
+        missing_rows=str(manifest.get("missing_rows", "raise")),
     )
     for index, spec in enumerate(shards):
         path = os.path.join(directory, manifest["shard_files"][index])

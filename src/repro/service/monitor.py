@@ -28,22 +28,24 @@ with bit-for-bit identical products.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..align.zscore_map import NodeZScores
 from ..core.baseline import classify_zscores
+from ..core.imrdmd import TopologyChange
 from ..core.spectrum import MrDMDSpectrum
 from ..hwlog.events import HardwareLog
 from ..pipeline.config import PipelineConfig
 from ..pipeline.online import OnlineAnalysisPipeline, PipelineSnapshot
 from ..telemetry.generator import TelemetryStream
+from ..telemetry.machine import MachineDescription
 from ..util.parallel import ShardExecutor, make_shard_executor, parallel_map
 from .alerts import Alert, AlertContext, AlertEngine
 from .sharding import ShardSpec, ShardingPolicy, SingleShard, validate_partition
 
-__all__ = ["FleetMonitor", "FleetSnapshot", "FleetSpectrum"]
+__all__ = ["FleetMonitor", "FleetSnapshot", "FleetSpectrum", "TopologyUpdate"]
 
 
 @dataclass
@@ -65,6 +67,35 @@ class FleetSnapshot:
             if snap.update is not None
         ]
         return max(drifts, default=0.0)
+
+
+@dataclass
+class TopologyUpdate:
+    """What one :meth:`FleetMonitor.add_sensors` event did, fleet-wide.
+
+    Attributes
+    ----------
+    step:
+        Fleet step at which the sensors joined.
+    n_new_rows:
+        Total new matrix rows.
+    extended:
+        ``shard_id -> TopologyChange`` for shards that absorbed new rows
+        into their live decomposition.  The value is ``None`` when the
+        shard had no decomposition yet (minted earlier at this same fleet
+        step, no chunk since): the rows joined its pending row map and
+        there was no model event to record.
+    minted:
+        Ids of brand-new shards created for rows no existing shard could
+        take, in partition order.  Their pipelines do their initial fit on
+        the next ingested chunk (shard-local step 0 = fleet step of the
+        event), unless back-filled history seeded them at the event.
+    """
+
+    step: int
+    n_new_rows: int
+    extended: dict[str, TopologyChange | None] = field(default_factory=dict)
+    minted: tuple[str, ...] = ()
 
 
 @dataclass
@@ -113,12 +144,35 @@ def _shard_ingest(pipeline: OnlineAnalysisPipeline, chunk: np.ndarray) -> Pipeli
 
 def _shard_node_zscores(
     pipeline: OnlineAnalysisPipeline, time_range, reducer: str
-) -> NodeZScores:
+) -> NodeZScores | None:
+    # A shard minted by a topology event has no decomposition until its
+    # first chunk arrives; it scores as "no data" rather than crashing.
+    if not pipeline.model.fitted:
+        return None
     return pipeline.node_zscores(time_range=time_range, reducer=reducer)
 
 
-def _shard_spectrum(pipeline: OnlineAnalysisPipeline, label: str) -> MrDMDSpectrum:
+def _shard_spectrum(
+    pipeline: OnlineAnalysisPipeline, label: str
+) -> MrDMDSpectrum | None:
+    if not pipeline.model.fitted:
+        return None
     return pipeline.spectrum(label=label)
+
+
+def _shard_add_sensors(
+    pipeline: OnlineAnalysisPipeline, node_of_row, history
+) -> TopologyChange | None:
+    if not pipeline.model.fitted:
+        # Shard minted earlier at this same step, no chunk yet: the rows
+        # simply join the pending row map; the initial fit sizes itself
+        # from the first chunk.  No decomposition event to record.
+        if pipeline.node_of_row is not None:
+            pipeline.node_of_row = np.concatenate(
+                [pipeline.node_of_row, np.asarray(node_of_row, dtype=int)]
+            )
+        return None
+    return pipeline.add_sensors(node_of_row=node_of_row, history=history)
 
 
 def _shard_fit_baseline(pipeline: OnlineAnalysisPipeline, kwargs: dict) -> None:
@@ -183,6 +237,18 @@ class FleetMonitor:
         What to do when an ingested matrix has *more* rows than the shard
         partition covers: ``"raise"`` (default) or ``"ignore"`` (drop the
         remainder, the pre-fix behaviour — explicit opt-in only).
+    missing_rows:
+        What to do when an ingested matrix has *fewer* rows than the shard
+        partition covers: ``"raise"`` (default — the mirror of the
+        ``extra_rows`` check, with the same actionable error) or ``"nan"``
+        (pad the absent trailing rows with NaN — sensors registered in the
+        topology but not yet reporting contribute nothing; requires a
+        pipeline config with ``missing_values="zero"`` so the shard models
+        accept the fill).
+    policy / machine:
+        The sharding policy and machine description the partition came
+        from (recorded by :meth:`from_stream`); :meth:`add_sensors` uses
+        them to route new rows onto the live partition.
     """
 
     def __init__(
@@ -196,6 +262,9 @@ class FleetMonitor:
         executor: str | ShardExecutor | None = None,
         max_workers: int | None = None,
         extra_rows: str = "raise",
+        missing_rows: str = "raise",
+        policy: ShardingPolicy | None = None,
+        machine: MachineDescription | None = None,
     ) -> None:
         if not shards:
             raise ValueError("FleetMonitor needs at least one shard")
@@ -205,11 +274,24 @@ class FleetMonitor:
             raise ValueError(
                 f"extra_rows must be 'raise' or 'ignore', got {extra_rows!r}"
             )
+        if missing_rows not in ("raise", "nan"):
+            raise ValueError(
+                f"missing_rows must be 'raise' or 'nan', got {missing_rows!r}"
+            )
         self.dt = float(dt)
         self.config = config or PipelineConfig()
+        if missing_rows == "nan" and self.config.missing_values != "zero":
+            raise ValueError(
+                "missing_rows='nan' pads absent rows with NaN, which the shard "
+                "models must accept: use a PipelineConfig with "
+                "missing_values='zero'"
+            )
         self.shards = list(shards)
         self.alert_engine = alert_engine
         self.extra_rows = extra_rows
+        self.missing_rows = missing_rows
+        self.policy = policy
+        self.machine = machine
         self._pipelines: dict[str, OnlineAnalysisPipeline] = {
             spec.shard_id: OnlineAnalysisPipeline(
                 dt=dt, config=self.config, node_of_row=spec.node_of_row
@@ -235,12 +317,15 @@ class FleetMonitor:
         executor: str | ShardExecutor | None = None,
         max_workers: int | None = None,
         extra_rows: str = "raise",
+        missing_rows: str = "raise",
     ) -> "FleetMonitor":
         """Build a monitor for a telemetry stream's row layout.
 
         ``policy`` defaults to :class:`~repro.service.sharding.SingleShard`
         (the pre-service behaviour).  Only the stream's *metadata* is used;
-        feed the actual values through :meth:`ingest`.
+        feed the actual values through :meth:`ingest`.  The policy and the
+        stream's machine description are kept so
+        :meth:`add_sensors` can repartition when the topology grows.
         """
         policy = policy or SingleShard()
         shards = policy.partition_stream(stream)
@@ -254,6 +339,9 @@ class FleetMonitor:
             executor=executor,
             max_workers=max_workers,
             extra_rows=extra_rows,
+            missing_rows=missing_rows,
+            policy=policy,
+            machine=stream.machine,
         )
 
     # ------------------------------------------------------------------ #
@@ -393,6 +481,15 @@ class FleetMonitor:
             }
         return self._executor.broadcast(fn, *args, **kwargs)
 
+    def _query_map(self, fn, args_by_shard: dict[str, tuple]) -> dict:
+        """Fan ``fn`` out with *per-shard* positional args (see _query_all)."""
+        if self._executor is None:
+            return {
+                shard_id: fn(self._pipelines[shard_id], *args)
+                for shard_id, args in args_by_shard.items()
+            }
+        return self._executor.map(fn, args_by_shard)
+
     def shard_state_dicts(self) -> dict[str, dict]:
         """Full per-shard pipeline state, keyed by shard id.
 
@@ -420,10 +517,18 @@ class FleetMonitor:
             raise ValueError(f"values must be 2-D (P, T), got shape {values.shape!r}")
         required_rows = max(int(spec.row_indices.max()) for spec in self.shards) + 1
         if values.shape[0] < required_rows:
-            raise ValueError(
-                f"values has {values.shape[0]} rows but the shard partition "
-                f"covers rows up to {required_rows - 1}"
+            if self.missing_rows == "raise":
+                raise ValueError(
+                    f"values has {values.shape[0]} rows but the shard partition "
+                    f"covers rows up to {required_rows - 1}; rows would be "
+                    f"silently invented — fix the chunk or pass "
+                    f"missing_rows='nan' to the monitor to pad not-yet-"
+                    f"reporting sensors"
+                )
+            pad = np.full(
+                (required_rows - values.shape[0], values.shape[1]), np.nan
             )
+            values = np.vstack([values, pad])
         if values.shape[0] > required_rows and self.extra_rows == "raise":
             raise ValueError(
                 f"values has {values.shape[0]} rows but the shard partition "
@@ -494,6 +599,181 @@ class FleetMonitor:
             shard_snapshots=snapshots,
         )
 
+    # ------------------------------------------------------------------ #
+    # Elastic topology
+    # ------------------------------------------------------------------ #
+    def add_sensors(
+        self,
+        sensor_names,
+        node_of_row,
+        *,
+        history: np.ndarray | None = None,
+        policy: ShardingPolicy | None = None,
+        machine: MachineDescription | None = None,
+    ) -> TopologyUpdate:
+        """Stream new sensors into the live fleet (topology event).
+
+        The sharding policy maps the new rows onto the partition
+        (:meth:`ShardingPolicy.repartition`): rows landing in an existing
+        shard are shipped to that shard's *resident* pipeline as an
+        ``add_sensors`` command (the worker pool keeps running — no
+        restart, no refit of unaffected shards), and rows no existing
+        shard can take mint new shards that join the pool via
+        :meth:`ShardExecutor.add_shard`.  New rows occupy the matrix rows
+        directly after the current partition, in the order given;
+        subsequent :meth:`ingest` chunks must carry the grown row count
+        (or use ``missing_rows="nan"`` until the sensors report).
+
+        Parameters
+        ----------
+        sensor_names / node_of_row:
+            Channel name and populated-node index per new row.
+        history:
+            Optional ``(r, step)`` back-filled readings over the fleet
+            timeline; without it the rows join *now* at O(r) cost.  Rows
+            with history that land in an existing fitted shard back-fill
+            its basis; rows minting a new shard seed it by ingesting the
+            history (the shard then spans the fleet timeline).  History
+            for rows landing in a shard that has not fitted yet (minted
+            earlier at this same step, no chunk since) is ignored — the
+            initial fit sizes itself from the first chunk.
+        policy / machine:
+            Override the recorded sharding policy / machine description
+            (required after a checkpoint restore, which persists neither).
+        """
+        sensor_names = np.asarray(sensor_names, dtype=object)
+        node_of_row = np.asarray(node_of_row, dtype=int)
+        if node_of_row.ndim != 1 or node_of_row.size == 0:
+            raise ValueError("node_of_row must be a non-empty 1-D index array")
+        if sensor_names.shape != node_of_row.shape:
+            raise ValueError("sensor_names and node_of_row lengths differ")
+        policy = policy or self.policy
+        if policy is None:
+            raise ValueError(
+                "no sharding policy available: build the monitor with "
+                "FleetMonitor.from_stream or pass policy=..."
+            )
+        machine = machine if machine is not None else self.machine
+        n_new = int(node_of_row.size)
+        if history is not None:
+            history = np.asarray(history, dtype=float)
+            if history.ndim == 1:
+                history = history[None, :]
+            if history.shape != (n_new, self._step):
+                raise ValueError(
+                    f"history must be ({n_new}, {self._step}) — one row per new "
+                    f"sensor over the fleet timeline — got {history.shape}"
+                )
+        row_offset = max(int(spec.row_indices.max()) for spec in self.shards) + 1
+        new_partition = policy.repartition(
+            self.shards, sensor_names, node_of_row, machine, row_offset=row_offset
+        )
+        validate_partition(new_partition, row_offset + n_new)
+
+        old_by_id = {spec.shard_id: spec for spec in self.shards}
+        update = TopologyUpdate(step=self._step, n_new_rows=n_new)
+        final_specs: list[ShardSpec] = []
+        minted: list[ShardSpec] = []
+        for spec in new_partition:
+            old = old_by_id.get(spec.shard_id)
+            if old is None:
+                # Stamp the birth step so absolute query windows translate.
+                spec = replace(spec, start_step=self._step)
+                minted.append(spec)
+                final_specs.append(spec)
+                continue
+            if spec.n_rows == old.n_rows:
+                final_specs.append(old)
+                continue
+            new_rows_abs = spec.row_indices[old.n_rows :]
+            new_nodes = spec.node_of_row[old.n_rows :]
+            shard_history = None
+            if history is not None:
+                shard_history = np.ascontiguousarray(
+                    history[new_rows_abs - row_offset][:, old.start_step :]
+                )
+            if self._executor is None:
+                change = _shard_add_sensors(
+                    self._pipelines[spec.shard_id], new_nodes, shard_history
+                )
+            else:
+                change = self._executor.call(
+                    spec.shard_id, _shard_add_sensors, new_nodes, shard_history
+                )
+            update.extended[spec.shard_id] = change
+            final_specs.append(spec)
+        for index, spec in enumerate(minted):
+            pipeline = OnlineAnalysisPipeline(
+                dt=self.dt, config=self.config, node_of_row=spec.node_of_row
+            )
+            if history is not None:
+                # Back-filled rows minting a new shard seed it with their
+                # full history: the shard then spans the fleet timeline
+                # (start_step 0) instead of starting at the event.
+                pipeline.ingest(
+                    np.ascontiguousarray(history[spec.row_indices - row_offset])
+                )
+                seeded = replace(spec, start_step=0)
+                for position, existing in enumerate(final_specs):
+                    if existing.shard_id == spec.shard_id:
+                        final_specs[position] = seeded
+                        break
+                minted[index] = spec = seeded
+            self._pipelines[spec.shard_id] = pipeline
+            if self._executor is not None:
+                self._executor.add_shard(spec.shard_id, pipeline)
+        update.minted = tuple(spec.shard_id for spec in minted)
+        self.shards = final_specs
+        return update
+
+    def add_shard(
+        self,
+        spec: ShardSpec,
+        *,
+        pipeline: OnlineAnalysisPipeline | None = None,
+    ) -> ShardSpec:
+        """Mint one explicit new shard into the live fleet.
+
+        The lower-level sibling of :meth:`add_sensors` for callers that
+        already know the shard layout: ``spec`` must cover exactly the
+        matrix rows directly after the current partition.  The shard joins
+        the running executor pool without a restart; its pipeline does the
+        initial fit on the next ingested chunk.  Returns the installed
+        spec (stamped with the current fleet step as its ``start_step``
+        unless the caller set one).
+        """
+        if spec.shard_id in self._pipelines:
+            raise ValueError(f"shard {spec.shard_id!r} already exists")
+        if spec.start_step == 0 and self._step > 0:
+            spec = replace(spec, start_step=self._step)
+        n_rows = max(
+            int(s.row_indices.max()) for s in (*self.shards, spec)
+        ) + 1
+        validate_partition([*self.shards, spec], n_rows)
+        pipeline = pipeline or OnlineAnalysisPipeline(
+            dt=self.dt, config=self.config, node_of_row=spec.node_of_row
+        )
+        self.shards = [*self.shards, spec]
+        self._pipelines[spec.shard_id] = pipeline
+        if self._executor is not None:
+            self._executor.add_shard(spec.shard_id, pipeline)
+        return spec
+
+    def _shard_window(self, spec: ShardSpec, time_range):
+        """Absolute window -> shard-local window (None = full timeline).
+
+        Returns the sentinel ``False`` when the window ends before the
+        shard's stream began (nothing to score there).
+        """
+        if time_range is None:
+            return None
+        lo, hi = time_range
+        lo_local = max(int(lo) - spec.start_step, 0)
+        hi_local = int(hi) - spec.start_step
+        if hi_local <= lo_local:
+            return False
+        return (lo_local, hi_local)
+
     def ingest_and_alert(
         self,
         values: np.ndarray,
@@ -521,20 +801,27 @@ class FleetMonitor:
         score_tasks = []
         if self.alert_engine is not None:
             lo = max(0, new_step - window)
-            score_tasks = [
-                (
-                    spec.shard_id,
-                    executor.submit(
-                        spec.shard_id, _shard_node_zscores, (lo, new_step), "mean"
-                    ),
+            for spec in self.shards:
+                local = self._shard_window(spec, (lo, new_step))
+                if local is False:
+                    continue
+                score_tasks.append(
+                    (
+                        spec.shard_id,
+                        executor.submit(
+                            spec.shard_id, _shard_node_zscores, local, "mean"
+                        ),
+                    )
                 )
-                for spec in self.shards
-            ]
         snapshots = {shard_id: task.result() for shard_id, task in ingest_tasks}
         snapshot = self._finish_ingest(values, snapshots)
         if self.alert_engine is None:
             return snapshot, []
-        per_shard = {shard_id: task.result() for shard_id, task in score_tasks}
+        per_shard = {
+            shard_id: scores
+            for shard_id, task in score_tasks
+            if (scores := task.result()) is not None
+        }
         context = AlertContext(
             step=self._step,
             node_zscores=self._merge_node_scores(per_shard, reducer="mean"),
@@ -554,10 +841,16 @@ class FleetMonitor:
     def _merge_node_scores(
         self, per_shard: dict[str, NodeZScores], reducer: str
     ) -> NodeZScores:
-        """Aggregate per-shard node scores into one fleet-level set."""
+        """Aggregate per-shard node scores into one fleet-level set.
+
+        Shards absent from ``per_shard`` (not yet fitted, or outside the
+        scored window) simply contribute nothing.
+        """
         per_node: dict[int, list[float]] = {}
         for spec in self.shards:
-            shard_scores = per_shard[spec.shard_id]
+            shard_scores = per_shard.get(spec.shard_id)
+            if shard_scores is None:
+                continue
             for node, z in zip(shard_scores.node_indices, shard_scores.zscores):
                 per_node.setdefault(int(node), []).append(float(z))
         nodes = np.array(sorted(per_node), dtype=int)
@@ -592,8 +885,22 @@ class FleetMonitor:
         Passing ``time_range`` scores a *window* of the reconstruction —
         only that window's modes are expanded (and cached per shard), so
         recent-window queries stop paying O(full timeline) per call.
+        Absolute windows are translated into each shard's local timeline
+        (shards minted mid-run start later); shards with no data in the
+        window are skipped.
         """
-        per_shard = self._query_all(_shard_node_zscores, time_range, reducer)
+        args: dict[str, tuple] = {}
+        for spec in self.shards:
+            local = self._shard_window(spec, time_range)
+            if local is False:
+                continue
+            args[spec.shard_id] = (local, reducer)
+        results = self._query_map(_shard_node_zscores, args)
+        per_shard = {
+            shard_id: scores
+            for shard_id, scores in results.items()
+            if scores is not None
+        }
         return self._merge_node_scores(per_shard, reducer=reducer)
 
     def rack_values(
@@ -606,17 +913,19 @@ class FleetMonitor:
         return self.node_zscores(time_range=time_range, reducer=reducer).as_dict()
 
     def spectra(self) -> dict[str, MrDMDSpectrum]:
-        """Per-shard (filtered) spectra keyed by shard id."""
-        if self._executor is None:
-            return {
-                spec.shard_id: _shard_spectrum(
-                    self._pipelines[spec.shard_id], spec.shard_id
-                )
-                for spec in self.shards
-            }
-        return self._executor.map(
+        """Per-shard (filtered) spectra keyed by shard id.
+
+        Shards still awaiting their first chunk (minted mid-run) have no
+        decomposition yet and are omitted.
+        """
+        results = self._query_map(
             _shard_spectrum, {spec.shard_id: (spec.shard_id,) for spec in self.shards}
         )
+        return {
+            shard_id: spectrum
+            for shard_id, spectrum in results.items()
+            if spectrum is not None
+        }
 
     def fleet_spectrum(self) -> FleetSpectrum:
         """Merged power/frequency table across every shard."""

@@ -54,7 +54,7 @@ from ..telemetry.streaming import StreamingReplay
 from .alerts import Alert, AlertEngine, AlertSink, default_rules
 from .checkpoint import load_checkpoint, save_checkpoint
 from .monitor import FleetMonitor
-from .sharding import RackSharding, ShardingPolicy
+from .sharding import MetricSharding, RackSharding, ShardingPolicy
 
 __all__ = [
     "Scenario",
@@ -67,6 +67,7 @@ __all__ = [
     "noisy_neighbor_job",
     "sensor_dropout",
     "mid_run_restart",
+    "mid_run_add_sensors",
 ]
 
 
@@ -129,6 +130,17 @@ class Scenario:
     restart_after_chunk:
         When set, the runner checkpoints after this many streaming chunks,
         discards the monitor, restores from disk and continues.
+    initial_sensors:
+        The channels present when the monitor starts.  ``None`` (default)
+        means all of ``sensors``; otherwise it must be a *prefix* of
+        ``sensors`` (generated matrices group rows by channel in listing
+        order, so a prefix of channels is a prefix of matrix rows).
+    grow_after_chunk:
+        When set (requires ``initial_sensors``), the runner streams only
+        the initial channels' rows up to and including this chunk, then
+        onboards the remaining channels mid-run via
+        :meth:`FleetMonitor.add_sensors` — no restart, no refit of the
+        existing shards — and continues with full-matrix chunks.
     alert_cooldown:
         Engine cooldown in snapshots.
     hw_background_scale / hw_hot_multiplier:
@@ -151,15 +163,45 @@ class Scenario:
     config: PipelineConfig = field(default_factory=_default_config)
     policy: ShardingPolicy = field(default_factory=RackSharding)
     restart_after_chunk: int | None = None
+    initial_sensors: tuple[str, ...] | None = None
+    grow_after_chunk: int | None = None
     alert_cooldown: int = 120
     hw_background_scale: float = 1.0
     hw_hot_multiplier: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.grow_after_chunk is not None and self.initial_sensors is None:
+            raise ValueError("grow_after_chunk requires initial_sensors")
+        if self.initial_sensors is not None:
+            prefix = self.sensors[: len(self.initial_sensors)]
+            if tuple(self.initial_sensors) != prefix or not self.initial_sensors:
+                raise ValueError(
+                    f"initial_sensors must be a non-empty prefix of sensors "
+                    f"{self.sensors}, got {self.initial_sensors}"
+                )
+        if self.grow_after_chunk is not None and len(self.initial_sensors) >= len(
+            self.sensors
+        ):
+            # All channels present from the start: there is nothing to
+            # grow, and the event would silently never fire.
+            raise ValueError(
+                "grow_after_chunk requires initial_sensors to be a *strict* "
+                "prefix of sensors (some channel must be left to onboard)"
+            )
 
     @property
     def n_chunks(self) -> int:
         """Number of streaming chunks after the initial fit."""
         remaining = self.total_steps - self.initial_size
         return int(np.ceil(max(remaining, 0) / self.chunk_size))
+
+    @property
+    def grows_mid_run(self) -> bool:
+        return (
+            self.grow_after_chunk is not None
+            and self.initial_sensors is not None
+            and len(self.initial_sensors) < len(self.sensors)
+        )
 
     def build_stream(self) -> TelemetryStream:
         """Generate the scenario's full telemetry block (deterministic)."""
@@ -182,6 +224,40 @@ class Scenario:
             }
         model.hot_node_multiplier = self.hw_hot_multiplier
         return model.generate(self.total_steps, hot_nodes=list(self.hot_nodes))
+
+
+def _row_prefix_stream(stream: TelemetryStream, n_rows: int) -> TelemetryStream:
+    """The stream restricted to its first ``n_rows`` rows (a view)."""
+    return TelemetryStream(
+        values=stream.values[:n_rows],
+        dt=stream.dt,
+        sensor_names=stream.sensor_names[:n_rows],
+        node_indices=stream.node_indices[:n_rows],
+        machine=stream.machine,
+        utilization=stream.utilization,
+        start_step=stream.start_step,
+    )
+
+
+def _initial_live_rows(scenario: Scenario, stream: TelemetryStream) -> int:
+    """Matrix rows present before a scenario's growth event (the prefix).
+
+    Shared by the single-machine and federated runners: counts the rows
+    belonging to ``initial_sensors`` and validates they form a row prefix
+    (generated matrices group rows by channel in listing order, so a
+    channel prefix is a row prefix — anything else cannot be streamed by
+    slicing).
+    """
+    if not scenario.grows_mid_run:
+        return stream.n_rows
+    mask = np.isin(
+        np.asarray(stream.sensor_names).astype(str),
+        list(scenario.initial_sensors),
+    )
+    n_rows = int(np.count_nonzero(mask))
+    if not np.all(mask[:n_rows]):
+        raise ValueError("initial_sensors rows must form a prefix of the matrix")
+    return n_rows
 
 
 @dataclass
@@ -246,6 +322,12 @@ class ScenarioRunner:
                 raise ValueError(
                     f"restart_after_chunk must be in [1, {scenario.n_chunks}]"
                 )
+        if scenario.grows_mid_run and not (
+            1 <= scenario.grow_after_chunk <= scenario.n_chunks
+        ):
+            raise ValueError(
+                f"grow_after_chunk must be in [1, {scenario.n_chunks}]"
+            )
         if processes is not None and executor not in (None, "serial"):
             raise ValueError("pass either executor or processes, not both")
         self.scenario = scenario
@@ -287,21 +369,40 @@ class ScenarioRunner:
             chunk_size=scenario.chunk_size,
         )
 
-        monitor = self._build_monitor(stream)
+        # With a mid-run growth event the monitor starts on the initial
+        # channels' rows only (a prefix of the full matrix — validated by
+        # _initial_live_rows) and absorbs the rest at the event.
+        n_live_rows = _initial_live_rows(scenario, stream)
+        if scenario.grows_mid_run:
+            monitor = self._build_monitor(_row_prefix_stream(stream, n_live_rows))
+        else:
+            monitor = self._build_monitor(stream)
         alerts: list[Alert] = []
         restarted = False
         # try/finally: a mid-run failure must not leak the persistent
         # executor's workers (the restart path rebinds `monitor`, so the
         # finally closes whichever one is current).
         try:
-            monitor.ingest(replay.initial(), processes=self.processes)
+            monitor.ingest(
+                replay.initial()[:n_live_rows], processes=self.processes
+            )
             for index, chunk in enumerate(replay.chunks(), start=1):
                 if self.processes is not None:
-                    monitor.ingest(chunk, processes=self.processes)
+                    monitor.ingest(chunk[:n_live_rows], processes=self.processes)
                     alerts.extend(monitor.evaluate_alerts(hwlog=hwlog))
                 else:
-                    _, fired = monitor.ingest_and_alert(chunk, hwlog=hwlog)
+                    _, fired = monitor.ingest_and_alert(
+                        chunk[:n_live_rows], hwlog=hwlog
+                    )
                     alerts.extend(fired)
+                if scenario.grows_mid_run and scenario.grow_after_chunk == index:
+                    monitor.add_sensors(
+                        np.asarray(stream.sensor_names)[n_live_rows:],
+                        np.asarray(stream.node_indices)[n_live_rows:],
+                        policy=scenario.policy,
+                        machine=scenario.machine,
+                    )
+                    n_live_rows = stream.n_rows
                 if scenario.restart_after_chunk == index:
                     # Persist, tear down, restore: the restored monitor must
                     # continue exactly where this one stopped.
@@ -396,6 +497,37 @@ def sensor_dropout() -> Scenario:
     )
 
 
+def mid_run_add_sensors() -> Scenario:
+    """The node_power channel comes online two chunks into the stream.
+
+    The monitor starts on ``cpu_temp`` rows only (one metric shard);
+    after chunk 2 the ``node_power`` rows are onboarded through
+    :meth:`FleetMonitor.add_sensors`, which mints a brand-new
+    ``metric-node_power`` shard into the running executor pool — no
+    restart, no refit of the cpu_temp decomposition — and subsequent
+    chunks carry the full matrix.  The noisy-job anomaly keeps the alert
+    path exercised across the event.
+    """
+    job_nodes = (10, 11, 12, 13)
+    return Scenario(
+        name="mid-run-add-sensors",
+        description=(
+            "node_power sensors stream in after chunk 2, minting a new "
+            "metric shard into the live pool without a restart or refit."
+        ),
+        sensors=("cpu_temp", "node_power"),
+        initial_sensors=("cpu_temp",),
+        grow_after_chunk=2,
+        policy=MetricSharding(),
+        anomalies=(
+            HotNodes(node_indices=job_nodes, start=260, delta=16.0, label="noisy job"),
+        ),
+        hot_nodes=job_nodes,
+        hw_background_scale=4.0,
+        hw_hot_multiplier=60.0,
+    )
+
+
 def mid_run_restart() -> Scenario:
     """Cooling failure plus a service restart halfway through the stream."""
     base = rack_cooling_failure()
@@ -416,6 +548,7 @@ SCENARIOS: dict[str, Callable[[], Scenario]] = {
     "noisy-neighbor-job": noisy_neighbor_job,
     "sensor-dropout": sensor_dropout,
     "mid-run-restart": mid_run_restart,
+    "mid-run-add-sensors": mid_run_add_sensors,
 }
 
 

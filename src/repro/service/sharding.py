@@ -49,12 +49,45 @@ class ShardSpec:
         ``row_indices``); feeds per-node products inside the shard.
     sensor_names:
         Channel name per selected row (diagnostics / alert messages).
+    start_step:
+        Absolute snapshot index at which this shard's stream begins.
+        0 for shards present since the monitor started; shards minted by a
+        mid-run topology event start at the fleet step of the event, and
+        the monitor translates absolute query windows into shard-local
+        ones using this offset.
     """
 
     shard_id: str
     row_indices: np.ndarray
     node_of_row: np.ndarray
     sensor_names: tuple[str, ...] = ()
+    start_step: int = 0
+
+    def extended(
+        self,
+        row_indices: np.ndarray,
+        node_of_row: np.ndarray,
+        sensor_names: Sequence[str] = (),
+    ) -> "ShardSpec":
+        """A copy of this spec with new rows appended (elastic growth)."""
+        names = self.sensor_names
+        if names or sensor_names:
+            # Keep per-row name alignment: pad whichever side lacks names.
+            names = tuple(names) + ("",) * max(0, self.n_rows - len(names))
+            extra = tuple(str(s) for s in sensor_names)
+            extra += ("",) * (len(np.atleast_1d(row_indices)) - len(extra))
+            names = names + extra
+        return ShardSpec(
+            shard_id=self.shard_id,
+            row_indices=np.concatenate(
+                [self.row_indices, np.atleast_1d(np.asarray(row_indices, dtype=int))]
+            ),
+            node_of_row=np.concatenate(
+                [self.node_of_row, np.atleast_1d(np.asarray(node_of_row, dtype=int))]
+            ),
+            sensor_names=names,
+            start_step=self.start_step,
+        )
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "row_indices", np.asarray(self.row_indices, dtype=int))
@@ -89,6 +122,7 @@ class ShardSpec:
             "row_indices": [int(i) for i in self.row_indices],
             "node_of_row": [int(n) for n in self.node_of_row],
             "sensor_names": list(self.sensor_names),
+            "start_step": int(self.start_step),
         }
 
     @classmethod
@@ -98,6 +132,7 @@ class ShardSpec:
             row_indices=np.asarray(payload["row_indices"], dtype=int),
             node_of_row=np.asarray(payload["node_of_row"], dtype=int),
             sensor_names=tuple(payload.get("sensor_names", ())),
+            start_step=int(payload.get("start_step", 0)),
         )
 
 
@@ -135,6 +170,62 @@ class ShardingPolicy(ABC):
             np.asarray(stream.node_indices, dtype=int),
             stream.machine,
         )
+
+    def repartition(
+        self,
+        specs: Sequence[ShardSpec],
+        sensor_names: np.ndarray,
+        node_of_row: np.ndarray,
+        machine: MachineDescription | None = None,
+        *,
+        row_offset: int | None = None,
+    ) -> list[ShardSpec]:
+        """Map *new* rows onto an existing partition (elastic topology).
+
+        ``sensor_names``/``node_of_row`` describe only the rows being
+        added; their absolute matrix rows start at ``row_offset`` (default:
+        one past the highest row the existing partition covers).  New rows
+        whose policy-assigned shard id matches an existing spec *extend*
+        that shard (same id — resident executor state survives); the rest
+        mint new shards, appended after the existing ones.  Existing shard
+        ids never change, so per-shard products, alert dedup keys and
+        checkpoint layouts stay stable across topology events.
+
+        The default implementation partitions the new rows alone and
+        merges by shard id, which is exact for id-stable policies
+        (:class:`SingleShard`, :class:`MetricSharding`);
+        :class:`RackSharding` overrides it to match by rack group instead
+        of by label.
+        """
+        specs = list(specs)
+        if row_offset is None:
+            row_offset = (
+                max(int(spec.row_indices.max()) for spec in specs) + 1
+                if specs
+                else 0
+            )
+        new_specs = self.partition(
+            np.asarray(sensor_names), np.asarray(node_of_row, dtype=int), machine
+        )
+        by_id = {spec.shard_id: index for index, spec in enumerate(specs)}
+        out = list(specs)
+        for spec in new_specs:
+            absolute = spec.row_indices + row_offset
+            if spec.shard_id in by_id:
+                index = by_id[spec.shard_id]
+                out[index] = out[index].extended(
+                    absolute, spec.node_of_row, spec.sensor_names
+                )
+            else:
+                out.append(
+                    ShardSpec(
+                        shard_id=spec.shard_id,
+                        row_indices=absolute,
+                        node_of_row=spec.node_of_row,
+                        sensor_names=spec.sensor_names,
+                    )
+                )
+        return out
 
 
 class SingleShard(ShardingPolicy):
@@ -192,6 +283,67 @@ class RackSharding(ShardingPolicy):
                 )
             )
         return specs
+
+    def repartition(
+        self,
+        specs: Sequence[ShardSpec],
+        sensor_names: np.ndarray,
+        node_of_row: np.ndarray,
+        machine: MachineDescription | None = None,
+        *,
+        row_offset: int | None = None,
+    ) -> list[ShardSpec]:
+        """Match new rows to existing shards by *rack group*, not label.
+
+        A shard's label records the racks it held when it was minted
+        (``rack-2`` may later also hold rows from rack 3 when
+        ``racks_per_shard > 1``), so group membership — recomputed from
+        each spec's nodes — is the stable join key.  Ids never change.
+        """
+        if machine is None:
+            raise ValueError("RackSharding requires a machine description")
+        specs = list(specs)
+        if row_offset is None:
+            row_offset = (
+                max(int(spec.row_indices.max()) for spec in specs) + 1
+                if specs
+                else 0
+            )
+        sensor_names = np.asarray(sensor_names)
+        node_of_row = np.asarray(node_of_row, dtype=int)
+        rack_of_row = np.array(
+            [machine.rack_of_node(int(n)) for n in node_of_row], dtype=int
+        )
+        group_of_row = rack_of_row // self.racks_per_shard
+        group_of_spec = {
+            machine.rack_of_node(int(spec.node_of_row[0])) // self.racks_per_shard: i
+            for i, spec in enumerate(specs)
+        }
+        out = list(specs)
+        for group in np.unique(group_of_row):
+            rows = np.flatnonzero(group_of_row == group)
+            names = tuple(str(s) for s in sensor_names[rows])
+            if int(group) in group_of_spec:
+                index = group_of_spec[int(group)]
+                out[index] = out[index].extended(
+                    rows + row_offset, node_of_row[rows], names
+                )
+            else:
+                racks = np.unique(rack_of_row[rows])
+                label = (
+                    f"rack-{racks[0]}"
+                    if racks.size == 1
+                    else f"racks-{racks[0]}-{racks[-1]}"
+                )
+                out.append(
+                    ShardSpec(
+                        shard_id=label,
+                        row_indices=rows + row_offset,
+                        node_of_row=node_of_row[rows],
+                        sensor_names=names,
+                    )
+                )
+        return out
 
 
 class MetricSharding(ShardingPolicy):

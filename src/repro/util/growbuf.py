@@ -145,6 +145,35 @@ class GrowableMatrix:
         self._n_cols += c
         return self
 
+    def add_rows(self, rows: np.ndarray) -> "GrowableMatrix":
+        """Widen the buffer by ``(r, T)`` new *rows* covering the occupied columns.
+
+        Row growth is the topology event (a new sensor joining a live
+        stream), not the streaming hot path: it reallocates once and copies
+        the occupied block — ``O((P + r) T)`` per event, amortisation-free
+        by design.  ``rows`` must cover exactly the occupied columns; spare
+        capacity is preserved.
+        """
+        rows = np.asarray(rows, dtype=self._buffer.dtype)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2:
+            raise ValueError(f"rows must be 1-D or 2-D, got shape {rows.shape!r}")
+        if rows.shape[1] != self._n_cols:
+            raise ValueError(
+                f"column-count mismatch: buffer holds {self._n_cols} columns, "
+                f"new rows have {rows.shape[1]}"
+            )
+        if rows.shape[0] == 0:
+            return self
+        grown = np.empty(
+            (self.n_rows + rows.shape[0], self.capacity), dtype=self._buffer.dtype
+        )
+        grown[: self.n_rows, : self._n_cols] = self._buffer[:, : self._n_cols]
+        grown[self.n_rows :, : self._n_cols] = rows
+        self._buffer = grown
+        return self
+
     # ------------------------------------------------------------------ #
     def view(self) -> np.ndarray:
         """Zero-copy ``(P, T)`` window (read-only by contract; invalidated

@@ -270,6 +270,28 @@ class ShardExecutor(ABC):
         self._check_ready(shard_id)
         self._objects[shard_id] = obj
 
+    def add_shard(self, shard_id: str, obj: Any) -> None:
+        """Install a brand-new resident shard into the running pool.
+
+        This is the elastic-topology hook: a shard minted mid-stream (new
+        sensors that do not belong to any existing shard) joins the live
+        worker pool without a restart — existing residents, their queued
+        work and their FIFO ordering are untouched.  The new shard is
+        assigned to a worker deterministically (registration order modulo
+        pool size), so every backend routes identically.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if not self.started:
+            raise RuntimeError("executor is not started")
+        if shard_id in self._objects:
+            raise ValueError(f"shard {shard_id!r} is already resident")
+        self._objects[shard_id] = obj
+        self._add_shard(shard_id, obj)
+
+    def _add_shard(self, shard_id: str, obj: Any) -> None:
+        """Backend hook run after the new shard joined ``self._objects``."""
+
     def pull(self) -> dict[str, Any]:
         """Return the resident shard objects to the parent.
 
@@ -386,6 +408,13 @@ class ThreadShardExecutor(ShardExecutor):
         self._check_ready(shard_id)
         self.submit(shard_id, _noop).result()
         self._objects[shard_id] = obj
+
+    def _add_shard(self, shard_id: str, obj: Any) -> None:
+        # Same worker assignment rule as _start: arrival order mod pool
+        # size, so routing is deterministic across backends and restarts.
+        self._worker_of_shard[shard_id] = (len(self._worker_of_shard)) % len(
+            self._queues
+        )
 
     def _shutdown(self) -> None:
         for q in self._queues:
@@ -533,6 +562,11 @@ class ProcessShardExecutor(ShardExecutor):
     def install(self, shard_id: str, obj: Any) -> None:
         super().install(shard_id, obj)
         self._workers[self._worker_of_shard[shard_id]].install(shard_id, obj)
+
+    def _add_shard(self, shard_id: str, obj: Any) -> None:
+        index = len(self._worker_of_shard) % len(self._workers)
+        self._worker_of_shard[shard_id] = index
+        self._workers[index].install(shard_id, obj)
 
     def pull(self) -> dict[str, Any]:
         if not self.started:

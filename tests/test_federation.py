@@ -327,8 +327,13 @@ def test_zscore_map_keys(streams):
 
 def test_ingest_validates_machine_set(streams):
     federated = build_federated(streams)
-    with pytest.raises(ValueError, match="missing chunks for \\['west'\\]"):
-        federated.ingest({"east": streams["east"].values[:, :INITIAL]})
+    # Rounds may be partial (staggered federation): a subset ingests and
+    # only those machines advance.
+    snapshot = federated.ingest({"east": streams["east"].values[:, :INITIAL]})
+    assert snapshot.n_machines == 1
+    assert federated.machine_steps() == {"east": INITIAL, "west": 0}
+    with pytest.raises(ValueError, match="at least one machine"):
+        federated.ingest({})
     with pytest.raises(ValueError, match="unknown machines \\['north'\\]"):
         federated.ingest(
             {

@@ -21,6 +21,7 @@ def test_catalog_names_and_factories():
         "noisy-neighbor-job",
         "sensor-dropout",
         "mid-run-restart",
+        "mid-run-add-sensors",
     }
     for name in SCENARIOS:
         scenario = get_scenario(name)

@@ -369,15 +369,39 @@ class TestIncrementalMrDMDParity:
 
 class TestRetentionPolicies:
     def test_retention_does_not_change_the_numerics(self, signal):
-        def masked_state(policy):
+        # Under "none" the level-1 grid shrinks to its trailing column
+        # (minimal retention), so the stored grid differs *by design*;
+        # its trailing column and every numeric product must still match
+        # the "all" model bit for bit.
+        def full_state(policy):
             state = _drive_model(signal, retain_data=policy).state_dict()
             for key in ("keep_data", "retain_data", "data"):
                 state[key] = None
             return state
 
-        reference = masked_state("all")
+        def masked(state):
+            state = dict(state)
+            state["sub"] = None
+            state["sub_offset"] = None
+            return state
+
+        reference = full_state("all")
         for policy in ("window", "none"):
-            _assert_state_equal(masked_state(policy), reference)
+            state = full_state(policy)
+            np.testing.assert_array_equal(
+                np.asarray(state["sub"])[:, -1], np.asarray(reference["sub"])[:, -1]
+            )
+            assert (
+                state["sub_offset"] + np.asarray(state["sub"]).shape[1]
+                == np.asarray(reference["sub"]).shape[1]
+            )
+            _assert_state_equal(masked(state), masked(reference))
+
+    def test_none_shrinks_level1_grid_to_trailing_column(self, signal):
+        model = _drive_model(signal, retain_data="none")
+        assert model._sub.n_cols == 1
+        assert model._sub_offset > 0
+        assert model.is_topology_bearing()
 
     def test_none_drops_raw_snapshots(self, signal):
         model = _drive_model(signal, retain_data="none")

@@ -111,9 +111,21 @@ class TestMrDMDTreeStructure:
         assert tree[0].level == 1
 
     def test_feature_mismatch_rejected(self):
+        # On a tree that never grew, any width mismatch is a bug.
         tree = MrDMDTree(dt=1.0, n_features=5)
         with pytest.raises(ValueError):
             tree.add(make_node(n_features=4))
+        with pytest.raises(ValueError):
+            tree.add(make_node(n_features=6))
+        # After an add_features topology event, nodes down to the
+        # pre-event width are legal and zero-extend lazily.
+        tree = MrDMDTree(dt=1.0, n_features=4)
+        tree.add_features(1)
+        tree.add(make_node(n_features=4))
+        with pytest.raises(ValueError):
+            tree.add(make_node(n_features=3))  # narrower than pre-event
+        assert tree.mode_table().mode_vectors.shape[1] == 5
+        assert tree.reconstruct(100).shape == (5, 100)
 
     def test_invalid_constructor_args(self):
         with pytest.raises(ValueError):
