@@ -35,12 +35,12 @@ from __future__ import annotations
 
 import json
 import os
-import time
 
 import numpy as np
 import pytest
 
 from repro.core import IncrementalMrDMD, MrDMDConfig
+from repro.util import Timer
 
 from conftest import SCALE, scaled
 
@@ -81,9 +81,9 @@ def _per_chunk_seconds(data: np.ndarray, *, level1_path: str, lazy_vh: bool) -> 
     times = []
     position = FIT_WINDOW
     for _ in range(N_CHUNKS):
-        start = time.perf_counter()
-        model.partial_fit(data[:, position : position + CHUNK])
-        times.append(time.perf_counter() - start)
+        with Timer() as timer:
+            model.partial_fit(data[:, position : position + CHUNK])
+        times.append(timer.elapsed)
         position += CHUNK
     return times
 

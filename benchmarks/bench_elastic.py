@@ -26,7 +26,6 @@ from __future__ import annotations
 import json
 import os
 import pickle
-import time
 
 from repro.core import IncrementalMrDMD, MrDMDConfig
 from repro.federation import FederatedMonitor, MachineRegistry
@@ -95,9 +94,9 @@ def _onboard_seconds(model) -> float:
     samples = []
     for _ in range(ONBOARD_REPEATS):
         clone = pickle.loads(pickle.dumps(model))
-        start = time.perf_counter()
-        clone.add_rows(N_NEW)
-        samples.append(time.perf_counter() - start)
+        with Timer() as timer:
+            clone.add_rows(N_NEW)
+        samples.append(timer.elapsed)
     samples.sort()
     return samples[len(samples) // 2]
 

@@ -15,13 +15,12 @@ parametrised case times one (method, T) cell of the figure.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 import pytest
 
 from repro.compare import AlignedUMAPLite, IncrementalPCA, PCA, UMAPLite
 from repro.core import IncrementalMrDMD, MrDMDConfig, compute_mrdmd
+from repro.util import Timer
 
 from conftest import scaled
 
@@ -98,32 +97,32 @@ def test_fig9_orderings(fig9_matrix):
 
     model = IncrementalMrDMD(dt=15.0, config=MRDMD_CONFIG)
     model.fit(data[:, :total])
-    t0 = time.perf_counter()
-    model.partial_fit(data[:, total:total + CHUNK])
-    imrdmd_partial = time.perf_counter() - t0
+    with Timer() as timer:
+        model.partial_fit(data[:, total:total + CHUNK])
+    imrdmd_partial = timer.elapsed
 
-    t0 = time.perf_counter()
-    compute_mrdmd(data[:, : total + CHUNK], 15.0, MRDMD_CONFIG)
-    mrdmd_full = time.perf_counter() - t0
+    with Timer() as timer:
+        compute_mrdmd(data[:, : total + CHUNK], 15.0, MRDMD_CONFIG)
+    mrdmd_full = timer.elapsed
 
     ipca = IncrementalPCA()
     ipca.fit(data[:, :total])
-    t0 = time.perf_counter()
-    ipca.partial_fit(data[:, total:total + CHUNK])
-    ipca_partial = time.perf_counter() - t0
+    with Timer() as timer:
+        ipca.partial_fit(data[:, total:total + CHUNK])
+    ipca_partial = timer.elapsed
 
     small = SIZES[0]
     aligned = AlignedUMAPLite(n_epochs=60, n_neighbors=10, random_state=0, window=small)
     aligned.fit(data[:, :small])
-    t0 = time.perf_counter()
-    aligned.partial_fit(data[:, small:small + CHUNK])
-    aligned_partial = time.perf_counter() - t0
+    with Timer() as timer:
+        aligned.partial_fit(data[:, small:small + CHUNK])
+    aligned_partial = timer.elapsed
 
     small_model = IncrementalMrDMD(dt=15.0, config=MRDMD_CONFIG)
     small_model.fit(data[:, :small])
-    t0 = time.perf_counter()
-    small_model.partial_fit(data[:, small:small + CHUNK])
-    imrdmd_partial_small = time.perf_counter() - t0
+    with Timer() as timer:
+        small_model.partial_fit(data[:, small:small + CHUNK])
+    imrdmd_partial_small = timer.elapsed
 
     # Ordering 1: I-mrDMD partial fit beats mrDMD recomputation.
     assert imrdmd_partial < mrdmd_full

@@ -1,0 +1,189 @@
+"""Observability overhead gates: disabled must be free, enabled must be cheap.
+
+``repro.obs`` lives permanently inside the ingest hot path — ISVD updates,
+mrDMD phases, shard dispatch, chunk accounting — which is only acceptable
+if the **disabled** provider (the default) costs nothing measurable.  Two
+gates, both failing the build on violation:
+
+1. **Disabled < 2 % per chunk.**  Wall-clock deltas at this magnitude are
+   pure CI noise, so the gate is *structural*: time the disabled provider's
+   no-op surface directly (span enter/exit, counter/gauge/histogram calls),
+   count how many provider calls one fleet chunk actually makes (from an
+   enabled run's own instruments), and bound their product against the
+   measured baseline chunk time.
+
+2. **Enabled < 10 % per chunk.**  Median per-chunk wall clock of the same
+   workload on two identical monitors — provider off vs provider on
+   (metrics + ring-buffer tracing) — ingesting alternately so machine
+   drift hits both sides equally.
+
+Results land in ``BENCH_obs.json`` next to this file (machine-readable;
+uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro import obs
+from repro.core import MrDMDConfig
+from repro.obs import OBS
+from repro.pipeline import PipelineConfig
+from repro.service import FleetMonitor, RackSharding
+from repro.telemetry import MachineDescription, TelemetryGenerator, xc40_sensor_suite
+from repro.util import Timer
+
+from conftest import SCALE, scaled
+
+#: Where the machine-readable results land (committed + CI artifact).
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_obs.json"
+)
+
+HISTORY = scaled(1_200, 10_000)
+CHUNK = scaled(300, 2_000)
+#: Measured chunks per monitor (interleaved baseline/enabled).
+N_CHUNKS = 6
+CONFIG = PipelineConfig(mrdmd=MrDMDConfig(max_levels=scaled(5, 8)))
+
+DISABLED_BOUND = 0.02
+ENABLED_BOUND = 0.10
+#: Calls timed when measuring the disabled no-op surface.
+NOOP_REPS = 200_000
+
+
+def _fleet_stream():
+    """cpu_temp telemetry for a 256-node, 8-rack machine (8 rack shards)."""
+    machine = MachineDescription(
+        name="xc40",
+        n_rows=1,
+        racks_per_row=8,
+        cabinets_per_rack=2,
+        slots_per_cabinet=4,
+        blades_per_slot=1,
+        nodes_per_blade=4,
+        sensors=xc40_sensor_suite(),
+        dt_seconds=15.0,
+    )
+    generator = TelemetryGenerator(machine, seed=307, utilization_target=0.4)
+    return generator.generate(HISTORY + 2 * N_CHUNKS * CHUNK, sensors=["cpu_temp"])
+
+
+def _fitted_monitor(stream) -> FleetMonitor:
+    monitor = FleetMonitor.from_stream(stream, policy=RackSharding(), config=CONFIG)
+    monitor.ingest(stream.values[:, :HISTORY])
+    return monitor
+
+
+def _median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def _disabled_call_seconds() -> float:
+    """Mean cost of one provider call while disabled (the default state)."""
+    assert not OBS.enabled
+    with Timer() as timer:
+        for _ in range(NOOP_REPS // 4):
+            with OBS.span("bench.noop", shard="rack-0"):
+                pass
+            OBS.inc("bench.noop", 1, shard="rack-0")
+            OBS.gauge("bench.noop", 1.0, shard="rack-0")
+            OBS.observe("bench.noop", 1.0, shard="rack-0")
+    return timer.elapsed / NOOP_REPS
+
+
+def _calls_per_chunk(totals: dict, n_chunks: int) -> float:
+    """Upper-bound estimate of provider calls one chunk makes, recovered
+    from the enabled run's own instruments: every histogram observation
+    and gauge sample is one call; spans cost ~3 (enter, observe, emit);
+    counters don't record call counts, so budget one inc per counter
+    instrument per chunk.  A final 2x headroom absorbs anything missed."""
+    observations = sum(
+        value for key, value in totals.items() if key.endswith(".count")
+    )
+    span_calls = 3.0 * sum(
+        value for key, value in totals.items()
+        if key.startswith("span.") and key.endswith(".count")
+    )
+    n_counters = sum(
+        1 for key in totals
+        if not key.endswith(".count") and not key.startswith("service.shard.")
+    )
+    return 2.0 * (observations + span_calls) / n_chunks + 2.0 * n_counters
+
+
+def test_obs_overhead_gates(benchmark):
+    stream = _fleet_stream()
+
+    def measure() -> dict:
+        OBS.reset()
+        baseline_monitor = _fitted_monitor(stream)
+        obs.enable()  # ring-buffer tracing + metrics, no file sink
+        enabled_monitor = _fitted_monitor(stream)
+        obs.disable()
+
+        baseline, enabled = [], []
+        position = HISTORY
+        for _ in range(N_CHUNKS):
+            chunk = stream.values[:, position : position + CHUNK]
+            with Timer() as timer:
+                baseline_monitor.ingest(chunk)
+            baseline.append(timer.elapsed)
+            OBS.enabled = True
+            with Timer() as timer:
+                enabled_monitor.ingest(chunk)
+            enabled.append(timer.elapsed)
+            OBS.enabled = False
+            position += CHUNK
+
+        totals = OBS.metrics.totals()
+        OBS.reset()
+        per_call = _disabled_call_seconds()
+        return {
+            "baseline_chunk_seconds": _median(baseline),
+            "enabled_chunk_seconds": _median(enabled),
+            "noop_call_seconds": per_call,
+            # +1: the initial fit chunk also records.
+            "calls_per_chunk": _calls_per_chunk(totals, N_CHUNKS + 1),
+        }
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)
+
+    disabled_fraction = (
+        result["noop_call_seconds"] * result["calls_per_chunk"]
+        / result["baseline_chunk_seconds"]
+    )
+    enabled_fraction = (
+        result["enabled_chunk_seconds"] / result["baseline_chunk_seconds"] - 1.0
+    )
+
+    report = {
+        "experiment": "obs_overhead",
+        "scale": SCALE,
+        "n_shards": 8,
+        "history": HISTORY,
+        "chunk": CHUNK,
+        "n_chunks": N_CHUNKS,
+        "disabled_bound": DISABLED_BOUND,
+        "enabled_bound": ENABLED_BOUND,
+        "disabled_overhead_fraction": disabled_fraction,
+        "enabled_overhead_fraction": enabled_fraction,
+        **result,
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump({"obs_overhead": report}, handle, indent=2)
+    benchmark.extra_info.update(report)
+
+    assert disabled_fraction < DISABLED_BOUND, (
+        f"disabled provider costs {disabled_fraction:.2%} of a chunk "
+        f"({result['calls_per_chunk']:.0f} calls x "
+        f"{result['noop_call_seconds'] * 1e9:.0f} ns vs "
+        f"{result['baseline_chunk_seconds'] * 1e3:.1f} ms; bound "
+        f"{DISABLED_BOUND:.0%}) — the no-op path regressed"
+    )
+    assert enabled_fraction < ENABLED_BOUND, (
+        f"enabled provider costs {enabled_fraction:.2%} of a chunk (bound "
+        f"{ENABLED_BOUND:.0%}) — instrumentation left the noise floor"
+    )

@@ -97,16 +97,16 @@ def test_sec4_gpu_full_recompute(benchmark, gpu_case):
 
 def test_sec4_incremental_beats_full_recompute(env_case):
     """Non-timed assertion of the headline speed-up direction."""
-    import time
+    from repro.util import Timer
 
     data, shape = env_case
     config = MrDMDConfig(max_levels=shape["levels"])
     model = IncrementalMrDMD(dt=15.0, config=config)
     model.fit(data[:, : shape["history"]])
-    t0 = time.perf_counter()
-    model.partial_fit(data[:, shape["history"] :])
-    incremental = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    compute_mrdmd(data, 15.0, config)
-    full = time.perf_counter() - t0
+    with Timer() as timer:
+        model.partial_fit(data[:, shape["history"] :])
+    incremental = timer.elapsed
+    with Timer() as timer:
+        compute_mrdmd(data, 15.0, config)
+    full = timer.elapsed
     assert incremental < full

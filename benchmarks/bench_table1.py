@@ -104,7 +104,7 @@ def test_table1_gpu_metrics_partial_fit(benchmark, gpu_metrics_matrix, total):
 
 def test_table1_shape_initial_grows_partial_flat(sc_log_matrix):
     """Non-timed assertion of Table I's qualitative shape (runs once)."""
-    import time
+    from repro.util import Timer
 
     data = sc_log_matrix
     config = MrDMDConfig(max_levels=SC_LOG_LEVELS)
@@ -112,11 +112,11 @@ def test_table1_shape_initial_grows_partial_flat(sc_log_matrix):
     for total in (TIME_POINTS[0], TIME_POINTS[-1]):
         chunk = min(CHUNK, data.shape[1] - total)
         model = IncrementalMrDMD(dt=15.0, config=config)
-        t0 = time.perf_counter()
-        model.fit(data[:, :total])
-        initial.append(time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        model.partial_fit(data[:, total : total + chunk])
-        partial.append(time.perf_counter() - t0)
+        with Timer() as timer:
+            model.fit(data[:, :total])
+        initial.append(timer.elapsed)
+        with Timer() as timer:
+            model.partial_fit(data[:, total : total + chunk])
+        partial.append(timer.elapsed)
     assert initial[-1] > initial[0]
     assert partial[-1] < initial[-1]

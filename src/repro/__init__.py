@@ -23,6 +23,9 @@ The package is organised as:
   alerting, checkpoint/restore, scenario catalog) for one machine;
 * :mod:`repro.federation` — multi-machine federation: machine registry,
   federated monitor, cross-machine alert routing, rotating checkpoints;
+* :mod:`repro.obs` — off-by-default tracing, metrics and profiling hooks
+  threaded through the whole ingest path (core, executor, service,
+  federation), with a text/Markdown session report;
 * :mod:`repro.util` — timers, validation, chunking and parallel helpers.
 
 Quickstart::

@@ -32,7 +32,9 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from ..obs import OBS
 from ..util.growbuf import GrowableMatrix
+from ..util.timer import now
 from .dmd import compute_dmd, compute_dmd_projected, slow_mode_mask
 from .isvd import IncrementalSVD
 from .mrdmd import MrDMDConfig, compute_mrdmd
@@ -495,6 +497,7 @@ class IncrementalMrDMD:
 
         t_old = self._n_snapshots
         t_total = t_old + t1
+        t_phase = now() if OBS.enabled else 0.0
 
         # ---- 1. extend the level-1 subsampled grid ------------------- #
         new_sub_indices = np.arange(self._next_sub_index, t_total, self._level1_stride)
@@ -519,6 +522,10 @@ class IncrementalMrDMD:
                 self._isvd.initialize(self._sub.slice(0, self._sub.n_cols - 1))
                 if self.level1_path == "projected":
                     self._level1_cross = self._initial_cross(self._sub.view())
+
+        if OBS.enabled:
+            OBS.record("core.grid_extend", now() - t_phase, cols=int(t1))
+            t_phase = now()
 
         # ---- 2. updated level-1 DMD over the full timeline ----------- #
         rho = self.config.rho_for(t_total, self.dt)
@@ -569,6 +576,10 @@ class IncrementalMrDMD:
                 amplitude_method=self.config.amplitude_method,
             )
         slow = dmd.mode_subset(slow_mode_mask(dmd, rho)) if dmd.n_modes else dmd
+        if OBS.enabled:
+            OBS.record("core.level1_dmd", now() - t_phase,
+                       path=self.level1_path, rank=int(dmd.svd_rank))
+            t_phase = now()
 
         drift = _mode_drift(self._level1_modes, slow.modes)
         stale_now = (
@@ -622,6 +633,9 @@ class IncrementalMrDMD:
                 )
             )
             new_nodes += 1
+        if OBS.enabled:
+            OBS.record("core.chunk_mrdmd", now() - t_phase,
+                       cols=int(t1), new_nodes=new_nodes)
 
         # ---- 5. install the new level-1 node and bookkeeping ---------- #
         self._tree.add(new_level1)

@@ -52,6 +52,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import OBS
+from ..util.timer import now
 from .svht import svht_rank
 
 __all__ = ["IncrementalSVD", "ISVDState", "blockwise_rotate"]
@@ -237,6 +239,7 @@ class IncrementalSVD:
             raise ValueError(f"data must be 2-D, got shape {data.shape!r}")
         if data.shape[1] < 1:
             raise ValueError("initial block must contain at least one column")
+        t_start = now() if OBS.enabled else 0.0
         u, s, vh = np.linalg.svd(data, full_matrices=False)
         r = self._truncation_rank(s, data.shape)
         self._u = np.ascontiguousarray(u[:, :r])
@@ -246,6 +249,10 @@ class IncrementalSVD:
         self._last_update_ops = []
         self._n_cols_seen = data.shape[1]
         self._n_updates = 0
+        if OBS.enabled:
+            OBS.record("core.isvd.initialize", now() - t_start,
+                       cols=int(data.shape[1]), rank=int(r))
+            OBS.gauge("core.isvd.rank", int(r))
         return self
 
     def update(self, new_columns: np.ndarray) -> "IncrementalSVD":
@@ -270,6 +277,7 @@ class IncrementalSVD:
             self._last_update_ops = []
             return self
 
+        t_start = now() if OBS.enabled else 0.0
         u, s = self._u, self._s
         q = s.size
         c = c_block.shape[1]
@@ -310,9 +318,13 @@ class IncrementalSVD:
 
         if self.reorthogonalize_every and self._n_updates % self.reorthogonalize_every == 0:
             ops.append(self._reorthogonalize())
+            OBS.inc("core.isvd.reorth")
         self._last_update_ops = ops
         if not self.lazy_rotation:
             self._materialize_vh()
+        if OBS.enabled:
+            OBS.record("core.isvd.update", now() - t_start, cols=int(c), rank=int(r))
+            OBS.gauge("core.isvd.rank", int(r))
         return self
 
     def partial_fit(self, new_columns: np.ndarray) -> "IncrementalSVD":
@@ -368,6 +380,7 @@ class IncrementalSVD:
             self._last_update_ops = []
             return self
 
+        t_start = now() if OBS.enabled else 0.0
         self._materialize_vh()
         u, s, vh = self._u, self._s, self._vh
         q = s.size
@@ -390,9 +403,14 @@ class IncrementalSVD:
         ops: list[tuple] = [("rotate", cvh[:rank, :])]
         if self.reorthogonalize_every and self._n_updates % self.reorthogonalize_every == 0:
             ops.append(self._reorthogonalize())
+            OBS.inc("core.isvd.reorth")
             if not self.lazy_rotation:
                 self._materialize_vh()
         self._last_update_ops = ops
+        if OBS.enabled:
+            OBS.record("core.isvd.add_rows", now() - t_start,
+                       rows=int(r), rank=int(rank))
+            OBS.gauge("core.isvd.rank", int(rank))
         return self
 
     # ------------------------------------------------------------------ #
@@ -471,6 +489,8 @@ class IncrementalSVD:
         """
         if not self._pending_vh_ops:
             return
+        n_pending = len(self._pending_vh_ops)
+        t_start = now() if OBS.enabled else 0.0
         vh = self._vh
         for op in self._pending_vh_ops:
             if op[0] == "extend":
@@ -486,6 +506,8 @@ class IncrementalSVD:
                 vh = op[1] @ vh
         self._vh = vh
         self._pending_vh_ops = []
+        if OBS.enabled:
+            OBS.record("core.isvd.rotation", now() - t_start, pending=n_pending)
 
     # ------------------------------------------------------------------ #
     # Accessors

@@ -38,9 +38,11 @@ import numpy as np
 
 from ..align.zscore_map import NodeZScores
 from ..hwlog.events import HardwareLog
+from ..obs import OBS, worker_drain_metrics, worker_enable_metrics
 from ..service.alerts import Alert
 from ..service.monitor import FleetMonitor, FleetSnapshot, FleetSpectrum
 from ..util.parallel import ShardExecutor, make_shard_executor
+from ..util.timer import now
 from .chunklog import ChunkLog
 from .registry import MachineRegistry
 from .routing import AlertRouter, FederatedAlertContext
@@ -313,10 +315,32 @@ class FederatedMonitor:
             self._executor.start(shipped)
             self._executor_version = self.registry.version
             self._shipped = shipped
+            if OBS.enabled:
+                # Mirror the parent provider into process workers so the
+                # machines' core/service metrics accumulate remotely (see
+                # FleetMonitor._ensure_executor for the single-machine
+                # version of the same round trip).
+                for name in self._executor.remote_worker_shards():
+                    self._executor.call(name, worker_enable_metrics)
         return self._executor
+
+    def collect_metrics(self):
+        """Merge process-worker metric registries into the session provider
+        and return its registry (drain-with-reset: repeat calls never
+        double-count).  Invoked automatically when the pool lands."""
+        if (
+            OBS.enabled
+            and self._executor is not None
+            and not self._executor.closed
+        ):
+            for name in self._executor.remote_worker_shards():
+                OBS.metrics.merge(self._executor.call(name, worker_drain_metrics))
+        return OBS.metrics
 
     def _land_and_drop_executor(self) -> None:
         try:
+            if OBS.enabled:
+                self.collect_metrics()
             if self._resident_remote and not self._executor.closed:
                 for name, monitor in self._executor.pull().items():
                     self._land_pulled(name, monitor)
@@ -391,6 +415,13 @@ class FederatedMonitor:
                 name, snapshots[name].step - chunk.shape[1], chunk
             )
 
+    def _record_round_metrics(self, chunks: Mapping[str, np.ndarray]) -> None:
+        """Deterministic round accounting (membership only, no timings)."""
+        OBS.inc("federation.rounds")
+        if len(chunks) < len(self.registry.names):
+            OBS.inc("federation.partial_rounds")
+        OBS.gauge("federation.round_machines", float(len(chunks)))
+
     def ingest(self, chunks: Mapping[str, np.ndarray]) -> FederatedSnapshot:
         """Feed one ``(P_m, T)`` block per participating machine; no alerts.
 
@@ -402,10 +433,14 @@ class FederatedMonitor:
         """
         chunks = self._validated_chunks(chunks)
         executor = self._ensure_executor()
-        snapshots = executor.map(
-            _machine_ingest, {name: (chunk,) for name, chunk in chunks.items()}
-        )
+        with OBS.span("federation.round", n_machines=len(chunks)):
+            snapshots = executor.map(
+                _machine_ingest,
+                {name: (chunk,) for name, chunk in chunks.items()},
+            )
         self._record_round(chunks, snapshots)
+        if OBS.enabled:
+            self._record_round_metrics(chunks)
         return self._finish_round({name: snapshots[name] for name in chunks})
 
     def ingest_and_alert(
@@ -435,22 +470,37 @@ class FederatedMonitor:
         if unknown_logs:
             raise ValueError(f"hwlogs reference unknown machines {unknown_logs}")
         executor = self._ensure_executor()
-        tasks = [
-            (
-                name,
-                executor.submit(
+        with OBS.span("federation.round", n_machines=len(chunks)):
+            t_round = now() if OBS.enabled else 0.0
+            tasks = [
+                (
                     name,
-                    _machine_ingest_and_alert,
-                    chunk,
-                    hwlogs.get(name),
-                    window,
-                ),
-            )
-            for name, chunk in chunks.items()
-        ]
-        results = {name: task.result() for name, task in tasks}
+                    executor.submit(
+                        name,
+                        _machine_ingest_and_alert,
+                        chunk,
+                        hwlogs.get(name),
+                        window,
+                    ),
+                )
+                for name, chunk in chunks.items()
+            ]
+            results = {}
+            for name, task in tasks:
+                results[name] = task.result()
+                if OBS.enabled:
+                    # Latency of machine ``name``'s slice of the round,
+                    # measured from dispatch: the fan-out overlaps, so each
+                    # sample is "time until this machine's result landed".
+                    OBS.observe(
+                        "federation.machine_round.seconds",
+                        now() - t_round,
+                        machine=name,
+                    )
         snapshots = {name: results[name][0] for name in results}
         self._record_round(chunks, snapshots)
+        if OBS.enabled:
+            self._record_round_metrics(chunks)
         snapshot = self._finish_round(snapshots)
         context = FederatedAlertContext(
             step=self._step,
@@ -586,6 +636,10 @@ class FederatedMonitor:
                 continue
             monitor.ingest(values)
             replayed += 1
+        if OBS.enabled and replayed:
+            OBS.inc(
+                "federation.catchup.replayed_chunks", replayed, machine=name
+            )
         return replayed
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,217 @@
+"""repro.obs — tracing, metrics and profiling hooks for the ingest path.
+
+The package exposes one module-level provider, :data:`OBS`, that every
+instrumented layer (core, pipeline, service, federation, executor) talks
+to.  It defaults **off**: the hot-path guard is a single attribute check
+(``if OBS.enabled:``) or one no-op method call returning a shared inert
+context manager, so a disabled provider costs nothing measurable per chunk
+(pinned by ``benchmarks/bench_obs_overhead.py``).
+
+Enable it for a session::
+
+    from repro import obs
+
+    obs.enable(trace_path="trace.jsonl")     # span events -> JSON lines
+    ... run a scenario ...
+    print(obs.report.render_text(obs.OBS.metrics))
+
+or from the CLI::
+
+    python -m repro.service rack-cooling-failure \\
+        --metrics-out metrics.json --trace-out trace.jsonl
+
+Process-backend shard workers run in fresh interpreters where ``OBS``
+starts disabled; :class:`~repro.service.monitor.FleetMonitor` and
+:class:`~repro.federation.monitor.FederatedMonitor` flip it on remotely
+(:func:`worker_enable_metrics`) when the parent provider is enabled, and
+drain each worker's registry home (:func:`worker_drain_metrics`) on close —
+metrics merge exactly; trace *events* stay local to the process that
+produced them (workers still feed ``span.*`` histograms, which do merge).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import (
+    JsonLinesTraceSink,
+    RingBufferTraceSink,
+    Span,
+    Tracer,
+    TraceSink,
+)
+
+__all__ = [
+    "OBS",
+    "ObsProvider",
+    "enable",
+    "disable",
+    "worker_enable_metrics",
+    "worker_drain_metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "Tracer",
+    "Span",
+    "TraceSink",
+    "RingBufferTraceSink",
+    "JsonLinesTraceSink",
+]
+
+
+class _NoopSpan:
+    """Inert, reusable, re-entrant stand-in returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class ObsProvider:
+    """The process-wide observability switchboard.
+
+    All instrumentation funnels through the four hot-path methods
+    (:meth:`span`, :meth:`record`, :meth:`inc`, :meth:`gauge`,
+    :meth:`observe`); each starts with the ``enabled`` check so the
+    disabled cost is one attribute load and a branch.
+    """
+
+    __slots__ = ("enabled", "metrics", "tracer", "ring")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.metrics = MetricsRegistry()
+        self.ring: RingBufferTraceSink | None = None
+        self.tracer = Tracer(metrics=self.metrics)
+
+    # -- lifecycle --------------------------------------------------------- #
+    def enable(
+        self,
+        *,
+        trace_path: str | None = None,
+        ring_capacity: int = 4096,
+        sinks: Iterable[TraceSink] = (),
+    ) -> "ObsProvider":
+        """Turn collection on (idempotent; metrics accumulate across calls).
+
+        A ring-buffer sink always retains the most recent ``ring_capacity``
+        span events for in-process inspection (``OBS.ring.events``); pass
+        ``trace_path`` to also stream events to a JSON-lines file, or
+        ``sinks`` for custom fan-out — the same sink split the alert
+        engine uses.
+        """
+        self.tracer.close_sinks()
+        self.ring = RingBufferTraceSink(ring_capacity)
+        all_sinks: list[TraceSink] = [self.ring]
+        if trace_path is not None:
+            all_sinks.append(JsonLinesTraceSink(trace_path))
+        all_sinks.extend(sinks)
+        self.tracer = Tracer(metrics=self.metrics, sinks=all_sinks)
+        self.enabled = True
+        return self
+
+    def disable(self) -> None:
+        """Stop collecting and close file sinks; metrics are retained."""
+        self.enabled = False
+        self.tracer.close_sinks()
+
+    def reset(self) -> None:
+        """Back to the pristine disabled state with an empty registry."""
+        self.disable()
+        self.metrics = MetricsRegistry()
+        self.ring = None
+        self.tracer = Tracer(metrics=self.metrics)
+
+    def drain(self) -> MetricsRegistry:
+        """Detach and return the accumulated registry, installing a fresh
+        one — the worker side of the process-backend round trip (repeat
+        drains never double-count)."""
+        snapshot = self.metrics
+        self.metrics = MetricsRegistry()
+        self.tracer.metrics = self.metrics
+        return snapshot
+
+    # -- hot-path API ------------------------------------------------------ #
+    def span(self, name: str, **attrs):
+        """A timed region: real span when enabled, shared no-op otherwise."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def record(self, name: str, seconds: float, **attrs) -> None:
+        """An already-measured leaf region (see :meth:`Tracer.record`)."""
+        if self.enabled:
+            self.tracer.record(name, seconds, **attrs)
+
+    def inc(self, name: str, amount: float = 1.0, **labels) -> None:
+        if self.enabled:
+            self.metrics.inc(name, amount, **labels)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        if self.enabled:
+            self.metrics.set_gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        if self.enabled:
+            self.metrics.observe(name, value, **labels)
+
+
+#: The module-level provider every instrumented layer imports.
+OBS = ObsProvider()
+
+
+def enable(**kwargs) -> ObsProvider:
+    """Enable the module-level provider (see :meth:`ObsProvider.enable`)."""
+    return OBS.enable(**kwargs)
+
+
+def disable() -> None:
+    """Disable the module-level provider."""
+    OBS.disable()
+
+
+# --------------------------------------------------------------------------- #
+# Shard-executor commands (top-level, hence picklable by reference).  They
+# follow the executor's calling convention ``fn(resident_obj, *args)`` and
+# ignore the resident object: the target is the *worker interpreter's*
+# module-level provider, reached via any shard resident on that worker.
+# --------------------------------------------------------------------------- #
+def worker_enable_metrics(obj=None) -> bool:
+    """Enable metrics collection inside a process-backend worker.
+
+    Tracing stays sink-less in workers: span events are dropped but the
+    ``span.*`` duration histograms land in the worker registry, which
+    :func:`worker_drain_metrics` later ships home.
+    """
+    if not OBS.enabled:
+        OBS.enable(ring_capacity=1)
+    return OBS.enabled
+
+
+def worker_drain_metrics(obj=None) -> MetricsRegistry:
+    """Detach and return the worker's registry (resets it, so repeated
+    collections never double-count)."""
+    return OBS.drain()
+
+
+# Imported last: ``report`` renders through repro.viz, which must not be a
+# prerequisite for the hot-path classes above.
+from . import report  # noqa: E402
+
+__all__.append("report")

@@ -1,0 +1,182 @@
+"""Human-readable summaries of a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Renders the observability session the way the paper's performance sections
+read — per-stage latency percentiles and throughput — through the
+:class:`repro.viz.textreport.TextReport` machinery, so the same content is
+available fixed-width for terminals (:func:`render_text`) and as Markdown
+for CI job summaries (:func:`render_markdown`).  :func:`metrics_json` is
+the serialisation behind the CLI's ``--metrics-out``.
+"""
+
+from __future__ import annotations
+
+from ..util.timer import TimingTable
+from ..viz.textreport import TextReport
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "summarize",
+    "build_report",
+    "render_text",
+    "render_markdown",
+    "metrics_json",
+]
+
+#: Histograms produced by the tracer are namespaced under this prefix.
+SPAN_PREFIX = "span."
+
+
+def _label_str(labels: tuple) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels)
+
+
+def summarize(registry: MetricsRegistry) -> dict:
+    """Structured digest: span percentiles, hotspots, throughput, alerts.
+
+    Returns a JSON-safe dict with keys ``spans`` (per-span count/total/
+    mean/p50/p95/p99/max, sorted by total time descending), ``hotspots``
+    (top spans by share of the busiest span's total), ``throughput``
+    (overall and most-recent rows/sec where the service counters exist)
+    and ``alerts_by_rule``.
+    """
+    spans = []
+    for (name, labels), hist in registry.histograms():
+        if not name.startswith(SPAN_PREFIX) or hist.count == 0:
+            continue
+        label = name[len(SPAN_PREFIX):]
+        if labels:
+            label += f"{{{_label_str(labels)}}}"
+        spans.append(
+            {
+                "span": label,
+                "count": hist.count,
+                "total": hist.sum,
+                "mean": hist.mean,
+                "p50": hist.quantile(0.50),
+                "p95": hist.quantile(0.95),
+                "p99": hist.quantile(0.99),
+                "max": hist.max,
+            }
+        )
+    spans.sort(key=lambda s: s["total"], reverse=True)
+
+    busiest = spans[0]["total"] if spans else 0.0
+    hotspots = [
+        {
+            "span": s["span"],
+            "total": s["total"],
+            "share_of_busiest": s["total"] / busiest if busiest else 0.0,
+        }
+        for s in spans[:5]
+    ]
+
+    counters = {}
+    for key, counter in registry.counters():
+        name, labels = key
+        counters[name + (f"{{{_label_str(labels)}}}" if labels else "")] = counter.value
+    gauges = {}
+    for key, gauge in registry.gauges():
+        name, labels = key
+        gauges[name + (f"{{{_label_str(labels)}}}" if labels else "")] = gauge.value
+
+    throughput: dict[str, float] = {}
+    rows = counters.get("service.rows")
+    for (name, labels), hist in registry.histograms():
+        if name == "service.chunk.seconds" and not labels and hist.sum > 0 and rows:
+            throughput["rows_per_sec_overall"] = rows / hist.sum
+            throughput["chunks"] = float(hist.count)
+    if "service.rows_per_sec" in gauges:
+        throughput["rows_per_sec_last_chunk"] = gauges["service.rows_per_sec"]
+
+    alerts_by_rule = {}
+    for key, counter in registry.counters():
+        name, labels = key
+        if name == "alerts.fired":
+            rule = dict(labels).get("rule", "<unlabelled>")
+            alerts_by_rule[rule] = counter.value
+
+    return {
+        "spans": spans,
+        "hotspots": hotspots,
+        "throughput": throughput,
+        "alerts_by_rule": alerts_by_rule,
+        "counters": counters,
+        "gauges": gauges,
+    }
+
+
+def build_report(
+    registry: MetricsRegistry, *, title: str = "observability report"
+) -> TextReport:
+    """Assemble the digest into a renderable :class:`TextReport`."""
+    digest = summarize(registry)
+    report = TextReport(title=title)
+
+    section = report.section("span latencies (seconds)")
+    if digest["spans"]:
+        table = TimingTable(
+            columns=["span", "count", "total", "mean", "p50", "p95", "p99", "max"]
+        )
+        for s in digest["spans"]:
+            table.add_row(
+                s["span"], s["count"], s["total"], s["mean"],
+                s["p50"], s["p95"], s["p99"], s["max"],
+            )
+        section.add_table(table)
+    else:
+        section.add_line("(no spans recorded — was the provider enabled?)")
+
+    if digest["hotspots"]:
+        section = report.section("hotspots")
+        for rank, spot in enumerate(digest["hotspots"], start=1):
+            section.add_line(
+                f"{rank}. {spot['span']} — total "
+                f"{report.float_format.format(spot['total'])} s "
+                f"({spot['share_of_busiest']:.0%} of busiest)"
+            )
+
+    if digest["throughput"] or digest["alerts_by_rule"]:
+        section = report.section("throughput and alerts")
+        for key, value in digest["throughput"].items():
+            section.add_line(f"{key}: {report.float_format.format(value)}")
+        for rule, count in sorted(digest["alerts_by_rule"].items()):
+            section.add_line(f"alerts fired [{rule}]: {count:.0f}")
+
+    if digest["counters"]:
+        section = report.section("counters")
+        table = TimingTable(columns=["counter", "value"])
+        for name, value in digest["counters"].items():
+            table.add_row(name, value)
+        section.add_table(table)
+
+    if digest["gauges"]:
+        section = report.section("gauges")
+        table = TimingTable(columns=["gauge", "value"])
+        for name, value in digest["gauges"].items():
+            table.add_row(name, value)
+        section.add_table(table)
+
+    return report
+
+
+def render_text(registry: MetricsRegistry, **kwargs) -> str:
+    """Fixed-width text summary (p50/p95/p99 per span, hotspots, totals)."""
+    return build_report(registry, **kwargs).render()
+
+
+def render_markdown(registry: MetricsRegistry, **kwargs) -> str:
+    """The same summary as GitHub-flavoured Markdown."""
+    return build_report(registry, **kwargs).render_markdown()
+
+
+def metrics_json(registry: MetricsRegistry) -> dict:
+    """JSON payload for ``--metrics-out``: raw instruments plus the digest."""
+    payload = registry.to_dict()
+    digest = summarize(registry)
+    payload["derived"] = {
+        "throughput": digest["throughput"],
+        "alerts_by_rule": digest["alerts_by_rule"],
+        "spans": digest["spans"],
+        "hotspots": digest["hotspots"],
+    }
+    return payload

@@ -1,0 +1,236 @@
+"""Span-based tracing for the ingest path.
+
+A *span* is one timed region of the pipeline — ``service.ingest_and_alert``
+wrapping ``executor.task`` wrapping ``pipeline.ingest`` wrapping
+``core.partial_fit`` — identified by a process-unique id and linked to its
+parent through a per-thread span stack.  On exit every span is
+
+* emitted to the tracer's sinks as one JSON-safe event dict (the file sink
+  writes JSON lines, mirroring :class:`repro.service.alerts.JsonLinesSink`;
+  the ring sink retains the most recent events in memory, mirroring
+  :class:`repro.service.alerts.RingBufferSink`), and
+* observed into the shared :class:`~repro.obs.metrics.MetricsRegistry` as
+  a ``span.<name>`` histogram, which is what the report's p50/p95/p99
+  table and the process-backend round trip are built on (events stay
+  local; histograms merge home).
+
+Timestamps come from :data:`repro.util.timer.now` — the package-wide
+monotonic clock — so trace events and benchmark timings are directly
+comparable within a process.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from typing import Iterable
+
+from ..util.growbuf import RingBuffer
+from ..util.timer import now
+
+__all__ = [
+    "Span",
+    "TraceSink",
+    "RingBufferTraceSink",
+    "JsonLinesTraceSink",
+    "Tracer",
+]
+
+
+class TraceSink:
+    """Receives one event dict per completed span."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (file handles); idempotent."""
+
+
+class RingBufferTraceSink(TraceSink):
+    """Retains the most recent ``capacity`` span events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._buffer = RingBuffer(capacity)
+
+    def emit(self, event: dict) -> None:
+        self._buffer.append(event)
+
+    @property
+    def events(self) -> list[dict]:
+        """Retained events, oldest first."""
+        return self._buffer.items()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class JsonLinesTraceSink(TraceSink):
+    """Appends one JSON object per span event to a text file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class Span:
+    """Context manager for one timed region.
+
+    Entering pushes the span onto the owning tracer's per-thread stack (so
+    nested spans link ``parent_id``); exiting pops it, emits the event and
+    observes the duration histogram.  Spans are single-use.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "start", "end", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self.start: float | None = None
+        self.end: float | None = None
+
+    @property
+    def duration(self) -> float | None:
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._pop(self, error=exc_type is not None)
+
+
+class Tracer:
+    """Builds spans, links parents per thread, fans events out to sinks.
+
+    Span ids increase monotonically within a process.  The per-thread
+    stacks mean worker-thread spans are recorded concurrently without
+    interleaving parents across threads; process-backend workers run their
+    own tracer (events are not shipped home — only the ``span.*``
+    histograms in the registry are, see :mod:`repro.obs.metrics`).
+    """
+
+    def __init__(
+        self,
+        metrics=None,
+        sinks: Iterable[TraceSink] = (),
+    ) -> None:
+        self.metrics = metrics
+        self.sinks: list[TraceSink] = list(sinks)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._emit_lock = threading.Lock()
+
+    # -- span stack ------------------------------------------------------- #
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span_id(self) -> int | None:
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new (not yet entered) span; use as a context manager."""
+        return Span(self, name, attrs)
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        span.span_id = next(self._ids)
+        span.parent_id = stack[-1].span_id if stack else None
+        stack.append(span)
+        span.start = now()
+
+    def _pop(self, span: Span, *, error: bool = False) -> None:
+        span.end = now()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - unbalanced exit safety net
+            stack.remove(span)
+        self._finish(span.name, span.span_id, span.parent_id, span.start,
+                     span.end, span.attrs, error=error)
+
+    # -- pre-timed events -------------------------------------------------- #
+    def record(self, name: str, seconds: float, **attrs) -> None:
+        """Record an already-measured leaf region as a span event.
+
+        Used by hot paths that time a block with two clock reads instead of
+        re-indenting it under a ``with``: the event's parent is whatever
+        span is open on this thread, and ``start`` is back-dated so the
+        trace timeline stays consistent.  ``record`` cannot parent other
+        spans (it is never on the stack) — use a real :meth:`span` for
+        regions with children.
+        """
+        end = now()
+        self._finish(name, next(self._ids), self.current_span_id(),
+                     end - float(seconds), end, attrs, error=False)
+
+    # -- completion -------------------------------------------------------- #
+    def _finish(
+        self,
+        name: str,
+        span_id: int | None,
+        parent_id: int | None,
+        start: float | None,
+        end: float,
+        attrs: dict,
+        *,
+        error: bool,
+    ) -> None:
+        duration = end - start if start is not None else 0.0
+        if self.metrics is not None:
+            self.metrics.observe(f"span.{name}", duration)
+        if not self.sinks:
+            return
+        event = {
+            "name": name,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "start": start,
+            "end": end,
+            "duration": duration,
+            "attrs": {str(k): _json_safe(v) for k, v in attrs.items()},
+        }
+        if error:
+            event["error"] = True
+        with self._emit_lock:
+            for sink in self.sinks:
+                sink.emit(event)
+
+    def close_sinks(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def _json_safe(value) -> object:
+    """Coerce an attribute value to something ``json.dumps`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    try:
+        return value.item()  # NumPy scalars
+    except AttributeError:
+        return str(value)

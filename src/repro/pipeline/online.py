@@ -30,6 +30,7 @@ from ..core.imrdmd import IncrementalMrDMD, TopologyChange, UpdateRecord
 from ..core.reconstruction import evaluate_reconstruction, ReconstructionReport
 from ..core.spectrum import MrDMDSpectrum
 from ..hwlog.events import HardwareLog
+from ..obs import OBS
 from ..joblog.jobs import JobLog
 from ..telemetry.generator import TelemetryStream
 from .config import PipelineConfig
@@ -153,20 +154,23 @@ class OnlineAnalysisPipeline:
     def ingest(self, data: np.ndarray) -> PipelineSnapshot:
         """Feed a block of snapshots (initial fit on the first call)."""
         data = np.asarray(data, dtype=float)
-        if not self.model.fitted:
-            self.model.fit(data)
-            update = None
-        else:
-            update = self.model.partial_fit(data)
-        error = None
-        if self.model.retain_data == "all":
-            error = self.model.reconstruction_error()
-        return PipelineSnapshot(
-            update=update,
-            n_snapshots=self.model.n_snapshots,
-            n_modes=self.model.tree.total_modes,
-            reconstruction_error=error,
-        )
+        with OBS.span("pipeline.ingest", cols=int(data.shape[-1])):
+            if not self.model.fitted:
+                with OBS.span("core.fit"):
+                    self.model.fit(data)
+                update = None
+            else:
+                with OBS.span("core.partial_fit"):
+                    update = self.model.partial_fit(data)
+            error = None
+            if self.model.retain_data == "all":
+                error = self.model.reconstruction_error()
+            return PipelineSnapshot(
+                update=update,
+                n_snapshots=self.model.n_snapshots,
+                n_modes=self.model.tree.total_modes,
+                reconstruction_error=error,
+            )
 
     # ------------------------------------------------------------------ #
     # Elastic topology

@@ -39,7 +39,13 @@ from .checkpoint import (
     resolve_checkpoint_dir,
     save_checkpoint,
 )
-from .monitor import FleetMonitor, FleetSnapshot, FleetSpectrum, TopologyUpdate
+from .monitor import (
+    FleetMonitor,
+    FleetSnapshot,
+    FleetSpectrum,
+    IngestStats,
+    TopologyUpdate,
+)
 from .scenarios import (
     SCENARIOS,
     Scenario,
@@ -84,6 +90,7 @@ __all__ = [
     "FleetMonitor",
     "FleetSnapshot",
     "FleetSpectrum",
+    "IngestStats",
     "TopologyUpdate",
     "SCENARIOS",
     "Scenario",

@@ -21,9 +21,11 @@ interchangeably; an unknown name prints the catalog and exits non-zero.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 
+from .. import obs
 from ..federation.scenario import (
     FEDERATED_SCENARIOS,
     FederatedScenarioRunner,
@@ -81,6 +83,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also append every alert to a JSON-lines audit file",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs and write the session's metrics registry "
+        "(plus derived span/throughput/alert summaries) as JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs and stream span events to a JSON-lines "
+        "trace file (implies metrics collection)",
     )
     parser.add_argument(
         "--window",
@@ -256,6 +272,21 @@ def _run_federated(args: argparse.Namespace, name: str) -> int:
     return 0
 
 
+def _finish_observability(args: argparse.Namespace) -> None:
+    """Write ``--metrics-out`` / close ``--trace-out`` and print the digest."""
+    registry = obs.OBS.metrics
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(obs.report.metrics_json(registry), handle, indent=2)
+            handle.write("\n")
+    print()
+    print(obs.report.render_text(registry))
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        print(f"span trace written to {args.trace_out}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -266,15 +297,31 @@ def main(argv: list[str] | None = None) -> int:
     if args.scenario is None:
         parser.error("a scenario name (or --list) is required")
     name = args.scenario.replace("_", "-")
-    if name in FEDERATED_SCENARIOS:
-        return _run_federated(args, name)
-    if name in SCENARIOS:
-        return _run(args, name)
-    # Unknown name: show the catalog instead of a traceback, exit non-zero.
-    print(f"unknown scenario {args.scenario!r}; available:", file=sys.stderr)
-    for line in _catalog_lines():
-        print(f"  {line}", file=sys.stderr)
-    return 2
+    observe = bool(args.metrics_out or args.trace_out)
+    if observe:
+        obs.enable(trace_path=args.trace_out)
+    try:
+        if name in FEDERATED_SCENARIOS:
+            code = _run_federated(args, name)
+        elif name in SCENARIOS:
+            code = _run(args, name)
+        else:
+            # Unknown name: show the catalog instead of a traceback.
+            print(
+                f"unknown scenario {args.scenario!r}; available:",
+                file=sys.stderr,
+            )
+            for line in _catalog_lines():
+                print(f"  {line}", file=sys.stderr)
+            return 2
+        if observe:
+            _finish_observability(args)
+        return code
+    finally:
+        if observe:
+            # Leave the module-level provider pristine for embedders (and
+            # repeated ``main()`` calls in tests).
+            obs.OBS.reset()
 
 
 if __name__ == "__main__":

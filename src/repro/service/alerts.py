@@ -32,6 +32,7 @@ from ..align.zscore_map import NodeZScores
 from ..core.baseline import ZScoreCategory
 from ..core.imrdmd import UpdateRecord
 from ..hwlog.events import HardwareLog
+from ..obs import OBS
 from ..util.growbuf import RingBuffer
 
 __all__ = [
@@ -400,6 +401,7 @@ class AlertEngine:
     def evaluate(self, context: AlertContext) -> list[Alert]:
         """Run every rule, dedup, emit to sinks; returns fired alerts."""
         self._n_evaluations += 1
+        OBS.inc("alerts.evaluations")
         fired = []
         for rule in self.rules:
             for alert in rule.evaluate(context):
@@ -407,9 +409,11 @@ class AlertEngine:
                 last = self._last_fired.get(key)
                 if last is not None and context.step - last < self.cooldown:
                     self._n_suppressed += 1
+                    OBS.inc("alerts.suppressed", rule=alert.rule)
                     continue
                 self._last_fired[key] = context.step
                 fired.append(alert)
+                OBS.inc("alerts.fired", rule=alert.rule)
                 for sink in self.sinks:
                     sink.emit(alert)
         self._n_fired += len(fired)

@@ -37,15 +37,46 @@ from ..core.baseline import classify_zscores
 from ..core.imrdmd import TopologyChange
 from ..core.spectrum import MrDMDSpectrum
 from ..hwlog.events import HardwareLog
+from ..obs import OBS, worker_drain_metrics, worker_enable_metrics
 from ..pipeline.config import PipelineConfig
 from ..pipeline.online import OnlineAnalysisPipeline, PipelineSnapshot
 from ..telemetry.generator import TelemetryStream
 from ..telemetry.machine import MachineDescription
 from ..util.parallel import ShardExecutor, make_shard_executor, parallel_map
+from ..util.timer import now
 from .alerts import Alert, AlertContext, AlertEngine
 from .sharding import ShardSpec, ShardingPolicy, SingleShard, validate_partition
 
-__all__ = ["FleetMonitor", "FleetSnapshot", "FleetSpectrum", "TopologyUpdate"]
+__all__ = [
+    "FleetMonitor",
+    "FleetSnapshot",
+    "FleetSpectrum",
+    "IngestStats",
+    "TopologyUpdate",
+]
+
+
+@dataclass
+class IngestStats:
+    """Row accounting for one ingested chunk.
+
+    Under ``missing_rows="nan"`` a short chunk is padded with NaN rows up
+    to the partition's row count before routing; this records how many
+    rows the fleet *actually* received and how they landed per shard —
+    the observable a padded chunk otherwise erases.  The counts are pure
+    functions of the chunk shape and the partition (no timings), so
+    snapshots stay bit-for-bit identical across executor backends.
+    """
+
+    rows_received: int
+    rows_padded: int
+    chunk_columns: int
+    rows_received_by_shard: dict[str, int]
+
+    @property
+    def entries_received(self) -> int:
+        """Sensor readings in the chunk: received rows × columns."""
+        return self.rows_received * self.chunk_columns
 
 
 @dataclass
@@ -57,6 +88,7 @@ class FleetSnapshot:
     n_shards: int
     total_modes: int
     shard_snapshots: dict[str, PipelineSnapshot]
+    ingest_stats: IngestStats | None = None
 
     @property
     def max_drift(self) -> float:
@@ -359,6 +391,14 @@ class FleetMonitor:
                 self._executor_spec, max_workers=self._max_workers
             )
             self._executor.start(self._pipelines)
+            if OBS.enabled:
+                # Process workers are fresh interpreters whose module-level
+                # provider starts disabled; mirror the parent's switch so
+                # core/executor metrics accumulate worker-side (drained home
+                # by collect_metrics / close).  In-process backends report
+                # no remote shards and record straight into the parent.
+                for shard_id in self._executor.remote_worker_shards():
+                    self._executor.call(shard_id, worker_enable_metrics)
         return self._executor
 
     @property
@@ -377,6 +417,8 @@ class FleetMonitor:
         if self._executor is None:
             return
         try:
+            if OBS.enabled:
+                self.collect_metrics()
             if self._resident_remote and not self._executor.closed:
                 self._pipelines = self._executor.pull()
         finally:
@@ -386,6 +428,24 @@ class FleetMonitor:
             self._executor.close()
             self._executor = None
             self._executor_spec = "serial"
+
+    def collect_metrics(self):
+        """Merge any process-worker metric registries into the session
+        provider and return its registry.
+
+        Workers are drained with reset, so calling this repeatedly (or
+        again at :meth:`close`, which invokes it automatically) never
+        double-counts.  A no-op for in-process backends and when the
+        provider is disabled.
+        """
+        if (
+            OBS.enabled
+            and self._executor is not None
+            and not self._executor.closed
+        ):
+            for shard_id in self._executor.remote_worker_shards():
+                OBS.metrics.merge(self._executor.call(shard_id, worker_drain_metrics))
+        return OBS.metrics
 
     def __enter__(self) -> "FleetMonitor":
         return self
@@ -511,11 +571,12 @@ class FleetMonitor:
     # ------------------------------------------------------------------ #
     # Ingestion
     # ------------------------------------------------------------------ #
-    def _validated(self, values: np.ndarray) -> np.ndarray:
+    def _validated(self, values: np.ndarray) -> tuple[np.ndarray, IngestStats]:
         values = np.asarray(values, dtype=float)
         if values.ndim != 2:
             raise ValueError(f"values must be 2-D (P, T), got shape {values.shape!r}")
         required_rows = max(int(spec.row_indices.max()) for spec in self.shards) + 1
+        n_received = min(int(values.shape[0]), required_rows)
         if values.shape[0] < required_rows:
             if self.missing_rows == "raise":
                 raise ValueError(
@@ -536,7 +597,16 @@ class FleetMonitor:
                 f"silently dropped — fix the partition or pass "
                 f"extra_rows='ignore' to the monitor"
             )
-        return values
+        stats = IngestStats(
+            rows_received=n_received,
+            rows_padded=required_rows - n_received,
+            chunk_columns=int(values.shape[1]),
+            rows_received_by_shard={
+                spec.shard_id: int(np.count_nonzero(spec.row_indices < n_received))
+                for spec in self.shards
+            },
+        )
+        return values, stats
 
     def ingest(self, values: np.ndarray, *, processes: int | None = None) -> FleetSnapshot:
         """Feed a ``(P, T_chunk)`` block of full-matrix snapshots.
@@ -553,20 +623,28 @@ class FleetMonitor:
         workers and back.  Prefer ``executor="process"``, which ships the
         state once and keeps it resident.
         """
-        values = self._validated(values)
+        values, stats = self._validated(values)
         if processes is not None and processes < 1:
             # Mirror parallel_map's validation: invalid values must not
             # silently fall back to the serial/executor path.
             raise ValueError(f"processes must be None or >= 1, got {processes!r}")
-        if processes is not None and processes > 1:
-            return self._ingest_pooled(values, processes)
-        snapshots = self._ensure_executor().map(
-            _shard_ingest,
-            {spec.shard_id: (spec.take(values),) for spec in self.shards},
-        )
-        return self._finish_ingest(values, snapshots)
+        t_start = now() if OBS.enabled else 0.0
+        with OBS.span("service.ingest", chunk=stats.chunk_columns):
+            if processes is not None and processes > 1:
+                snapshot = self._ingest_pooled(values, processes, stats)
+            else:
+                snapshots = self._ensure_executor().map(
+                    _shard_ingest,
+                    {spec.shard_id: (spec.take(values),) for spec in self.shards},
+                )
+                snapshot = self._finish_ingest(values, snapshots, stats)
+        if OBS.enabled:
+            self._record_chunk_metrics(stats, now() - t_start)
+        return snapshot
 
-    def _ingest_pooled(self, values: np.ndarray, processes: int) -> FleetSnapshot:
+    def _ingest_pooled(
+        self, values: np.ndarray, processes: int, stats: IngestStats
+    ) -> FleetSnapshot:
         """Legacy per-ingest pool: full pipeline pickled out and back."""
         if self._executor is not None and self._executor.backend != "serial":
             raise ValueError(
@@ -585,19 +663,40 @@ class FleetMonitor:
             if self._executor is not None:
                 self._executor.install(spec.shard_id, pipeline)
             snapshots[spec.shard_id] = snapshot
-        return self._finish_ingest(values, snapshots)
+        return self._finish_ingest(values, snapshots, stats)
 
     def _finish_ingest(
-        self, values: np.ndarray, snapshots: dict[str, PipelineSnapshot]
+        self,
+        values: np.ndarray,
+        snapshots: dict[str, PipelineSnapshot],
+        stats: IngestStats,
     ) -> FleetSnapshot:
         self._step += values.shape[1]
+        if OBS.enabled:
+            # Deterministic row accounting only — never timings — so the
+            # snapshot itself stays identical across executor backends.
+            for shard_id, n_rows in stats.rows_received_by_shard.items():
+                OBS.gauge("service.shard.rows_received", n_rows, shard=shard_id)
+            if stats.rows_padded:
+                OBS.inc("service.rows_padded",
+                        stats.rows_padded * stats.chunk_columns)
         return FleetSnapshot(
             step=self._step,
             chunk_size=int(values.shape[1]),
             n_shards=self.n_shards,
             total_modes=sum(snap.n_modes for snap in snapshots.values()),
             shard_snapshots=snapshots,
+            ingest_stats=stats,
         )
+
+    def _record_chunk_metrics(self, stats: IngestStats, elapsed: float) -> None:
+        """Throughput metrics for one ingested chunk (provider is enabled)."""
+        entries = stats.entries_received
+        OBS.observe("service.chunk.seconds", elapsed)
+        OBS.inc("service.rows", entries)
+        OBS.inc("service.snapshots", stats.chunk_columns)
+        if elapsed > 0.0:
+            OBS.gauge("service.rows_per_sec", entries / elapsed)
 
     # ------------------------------------------------------------------ #
     # Elastic topology
@@ -791,45 +890,51 @@ class FleetMonitor:
         and the drift records are taken from the ingest results instead of
         a second query round-trip.
         """
-        values = self._validated(values)
-        executor = self._ensure_executor()
-        new_step = self._step + values.shape[1]
-        ingest_tasks = [
-            (spec.shard_id, executor.submit(spec.shard_id, _shard_ingest, spec.take(values)))
-            for spec in self.shards
-        ]
-        score_tasks = []
-        if self.alert_engine is not None:
-            lo = max(0, new_step - window)
-            for spec in self.shards:
-                local = self._shard_window(spec, (lo, new_step))
-                if local is False:
-                    continue
-                score_tasks.append(
-                    (
-                        spec.shard_id,
-                        executor.submit(
-                            spec.shard_id, _shard_node_zscores, local, "mean"
-                        ),
+        values, stats = self._validated(values)
+        t_start = now() if OBS.enabled else 0.0
+        with OBS.span("service.ingest_and_alert", chunk=stats.chunk_columns):
+            executor = self._ensure_executor()
+            new_step = self._step + values.shape[1]
+            ingest_tasks = [
+                (spec.shard_id, executor.submit(spec.shard_id, _shard_ingest, spec.take(values)))
+                for spec in self.shards
+            ]
+            score_tasks = []
+            if self.alert_engine is not None:
+                lo = max(0, new_step - window)
+                for spec in self.shards:
+                    local = self._shard_window(spec, (lo, new_step))
+                    if local is False:
+                        continue
+                    score_tasks.append(
+                        (
+                            spec.shard_id,
+                            executor.submit(
+                                spec.shard_id, _shard_node_zscores, local, "mean"
+                            ),
+                        )
                     )
+            snapshots = {shard_id: task.result() for shard_id, task in ingest_tasks}
+            snapshot = self._finish_ingest(values, snapshots, stats)
+            if self.alert_engine is None:
+                alerts: list[Alert] = []
+            else:
+                per_shard = {
+                    shard_id: scores
+                    for shard_id, task in score_tasks
+                    if (scores := task.result()) is not None
+                }
+                context = AlertContext(
+                    step=self._step,
+                    node_zscores=self._merge_node_scores(per_shard, reducer="mean"),
+                    updates={sid: snap.update for sid, snap in snapshots.items()},
+                    hwlog=hwlog,
+                    window=window,
                 )
-        snapshots = {shard_id: task.result() for shard_id, task in ingest_tasks}
-        snapshot = self._finish_ingest(values, snapshots)
-        if self.alert_engine is None:
-            return snapshot, []
-        per_shard = {
-            shard_id: scores
-            for shard_id, task in score_tasks
-            if (scores := task.result()) is not None
-        }
-        context = AlertContext(
-            step=self._step,
-            node_zscores=self._merge_node_scores(per_shard, reducer="mean"),
-            updates={sid: snap.update for sid, snap in snapshots.items()},
-            hwlog=hwlog,
-            window=window,
-        )
-        return snapshot, self.alert_engine.evaluate(context)
+                alerts = self.alert_engine.evaluate(context)
+        if OBS.enabled:
+            self._record_chunk_metrics(stats, now() - t_start)
+        return snapshot, alerts
 
     # ------------------------------------------------------------------ #
     # Fleet-level analysis products

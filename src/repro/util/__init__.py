@@ -13,7 +13,7 @@ from .parallel import (
     parallel_map,
 )
 from .stats import rolling_mean, running_moments, RunningMoments
-from .timer import Timer, TimingTable, timeit
+from .timer import Timer, TimingTable, now, timeit
 from .validation import (
     ensure_2d,
     ensure_positive,
@@ -40,6 +40,7 @@ __all__ = [
     "RunningMoments",
     "Timer",
     "TimingTable",
+    "now",
     "timeit",
     "ensure_2d",
     "ensure_positive",

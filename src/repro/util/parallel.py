@@ -50,6 +50,19 @@ from typing import Any, Callable, Iterable, Mapping, Sequence, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
+# repro.obs imports repro.util.timer/growbuf, and this module is imported by
+# repro.util.__init__ — a top-level obs import here would be circular.  The
+# provider is fetched lazily on first use and cached.
+_OBS = None
+
+
+def _get_obs():
+    global _OBS
+    if _OBS is None:
+        from ..obs import OBS
+        _OBS = OBS
+    return _OBS
+
 __all__ = [
     "parallel_map",
     "ShardExecutor",
@@ -155,15 +168,26 @@ class ShardTask:
 
     def result(self) -> Any:
         if not self._done:
-            if self._event is not None:
-                self._event.wait()
-            elif self._worker is not None:
-                self._worker.wait_for(self)
+            obs = _get_obs()
+            if obs.enabled:
+                from .timer import now
+                blocked = now()
+                self._wait()
+                obs.observe("executor.wait.seconds", now() - blocked,
+                            shard=self.shard_id)
+            else:
+                self._wait()
         if not self._done:
             raise ShardTaskError(f"task for shard {self.shard_id!r} never completed")
         if self._error is not None:
             raise self._error
         return self._result
+
+    def _wait(self) -> None:
+        if self._event is not None:
+            self._event.wait()
+        elif self._worker is not None:
+            self._worker.wait_for(self)
 
 
 class ShardExecutor(ABC):
@@ -237,7 +261,25 @@ class ShardExecutor(ABC):
         if shard_id not in self._objects:
             raise KeyError(f"unknown shard {shard_id!r}")
 
+    def remote_worker_shards(self) -> tuple[str, ...]:
+        """One representative shard id per worker *interpreter* that does
+        not share this process's memory — the addresses a metrics
+        collector must call to reach every remote
+        :data:`repro.obs.OBS` instance.  In-process backends (serial,
+        thread) record straight into the parent provider, so they report
+        none."""
+        return ()
+
     # -- calls ----------------------------------------------------------- #
+    def _record_submit(self, shard_id: str, depth: int | None = None) -> None:
+        """Submission metrics shared by the backends (no-op when disabled)."""
+        obs = _get_obs()
+        if obs.enabled:
+            obs.inc("executor.submitted", backend=self.backend, shard=shard_id)
+            if depth is not None:
+                obs.gauge("executor.queue_depth", depth, backend=self.backend,
+                          shard=shard_id)
+
     @abstractmethod
     def submit(self, shard_id: str, fn: Callable, /, *args, **kwargs) -> ShardTask:
         """Enqueue ``fn(shard_object, *args, **kwargs)``; FIFO per shard."""
@@ -333,9 +375,12 @@ class SerialShardExecutor(ShardExecutor):
 
     def submit(self, shard_id: str, fn: Callable, /, *args, **kwargs) -> ShardTask:
         self._check_ready(shard_id)
+        self._record_submit(shard_id)
         task = ShardTask(shard_id)
         try:
-            task._resolve(fn(self._objects[shard_id], *args, **kwargs), None)
+            with _get_obs().span("executor.task", shard=shard_id, backend=self.backend):
+                result = fn(self._objects[shard_id], *args, **kwargs)
+            task._resolve(result, None)
         except Exception as exc:
             task._resolve(None, exc)
         return task
@@ -390,14 +435,19 @@ class ThreadShardExecutor(ShardExecutor):
             # BaseException included: an unresolved task would leave
             # result() blocked forever on its event.
             try:
-                task._resolve(fn(self._objects[task.shard_id], *args, **kwargs), None)
+                with _get_obs().span("executor.task", shard=task.shard_id,
+                                     backend=self.backend):
+                    result = fn(self._objects[task.shard_id], *args, **kwargs)
+                task._resolve(result, None)
             except BaseException as exc:
                 task._resolve(None, exc)
 
     def submit(self, shard_id: str, fn: Callable, /, *args, **kwargs) -> ShardTask:
         self._check_ready(shard_id)
+        worker_index = self._worker_of_shard[shard_id]
+        self._record_submit(shard_id, depth=self._queues[worker_index].qsize())
         task = ShardTask(shard_id, event=threading.Event())
-        self._queues[self._worker_of_shard[shard_id]].put((task, fn, args, kwargs))
+        self._queues[worker_index].put((task, fn, args, kwargs))
         return task
 
     def install(self, shard_id: str, obj: Any) -> None:
@@ -441,7 +491,12 @@ def _process_worker_main(conn) -> None:
         elif kind == "task":
             _, task_id, shard_id, fn, args, kwargs = message
             try:
-                payload = ("result", task_id, fn(objects[shard_id], *args, **kwargs), None)
+                # The worker interpreter's own provider: disabled unless the
+                # parent turned it on via repro.obs.worker_enable_metrics.
+                with _get_obs().span("executor.task", shard=shard_id,
+                                     backend="process"):
+                    result = fn(objects[shard_id], *args, **kwargs)
+                payload = ("result", task_id, result, None)
             except Exception as exc:
                 payload = ("result", task_id, None, exc)
             try:
@@ -555,9 +610,20 @@ class ProcessShardExecutor(ShardExecutor):
     def submit(self, shard_id: str, fn: Callable, /, *args, **kwargs) -> ShardTask:
         self._check_ready(shard_id)
         worker = self._workers[self._worker_of_shard[shard_id]]
+        self._record_submit(shard_id, depth=len(worker._pending))
         task = ShardTask(shard_id, worker=worker)
         worker.submit(task, fn, args, kwargs)
         return task
+
+    def remote_worker_shards(self) -> tuple[str, ...]:
+        """One resident shard per spawned worker (any shard on a worker
+        reaches that interpreter's module-level provider)."""
+        if not self.started:
+            return ()
+        representative: dict[int, str] = {}
+        for shard_id, index in self._worker_of_shard.items():
+            representative.setdefault(index, shard_id)
+        return tuple(representative[index] for index in sorted(representative))
 
     def install(self, shard_id: str, obj: Any) -> None:
         super().install(shard_id, obj)

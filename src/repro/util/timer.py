@@ -16,7 +16,13 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-__all__ = ["Timer", "timeit", "TimingTable"]
+__all__ = ["now", "Timer", "timeit", "TimingTable"]
+
+#: The one monotonic clock shared by every timing surface in the package —
+#: :class:`Timer`, :func:`timeit`, the benchmark harnesses and the
+#: :mod:`repro.obs` trace spans all read this name, so their timestamps are
+#: directly comparable and there is exactly one place to swap the clock.
+now: Callable[[], float] = time.perf_counter
 
 
 class Timer:
@@ -35,16 +41,16 @@ class Timer:
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = now()
         return self
 
     def __exit__(self, *exc_info) -> None:
         if self._start is not None:
-            self.elapsed = time.perf_counter() - self._start
+            self.elapsed = now() - self._start
 
     def restart(self) -> None:
         """Reset the start time (for manual split timing)."""
-        self._start = time.perf_counter()
+        self._start = now()
         self.elapsed = 0.0
 
 
@@ -66,9 +72,9 @@ def timeit(
         func()
     samples = []
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = now()
         func()
-        samples.append(time.perf_counter() - start)
+        samples.append(now() - start)
     arr = np.asarray(samples, dtype=float)
     return {
         "mean": float(arr.mean()),

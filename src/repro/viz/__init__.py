@@ -5,6 +5,7 @@ from .layout import NodeGeometry, RackLayout, parse_layout_spec, parse_range
 from .rackview import RackView
 from .spectrum_plot import SpectrumPlot
 from .svg import SVGCanvas
+from .textreport import ReportSection, TextReport
 from .timeseries import TimeSeriesView
 
 __all__ = [
@@ -18,5 +19,7 @@ __all__ = [
     "RackView",
     "SpectrumPlot",
     "SVGCanvas",
+    "ReportSection",
+    "TextReport",
     "TimeSeriesView",
 ]

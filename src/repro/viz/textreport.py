@@ -1,0 +1,92 @@
+"""Plain-text / Markdown report builder.
+
+The SVG views in this package target dashboards; :class:`TextReport` is the
+terminal-and-CI sibling used by :mod:`repro.obs.report` (and available to
+the benchmark harnesses): a sequence of sections, each holding free-form
+lines and :class:`~repro.util.timer.TimingTable` tables, rendered either as
+fixed-width text or as GitHub-flavoured Markdown from the same content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.timer import TimingTable
+
+__all__ = ["TextReport", "ReportSection"]
+
+
+@dataclass
+class ReportSection:
+    """One titled block of a report: interleaved lines and tables."""
+
+    title: str
+    blocks: list[object] = field(default_factory=list)  # str | TimingTable
+
+    def add_line(self, line: str = "") -> "ReportSection":
+        self.blocks.append(str(line))
+        return self
+
+    def add_table(self, table: TimingTable) -> "ReportSection":
+        self.blocks.append(table)
+        return self
+
+
+def _markdown_table(table: TimingTable, float_format: str) -> str:
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(table.columns) + " |",
+        "| " + " | ".join("---" for _ in table.columns) + " |",
+    ]
+    for row in table.rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+@dataclass
+class TextReport:
+    """A titled, sectioned report rendering to text or Markdown.
+
+    >>> report = TextReport(title="demo")
+    >>> table = TimingTable(columns=["k", "v"]); table.add_row("a", 1.0)
+    >>> _ = report.section("numbers").add_table(table)
+    >>> print(report.render())          # doctest: +SKIP
+    """
+
+    title: str
+    sections: list[ReportSection] = field(default_factory=list)
+    float_format: str = "{:.4g}"
+
+    def section(self, title: str) -> ReportSection:
+        """Append (and return) a new section."""
+        section = ReportSection(title)
+        self.sections.append(section)
+        return section
+
+    def render(self) -> str:
+        """Fixed-width terminal rendering."""
+        lines = [self.title, "=" * len(self.title)]
+        for section in self.sections:
+            lines += ["", section.title, "-" * len(section.title)]
+            for block in section.blocks:
+                if isinstance(block, TimingTable):
+                    lines.append(block.render(float_format=self.float_format))
+                else:
+                    lines.append(block)
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured Markdown rendering of the same content."""
+        lines = [f"# {self.title}"]
+        for section in self.sections:
+            lines += ["", f"## {section.title}", ""]
+            for block in section.blocks:
+                if isinstance(block, TimingTable):
+                    lines.append(_markdown_table(block, self.float_format))
+                else:
+                    lines.append(block)
+        return "\n".join(lines)

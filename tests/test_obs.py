@@ -1,0 +1,274 @@
+"""Unit tests for repro.obs: metrics, tracer, provider lifecycle, report."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import (
+    OBS,
+    Histogram,
+    JsonLinesTraceSink,
+    MetricsRegistry,
+    RingBufferTraceSink,
+    Tracer,
+)
+from repro.obs.metrics import metric_key
+
+
+@pytest.fixture(autouse=True)
+def pristine_provider():
+    """Every test starts and ends with the module provider disabled/empty."""
+    OBS.reset()
+    yield
+    OBS.reset()
+
+
+# --------------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------------- #
+def test_counter_gauge_histogram_basics():
+    registry = MetricsRegistry()
+    registry.inc("rows", 5)
+    registry.inc("rows", 2.5)
+    registry.set_gauge("rank", 3)
+    registry.set_gauge("rank", 7)
+    for value in (0.001, 0.002, 0.004):
+        registry.observe("latency", value)
+
+    assert registry.counter("rows").value == 7.5
+    gauge = registry.gauge("rank")
+    assert gauge.value == 7 and gauge.n_samples == 2
+    hist = registry.histogram("latency")
+    assert hist.count == 3
+    assert hist.sum == pytest.approx(0.007)
+    assert hist.min == 0.001 and hist.max == 0.004
+    assert hist.mean == pytest.approx(0.007 / 3)
+
+
+def test_counter_rejects_negative_increment():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="only go up"):
+        registry.inc("rows", -1)
+
+
+def test_labels_are_order_insensitive():
+    registry = MetricsRegistry()
+    registry.inc("tasks", 1, shard="a", backend="thread")
+    registry.inc("tasks", 1, backend="thread", shard="a")
+    assert registry.counter("tasks", shard="a", backend="thread").value == 2
+    assert metric_key("x", {"a": 1, "b": 2}) == metric_key("x", {"b": 2, "a": 1})
+
+
+def test_histogram_quantiles_are_clamped_to_observed_range():
+    hist = Histogram(bounds=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 1.6, 3.0, 10.0):
+        hist.observe(value)
+    assert hist.quantile(0.0) >= hist.min
+    assert hist.quantile(1.0) == hist.max
+    assert hist.min <= hist.quantile(0.5) <= hist.max
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        hist.quantile(1.5)
+
+
+def test_histogram_merge_requires_identical_bounds():
+    a, b = Histogram(bounds=(1.0, 2.0)), Histogram(bounds=(1.0, 3.0))
+    with pytest.raises(ValueError, match="bounds"):
+        a.merge(b)
+
+
+def test_registry_merge_is_exact():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.inc("rows", 3)
+    b.inc("rows", 4)
+    b.inc("only_b", 1, shard="s1")
+    a.set_gauge("rank", 2)
+    b.set_gauge("rank", 5)
+    a.observe("lat", 0.01)
+    b.observe("lat", 0.02)
+    b.observe("lat", 0.03)
+
+    a.merge(b)
+    assert a.counter("rows").value == 7
+    assert a.counter("only_b", shard="s1").value == 1
+    # Merge takes the other side's gauge sample (it is the newer one).
+    assert a.gauge("rank").value == 5
+    hist = a.histogram("lat")
+    assert hist.count == 3 and hist.sum == pytest.approx(0.06)
+
+
+def test_registry_round_trips_through_json_and_pickle():
+    registry = MetricsRegistry()
+    registry.inc("rows", 9, shard="rack-0")
+    registry.set_gauge("rank", 4)
+    registry.observe("lat", 0.25)
+
+    # JSON round trip.
+    restored = MetricsRegistry.from_dict(
+        json.loads(json.dumps(registry.to_dict()))
+    )
+    assert restored.totals() == registry.totals()
+    assert restored.histogram("lat").sum == pytest.approx(0.25)
+
+    # Pickle round trip (the transport the process backend uses).
+    cloned = pickle.loads(pickle.dumps(registry))
+    assert cloned.totals() == registry.totals()
+    cloned.inc("rows", 1, shard="rack-0")  # the recreated lock works
+    assert cloned.counter("rows", shard="rack-0").value == 10
+
+
+def test_empty_histogram_serialises_without_inf():
+    state = Histogram().to_dict()
+    assert state["min"] is None and state["max"] is None
+    assert Histogram.from_dict(json.loads(json.dumps(state))).count == 0
+
+
+# --------------------------------------------------------------------------- #
+# Tracer
+# --------------------------------------------------------------------------- #
+def test_spans_nest_and_feed_histograms(tmp_path):
+    registry = MetricsRegistry()
+    ring = RingBufferTraceSink(capacity=16)
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(metrics=registry, sinks=[ring, JsonLinesTraceSink(str(path))])
+
+    with tracer.span("outer", kind="test"):
+        with tracer.span("inner"):
+            pass
+        tracer.record("leaf", 0.005, detail=np.int64(3))
+    tracer.close_sinks()
+
+    events = {event["name"]: event for event in ring.events}
+    assert set(events) == {"outer", "inner", "leaf"}
+    assert events["inner"]["parent_id"] == events["outer"]["span_id"]
+    assert events["leaf"]["parent_id"] == events["outer"]["span_id"]
+    assert events["outer"]["parent_id"] is None
+    assert events["outer"]["attrs"] == {"kind": "test"}
+    # record() back-dates the leaf inside the enclosing span.
+    assert events["leaf"]["duration"] == pytest.approx(0.005)
+    assert events["leaf"]["end"] <= events["outer"]["end"]
+    # numpy attrs are coerced to JSON-safe scalars.
+    assert events["leaf"]["attrs"] == {"detail": 3}
+
+    # Every span observed its duration histogram.
+    for name in ("outer", "inner", "leaf"):
+        assert registry.histogram(f"span.{name}").count == 1
+
+    # The JSON-lines file parses to the same events.
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert {event["name"] for event in lines} == {"outer", "inner", "leaf"}
+
+
+def test_span_marks_errors():
+    registry = MetricsRegistry()
+    ring = RingBufferTraceSink()
+    tracer = Tracer(metrics=registry, sinks=[ring])
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    (event,) = ring.events
+    assert event["error"] is True
+    assert registry.histogram("span.doomed").count == 1
+
+
+def test_ring_buffer_keeps_most_recent():
+    registry = MetricsRegistry()
+    ring = RingBufferTraceSink(capacity=3)
+    tracer = Tracer(metrics=registry, sinks=[ring])
+    for i in range(5):
+        with tracer.span(f"s{i}"):
+            pass
+    assert [event["name"] for event in ring.events] == ["s2", "s3", "s4"]
+
+
+# --------------------------------------------------------------------------- #
+# Provider lifecycle
+# --------------------------------------------------------------------------- #
+def test_disabled_provider_is_inert():
+    assert not OBS.enabled
+    span = OBS.span("anything", shard=1)
+    with span:
+        OBS.inc("c")
+        OBS.gauge("g", 1.0)
+        OBS.observe("h", 0.1)
+        OBS.record("r", 0.1)
+    assert span is OBS.span("something-else"), "shared no-op span"
+    assert len(OBS.metrics) == 0
+    assert OBS.ring is None
+
+
+def test_enable_disable_reset_cycle(tmp_path):
+    obs.enable(trace_path=str(tmp_path / "t.jsonl"))
+    with OBS.span("work"):
+        OBS.inc("c")
+    assert OBS.enabled
+    assert len(OBS.ring) == 1
+    obs.disable()
+    with OBS.span("ignored"):
+        pass
+    # Metrics survive disable (report after the run)...
+    assert OBS.metrics.counter("c").value == 1
+    assert OBS.metrics.histogram("span.work").count == 1
+    # ...and reset clears everything.
+    OBS.reset()
+    assert len(OBS.metrics) == 0
+
+
+def test_drain_detaches_registry():
+    obs.enable()
+    OBS.inc("c", 5)
+    drained = OBS.drain()
+    assert drained.counter("c").value == 5
+    assert len(OBS.metrics) == 0
+    OBS.inc("c", 1)
+    assert OBS.metrics.counter("c").value == 1
+    assert drained.counter("c").value == 5, "drained snapshot is detached"
+
+
+# --------------------------------------------------------------------------- #
+# Report
+# --------------------------------------------------------------------------- #
+def _loaded_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for value in (0.010, 0.020, 0.030, 0.040):
+        registry.observe("span.service.ingest", value)
+        registry.observe("service.chunk.seconds", value)
+    registry.observe("span.core.partial_fit", 0.015)
+    registry.inc("service.rows", 4_000)
+    registry.inc("alerts.fired", 3, rule="zscore")
+    registry.set_gauge("service.rows_per_sec", 123_456.0)
+    return registry
+
+
+def test_summarize_digest():
+    digest = obs.report.summarize(_loaded_registry())
+    spans = {entry["span"]: entry for entry in digest["spans"]}
+    assert spans["service.ingest"]["count"] == 4
+    assert spans["service.ingest"]["total"] == pytest.approx(0.1)
+    assert digest["spans"][0]["span"] == "service.ingest", "sorted by total"
+    assert digest["hotspots"][0]["share_of_busiest"] == 1.0
+    assert digest["throughput"]["rows_per_sec_overall"] == pytest.approx(
+        4_000 / 0.1
+    )
+    assert digest["alerts_by_rule"] == {"zscore": 3}
+
+
+def test_report_renders_text_and_markdown():
+    registry = _loaded_registry()
+    text = obs.report.render_text(registry)
+    markdown = obs.report.render_markdown(registry)
+    assert "service.ingest" in text and "p95" in text
+    assert "rows_per_sec_overall" in text
+    assert markdown.count("|") > 4 and "## " in markdown
+
+
+def test_metrics_json_is_json_safe_and_complete():
+    payload = obs.report.metrics_json(_loaded_registry())
+    parsed = json.loads(json.dumps(payload))
+    assert set(parsed) == {"counters", "gauges", "histograms", "derived"}
+    restored = MetricsRegistry.from_dict(parsed)
+    assert restored.counter("service.rows").value == 4_000
