@@ -1,0 +1,156 @@
+"""Batched shard kernels: stacked BLAS over same-shape iSVD updates.
+
+A fleet step runs one :meth:`IncrementalSVD.update` per shard.  In steady
+state the shards agree on every shape that matters — same retained rank
+``q``, same update-block width ``c``, same state dimension ``P`` (the
+sharding policies split sensors evenly) and same dtype — so the two large
+GEMMs of the Brand update,
+
+.. math::
+
+    L = U^H C, \\qquad R = C - U L,
+
+can be issued as *stacked* 3-D products over ``(k, P, q)`` / ``(k, P, c)``
+operands.  NumPy dispatches each 2-D slice of a stacked ``matmul`` to the
+same cblas GEMM call the per-shard path makes, so the batched results are
+**bit-for-bit identical** to looping — verified by the parity suite in
+``tests/test_batchops.py``.  The per-shard tail (thin QR, core SVD,
+truncation, rotation bookkeeping) has no batched LAPACK form and stays a
+loop, through the exact code :meth:`IncrementalSVD.update` runs
+(:meth:`IncrementalSVD._finish_update`).
+
+:class:`ShardBatchPlanner` is the dispatch layer: it groups a round of
+``(isvd, update_block)`` pairs by shape signature, runs groups of two or
+more through the stacked kernel, and falls back to plain per-shard
+updates for singleton groups — which is automatically what happens across
+growth events (``add_shard`` / ``add_sensors``) and rank divergence,
+because those shards stop sharing a signature.  The fallback is not a
+degraded mode: it *is* the unbatched path.
+
+Instrumentation (all under the serial backend that batches):
+``core.batch.rounds`` / ``core.batch.shards`` counters, the
+``core.batch.grouped`` / ``core.batch.fallback`` split, and a
+``core.batch.kernel`` span around the stacked GEMMs.  These exist only
+where batching runs, so the cross-backend metric parity suite excludes
+``core.batch`` instruments the same way it excludes ``executor.*`` ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs import OBS
+from ..util.timer import now
+from .isvd import IncrementalSVD
+
+__all__ = ["ShardBatchPlanner", "batch_signature"]
+
+
+def batch_signature(isvd: IncrementalSVD, block: np.ndarray) -> tuple | None:
+    """Shape signature under which updates can share a stacked kernel.
+
+    ``None`` means "never batch this one": uninitialised factors take the
+    batch-initialise path inside :meth:`IncrementalSVD.update`, and
+    non-2-D blocks are coerced there too — both are handled by the plain
+    per-shard call.
+    """
+    if not isvd.initialized:
+        return None
+    block = np.asarray(block)
+    if block.ndim != 2 or block.shape[1] == 0:
+        return None  # empty updates are a bookkeeping no-op in update()
+    u = isvd.u
+    if block.shape[0] != u.shape[0]:
+        return None  # let update() raise the precise error
+    return (u.shape[0], u.shape[1], block.shape[1], u.dtype.str, block.dtype.str)
+
+
+class ShardBatchPlanner:
+    """Group a round of per-shard iSVD updates into stacked BLAS calls.
+
+    Usage is one call per fleet round::
+
+        planner = ShardBatchPlanner()
+        planner.run([(isvd_a, block_a), (isvd_b, block_b), ...])
+
+    Each pair is folded into its ``IncrementalSVD`` exactly as
+    ``isvd.update(block)`` would — same factors, same queued right-factor
+    ops, same re-orthogonalisation schedule, same OBS instruments — but
+    pairs whose :func:`batch_signature` agrees share their two large GEMMs
+    as a single stacked 3-D ``matmul`` each.
+
+    Parameters
+    ----------
+    min_group:
+        Smallest signature group worth stacking (default 2; a stack of
+        one is just the plain call with extra copies).
+    """
+
+    def __init__(self, *, min_group: int = 2) -> None:
+        if min_group < 2:
+            raise ValueError("min_group must be >= 2")
+        self.min_group = int(min_group)
+
+    def run(self, updates: list[tuple[IncrementalSVD, np.ndarray]]) -> dict:
+        """Execute one round of updates; returns dispatch statistics.
+
+        The returned dict has ``n_shards``, ``n_grouped`` (shards that
+        went through a stacked kernel), ``n_fallback`` (plain per-shard
+        calls) and ``n_groups`` (stacked kernels issued).
+        """
+        groups: dict[tuple, list[int]] = {}
+        signatures: list[tuple | None] = []
+        for index, (isvd, block) in enumerate(updates):
+            signature = batch_signature(isvd, block)
+            signatures.append(signature)
+            if signature is not None:
+                groups.setdefault(signature, []).append(index)
+
+        n_grouped = 0
+        n_groups = 0
+        batched: set[int] = set()
+        for signature, members in groups.items():
+            if len(members) < self.min_group:
+                continue
+            self._run_group([updates[i] for i in members])
+            batched.update(members)
+            n_grouped += len(members)
+            n_groups += 1
+        for index, (isvd, block) in enumerate(updates):
+            if index not in batched:
+                isvd.update(block)
+
+        stats = {
+            "n_shards": len(updates),
+            "n_grouped": n_grouped,
+            "n_fallback": len(updates) - n_grouped,
+            "n_groups": n_groups,
+        }
+        if OBS.enabled and updates:
+            OBS.inc("core.batch.rounds")
+            OBS.inc("core.batch.shards", len(updates))
+            OBS.inc("core.batch.grouped", n_grouped)
+            OBS.inc("core.batch.fallback", stats["n_fallback"])
+        return stats
+
+    @staticmethod
+    def _run_group(members: list[tuple[IncrementalSVD, np.ndarray]]) -> None:
+        """Stacked projection + residual GEMMs, then the shared tail.
+
+        ``np.stack`` yields C-contiguous 3-D operands, so ``matmul``
+        issues the identical cblas GEMM per slice that the 2-D per-shard
+        call would — each slice of ``l_stack`` / ``r_stack`` is bitwise
+        equal to ``u.conj().T @ block`` / ``block - u @ l``.
+        """
+        t_start = now() if OBS.enabled else 0.0
+        dtype = members[0][0].dtype
+        u_stack = np.stack([isvd.u for isvd, _ in members])
+        c_stack = np.stack(
+            [np.asarray(block, dtype=dtype) for _, block in members]
+        )
+        with OBS.span("core.batch.kernel", shards=len(members),
+                      rank=int(u_stack.shape[2]), cols=int(c_stack.shape[2])):
+            l_stack = np.matmul(u_stack.conj().transpose(0, 2, 1), c_stack)
+            r_stack = c_stack - np.matmul(u_stack, l_stack)
+        for index, (isvd, _) in enumerate(members):
+            isvd._finish_update(l_stack[index], r_stack[index], t_start)

@@ -42,14 +42,22 @@ from .tree import MrDMDNode, MrDMDTree
 
 __all__ = [
     "IncrementalMrDMD",
+    "PreparedChunk",
     "UpdateRecord",
     "TopologyChange",
     "RETENTION_POLICIES",
     "MISSING_VALUE_POLICIES",
+    "DEEP_LEVEL_MODES",
 ]
 
 #: Raw-snapshot retention policies (see :class:`IncrementalMrDMD`).
 RETENTION_POLICIES = ("all", "window", "none")
+
+#: When the levels-2..L recursion over an appended chunk runs (see
+#: :class:`IncrementalMrDMD`): ``"inline"`` on the ingest path (the
+#: historical behaviour), ``"deferred"`` queued for a later
+#: :meth:`IncrementalMrDMD.refresh_deep_levels` call.
+DEEP_LEVEL_MODES = ("inline", "deferred")
 
 #: What to do with non-finite readings in ingested data (see
 #: :class:`IncrementalMrDMD`).
@@ -87,6 +95,30 @@ class UpdateRecord:
     drift: float
     stale: bool
     new_nodes: int
+
+
+@dataclass
+class PreparedChunk:
+    """First half of a split :meth:`IncrementalMrDMD.partial_fit`.
+
+    Produced by :meth:`IncrementalMrDMD.prepare_partial_fit`, consumed by
+    :meth:`IncrementalMrDMD.finish_partial_fit`.  Between the two calls the
+    caller must fold :attr:`isvd_update_block` into the model's level-1
+    iSVD (``model.level1_isvd.update(block)``) whenever it is not ``None``
+    — this is the hook the batched shard kernel
+    (:class:`repro.core.batchops.ShardBatchPlanner`) uses to run many
+    same-shape shard updates as stacked BLAS calls.  ``partial_fit`` itself
+    composes the two phases around a plain per-shard update, so the split
+    introduces no second code path.
+    """
+
+    new_data: np.ndarray
+    chunk_size: int
+    t_old: int
+    t_total: int
+    new_cols: np.ndarray | None
+    isvd_update_block: np.ndarray | None
+    t_start: float
 
 
 @dataclass
@@ -195,6 +227,21 @@ class IncrementalMrDMD:
         Forwarded to :class:`~repro.core.isvd.IncrementalSVD`
         ``lazy_rotation``; both settings produce bit-for-bit identical
         results (the eager mode simply pays the rotation per update).
+    deep_levels:
+        When the levels-2..L mrDMD recursion over an appended chunk runs.
+        ``"inline"`` (default) keeps it on the ingest path — the
+        historical behaviour, reproduced exactly.  ``"deferred"`` runs
+        only the projected level-1 update at ingest and queues the
+        chunk's level-1 residual; a later
+        :meth:`refresh_deep_levels` call (scheduled off the ingest path
+        by the service layer, on drift firings or every N chunks)
+        replays the queued recursions and attaches *bit-for-bit the same
+        nodes* the inline path would have attached — the queue tracks
+        how many :meth:`partial_fit` level shifts each entry has missed,
+        so the re-indexing maths is identical, just late.  Until the
+        refresh lands, reconstructions and alerts see a tree whose deep
+        levels lag the stream by :attr:`deep_stale_snapshots` columns
+        (level 1 is always current).
 
     Examples
     --------
@@ -222,6 +269,7 @@ class IncrementalMrDMD:
         level1_path: str = "projected",
         lazy_vh: bool = True,
         missing_values: str = "raise",
+        deep_levels: str = "inline",
         **config_overrides,
     ) -> None:
         if dt <= 0:
@@ -249,6 +297,10 @@ class IncrementalMrDMD:
                 f"missing_values must be one of {MISSING_VALUE_POLICIES}, "
                 f"got {missing_values!r}"
             )
+        if deep_levels not in DEEP_LEVEL_MODES:
+            raise ValueError(
+                f"deep_levels must be one of {DEEP_LEVEL_MODES}, got {deep_levels!r}"
+            )
         self.dt = float(dt)
         self.config = config
         self.drift_threshold = drift_threshold
@@ -258,6 +310,7 @@ class IncrementalMrDMD:
         self.level1_path = level1_path
         self.lazy_vh = bool(lazy_vh)
         self.missing_values = missing_values
+        self.deep_levels = deep_levels
 
         self._tree: MrDMDTree | None = None
         self._isvd: IncrementalSVD | None = None
@@ -283,6 +336,12 @@ class IncrementalMrDMD:
         # Elastic topology: absolute birth step per row + event history.
         self._row_birth: np.ndarray = np.zeros(0, dtype=int)
         self._topology: list[TopologyChange] = []
+        # Deferred levels-2..L work, oldest first.  Each entry holds the
+        # chunk's level-1 residual plus the bookkeeping needed to attach
+        # the recursion's nodes exactly where the inline path would have:
+        # "start" is the chunk's absolute start column and "shifts" counts
+        # the tree level shifts the entry has missed since it was queued.
+        self._deep_pending: list[dict] = []
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -312,6 +371,30 @@ class IncrementalMrDMD:
     def stale_levels(self) -> bool:
         """True when the level-1 drift has exceeded ``drift_threshold``."""
         return self._stale
+
+    @property
+    def level1_isvd(self) -> IncrementalSVD:
+        """The level-1 incremental SVD (the batched kernel's update target)."""
+        self._require_fitted()
+        return self._isvd
+
+    @property
+    def deep_pending(self) -> int:
+        """Number of chunks whose levels-2..L recursion is still queued."""
+        return len(self._deep_pending)
+
+    @property
+    def deep_stale_snapshots(self) -> int:
+        """How many trailing snapshots the deep levels lag the stream by.
+
+        ``0`` when nothing is queued (the tree is fully current).  Under
+        ``deep_levels="deferred"`` this is the distance from the oldest
+        queued chunk's start to the stream head — the staleness bound that
+        snapshots and alerts stamp.
+        """
+        if not self._deep_pending:
+            return 0
+        return self._n_snapshots - int(self._deep_pending[0]["start"])
 
     @property
     def history(self) -> list[UpdateRecord]:
@@ -415,6 +498,7 @@ class IncrementalMrDMD:
             self._data = None
         self._stale = False
         self._history = []
+        self._deep_pending = []
         self._shrink_level1_grid()
         return self
 
@@ -479,6 +563,27 @@ class IncrementalMrDMD:
         level-1 factors, slow-mode extraction over the full (extended)
         timeline, level re-indexing of the existing tree, and a fresh
         mrDMD recursion over the appended chunk only.
+
+        The call is the composition of :meth:`prepare_partial_fit`, the
+        level-1 iSVD update, and :meth:`finish_partial_fit` — the batched
+        shard kernel (:mod:`repro.core.batchops`) runs the same two phases
+        around a stacked multi-shard update, so both paths share every
+        line of this logic.
+        """
+        prepared = self.prepare_partial_fit(new_data)
+        if prepared.isvd_update_block is not None:
+            self._isvd.update(prepared.isvd_update_block)
+        return self.finish_partial_fit(prepared)
+
+    def prepare_partial_fit(self, new_data: np.ndarray) -> PreparedChunk:
+        """Validate a chunk and extend the level-1 grid (phase one).
+
+        Everything up to — but excluding — the level-1 iSVD update: the
+        returned :class:`PreparedChunk` carries the ``(q_prev+c, c)``
+        update block (``None`` when no new grid column landed, or when the
+        chunk instead batch-initialised the factors).  The caller must
+        fold a non-``None`` block into :attr:`level1_isvd` before calling
+        :meth:`finish_partial_fit`.
         """
         self._require_fitted()
         new_data = np.asarray(new_data, dtype=float)
@@ -502,6 +607,7 @@ class IncrementalMrDMD:
         # ---- 1. extend the level-1 subsampled grid ------------------- #
         new_sub_indices = np.arange(self._next_sub_index, t_total, self._level1_stride)
         new_cols: np.ndarray | None = None
+        update_block: np.ndarray | None = None
         if new_sub_indices.size:
             new_cols = np.ascontiguousarray(new_data[:, new_sub_indices - t_old])
             old_sub_cols = self._sub.n_cols
@@ -511,18 +617,40 @@ class IncrementalMrDMD:
                 # The shifted matrix X = sub[:, :-1] gains the columns
                 # between the previous X end and the new one; the shifted
                 # targets Y = sub[:, 1:] gain exactly `new_cols`.
-                update_block = self._sub.slice(old_sub_cols - 1, self._sub.n_cols - 1)
-                if update_block.shape[1]:
-                    self._isvd.update(update_block)
-                    if self._level1_cross is not None:
-                        self._level1_cross = self._advance_cross(
-                            self._level1_cross, new_cols
-                        )
+                block = self._sub.slice(old_sub_cols - 1, self._sub.n_cols - 1)
+                if block.shape[1]:
+                    update_block = block
             elif self._sub.n_cols >= 2:
                 self._isvd.initialize(self._sub.slice(0, self._sub.n_cols - 1))
                 if self.level1_path == "projected":
                     self._level1_cross = self._initial_cross(self._sub.view())
+        return PreparedChunk(
+            new_data=new_data,
+            chunk_size=t1,
+            t_old=t_old,
+            t_total=t_total,
+            new_cols=new_cols,
+            isvd_update_block=update_block,
+            t_start=t_phase,
+        )
 
+    def finish_partial_fit(self, prepared: PreparedChunk) -> UpdateRecord:
+        """Complete a chunk update whose iSVD phase has already run.
+
+        Phase two of the split :meth:`partial_fit`: advance the level-1
+        cross product through the iSVD's freshly issued right-factor ops,
+        recompute the level-1 DMD, re-index the tree, and run (or defer)
+        the mrDMD recursion over the appended chunk.
+        """
+        new_data = prepared.new_data
+        t1 = prepared.chunk_size
+        t_old = prepared.t_old
+        t_total = prepared.t_total
+        new_cols = prepared.new_cols
+        if prepared.isvd_update_block is not None and self._level1_cross is not None:
+            self._level1_cross = self._advance_cross(self._level1_cross, new_cols)
+
+        t_phase = prepared.t_start
         if OBS.enabled:
             OBS.record("core.grid_extend", now() - t_phase, cols=int(t1))
             t_phase = now()
@@ -607,35 +735,40 @@ class IncrementalMrDMD:
 
         # ---- 3. re-index the previous tree (Algorithm 1, lines 7-9) -- #
         self._tree.shift_levels(1)
+        # Entries already queued for deferred recursion have now missed
+        # one more shift; their nodes must land one level deeper.
+        for entry in self._deep_pending:
+            entry["shifts"] += 1
 
         # ---- 4. mrDMD recursion over the appended chunk --------------- #
         # Subtract the updated level-1 slow dynamics over the new range.
         level1_on_chunk = new_level1.local_reconstruction_range(t_old, t1)
         residual = new_data - level1_on_chunk
-        chunk_config = MrDMDConfig(
-            max_levels=max(self.config.max_levels - 1, 1),
-            max_cycles=self.config.max_cycles,
-            nyquist_factor=self.config.nyquist_factor,
-            min_window=self.config.min_window,
-            use_svht=self.config.use_svht,
-            svd_rank=self.config.svd_rank,
-            split=self.config.split,
-            amplitude_method=self.config.amplitude_method,
-        )
-        chunk_tree = compute_mrdmd(residual, self.dt, chunk_config)
         new_nodes = 0
-        for node in chunk_tree:
-            self._tree.add(
-                node.copy_with(
-                    level=node.level + 1,
-                    start=node.start + t_old,
-                    bin_index=node.bin_index + 1,
-                )
+        if self.deep_levels == "deferred":
+            # Keep only the residual + re-indexing bookkeeping; the
+            # recursion itself runs off the ingest path in
+            # refresh_deep_levels(), attaching bit-for-bit the nodes the
+            # inline branch below would have attached now.
+            self._deep_pending.append(
+                {"start": t_old, "shifts": 0, "residual": residual}
             )
-            new_nodes += 1
-        if OBS.enabled:
-            OBS.record("core.chunk_mrdmd", now() - t_phase,
-                       cols=int(t1), new_nodes=new_nodes)
+            if OBS.enabled:
+                OBS.gauge("core.deep.queue_depth", len(self._deep_pending))
+        else:
+            chunk_tree = compute_mrdmd(residual, self.dt, self._chunk_config())
+            for node in chunk_tree:
+                self._tree.add(
+                    node.copy_with(
+                        level=node.level + 1,
+                        start=node.start + t_old,
+                        bin_index=node.bin_index + 1,
+                    )
+                )
+                new_nodes += 1
+            if OBS.enabled:
+                OBS.record("core.chunk_mrdmd", now() - t_phase,
+                           cols=int(t1), new_nodes=new_nodes)
 
         # ---- 5. install the new level-1 node and bookkeeping ---------- #
         self._tree.add(new_level1)
@@ -661,6 +794,65 @@ class IncrementalMrDMD:
         self._history.append(record)
         self._shrink_level1_grid()
         return record
+
+    def _chunk_config(self) -> MrDMDConfig:
+        """The mrDMD config for the recursion over one appended chunk."""
+        return MrDMDConfig(
+            max_levels=max(self.config.max_levels - 1, 1),
+            max_cycles=self.config.max_cycles,
+            nyquist_factor=self.config.nyquist_factor,
+            min_window=self.config.min_window,
+            use_svht=self.config.use_svht,
+            svd_rank=self.config.svd_rank,
+            split=self.config.split,
+            amplitude_method=self.config.amplitude_method,
+        )
+
+    def refresh_deep_levels(self, max_entries: int | None = None) -> int:
+        """Run queued levels-2..L recursions (the paper's async recompute).
+
+        Under ``deep_levels="deferred"`` each :meth:`partial_fit` queues
+        its chunk's level-1 residual instead of recursing inline; this
+        call drains the queue (oldest first, up to ``max_entries``) and
+        attaches the resulting nodes exactly where the inline path would
+        have: an entry queued at level offset 1 that has missed ``k``
+        later level shifts lands at ``level + 1 + k`` — bit-for-bit the
+        node arrays inline ingestion produces, because the residual was
+        captured against the same updated level-1 reconstruction at
+        ingest time.  Returns the number of nodes added.  Safe (a no-op)
+        when nothing is queued, including under ``deep_levels="inline"``.
+
+        The service layer schedules this off the ingest path — on the
+        persistent shard executor when a ``DriftRule`` fires or every N
+        chunks (:class:`repro.service.FleetMonitor`).
+        """
+        self._require_fitted()
+        n_entries = len(self._deep_pending)
+        if max_entries is not None:
+            n_entries = min(n_entries, max(int(max_entries), 0))
+        if n_entries == 0:
+            return 0
+        t_start = now() if OBS.enabled else 0.0
+        added = 0
+        for _ in range(n_entries):
+            entry = self._deep_pending.pop(0)
+            chunk_tree = compute_mrdmd(
+                entry["residual"], self.dt, self._chunk_config()
+            )
+            for node in chunk_tree:
+                self._tree.add(
+                    node.copy_with(
+                        level=node.level + 1 + entry["shifts"],
+                        start=node.start + entry["start"],
+                        bin_index=node.bin_index + 1,
+                    )
+                )
+                added += 1
+        if OBS.enabled:
+            OBS.record("core.deep_refresh", now() - t_start,
+                       entries=int(n_entries), new_nodes=int(added))
+            OBS.gauge("core.deep.queue_depth", len(self._deep_pending))
+        return added
 
     # ------------------------------------------------------------------ #
     # Elastic topology: streaming new sensor rows
@@ -819,6 +1011,15 @@ class IncrementalMrDMD:
             "level1_path": self.level1_path,
             "lazy_vh": self.lazy_vh,
             "missing_values": self.missing_values,
+            "deep_levels": self.deep_levels,
+            "deep_pending": [
+                {
+                    "start": int(entry["start"]),
+                    "shifts": int(entry["shifts"]),
+                    "residual": entry["residual"],
+                }
+                for entry in self._deep_pending
+            ],
             "level1_stride": self._level1_stride,
             "sub_offset": self._sub_offset,
             "next_sub_index": self._next_sub_index,
@@ -839,12 +1040,18 @@ class IncrementalMrDMD:
     def is_topology_bearing(self) -> bool:
         """Whether this state can only resume on elastic-aware code.
 
-        True once rows have joined mid-stream or the level-1 grid has been
-        shrunk to its trailing column — pre-elastic loaders would silently
-        mis-resume such state, so checkpoints carrying it are stamped with
-        a newer format version (see :mod:`repro.service.checkpoint`).
+        True once rows have joined mid-stream, the level-1 grid has been
+        shrunk to its trailing column, or deferred deep-level work is
+        queued — pre-elastic loaders would silently mis-resume such state
+        (dropping queued refreshes on the floor), so checkpoints carrying
+        it are stamped with a newer format version (see
+        :mod:`repro.service.checkpoint`).
         """
-        return bool(self._topology) or self._sub_offset > 0
+        return (
+            bool(self._topology)
+            or self._sub_offset > 0
+            or bool(self._deep_pending)
+        )
 
     @classmethod
     def from_state_dict(cls, state: dict) -> "IncrementalMrDMD":
@@ -867,7 +1074,16 @@ class IncrementalMrDMD:
             level1_path=str(state.get("level1_path", "projected")),
             lazy_vh=bool(state.get("lazy_vh", True)),
             missing_values=str(state.get("missing_values", "raise")),
+            deep_levels=str(state.get("deep_levels", "inline")),
         )
+        model._deep_pending = [
+            {
+                "start": int(entry["start"]),
+                "shifts": int(entry["shifts"]),
+                "residual": np.asarray(entry["residual"], dtype=float),
+            }
+            for entry in state.get("deep_pending", [])
+        ]
         model._tree = MrDMDTree.from_dict(state["tree"])
         model._isvd = (
             None if state["isvd"] is None else IncrementalSVD.from_dict(state["isvd"])
@@ -941,6 +1157,9 @@ class IncrementalMrDMD:
             else np.zeros((self._n_features, 0), dtype=complex)
         )
         self._stale = False
+        # The batch recompute covers every timeline column, so any queued
+        # deferred deep-level work is subsumed.
+        self._deep_pending = []
         return self._tree
 
     def reconstruct(self, **kwargs) -> np.ndarray:

@@ -278,13 +278,30 @@ class IncrementalSVD:
             return self
 
         t_start = now() if OBS.enabled else 0.0
-        u, s = self._u, self._s
-        q = s.size
-        c = c_block.shape[1]
+        u = self._u
 
         # Project onto the current subspace and extract the residual.
         l_proj = u.conj().T @ c_block              # (q, c)
         residual = c_block - u @ l_proj            # (P, c)
+        return self._finish_update(l_proj, residual, t_start)
+
+    def _finish_update(
+        self, l_proj: np.ndarray, residual: np.ndarray, t_start: float
+    ) -> "IncrementalSVD":
+        """Complete a column update from a precomputed projection/residual.
+
+        This is the tail of :meth:`update` — thin QR of the residual, core
+        re-diagonalisation, truncation, left-basis rotation, right-factor op
+        queueing and bookkeeping.  It is split out so the batched shard
+        kernel (:mod:`repro.core.batchops`) can compute the two large GEMMs
+        (``U^H C`` and ``C - U L``) for many same-shape shards as stacked
+        3-D products and then run this exact per-shard tail, keeping the
+        batched path bit-for-bit identical to :meth:`update`.
+        """
+        u, s = self._u, self._s
+        q = s.size
+        c = l_proj.shape[1]
+
         # Thin QR of the residual: J is (P, k_cols), K is (k_cols, c) with
         # k_cols = min(P, c) -- the update block may be wider than the state
         # dimension, in which case the residual subspace saturates at P.

@@ -172,6 +172,10 @@ def _machine_add_sensors(
     )
 
 
+def _machine_refresh_deep(monitor: FleetMonitor) -> int:
+    return monitor.refresh_deep_levels()
+
+
 def _return_machine(monitor: FleetMonitor) -> FleetMonitor:
     return monitor
 
@@ -641,6 +645,17 @@ class FederatedMonitor:
                 "federation.catchup.replayed_chunks", replayed, machine=name
             )
         return replayed
+
+    def refresh_deep_levels(self) -> int:
+        """Force every machine's queued deep-level work through.
+
+        Fans :meth:`FleetMonitor.refresh_deep_levels` out over the
+        federation (no-op per machine under ``deep_levels="inline"``);
+        returns the total number of tree nodes added fleet-wide.  Call at
+        a quiescent point — after the last round, before final federated
+        products — when machines ran with ``deep_levels="deferred"``.
+        """
+        return sum(self._query_all(_machine_refresh_deep).values())
 
     # ------------------------------------------------------------------ #
     # Federated analysis products

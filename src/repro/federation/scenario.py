@@ -224,6 +224,9 @@ class FederatedScenarioRunner:
         Shard fan-out backend inside each machine's monitor.  Leave serial
         (the default) when ``executor="process"`` — daemon federation
         workers cannot spawn their own child processes.
+    deep_levels:
+        When set (``"inline"``/``"deferred"``), overrides every machine
+        workload's deep-level mode — the CLI's ``--deep-levels`` switch.
     """
 
     def __init__(
@@ -235,6 +238,7 @@ class FederatedScenarioRunner:
         executor: str | None = None,
         machine_executor: str | None = None,
         max_workers: int | None = None,
+        deep_levels: str | None = None,
     ) -> None:
         if scenario.restart_after_chunk is not None:
             if checkpoint_dir is None:
@@ -284,6 +288,7 @@ class FederatedScenarioRunner:
         self.executor = executor
         self.machine_executor = machine_executor
         self.max_workers = max_workers
+        self.deep_levels = deep_levels
 
     # ------------------------------------------------------------------ #
     def _build_router(self) -> AlertRouter:
@@ -310,10 +315,13 @@ class FederatedScenarioRunner:
         )
         if scenario.grows_mid_run:
             stream = _row_prefix_stream(stream, _initial_live_rows(scenario, stream))
+        config = scenario.config
+        if self.deep_levels is not None and config.deep_levels != self.deep_levels:
+            config = replace(config, deep_levels=self.deep_levels)
         return FleetMonitor.from_stream(
             stream,
             policy=scenario.policy,
-            config=scenario.config,
+            config=config,
             alert_engine=engine,
             executor=self.machine_executor,
         )
@@ -457,6 +465,9 @@ class FederatedScenarioRunner:
                         )
                         live_rows[name] = stream.n_rows
 
+            # Deferred deep levels: catch every machine's backlog up before
+            # the final federated products (see ScenarioRunner.run).
+            federated.refresh_deep_levels()
             rack_values = federated.rack_values()
             zscore_map = federated.zscore_map()
         finally:

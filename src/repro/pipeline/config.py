@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
-from ..core.imrdmd import MISSING_VALUE_POLICIES, RETENTION_POLICIES
+from ..core.imrdmd import (
+    DEEP_LEVEL_MODES,
+    MISSING_VALUE_POLICIES,
+    RETENTION_POLICIES,
+)
 from ..core.mrdmd import MrDMDConfig
 
 __all__ = ["PipelineConfig"]
@@ -72,6 +76,20 @@ class PipelineConfig:
         (default) rejects NaN/inf input with a clear error; ``"zero"``
         zero-fills it — required when the fleet monitor pads not-yet-
         reporting sensor rows with NaN (``missing_rows="nan"``).
+    deep_levels:
+        When the levels-2..L recursion over each appended chunk runs
+        (forwarded to :class:`~repro.core.imrdmd.IncrementalMrDMD`):
+        ``"inline"`` (default) on the ingest path, reproducing the
+        historical results exactly; ``"deferred"`` queues it for an
+        asynchronous ``refresh_deep_levels()`` that the fleet monitor
+        schedules off the ingest path (on drift firings or every
+        ``deep_refresh_every`` chunks).  Snapshots stamp the resulting
+        deep-level staleness (``deep_pending`` / ``deep_stale_snapshots``).
+    deep_refresh_every:
+        Under ``deep_levels="deferred"``, schedule a background refresh
+        after this many ingested chunks even when no drift fired
+        (bounding staleness).  ``0`` refreshes only on drift firings /
+        explicit ``drain_refreshes()`` calls.
     """
 
     mrdmd: MrDMDConfig = field(default_factory=MrDMDConfig)
@@ -88,6 +106,8 @@ class PipelineConfig:
     retain_window: int = 4096
     level1_path: str = "projected"
     missing_values: str = "raise"
+    deep_levels: str = "inline"
+    deep_refresh_every: int = 8
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.power_quantile <= 1.0:
@@ -112,6 +132,13 @@ class PipelineConfig:
                 f"missing_values must be one of {MISSING_VALUE_POLICIES}, "
                 f"got {self.missing_values!r}"
             )
+        if self.deep_levels not in DEEP_LEVEL_MODES:
+            raise ValueError(
+                f"deep_levels must be one of {DEEP_LEVEL_MODES}, "
+                f"got {self.deep_levels!r}"
+            )
+        if self.deep_refresh_every < 0:
+            raise ValueError("deep_refresh_every must be >= 0")
         if self.baseline_range[1] < self.baseline_range[0]:
             raise ValueError("baseline_range must be (low, high)")
         if self.zscore_near <= 0 or self.zscore_extreme < self.zscore_near:

@@ -46,12 +46,22 @@ RECONSTRUCTION_CACHE_SIZE = 8
 
 @dataclass
 class PipelineSnapshot:
-    """Analysis products after one update (returned by :meth:`ingest`)."""
+    """Analysis products after one update (returned by :meth:`ingest`).
+
+    ``deep_pending`` / ``deep_stale_snapshots`` stamp the deep-level
+    staleness under ``config.deep_levels="deferred"``: how many chunks
+    still await their levels-2..L recursion and how many trailing
+    snapshots the deep levels lag the stream by (both 0 under
+    ``"inline"``, where the tree is always current).  They default so
+    pickled snapshots from older checkpoints keep loading.
+    """
 
     update: UpdateRecord | None
     n_snapshots: int
     n_modes: int
     reconstruction_error: float | None
+    deep_pending: int = 0
+    deep_stale_snapshots: int = 0
 
 
 class OnlineAnalysisPipeline:
@@ -87,6 +97,7 @@ class OnlineAnalysisPipeline:
             retain_window=self.config.retain_window,
             level1_path=self.config.level1_path,
             missing_values=self.config.missing_values,
+            deep_levels=self.config.deep_levels,
         )
         self.node_of_row = None if node_of_row is None else np.asarray(node_of_row, dtype=int)
         self._baseline: BaselineModel | None = None
@@ -162,15 +173,60 @@ class OnlineAnalysisPipeline:
             else:
                 with OBS.span("core.partial_fit"):
                     update = self.model.partial_fit(data)
-            error = None
-            if self.model.retain_data == "all":
-                error = self.model.reconstruction_error()
-            return PipelineSnapshot(
-                update=update,
-                n_snapshots=self.model.n_snapshots,
-                n_modes=self.model.tree.total_modes,
-                reconstruction_error=error,
-            )
+            return self._snapshot(update)
+
+    def _snapshot(self, update: UpdateRecord | None) -> PipelineSnapshot:
+        error = None
+        if self.model.retain_data == "all":
+            error = self.model.reconstruction_error()
+        return PipelineSnapshot(
+            update=update,
+            n_snapshots=self.model.n_snapshots,
+            n_modes=self.model.tree.total_modes,
+            reconstruction_error=error,
+            deep_pending=self.model.deep_pending,
+            deep_stale_snapshots=self.model.deep_stale_snapshots,
+        )
+
+    def prepare_ingest(self, data: np.ndarray):
+        """Phase one of a batched ingest (see ``FleetMonitor`` batching).
+
+        Returns ``None`` when this chunk is the pipeline's initial fit —
+        there is no iSVD update to batch then; the caller falls back to
+        plain :meth:`ingest`.  Otherwise returns the model's
+        :class:`~repro.core.imrdmd.PreparedChunk`, whose
+        ``isvd_update_block`` the caller feeds through the
+        :class:`~repro.core.batchops.ShardBatchPlanner` (it reaches the
+        model's iSVD via ``pipeline.model.level1_isvd``) before calling
+        :meth:`finish_ingest`.
+        """
+        if not self.model.fitted:
+            return None
+        return self.model.prepare_partial_fit(np.asarray(data, dtype=float))
+
+    def finish_ingest(self, prepared) -> PipelineSnapshot:
+        """Phase two of a batched ingest: everything after the iSVD update.
+
+        Emits the same ``pipeline.ingest`` / ``core.partial_fit`` spans as
+        :meth:`ingest`, so per-shard span counts are identical whichever
+        dispatch path ran.
+        """
+        with OBS.span("pipeline.ingest", cols=int(prepared.chunk_size)):
+            with OBS.span("core.partial_fit"):
+                update = self.model.finish_partial_fit(prepared)
+            return self._snapshot(update)
+
+    def refresh_deep_levels(self, max_entries: int | None = None) -> int:
+        """Drain queued deferred deep-level work (off the ingest path).
+
+        Forwards to
+        :meth:`~repro.core.imrdmd.IncrementalMrDMD.refresh_deep_levels`;
+        the nodes it attaches bump the tree revision, so every memoised
+        product (reconstruction windows, power thresholds, staleness-aware
+        baselines) invalidates exactly as an inline ingest would have.
+        """
+        with OBS.span("pipeline.deep_refresh"):
+            return self.model.refresh_deep_levels(max_entries)
 
     # ------------------------------------------------------------------ #
     # Elastic topology

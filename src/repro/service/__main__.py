@@ -64,6 +64,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default serial; process is reserved for the machine level)",
     )
     parser.add_argument(
+        "--deep-levels",
+        choices=("inline", "deferred"),
+        default=None,
+        help="override the scenario's deep-level mode: 'deferred' queues "
+        "levels-2..L work and refreshes it asynchronously between chunks "
+        "(default: whatever the scenario config says, normally inline)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -161,6 +169,7 @@ def _run(args: argparse.Namespace, name: str) -> int:
             checkpoint_dir=checkpoint_dir,
             executor=args.executor,
             max_workers=args.workers,
+            deep_levels=args.deep_levels,
         ).run()
 
     if scenario.restart_after_chunk is not None and args.checkpoint_dir is None:
@@ -221,6 +230,7 @@ def _run_federated(args: argparse.Namespace, name: str) -> int:
             executor=args.executor,
             machine_executor=args.machine_executor,
             max_workers=args.workers,
+            deep_levels=args.deep_levels,
         ).run()
 
     if args.checkpoint_dir is None:

@@ -146,6 +146,11 @@ class AlertContext:
         Hardware-event log covering the monitored window, when available.
     window:
         Number of trailing snapshots rules should consider "recent".
+    deep_stale:
+        Per-shard deep-level staleness ages (snapshots ingested since the
+        shard's oldest un-refreshed chunk), for fleets running
+        ``deep_levels="deferred"``.  Shards absent from the mapping are
+        fully refreshed; always empty under ``deep_levels="inline"``.
     """
 
     step: int
@@ -153,6 +158,7 @@ class AlertContext:
     updates: dict[str, UpdateRecord | None] = field(default_factory=dict)
     hwlog: HardwareLog | None = None
     window: int = 200
+    deep_stale: dict[str, int] = field(default_factory=dict)
 
 
 class AlertRule(ABC):
@@ -230,6 +236,13 @@ class DriftRule(AlertRule):
             )
             if not crossed:
                 continue
+            stale_age = int(context.deep_stale.get(shard_id, 0))
+            suffix = (
+                f" ({stale_age} snapshots of deep-level work queued for "
+                f"background refresh)"
+                if stale_age
+                else ""
+            )
             alerts.append(Alert(
                 rule=self.name,
                 severity=AlertSeverity.WARNING,
@@ -238,7 +251,8 @@ class DriftRule(AlertRule):
                 value=float(record.drift),
                 message=(
                     f"shard {shard_id}: level-1 mode drift {record.drift:.3g} "
-                    f"exceeded threshold — deep levels stale, refresh recommended"
+                    f"exceeded threshold — deep levels stale, refresh "
+                    f"recommended{suffix}"
                 ),
             ))
         return alerts

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..align.zscore_map import NodeZScores
 from ..core.baseline import classify_zscores
+from ..core.batchops import ShardBatchPlanner
 from ..core.imrdmd import TopologyChange
 from ..core.spectrum import MrDMDSpectrum
 from ..hwlog.events import HardwareLog
@@ -89,6 +90,21 @@ class FleetSnapshot:
     total_modes: int
     shard_snapshots: dict[str, PipelineSnapshot]
     ingest_stats: IngestStats | None = None
+
+    @property
+    def deep_pending(self) -> int:
+        """Queued deep-level refresh entries across the fleet (0 when the
+        pipelines run ``deep_levels="inline"``)."""
+        return sum(snap.deep_pending for snap in self.shard_snapshots.values())
+
+    @property
+    def deep_stale_snapshots(self) -> int:
+        """Worst-case deep-level staleness: snapshots ingested since the
+        oldest un-refreshed chunk of any shard (0 = fully fresh)."""
+        return max(
+            (snap.deep_stale_snapshots for snap in self.shard_snapshots.values()),
+            default=0,
+        )
 
     @property
     def max_drift(self) -> float:
@@ -209,6 +225,20 @@ def _shard_add_sensors(
 
 def _shard_fit_baseline(pipeline: OnlineAnalysisPipeline, kwargs: dict) -> None:
     pipeline.fit_baseline(**kwargs)
+
+
+def _shard_refresh_deep(pipeline: OnlineAnalysisPipeline) -> int:
+    """Drain a shard's queued deep-level work off the ingest path."""
+    if not pipeline.model.fitted:
+        return 0
+    return pipeline.refresh_deep_levels()
+
+
+def _shard_deep_staleness(pipeline: OnlineAnalysisPipeline) -> tuple[int, int]:
+    """``(pending refresh entries, stale snapshot age)`` for one shard."""
+    if not pipeline.model.fitted:
+        return (0, 0)
+    return (pipeline.model.deep_pending, pipeline.model.deep_stale_snapshots)
 
 
 def _shard_state_dict(pipeline: OnlineAnalysisPipeline) -> dict:
@@ -336,6 +366,13 @@ class FleetMonitor:
         self._max_workers = max_workers
         self._executor: ShardExecutor | None = None
         self._step = 0
+        self._batch_planner = ShardBatchPlanner()
+        # Deferred deep-level bookkeeping: in-flight background refresh
+        # task handles and per-shard chunk counters driving the
+        # deep_refresh_every schedule.  Both are empty under
+        # deep_levels="inline".
+        self._refresh_tasks: list = []
+        self._chunks_since_refresh: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -417,6 +454,7 @@ class FleetMonitor:
         if self._executor is None:
             return
         try:
+            self.drain_refreshes()
             if OBS.enabled:
                 self.collect_metrics()
             if self._resident_remote and not self._executor.closed:
@@ -467,10 +505,14 @@ class FleetMonitor:
         what lets :class:`repro.federation.FederatedMonitor` ship whole
         machines to resident federation workers.
         """
+        self.drain_refreshes()
         state = self.__dict__.copy()
         if self._resident_remote and not self._executor.closed:
             state["_pipelines"] = self._executor.pull()
         state["_executor"] = None
+        # Task handles carry events/pipe references and never travel; the
+        # drain above guaranteed there is nothing in flight to lose.
+        state["_refresh_tasks"] = []
         spec = state["_executor_spec"]
         if isinstance(spec, ShardExecutor):
             # A live instance cannot travel; its backend name can.
@@ -500,6 +542,7 @@ class FleetMonitor:
         backend pulls fresh *copies* from the workers (mutating them does
         not affect the service — use shard commands for that).
         """
+        self.drain_refreshes()
         if self._resident_remote:
             self._pipelines = self._executor.pull()
         return dict(self._pipelines)
@@ -508,6 +551,7 @@ class FleetMonitor:
         """The pipeline of one shard (see :attr:`pipelines` for semantics)."""
         if shard_id not in self._pipelines:
             raise KeyError(f"unknown shard {shard_id!r}")
+        self.drain_refreshes()
         if self._resident_remote:
             # Fetch just this shard's resident copy — one pickle, not a
             # full-fleet pull.
@@ -615,7 +659,10 @@ class FleetMonitor:
         does its initial fit on the first call and incremental updates
         afterwards.  Fan-out runs on the monitor's persistent executor
         (see the ``executor`` constructor argument); results are identical
-        across backends.
+        across backends.  On the serial backend the per-shard iSVD
+        updates additionally share stacked BLAS kernels (see
+        :mod:`repro.core.batchops`) — a pure dispatch change, bit-for-bit
+        identical to the fanned-out path.
 
         ``processes > 1`` is the **deprecated** one-shot-pool path kept for
         comparison benchmarks: it spawns a fresh process pool for this
@@ -633,14 +680,52 @@ class FleetMonitor:
             if processes is not None and processes > 1:
                 snapshot = self._ingest_pooled(values, processes, stats)
             else:
-                snapshots = self._ensure_executor().map(
-                    _shard_ingest,
-                    {spec.shard_id: (spec.take(values),) for spec in self.shards},
-                )
+                executor = self._ensure_executor()
+                if executor.backend == "serial":
+                    snapshots = self._ingest_batched(values)
+                else:
+                    snapshots = executor.map(
+                        _shard_ingest,
+                        {spec.shard_id: (spec.take(values),) for spec in self.shards},
+                    )
                 snapshot = self._finish_ingest(values, snapshots, stats)
+            self._schedule_deep_refreshes(snapshot.shard_snapshots)
         if OBS.enabled:
             self._record_chunk_metrics(stats, now() - t_start)
         return snapshot
+
+    def _ingest_batched(self, values: np.ndarray) -> dict[str, PipelineSnapshot]:
+        """Serial-backend ingest round through the stacked shard kernels.
+
+        Each shard's update is split into its prepare / level-1-iSVD /
+        finish phases; the iSVD phases of shards whose shapes agree run as
+        stacked 3-D GEMMs via :class:`~repro.core.batchops.ShardBatchPlanner`
+        (shards that diverge — mid initial fit, fresh ``add_shard`` /
+        ``add_sensors`` growth — fall back to the plain per-shard path
+        inside the planner).  Snapshots are bit-for-bit identical to the
+        ``executor.map`` fan-out, which the parity tests assert.
+        """
+        prepared: dict[str, object | None] = {}
+        pending: list[tuple] = []
+        for spec in self.shards:
+            pipeline = self._pipelines[spec.shard_id]
+            prep = pipeline.prepare_ingest(spec.take(values))
+            prepared[spec.shard_id] = prep
+            if prep is not None and prep.isvd_update_block is not None:
+                pending.append((pipeline.model.level1_isvd, prep.isvd_update_block))
+        if pending:
+            self._batch_planner.run(pending)
+        snapshots: dict[str, PipelineSnapshot] = {}
+        for spec in self.shards:
+            pipeline = self._pipelines[spec.shard_id]
+            prep = prepared[spec.shard_id]
+            if prep is None:
+                # Initial fit — not an incremental update; the plain path
+                # handles it whole.
+                snapshots[spec.shard_id] = pipeline.ingest(spec.take(values))
+            else:
+                snapshots[spec.shard_id] = pipeline.finish_ingest(prep)
+        return snapshots
 
     def _ingest_pooled(
         self, values: np.ndarray, processes: int, stats: IngestStats
@@ -697,6 +782,115 @@ class FleetMonitor:
         OBS.inc("service.snapshots", stats.chunk_columns)
         if elapsed > 0.0:
             OBS.gauge("service.rows_per_sec", entries / elapsed)
+
+    # ------------------------------------------------------------------ #
+    # Asynchronous deep-level refresh (deep_levels="deferred")
+    # ------------------------------------------------------------------ #
+    def _schedule_deep_refreshes(self, snapshots: dict[str, PipelineSnapshot]) -> None:
+        """Queue background deep-level refreshes after one ingest round.
+
+        Under ``deep_levels="deferred"`` a shard's levels-2..L work
+        accumulates in its pipeline; this schedules the drain as an
+        executor task — behind the shard's own FIFO queue, so it runs off
+        the ingest critical path (overlapping the *next* chunks on
+        thread/process backends) while every later command on that shard
+        still observes the refreshed tree.  A shard is scheduled when its
+        drift flag fired this chunk or every ``deep_refresh_every`` chunks,
+        whichever comes first; the decision depends only on snapshot
+        contents, so scheduling (and the resulting trees) are identical
+        across backends.  No-op under ``deep_levels="inline"``.
+        """
+        if self.config.deep_levels != "deferred":
+            return
+        executor = self._ensure_executor()
+        every = self.config.deep_refresh_every
+        n_scheduled = 0
+        for shard_id, snap in snapshots.items():
+            if snap.update is None:
+                continue  # initial fit: nothing deferred yet
+            count = self._chunks_since_refresh.get(shard_id, 0) + 1
+            self._chunks_since_refresh[shard_id] = count
+            drifted = bool(snap.update.stale)
+            due = every > 0 and count >= every
+            if (drifted or due) and snap.deep_pending > 0:
+                self._chunks_since_refresh[shard_id] = 0
+                self._refresh_tasks.append(
+                    executor.submit(shard_id, _shard_refresh_deep)
+                )
+                n_scheduled += 1
+        if OBS.enabled:
+            if n_scheduled:
+                OBS.inc("service.deep_refresh.scheduled", n_scheduled)
+            # Deterministic staleness gauges (snapshot contents only).
+            OBS.gauge(
+                "service.deep.queue_depth",
+                sum(snap.deep_pending for snap in snapshots.values()),
+            )
+            OBS.gauge(
+                "service.deep.stale_snapshots",
+                max((snap.deep_stale_snapshots for snap in snapshots.values()),
+                    default=0),
+            )
+
+    def drain_refreshes(self) -> int:
+        """Wait for every scheduled deep-level refresh; returns the total
+        number of tree nodes the refreshes added.
+
+        Ingest keeps scheduling refreshes in the background; call this at
+        a quiescent point (before a checkpoint comparison, in tests, at
+        shutdown — :meth:`close` and pickling do it automatically) to
+        guarantee no refresh task is still in flight.  Queued-but-never-
+        scheduled entries stay queued: they are ordinary serialisable
+        model state, not in-flight work.
+        """
+        if not self._refresh_tasks:
+            return 0
+        tasks, self._refresh_tasks = self._refresh_tasks, []
+        return sum(int(task.result() or 0) for task in tasks)
+
+    def refresh_deep_levels(self) -> int:
+        """Force every queued deep-level entry through, fleet-wide.
+
+        Submits a refresh to each shard and waits (alongside any refreshes
+        already in flight); returns the total number of tree nodes added.
+        After this the fleet's trees match what ``deep_levels="inline"``
+        would have produced — use it to catch up before a final analysis
+        when the drift/every-N schedule has not drained the backlog yet.
+        No-op (returns 0) under ``deep_levels="inline"``.
+        """
+        if self.config.deep_levels != "deferred":
+            return 0
+        executor = self._ensure_executor()
+        self._refresh_tasks.extend(
+            executor.submit(spec.shard_id, _shard_refresh_deep)
+            for spec in self.shards
+        )
+        self._chunks_since_refresh.clear()
+        added = self.drain_refreshes()
+        if OBS.enabled:
+            # The backlog gauges otherwise keep the last mid-run reading.
+            OBS.gauge("service.deep.queue_depth", 0)
+            OBS.gauge("service.deep.stale_snapshots", 0)
+        return added
+
+    def deep_staleness(self) -> dict[str, tuple[int, int]]:
+        """Per-shard ``(pending refresh entries, stale snapshot age)``.
+
+        Answered through the executor, so on thread/process backends the
+        values reflect every refresh already scheduled for a shard (the
+        query queues behind it).  All zeros under ``deep_levels="inline"``.
+        """
+        return self._query_all(_shard_deep_staleness)
+
+    def _deep_stale_ages(self) -> dict[str, int]:
+        """Nonzero per-shard staleness ages for alert-context stamping."""
+        if self.config.deep_levels != "deferred":
+            return {}
+        return {
+            shard_id: int(stale)
+            for shard_id, (_pending, stale) in self.deep_staleness().items()
+            if stale
+        }
 
     # ------------------------------------------------------------------ #
     # Elastic topology
@@ -892,6 +1086,7 @@ class FleetMonitor:
         """
         values, stats = self._validated(values)
         t_start = now() if OBS.enabled else 0.0
+        deferred = self.config.deep_levels == "deferred"
         with OBS.span("service.ingest_and_alert", chunk=stats.chunk_columns):
             executor = self._ensure_executor()
             new_step = self._step + values.shape[1]
@@ -900,22 +1095,21 @@ class FleetMonitor:
                 for spec in self.shards
             ]
             score_tasks = []
-            if self.alert_engine is not None:
-                lo = max(0, new_step - window)
-                for spec in self.shards:
-                    local = self._shard_window(spec, (lo, new_step))
-                    if local is False:
-                        continue
-                    score_tasks.append(
-                        (
-                            spec.shard_id,
-                            executor.submit(
-                                spec.shard_id, _shard_node_zscores, local, "mean"
-                            ),
-                        )
-                    )
+            if self.alert_engine is not None and not deferred:
+                # Inline deep levels: a shard's tree is final once its
+                # update ran, so scoring overlaps the other shards'
+                # updates (per-shard FIFO keeps each score behind its own
+                # shard's ingest).
+                score_tasks = self._submit_score_tasks(executor, new_step, window)
             snapshots = {shard_id: task.result() for shard_id, task in ingest_tasks}
             snapshot = self._finish_ingest(values, snapshots, stats)
+            self._schedule_deep_refreshes(snapshots)
+            if self.alert_engine is not None and deferred:
+                # Deferred deep levels: scoring must observe the
+                # post-refresh trees — exactly what evaluate_alerts()
+                # after a plain ingest() sees — so the score tasks are
+                # submitted after the refresh tasks and queue behind them.
+                score_tasks = self._submit_score_tasks(executor, new_step, window)
             if self.alert_engine is None:
                 alerts: list[Alert] = []
             else:
@@ -930,11 +1124,30 @@ class FleetMonitor:
                     updates={sid: snap.update for sid, snap in snapshots.items()},
                     hwlog=hwlog,
                     window=window,
+                    deep_stale=self._deep_stale_ages(),
                 )
                 alerts = self.alert_engine.evaluate(context)
         if OBS.enabled:
             self._record_chunk_metrics(stats, now() - t_start)
         return snapshot, alerts
+
+    def _submit_score_tasks(
+        self, executor: ShardExecutor, new_step: int, window: int
+    ) -> list[tuple[str, object]]:
+        """Enqueue the per-shard recent-window scoring commands."""
+        lo = max(0, new_step - window)
+        tasks = []
+        for spec in self.shards:
+            local = self._shard_window(spec, (lo, new_step))
+            if local is False:
+                continue
+            tasks.append(
+                (
+                    spec.shard_id,
+                    executor.submit(spec.shard_id, _shard_node_zscores, local, "mean"),
+                )
+            )
+        return tasks
 
     # ------------------------------------------------------------------ #
     # Fleet-level analysis products
@@ -1074,5 +1287,6 @@ class FleetMonitor:
             updates=self.last_updates(),
             hwlog=hwlog,
             window=window,
+            deep_stale=self._deep_stale_ages(),
         )
         return self.alert_engine.evaluate(context)

@@ -301,6 +301,11 @@ class ScenarioRunner:
         Deprecated one-shot-pool fan-out forwarded to
         :meth:`FleetMonitor.ingest`; kept for comparison benchmarks.
         Mutually exclusive with a non-serial ``executor``.
+    deep_levels:
+        When set (``"inline"``/``"deferred"``), overrides the scenario
+        config's deep-level mode — the CLI's ``--deep-levels`` switch for
+        trying the asynchronous levels-2..L refresh on any catalog
+        workload without editing it.
     """
 
     def __init__(
@@ -312,6 +317,7 @@ class ScenarioRunner:
         executor: str | None = None,
         max_workers: int | None = None,
         processes: int | None = None,
+        deep_levels: str | None = None,
     ) -> None:
         if scenario.restart_after_chunk is not None:
             if checkpoint_dir is None:
@@ -330,6 +336,10 @@ class ScenarioRunner:
             )
         if processes is not None and executor not in (None, "serial"):
             raise ValueError("pass either executor or processes, not both")
+        if deep_levels is not None and scenario.config.deep_levels != deep_levels:
+            scenario = replace(
+                scenario, config=replace(scenario.config, deep_levels=deep_levels)
+            )
         self.scenario = scenario
         self.sinks = list(sinks)
         self.checkpoint_dir = checkpoint_dir
@@ -417,6 +427,10 @@ class ScenarioRunner:
                     )
                     restarted = True
 
+            # Deferred deep levels: catch the backlog up before the final
+            # products, so the returned monitor answers exactly like an
+            # inline run (mid-run staleness was the trade, not the result).
+            monitor.refresh_deep_levels()
             rack_values = monitor.rack_values()
         finally:
             monitor.close()

@@ -1,0 +1,203 @@
+"""Batched shard kernels: stacked GEMMs must be bit-for-bit the loop.
+
+The whole point of :mod:`repro.core.batchops` is that it is a *dispatch*
+change, not a numerical one: grouping same-shape iSVD updates into stacked
+3-D matmuls yields exactly the factors the per-shard loop yields.  These
+tests assert bitwise equality at the iSVD level, at the fleet level
+(serial batched ingest vs thread fan-out), and across mid-run topology
+growth, where shards diverge in shape and must fall back per-shard.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import MrDMDConfig
+from repro.core.batchops import ShardBatchPlanner, batch_signature
+from repro.core.isvd import IncrementalSVD
+from repro.pipeline import PipelineConfig
+from repro.service import FleetMonitor, RackSharding
+from repro.service.scenarios import _row_prefix_stream
+from repro.telemetry import HotNodes, TelemetryGenerator, theta_machine
+
+CONFIG = PipelineConfig(
+    mrdmd=MrDMDConfig(max_levels=3),
+    baseline_range=(40.0, 75.0),
+)
+
+
+def _make_isvd(rank: int, n_rows: int, n_cols: int, seed: int) -> IncrementalSVD:
+    gen = np.random.default_rng(seed)
+    isvd = IncrementalSVD(rank=rank, use_svht=False)
+    isvd.update(gen.standard_normal((n_rows, n_cols)))
+    return isvd
+
+
+def _states_equal(a: IncrementalSVD, b: IncrementalSVD) -> bool:
+    sa, sb = a.state, b.state
+    return (
+        np.array_equal(sa.u, sb.u)
+        and np.array_equal(sa.s, sb.s)
+        and np.array_equal(sa.vh, sb.vh)
+    )
+
+
+class TestBatchSignature:
+    def test_uninitialized_is_never_batched(self):
+        isvd = IncrementalSVD(rank=4)
+        assert batch_signature(isvd, np.ones((8, 3))) is None
+
+    def test_empty_and_non_2d_blocks_are_never_batched(self):
+        isvd = _make_isvd(rank=4, n_rows=8, n_cols=12, seed=0)
+        assert batch_signature(isvd, np.ones((8, 0))) is None
+        assert batch_signature(isvd, np.ones(8)) is None
+
+    def test_row_mismatch_is_never_batched(self):
+        isvd = _make_isvd(rank=4, n_rows=8, n_cols=12, seed=0)
+        assert batch_signature(isvd, np.ones((9, 3))) is None
+
+    def test_agreeing_shards_share_a_signature(self):
+        a = _make_isvd(rank=4, n_rows=8, n_cols=12, seed=0)
+        b = _make_isvd(rank=4, n_rows=8, n_cols=12, seed=1)
+        block = np.ones((8, 3))
+        assert batch_signature(a, block) == batch_signature(b, block)
+
+    def test_rank_divergence_splits_the_group(self):
+        a = _make_isvd(rank=4, n_rows=8, n_cols=12, seed=0)
+        b = _make_isvd(rank=5, n_rows=8, n_cols=12, seed=1)
+        block = np.ones((8, 3))
+        assert batch_signature(a, block) != batch_signature(b, block)
+
+
+class TestPlannerParity:
+    def test_min_group_validation(self):
+        with pytest.raises(ValueError):
+            ShardBatchPlanner(min_group=1)
+
+    def test_grouped_updates_are_bitwise_identical_to_looping(self):
+        gen = np.random.default_rng(42)
+        batched = [_make_isvd(rank=6, n_rows=24, n_cols=40, seed=s) for s in range(5)]
+        looped = [copy.deepcopy(isvd) for isvd in batched]
+        planner = ShardBatchPlanner()
+        for _round in range(6):
+            blocks = [gen.standard_normal((24, 8)) for _ in batched]
+            stats = planner.run(list(zip(batched, blocks)))
+            assert stats["n_grouped"] == len(batched)
+            assert stats["n_fallback"] == 0
+            for isvd, block in zip(looped, blocks):
+                isvd.update(block)
+            for a, b in zip(batched, looped):
+                assert _states_equal(a, b)
+                assert a.current_rank == b.current_rank
+                assert a.n_columns == b.n_columns
+
+    def test_divergent_member_falls_back_and_stays_correct(self):
+        gen = np.random.default_rng(7)
+        same = [_make_isvd(rank=6, n_rows=24, n_cols=40, seed=s) for s in range(3)]
+        odd = _make_isvd(rank=6, n_rows=30, n_cols=40, seed=9)  # different P
+        looped = [copy.deepcopy(isvd) for isvd in (*same, odd)]
+        blocks = [gen.standard_normal((24, 8)) for _ in same]
+        odd_block = gen.standard_normal((30, 8))
+        stats = ShardBatchPlanner().run(
+            list(zip(same, blocks)) + [(odd, odd_block)]
+        )
+        assert stats == {
+            "n_shards": 4, "n_grouped": 3, "n_fallback": 1, "n_groups": 1,
+        }
+        for isvd, block in zip(looped, (*blocks, odd_block)):
+            isvd.update(block)
+        for a, b in zip((*same, odd), looped):
+            assert _states_equal(a, b)
+
+    def test_singleton_group_takes_the_plain_path(self):
+        isvd = _make_isvd(rank=4, n_rows=8, n_cols=12, seed=0)
+        twin = copy.deepcopy(isvd)
+        block = np.random.default_rng(1).standard_normal((8, 3))
+        stats = ShardBatchPlanner().run([(isvd, block)])
+        assert stats["n_grouped"] == 0 and stats["n_fallback"] == 1
+        twin.update(block)
+        assert _states_equal(isvd, twin)
+
+    def test_empty_round_is_a_noop(self):
+        assert ShardBatchPlanner().run([]) == {
+            "n_shards": 0, "n_grouped": 0, "n_fallback": 0, "n_groups": 0,
+        }
+
+
+@pytest.fixture(scope="module")
+def batch_stream():
+    machine = theta_machine(racks_per_row=1, n_rows=2, node_limit=64)
+    generator = TelemetryGenerator(machine, seed=23, utilization_target=0.3)
+    return generator.generate(
+        560,
+        sensors=["cpu_temp", "node_power"],
+        anomalies=[HotNodes(node_indices=(10, 11), start=260, delta=12.0)],
+    )
+
+
+def _drive_fleet(stream, backend, *, grow_at=None):
+    """Ingest the stream; optionally stream extra sensors in mid-run.
+
+    The serial backend dispatches through the batched kernels; thread
+    fan-out is the unbatched reference.  With ``grow_at`` the second
+    sensor's rows join at that chunk, which makes shard shapes diverge
+    (fallback) and then re-converge (re-batched).
+    """
+    n_rows = stream.n_rows
+    live = n_rows // 2 if grow_at is not None else n_rows
+    monitor = FleetMonitor.from_stream(
+        _row_prefix_stream(stream, live) if grow_at is not None else stream,
+        policy=RackSharding(),
+        config=CONFIG,
+        executor=backend,
+        max_workers=2,
+    )
+    snapshots = []
+    with monitor:
+        monitor.ingest(stream.values[:live, :240])
+        for index, (lo, hi) in enumerate(
+            ((240, 320), (320, 400), (400, 480), (480, 560)), start=1
+        ):
+            snapshots.append(monitor.ingest(stream.values[:live, lo:hi]))
+            if grow_at == index:
+                monitor.add_sensors(
+                    np.asarray(stream.sensor_names)[live:],
+                    np.asarray(stream.node_indices)[live:],
+                    policy=RackSharding(),
+                    machine=stream.machine,
+                )
+                live = n_rows
+        rack_values = monitor.rack_values()
+    return snapshots, rack_values
+
+
+def _assert_fleet_parity(run_a, run_b):
+    snaps_a, racks_a = run_a
+    snaps_b, racks_b = run_b
+    assert racks_a == racks_b
+    for snap_a, snap_b in zip(snaps_a, snaps_b):
+        assert snap_a.step == snap_b.step
+        assert snap_a.total_modes == snap_b.total_modes
+        for shard_id, pipe_a in snap_a.shard_snapshots.items():
+            pipe_b = snap_b.shard_snapshots[shard_id]
+            assert pipe_a.n_modes == pipe_b.n_modes
+            if pipe_a.update is not None:
+                assert pipe_a.update.drift == pipe_b.update.drift
+
+
+def test_serial_batched_matches_thread_fanout(batch_stream):
+    """Fleet products are bitwise identical whichever dispatch ran."""
+    _assert_fleet_parity(
+        _drive_fleet(batch_stream, "serial"), _drive_fleet(batch_stream, "thread")
+    )
+
+
+def test_mid_run_growth_falls_back_then_rebatches(batch_stream):
+    """add_sensors mid-run diverges shard shapes; parity must survive."""
+    _assert_fleet_parity(
+        _drive_fleet(batch_stream, "serial", grow_at=2),
+        _drive_fleet(batch_stream, "thread", grow_at=2),
+    )
