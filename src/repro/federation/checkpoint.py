@@ -35,6 +35,7 @@ from typing import Iterable, Mapping, Sequence
 from ..service.alerts import AlertRule, AlertSink
 from ..service.checkpoint import (
     MANIFEST_NAME,
+    CheckpointError,
     load_checkpoint,
     resolve_checkpoint_dir,
     rotate_into,
@@ -123,10 +124,27 @@ def read_federated_manifest(directory: str) -> dict:
     ``directory`` may be a concrete checkpoint or a rotation root (the
     newest entry is used).  Pointing at a single-machine service
     checkpoint is reported as such instead of failing on a missing key.
+    A missing or unparsable manifest raises
+    :class:`~repro.service.checkpoint.CheckpointError` naming the file.
     """
     directory = resolve_checkpoint_dir(directory)
-    with open(os.path.join(directory, MANIFEST_NAME), "r", encoding="utf-8") as fh:
-        manifest = json.load(fh)
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"no federated checkpoint manifest at {path!r}") from exc
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"federated checkpoint manifest {path!r} is not valid JSON "
+            f"({type(exc).__name__}: {exc}); the checkpoint is corrupt — "
+            f"restore from an older rotation entry"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise CheckpointError(
+            f"federated checkpoint manifest {path!r} must hold a JSON "
+            f"object, got {type(manifest).__name__}"
+        )
     if manifest.get("kind") != "federation":
         raise ValueError(
             f"{directory!r} holds a single-machine service checkpoint, not a "
@@ -175,15 +193,20 @@ def load_federated_checkpoint(
     directory = manifest.pop("__directory__")
 
     registry = MachineRegistry()
-    for name in manifest["machines"]:
-        registry.register(
-            name,
-            load_checkpoint(
-                os.path.join(directory, MACHINES_DIRNAME, name),
-                rules=rules,
-                executor=machine_executor,
-            ),
-        )
+    for name in manifest.get("machines") or ():
+        machine_dir = os.path.join(directory, MACHINES_DIRNAME, name)
+        try:
+            monitor = load_checkpoint(
+                machine_dir, rules=rules, executor=machine_executor
+            )
+        except FileNotFoundError as exc:
+            raise CheckpointError(
+                f"federated checkpoint under {directory!r} lists machine "
+                f"{name!r} but its per-machine checkpoint at "
+                f"{machine_dir!r} is missing — restore from an older "
+                f"rotation entry"
+            ) from exc
+        registry.register(name, monitor)
 
     if router is None:
         router = AlertRouter(sinks=sinks, machine_sinks=machine_sinks)

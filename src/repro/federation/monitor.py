@@ -75,6 +75,22 @@ class FederatedSnapshot:
         """Largest drift across the whole federation this round."""
         return max(self.drift_by_machine.values(), default=0.0)
 
+    @property
+    def degraded_shards(self) -> dict[str, tuple[str, ...]]:
+        """Quarantined shards per machine (machines with none are omitted).
+
+        A supervised machine (see
+        :class:`~repro.resilience.ResiliencePolicy`) keeps answering
+        rounds after quarantining a failing shard; this surfaces that
+        degradation at the federation level so operators see which
+        machines are running on reduced coverage.
+        """
+        return {
+            machine: snap.degraded_shards
+            for machine, snap in self.machine_snapshots.items()
+            if snap.degraded_shards
+        }
+
 
 @dataclass
 class FederatedSpectrum:
@@ -400,11 +416,19 @@ class FederatedMonitor:
         self._step = max(
             self._step, max(snap.step for snap in snapshots.values())
         )
-        return FederatedSnapshot(
+        snapshot = FederatedSnapshot(
             step=self._step,
             n_machines=len(snapshots),
             machine_snapshots=snapshots,
         )
+        if OBS.enabled:
+            # Deterministic degradation accounting (membership only):
+            # quarantined shard count across the round's machines.
+            OBS.gauge(
+                "federation.degraded_shards",
+                float(sum(len(v) for v in snapshot.degraded_shards.values())),
+            )
+        return snapshot
 
     def _record_round(
         self,

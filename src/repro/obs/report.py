@@ -40,7 +40,9 @@ def summarize(registry: MetricsRegistry) -> dict:
     ``alerts_by_rule`` and ``ingest_path`` (raw-speed mechanics: batched
     shard-kernel grouping rate, shared-memory transport placement, and
     the deferred deep-level refresh backlog, present only when those
-    instruments fired).
+    instruments fired) and ``resilience`` (supervisor activity: task
+    failures by kind, retries, worker respawns, quarantine state and
+    recovery-snapshot cost, present only when a supervised monitor ran).
     """
     spans = []
     for (name, labels), hist in registry.histograms():
@@ -125,12 +127,54 @@ def summarize(registry: MetricsRegistry) -> dict:
             "service.deep.stale_snapshots", 0.0
         )
 
+    # Resilience digest: sums over the supervisor's labelled counters.
+    # Present only when supervision actually did something (a fault-free
+    # supervised run still records recovery snapshots, which is worth
+    # surfacing — it is the cost side of the crash-recovery guarantee).
+    failures_by_kind: dict[str, float] = {}
+    retries = 0.0
+    respawns = 0.0
+    for key, counter in registry.counters():
+        name, labels = key
+        if name == "service.resilience.failures":
+            kind = dict(labels).get("kind", "<unlabelled>")
+            failures_by_kind[kind] = failures_by_kind.get(kind, 0.0) + counter.value
+        elif name == "service.resilience.retries":
+            retries += counter.value
+        elif name == "executor.worker.respawned":
+            respawns += counter.value
+    resilience: dict = {}
+    if (
+        failures_by_kind
+        or retries
+        or respawns
+        or counters.get("service.resilience.snapshots")
+    ):
+        resilience = {
+            "failures": sum(failures_by_kind.values()),
+            "failures_by_kind": dict(sorted(failures_by_kind.items())),
+            "retries": retries,
+            "worker_respawns": respawns,
+            "quarantined": counters.get("service.resilience.quarantined", 0.0),
+            "quarantined_shards": gauges.get(
+                "service.resilience.quarantined_shards", 0.0
+            ),
+            "rehydrated_shards": counters.get(
+                "service.resilience.rehydrated_shards", 0.0
+            ),
+            "replayed_chunks": counters.get(
+                "service.resilience.replayed_chunks", 0.0
+            ),
+            "snapshots": counters.get("service.resilience.snapshots", 0.0),
+        }
+
     return {
         "spans": spans,
         "hotspots": hotspots,
         "throughput": throughput,
         "alerts_by_rule": alerts_by_rule,
         "ingest_path": ingest_path,
+        "resilience": resilience,
         "counters": counters,
         "gauges": gauges,
     }
@@ -203,6 +247,30 @@ def build_report(
                 f"{path['deep_stale_snapshots']:.0f} snapshot(s)"
             )
 
+    if digest["resilience"]:
+        section = report.section("resilience")
+        res = digest["resilience"]
+        kinds = ", ".join(
+            f"{kind}={count:.0f}"
+            for kind, count in res["failures_by_kind"].items()
+        )
+        section.add_line(
+            f"task failures: {res['failures']:.0f}"
+            + (f" ({kinds})" if kinds else "")
+            + f"; retries: {res['retries']:.0f}"
+        )
+        section.add_line(
+            f"worker respawns: {res['worker_respawns']:.0f}; shards "
+            f"rehydrated: {res['rehydrated_shards']:.0f} "
+            f"({res['replayed_chunks']:.0f} chunk(s) replayed from the "
+            f"recovery tail)"
+        )
+        section.add_line(
+            f"quarantined: {res['quarantined']:.0f} event(s), "
+            f"{res['quarantined_shards']:.0f} shard(s) currently out; "
+            f"recovery snapshots recorded: {res['snapshots']:.0f}"
+        )
+
     if digest["counters"]:
         section = report.section("counters")
         table = TimingTable(columns=["counter", "value"])
@@ -238,6 +306,7 @@ def metrics_json(registry: MetricsRegistry) -> dict:
         "throughput": digest["throughput"],
         "alerts_by_rule": digest["alerts_by_rule"],
         "ingest_path": digest["ingest_path"],
+        "resilience": digest["resilience"],
         "spans": digest["spans"],
         "hotspots": digest["hotspots"],
     }

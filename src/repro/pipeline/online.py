@@ -116,6 +116,11 @@ class OnlineAnalysisPipeline:
         # in LRU order; valid only for the tree in _recon_cache_tree.
         self._recon_cache: dict[tuple, np.ndarray] = {}
         self._recon_cache_tree: weakref.ref | None = None
+        # Off by default (one full scan per chunk): supervised fleets turn
+        # this on so a poisoned chunk is rejected *before* any model
+        # mutation — a rejected ingest leaves the pipeline untouched and
+        # therefore retryable / quarantinable without rehydration.
+        self.validate_chunks: bool = False
 
     # ------------------------------------------------------------------ #
     # Pickling: memoised products and weakrefs are process-local.  A copy
@@ -162,9 +167,21 @@ class OnlineAnalysisPipeline:
     # ------------------------------------------------------------------ #
     # Ingestion
     # ------------------------------------------------------------------ #
+    def _reject_poison(self, data: np.ndarray) -> None:
+        if not np.isfinite(data).all():
+            from ..resilience.faults import PoisonChunkError
+
+            bad = int(data.size - np.isfinite(data).sum())
+            raise PoisonChunkError(
+                f"chunk contains {bad} non-finite value(s); rejected before "
+                "ingest (pipeline state unchanged)"
+            )
+
     def ingest(self, data: np.ndarray) -> PipelineSnapshot:
         """Feed a block of snapshots (initial fit on the first call)."""
         data = np.asarray(data, dtype=float)
+        if self.validate_chunks:
+            self._reject_poison(data)
         with OBS.span("pipeline.ingest", cols=int(data.shape[-1])):
             if not self.model.fitted:
                 with OBS.span("core.fit"):
@@ -200,9 +217,12 @@ class OnlineAnalysisPipeline:
         model's iSVD via ``pipeline.model.level1_isvd``) before calling
         :meth:`finish_ingest`.
         """
+        data = np.asarray(data, dtype=float)
+        if self.validate_chunks:
+            self._reject_poison(data)
         if not self.model.fitted:
             return None
-        return self.model.prepare_partial_fit(np.asarray(data, dtype=float))
+        return self.model.prepare_partial_fit(data)
 
     def finish_ingest(self, prepared) -> PipelineSnapshot:
         """Phase two of a batched ingest: everything after the iSVD update.

@@ -1,0 +1,50 @@
+"""Fault tolerance for the fleet: fault injection, retry policy, recovery.
+
+The paper's premise is *continuous* monitoring — the service must survive
+exactly the failures it is built to detect in others' fleets.  This package
+holds the three pieces the supervised execution path is built from:
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded
+  :class:`FaultPlan` describing worker crashes, hangs, slow tasks, raised
+  exceptions and NaN-poisoned chunks at exact ``(shard, chunk, attempt)``
+  coordinates.  Injectable into the executor layer (crash/hang/slow run
+  *inside* the worker) and the pipeline layer (exceptions, non-finite
+  chunk rejection) so chaos runs are reproducible bit-for-bit.
+* :mod:`repro.resilience.policy` — :class:`ResiliencePolicy`: per-task
+  deadlines, capped exponential backoff with deterministic jitter, and
+  the quarantine threshold.
+* :mod:`repro.resilience.recovery` — :class:`ShardRecoveryStore`:
+  parent-side ``state_dict`` snapshots plus a bounded per-shard chunk
+  tail (the shard-level sibling of the federation
+  :class:`~repro.federation.chunklog.ChunkLog`), from which a crashed or
+  hung worker's resident pipelines are rehydrated and replayed to
+  exactly the state an uninterrupted run would have reached.
+
+The supervising caller is :class:`repro.service.monitor.FleetMonitor`
+(``resilience=``/``fault_plan=`` arguments); the executor-side primitives
+(task deadlines, worker respawn) live in :mod:`repro.util.parallel`.
+"""
+
+from .faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    PoisonChunkError,
+    SimulatedCrashError,
+    SimulatedHangError,
+)
+from .policy import ResiliencePolicy
+from .recovery import ShardRecoveryStore
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "PoisonChunkError",
+    "SimulatedCrashError",
+    "SimulatedHangError",
+    "ResiliencePolicy",
+    "ShardRecoveryStore",
+]

@@ -1,0 +1,82 @@
+"""Retry, backoff and quarantine policy for supervised ingest rounds.
+
+Everything here is deterministic: the backoff jitter is a pure function of
+``(seed, shard_id, attempt)``, so two runs of the same chaos plan sleep the
+same amounts and the tests can assert exact retry traces.  Wall-clock and
+global RNG state are never consulted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["ResiliencePolicy"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the :class:`~repro.service.monitor.FleetMonitor` supervises tasks.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per shard per chunk (first attempt included).  A chunk
+        still failing after ``max_attempts`` quarantines its shard: the
+        fleet keeps answering with visible degradation instead of crashing
+        the round.
+    task_deadline:
+        Per-task deadline in seconds, or ``None`` for no deadline.  On the
+        process backend a missed deadline marks the worker hung: it is
+        force-terminated, respawned, and its resident shards rehydrated.
+    backoff_base / backoff_cap:
+        Retry ``attempt`` sleeps ``min(cap, base * 2**(attempt-1))``
+        seconds before resubmitting, stretched by the jitter below.
+    jitter:
+        Fractional jitter: the delay is multiplied by a deterministic
+        ``1 + jitter * u`` with ``u ∈ [0, 1)`` drawn from
+        ``(seed, shard_id, attempt)`` — decorrelates shard retries without
+        sacrificing reproducibility.
+    seed:
+        Seeds the jitter stream (pair it with the fault plan's seed).
+    snapshot_every:
+        The recovery store refreshes a shard's ``state_dict`` snapshot
+        after this many recorded chunks, bounding both replay length on
+        recovery and the memory held by the chunk tail.
+    """
+
+    max_attempts: int = 3
+    task_deadline: float | None = None
+    backoff_base: float = 0.02
+    backoff_cap: float = 0.5
+    jitter: float = 0.5
+    seed: int = 0
+    snapshot_every: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise ValueError(
+                f"task_deadline must be positive or None, got {self.task_deadline!r}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base/backoff_cap must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter!r}")
+        if self.snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every!r}"
+            )
+
+    def backoff_delay(self, shard_id: str, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (>= 1)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt!r}")
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** (attempt - 1)))
+        if base == 0.0 or self.jitter == 0.0:
+            return base
+        # random.Random(str) seeds from a stable hash of the string, so the
+        # draw is a pure function of (seed, shard, attempt) across runs.
+        rng = random.Random(f"{self.seed}/{shard_id}/{attempt}")
+        return base * (1.0 + self.jitter * rng.random())

@@ -31,6 +31,7 @@ from .alerts import (
     default_rules,
 )
 from .checkpoint import (
+    CheckpointError,
     CheckpointInfo,
     RotatedCheckpoint,
     list_checkpoints,
@@ -80,6 +81,7 @@ __all__ = [
     "RingBufferSink",
     "ZScoreRule",
     "default_rules",
+    "CheckpointError",
     "CheckpointInfo",
     "RotatedCheckpoint",
     "list_checkpoints",

@@ -189,6 +189,16 @@ def _run(args: argparse.Namespace, name: str) -> int:
     )
     print(f"alerted racks: {alerted_racks or 'none'}")
 
+    quarantined = result.monitor.quarantined_shards
+    if quarantined:
+        print(f"quarantined shards ({len(quarantined)}):")
+        for shard_id in quarantined:
+            info = result.monitor.quarantine_info[shard_id]
+            print(
+                f"  {shard_id}: step {info['step']}, "
+                f"{info['attempts']} attempt(s) — {info['reason']}"
+            )
+
     # Recent-window rack view: the monitor is closed (state landed
     # in-process), and the windowed query only expands the window's modes.
     monitor = result.monitor

@@ -151,6 +151,12 @@ class AlertContext:
         shard's oldest un-refreshed chunk), for fleets running
         ``deep_levels="deferred"``.  Shards absent from the mapping are
         fully refreshed; always empty under ``deep_levels="inline"``.
+    degraded_shards:
+        Shards currently quarantined by the supervisor's retry policy
+        (see :class:`repro.resilience.ResiliencePolicy`): their pipelines
+        are excluded from ingest and fleet merges, and the engine
+        synthesises a ``shard_quarantined`` alert per entry so the
+        degradation is visible through the ordinary alert channel.
     """
 
     step: int
@@ -159,6 +165,7 @@ class AlertContext:
     hwlog: HardwareLog | None = None
     window: int = 200
     deep_stale: dict[str, int] = field(default_factory=dict)
+    degraded_shards: tuple[str, ...] = ()
 
 
 class AlertRule(ABC):
@@ -416,22 +423,48 @@ class AlertEngine:
         """Run every rule, dedup, emit to sinks; returns fired alerts."""
         self._n_evaluations += 1
         OBS.inc("alerts.evaluations")
-        fired = []
+        fired: list[Alert] = []
         for rule in self.rules:
             for alert in rule.evaluate(context):
-                key = self._key(alert)
-                last = self._last_fired.get(key)
-                if last is not None and context.step - last < self.cooldown:
-                    self._n_suppressed += 1
-                    OBS.inc("alerts.suppressed", rule=alert.rule)
-                    continue
-                self._last_fired[key] = context.step
-                fired.append(alert)
-                OBS.inc("alerts.fired", rule=alert.rule)
-                for sink in self.sinks:
-                    sink.emit(alert)
+                self._dispatch(alert, context, fired)
+        # Quarantine visibility is engine-level, not a rule: every engine
+        # reports a degraded fleet regardless of the configured rule set,
+        # through the same cooldown/dedup/sink machinery as rule alerts.
+        for shard_id in context.degraded_shards:
+            self._dispatch(
+                Alert(
+                    rule="shard_quarantined",
+                    severity=AlertSeverity.WARNING,
+                    step=context.step,
+                    shard_id=shard_id,
+                    message=(
+                        f"shard {shard_id!r} is quarantined: repeated task "
+                        f"failures exhausted its retry budget; its rows are "
+                        f"excluded from ingest and fleet merges until "
+                        f"reinstated"
+                    ),
+                ),
+                context,
+                fired,
+            )
         self._n_fired += len(fired)
         return fired
+
+    def _dispatch(
+        self, alert: Alert, context: AlertContext, fired: list[Alert]
+    ) -> None:
+        """Dedup one candidate alert and deliver it to sinks if it fires."""
+        key = self._key(alert)
+        last = self._last_fired.get(key)
+        if last is not None and context.step - last < self.cooldown:
+            self._n_suppressed += 1
+            OBS.inc("alerts.suppressed", rule=alert.rule)
+            return
+        self._last_fired[key] = context.step
+        fired.append(alert)
+        OBS.inc("alerts.fired", rule=alert.rule)
+        for sink in self.sinks:
+            sink.emit(alert)
 
     @property
     def stats(self) -> dict[str, int]:

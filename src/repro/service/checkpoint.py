@@ -39,6 +39,7 @@ import json
 import os
 import re
 import shutil
+import zipfile
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -50,6 +51,7 @@ from .monitor import FleetMonitor
 from .sharding import ShardSpec
 
 __all__ = [
+    "CheckpointError",
     "CheckpointInfo",
     "RotatedCheckpoint",
     "save_checkpoint",
@@ -59,6 +61,18 @@ __all__ = [
     "resolve_checkpoint_dir",
     "rotate_into",
 ]
+
+
+class CheckpointError(ValueError):
+    """A checkpoint is corrupt, incomplete, or otherwise unloadable.
+
+    Raised instead of the cryptic low-level errors a damaged checkpoint
+    otherwise surfaces (``zipfile.BadZipFile`` from a truncated npz,
+    ``KeyError`` from a missing manifest entry, ...) — the message always
+    names the offending file and suggests restoring from an older rotation
+    entry.  Subclasses ``ValueError`` so callers catching the historical
+    version-mismatch error keep working.
+    """
 
 #: Base manifest version — written whenever the state could also resume on
 #: pre-elastic code (every row present since the start, full level-1 grids).
@@ -101,6 +115,36 @@ class RotatedCheckpoint:
 
 def _shard_filename(index: int) -> str:
     return f"shard_{index}.npz"
+
+
+def _manifest_entry(manifest: dict, key: str, directory: str):
+    """One required manifest entry, or a clear :class:`CheckpointError`."""
+    try:
+        return manifest[key]
+    except KeyError as exc:
+        raise CheckpointError(
+            f"checkpoint manifest under {directory!r} is missing its "
+            f"{key!r} entry; the manifest is corrupt or written by an "
+            f"incompatible tool — restore from an older rotation entry"
+        ) from exc
+
+
+def load_shard_state(path: str) -> dict:
+    """Load one shard's pipeline state, mapping low-level failures to
+    :class:`CheckpointError` (shared with the federated loader)."""
+    try:
+        return load_state(path)
+    except FileNotFoundError as exc:
+        raise CheckpointError(
+            f"checkpoint shard file {path!r} is missing; the checkpoint "
+            f"directory is incomplete — restore from an older rotation entry"
+        ) from exc
+    except (OSError, EOFError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"checkpoint shard file {path!r} is corrupt or unreadable "
+            f"({type(exc).__name__}: {exc}); restore from an older "
+            f"rotation entry"
+        ) from exc
 
 
 def list_checkpoints(directory: str) -> list[RotatedCheckpoint]:
@@ -260,6 +304,11 @@ def _write_checkpoint(directory: str, monitor: FleetMonitor) -> CheckpointInfo:
         "alert_engine": (
             None if monitor.alert_engine is None else monitor.alert_engine.state_dict()
         ),
+        # Degradation is state: a restarted supervisor must keep excluding
+        # the shards its predecessor quarantined (and keep annotating its
+        # snapshots/alerts) rather than silently resurrecting stale rows.
+        "quarantined": monitor.quarantine_info,
+        "chunks_ingested": monitor._chunk_index,
     }
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     with open(manifest_path, "w", encoding="utf-8") as handle:
@@ -274,12 +323,33 @@ def _write_checkpoint(directory: str, monitor: FleetMonitor) -> CheckpointInfo:
 
 
 def read_manifest(directory: str) -> dict:
-    """Load and version-check a checkpoint's manifest."""
-    with open(os.path.join(directory, MANIFEST_NAME), "r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
+    """Load and version-check a checkpoint's manifest.
+
+    A missing, unparsable, or non-object manifest raises
+    :class:`CheckpointError` naming the file; an unsupported version keeps
+    its historical ``ValueError`` message (``CheckpointError`` is a
+    subclass, so both spellings catch it).
+    """
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"no checkpoint manifest at {path!r}") from exc
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint manifest {path!r} is not valid JSON "
+            f"({type(exc).__name__}: {exc}); the checkpoint is corrupt — "
+            f"restore from an older rotation entry"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise CheckpointError(
+            f"checkpoint manifest {path!r} must hold a JSON object, "
+            f"got {type(manifest).__name__}"
+        )
     version = manifest.get("version")
     if version not in SUPPORTED_CHECKPOINT_VERSIONS:
-        raise ValueError(
+        raise CheckpointError(
             f"unsupported checkpoint version {version!r} "
             f"(expected one of {SUPPORTED_CHECKPOINT_VERSIONS})"
         )
@@ -311,6 +381,8 @@ def load_checkpoint(
     sinks: Iterable[AlertSink] = (),
     executor=None,
     max_workers: int | None = None,
+    resilience=None,
+    fault_plan=None,
 ) -> FleetMonitor:
     """Rebuild a :class:`FleetMonitor` from a checkpoint directory.
 
@@ -326,32 +398,61 @@ def load_checkpoint(
     ``directory`` may be either a concrete checkpoint or a rotation root
     written with ``save_checkpoint(..., keep_last=N)`` — the latter
     resumes from the newest retained entry.
+
+    ``resilience``/``fault_plan`` re-arm supervision on the restored
+    monitor (policies are code, not data); the predecessor's quarantine
+    record, when present in the manifest, is restored either way so the
+    degradation stays visible across the restart.
+
+    Damaged checkpoints — truncated or garbage shard files, missing
+    manifest entries — raise :class:`CheckpointError` naming the file
+    rather than leaking low-level numpy/zipfile/KeyError noise.
     """
     directory = resolve_checkpoint_dir(directory)
     manifest = read_manifest(directory)
-    shards = [ShardSpec.from_dict(payload) for payload in manifest["shards"]]
+    shards = [
+        ShardSpec.from_dict(payload)
+        for payload in _manifest_entry(manifest, "shards", directory)
+    ]
+    shard_files = _manifest_entry(manifest, "shard_files", directory)
+    if len(shard_files) != len(shards):
+        raise CheckpointError(
+            f"checkpoint manifest under {directory!r} lists "
+            f"{len(shards)} shards but {len(shard_files)} shard files; "
+            f"the manifest is corrupt — restore from an older rotation entry"
+        )
 
     sinks = list(sinks)
     engine = None
-    if manifest["alert_engine"] is not None or rules is not None or sinks:
+    engine_state = _manifest_entry(manifest, "alert_engine", directory)
+    if engine_state is not None or rules is not None or sinks:
         engine = AlertEngine(rules=rules, sinks=sinks)
-        if manifest["alert_engine"] is not None:
-            engine.load_state_dict(manifest["alert_engine"])
+        if engine_state is not None:
+            engine.load_state_dict(engine_state)
 
     monitor = FleetMonitor(
-        dt=float(manifest["dt"]),
+        dt=float(_manifest_entry(manifest, "dt", directory)),
         shards=shards,
-        config=PipelineConfig.from_dict(manifest["config"]),
+        config=PipelineConfig.from_dict(_manifest_entry(manifest, "config", directory)),
         alert_engine=engine,
         executor=executor,
         max_workers=max_workers,
         extra_rows=str(manifest.get("extra_rows", "raise")),
         missing_rows=str(manifest.get("missing_rows", "raise")),
+        resilience=resilience,
+        fault_plan=fault_plan,
     )
     for index, spec in enumerate(shards):
-        path = os.path.join(directory, manifest["shard_files"][index])
+        path = os.path.join(directory, shard_files[index])
         monitor._pipelines[spec.shard_id] = OnlineAnalysisPipeline.from_state_dict(
-            load_state(path)
+            load_shard_state(path)
         )
-    monitor._step = int(manifest["step"])
+        if resilience is not None:
+            monitor._pipelines[spec.shard_id].validate_chunks = True
+    monitor._step = int(_manifest_entry(manifest, "step", directory))
+    monitor._chunk_index = int(manifest.get("chunks_ingested", 0))
+    monitor._quarantined = {
+        str(shard_id): dict(info)
+        for shard_id, info in (manifest.get("quarantined") or {}).items()
+    }
     return monitor

@@ -28,6 +28,7 @@ with bit-for-bit identical products.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -41,9 +42,18 @@ from ..hwlog.events import HardwareLog
 from ..obs import OBS, worker_drain_metrics, worker_enable_metrics
 from ..pipeline.config import PipelineConfig
 from ..pipeline.online import OnlineAnalysisPipeline, PipelineSnapshot
+from ..resilience.faults import FaultPlan, PoisonChunkError
+from ..resilience.policy import ResiliencePolicy
+from ..resilience.recovery import ShardRecoveryStore
 from ..telemetry.generator import TelemetryStream
 from ..telemetry.machine import MachineDescription
-from ..util.parallel import ShardExecutor, make_shard_executor, parallel_map
+from ..util.parallel import (
+    ShardExecutor,
+    ShardTaskError,
+    ShardTimeoutError,
+    make_shard_executor,
+    parallel_map,
+)
 from ..util.timer import now
 from .alerts import Alert, AlertContext, AlertEngine
 from .sharding import ShardSpec, ShardingPolicy, SingleShard, validate_partition
@@ -90,6 +100,11 @@ class FleetSnapshot:
     total_modes: int
     shard_snapshots: dict[str, PipelineSnapshot]
     ingest_stats: IngestStats | None = None
+    #: Shards quarantined by the supervisor at the time of this snapshot:
+    #: they contributed nothing to this round (absent from
+    #: ``shard_snapshots`` and every merged product) — the fleet answers
+    #: with visible degradation instead of crashing.
+    degraded_shards: tuple[str, ...] = ()
 
     @property
     def deep_pending(self) -> int:
@@ -187,6 +202,21 @@ class FleetSpectrum:
 # the worker and only its (small) result travels back.
 # --------------------------------------------------------------------------- #
 def _shard_ingest(pipeline: OnlineAnalysisPipeline, chunk: np.ndarray) -> PipelineSnapshot:
+    return pipeline.ingest(chunk)
+
+
+def _shard_ingest_supervised(
+    pipeline: OnlineAnalysisPipeline, chunk: np.ndarray, fault
+) -> PipelineSnapshot:
+    """Supervised ingest carrying an injected fault (chaos testing only).
+
+    The fault executes *before* the pipeline is touched, so a retried task
+    always starts from unmutated shard state.  Fault-free supervised
+    submissions use plain :func:`_shard_ingest` — the hot path is
+    identical with and without a fault plan.
+    """
+    if fault is not None:
+        fault.execute()
     return pipeline.ingest(chunk)
 
 
@@ -311,6 +341,17 @@ class FleetMonitor:
         The sharding policy and machine description the partition came
         from (recorded by :meth:`from_stream`); :meth:`add_sensors` uses
         them to route new rows onto the live partition.
+    resilience:
+        Optional :class:`~repro.resilience.ResiliencePolicy` turning the
+        monitor into a *supervisor*: :meth:`ingest_and_alert` rounds gain
+        per-task deadlines, capped-exponential retries with deterministic
+        jitter, crash/hang detection with worker respawn and exact shard
+        rehydration (snapshot + chunk-tail replay), and quarantine for
+        shards that exhaust their retry budget.  ``None`` (default) keeps
+        the pre-supervision behaviour bit-for-bit.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` of injected faults
+        for chaos testing; requires ``resilience``.
     """
 
     def __init__(
@@ -327,6 +368,8 @@ class FleetMonitor:
         missing_rows: str = "raise",
         policy: ShardingPolicy | None = None,
         machine: MachineDescription | None = None,
+        resilience: ResiliencePolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if not shards:
             raise ValueError("FleetMonitor needs at least one shard")
@@ -348,17 +391,29 @@ class FleetMonitor:
                 "models must accept: use a PipelineConfig with "
                 "missing_values='zero'"
             )
+        if fault_plan is not None and resilience is None:
+            raise ValueError(
+                "fault_plan requires a resilience policy — the supervisor "
+                "is what detects and recovers the injected faults; pass "
+                "resilience=ResiliencePolicy(...)"
+            )
         self.shards = list(shards)
         self.alert_engine = alert_engine
         self.extra_rows = extra_rows
         self.missing_rows = missing_rows
         self.policy = policy
         self.machine = machine
+        self.resilience = resilience
+        self.fault_plan = fault_plan
+        self._quarantined: dict[str, dict] = {}
+        self._recovery = ShardRecoveryStore(
+            resilience.snapshot_every if resilience is not None else 8
+        )
+        # Completed ingest rounds (plain or supervised); round N+1's fault
+        # coordinates are (shard, _chunk_index + 1, attempt).
+        self._chunk_index = 0
         self._pipelines: dict[str, OnlineAnalysisPipeline] = {
-            spec.shard_id: OnlineAnalysisPipeline(
-                dt=dt, config=self.config, node_of_row=spec.node_of_row
-            )
-            for spec in self.shards
+            spec.shard_id: self._make_pipeline(spec) for spec in self.shards
         }
         if len(self._pipelines) != len(self.shards):
             raise ValueError("shard ids must be unique")
@@ -387,6 +442,8 @@ class FleetMonitor:
         max_workers: int | None = None,
         extra_rows: str = "raise",
         missing_rows: str = "raise",
+        resilience: ResiliencePolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> "FleetMonitor":
         """Build a monitor for a telemetry stream's row layout.
 
@@ -411,7 +468,23 @@ class FleetMonitor:
             missing_rows=missing_rows,
             policy=policy,
             machine=stream.machine,
+            resilience=resilience,
+            fault_plan=fault_plan,
         )
+
+    def _make_pipeline(self, spec: ShardSpec) -> OnlineAnalysisPipeline:
+        """One shard pipeline, with chunk validation on under supervision.
+
+        Validation rejects non-finite chunks *before* the model mutates —
+        a poisoned chunk then fails cleanly on every attempt (retryable
+        without rehydration) instead of corrupting the decomposition.
+        """
+        pipeline = OnlineAnalysisPipeline(
+            dt=self.dt, config=self.config, node_of_row=spec.node_of_row
+        )
+        if self.resilience is not None:
+            pipeline.validate_chunks = True
+        return pipeline
 
     # ------------------------------------------------------------------ #
     # Executor lifecycle
@@ -686,9 +759,24 @@ class FleetMonitor:
                 else:
                     snapshots = executor.map(
                         _shard_ingest,
-                        {spec.shard_id: (spec.take(values),) for spec in self.shards},
+                        {
+                            spec.shard_id: (spec.take(values),)
+                            for spec in self.shards
+                            if spec.shard_id not in self._quarantined
+                        },
                     )
                 snapshot = self._finish_ingest(values, snapshots, stats)
+            if self.resilience is not None:
+                # Plain ingest rounds feed the recovery store too: the
+                # initial fit in particular must be snapshotted before the
+                # first supervised round can promise exact rehydration.
+                self._record_recovery(
+                    {
+                        spec.shard_id: spec.take(values)
+                        for spec in self.shards
+                        if spec.shard_id in snapshot.shard_snapshots
+                    }
+                )
             self._schedule_deep_refreshes(snapshot.shard_snapshots)
         if OBS.enabled:
             self._record_chunk_metrics(stats, now() - t_start)
@@ -705,9 +793,12 @@ class FleetMonitor:
         inside the planner).  Snapshots are bit-for-bit identical to the
         ``executor.map`` fan-out, which the parity tests assert.
         """
+        active = [
+            spec for spec in self.shards if spec.shard_id not in self._quarantined
+        ]
         prepared: dict[str, object | None] = {}
         pending: list[tuple] = []
-        for spec in self.shards:
+        for spec in active:
             pipeline = self._pipelines[spec.shard_id]
             prep = pipeline.prepare_ingest(spec.take(values))
             prepared[spec.shard_id] = prep
@@ -716,7 +807,7 @@ class FleetMonitor:
         if pending:
             self._batch_planner.run(pending)
         snapshots: dict[str, PipelineSnapshot] = {}
-        for spec in self.shards:
+        for spec in active:
             pipeline = self._pipelines[spec.shard_id]
             prep = prepared[spec.shard_id]
             if prep is None:
@@ -757,6 +848,7 @@ class FleetMonitor:
         stats: IngestStats,
     ) -> FleetSnapshot:
         self._step += values.shape[1]
+        self._chunk_index += 1
         if OBS.enabled:
             # Deterministic row accounting only — never timings — so the
             # snapshot itself stays identical across executor backends.
@@ -772,6 +864,7 @@ class FleetMonitor:
             total_modes=sum(snap.n_modes for snap in snapshots.values()),
             shard_snapshots=snapshots,
             ingest_stats=stats,
+            degraded_shards=self.quarantined_shards,
         )
 
     def _record_chunk_metrics(self, stats: IngestStats, elapsed: float) -> None:
@@ -782,6 +875,270 @@ class FleetMonitor:
         OBS.inc("service.snapshots", stats.chunk_columns)
         if elapsed > 0.0:
             OBS.gauge("service.rows_per_sec", entries / elapsed)
+
+    # ------------------------------------------------------------------ #
+    # Supervision & resilience (resilience=ResiliencePolicy(...))
+    # ------------------------------------------------------------------ #
+    @property
+    def quarantined_shards(self) -> tuple[str, ...]:
+        """Ids of shards currently quarantined, in sorted order."""
+        return tuple(sorted(self._quarantined))
+
+    @property
+    def quarantine_info(self) -> dict[str, dict]:
+        """Per-quarantined-shard diagnostics: fleet step, attempt count
+        and the final failure's ``reason`` string."""
+        return {sid: dict(info) for sid, info in self._quarantined.items()}
+
+    def reinstate_shard(self, shard_id: str) -> None:
+        """Lift a shard's quarantine (operator action).
+
+        The shard rejoins the next ingest round from its *last recovered
+        state* — chunks ingested by the rest of the fleet while it was
+        quarantined are gone, so its shard-local timeline lags the fleet's
+        until enough new chunks arrive.  Merged products stay well-defined
+        (each shard scores against its own baseline); window-aligned
+        queries over the gap are the operator's judgement call.
+        """
+        if shard_id not in self._quarantined:
+            raise KeyError(f"shard {shard_id!r} is not quarantined")
+        del self._quarantined[shard_id]
+        self._rehydrate_shard(self._executor, shard_id)
+
+    @staticmethod
+    def _failure_kind(exc: BaseException) -> str:
+        """Coarse failure class for metrics and recovery routing."""
+        if isinstance(exc, ShardTimeoutError):
+            return "timeout"
+        if getattr(exc, "kind", None) == "crash":
+            return "crash"
+        if isinstance(exc, PoisonChunkError):
+            return "poison"
+        return "error"
+
+    @staticmethod
+    def _is_worker_loss(exc: BaseException) -> bool:
+        """Whether the failure means the *worker* (not just the task) is
+        gone: a missed deadline (hung worker) or a crash-class error (the
+        executor observed the worker die / abandoned its queue)."""
+        return isinstance(exc, ShardTimeoutError) or (
+            getattr(exc, "kind", None) == "crash"
+        )
+
+    def _rehydrate_pipeline(
+        self, shard_id: str
+    ) -> tuple[OnlineAnalysisPipeline, int]:
+        """Rebuild one shard's pipeline from the recovery store.
+
+        Falls back to a fresh (unfitted) pipeline when the shard was never
+        snapshotted — i.e. it failed before its very first chunk landed,
+        so pre-first-chunk state *is* the correct restore point.
+        """
+        if self._recovery.has_snapshot(shard_id):
+            pipeline, replayed = self._recovery.rebuild(shard_id)
+        else:
+            spec = next(s for s in self.shards if s.shard_id == shard_id)
+            pipeline, replayed = self._make_pipeline(spec), 0
+        if self.resilience is not None:
+            pipeline.validate_chunks = True
+        if OBS.enabled:
+            OBS.inc("service.resilience.rehydrated_shards")
+            if replayed:
+                OBS.inc("service.resilience.replayed_chunks", replayed)
+        return pipeline, replayed
+
+    def _rehydrate_shard(
+        self, executor: ShardExecutor | None, shard_id: str
+    ) -> None:
+        """Replace one shard's (possibly partially mutated) pipeline with
+        an exact rebuild — the task failed, so the chunk was not applied."""
+        pipeline, _ = self._rehydrate_pipeline(shard_id)
+        self._pipelines[shard_id] = pipeline
+        if executor is not None:
+            executor.install(shard_id, pipeline)
+
+    def _recover_worker(
+        self, executor: ShardExecutor, shard_id: str
+    ) -> tuple[str, ...]:
+        """Respawn the worker serving ``shard_id`` and rehydrate *every*
+        shard resident on it (their in-worker state died with the worker).
+        Returns the resident shard ids."""
+        residents = executor.worker_shards(shard_id)
+        objects: dict[str, OnlineAnalysisPipeline] = {}
+        for rsid in residents:
+            objects[rsid], _ = self._rehydrate_pipeline(rsid)
+        executor.respawn(shard_id, objects)
+        for rsid, pipeline in objects.items():
+            self._pipelines[rsid] = pipeline
+        if OBS.enabled and executor.backend == "process":
+            # The replacement worker is a fresh interpreter whose obs
+            # provider starts disabled; mirror the parent's switch so its
+            # metrics keep accumulating (cf. _ensure_executor).
+            executor.call(shard_id, worker_enable_metrics)
+        return residents
+
+    def _quarantine(self, shard_id: str, exc: BaseException, attempts: int) -> None:
+        """Mark a shard quarantined after it exhausted its retry budget."""
+        self._quarantined[shard_id] = {
+            "step": int(self._step),
+            "attempts": int(attempts),
+            "reason": f"{type(exc).__name__}: {exc}",
+        }
+        if OBS.enabled:
+            OBS.inc("service.resilience.quarantined")
+            OBS.gauge(
+                "service.resilience.quarantined_shards", len(self._quarantined)
+            )
+
+    def _record_recovery(
+        self, chunks: dict[str, np.ndarray]
+    ) -> None:
+        """Record this round's successfully ingested chunks (and periodic
+        state snapshots) so a later worker loss can be replayed exactly."""
+        for shard_id, chunk in chunks.items():
+            self._recovery.record_chunk(shard_id, chunk)
+            if self._recovery.needs_snapshot(shard_id):
+                self._recovery.record_snapshot(
+                    shard_id, self.shard_state_dict(shard_id)
+                )
+                if OBS.enabled:
+                    OBS.inc("service.resilience.snapshots")
+
+    def _submit_supervised(
+        self,
+        executor: ShardExecutor,
+        shard_id: str,
+        chunk: np.ndarray,
+        round_index: int,
+        attempt: int,
+    ):
+        """Submit one supervised ingest task, attaching any planned fault
+        for this ``(shard, round, attempt)`` coordinate."""
+        fault = None
+        if self.fault_plan is not None:
+            fault = self.fault_plan.task_fault(shard_id, round_index, attempt)
+        if fault is None:
+            return executor.submit(shard_id, _shard_ingest, chunk)
+        return executor.submit(shard_id, _shard_ingest_supervised, chunk, fault)
+
+    def _supervised_round(
+        self, executor: ShardExecutor, values: np.ndarray
+    ) -> dict[str, PipelineSnapshot]:
+        """One supervised ingest round: fan out, detect, retry, recover.
+
+        Each non-quarantined shard gets up to ``max_attempts`` tries with
+        capped-exponential deterministically-jittered backoff.  A missed
+        deadline or crash-class failure means the *worker* is gone: it is
+        force-terminated and respawned, and every resident shard is
+        rehydrated from its recovery snapshot plus chunk-tail replay
+        (bit-for-bit — the chaos tests compare against fault-free runs);
+        co-resident shards whose round results died with the worker are
+        transparently resubmitted without burning their retry budget.
+        Shards that exhaust their budget are quarantined and excluded from
+        this and later rounds.
+        """
+        policy = self.resilience
+        round_index = self._chunk_index + 1
+        chunks: dict[str, np.ndarray] = {}
+        for spec in self.shards:
+            if spec.shard_id in self._quarantined:
+                continue
+            chunk = spec.take(values)
+            if self.fault_plan is not None and self.fault_plan.poisons(
+                spec.shard_id, round_index
+            ):
+                chunk = FaultPlan.poison(chunk)
+            chunks[spec.shard_id] = chunk
+        tasks = {
+            shard_id: self._submit_supervised(
+                executor, shard_id, chunk, round_index, 1
+            )
+            for shard_id, chunk in chunks.items()
+        }
+        attempts = dict.fromkeys(chunks, 1)
+        snapshots: dict[str, PipelineSnapshot] = {}
+        pending = [spec.shard_id for spec in self.shards if spec.shard_id in chunks]
+        while pending:
+            shard_id = pending.pop(0)
+            if shard_id in snapshots or shard_id in self._quarantined:
+                continue  # settled while re-queued after a worker recovery
+            try:
+                snapshots[shard_id] = tasks[shard_id].result(
+                    timeout=policy.task_deadline
+                )
+                continue
+            except Exception as exc:  # noqa: BLE001 — supervisor boundary
+                attempt = attempts[shard_id]
+                if OBS.enabled:
+                    OBS.inc(
+                        "service.resilience.failures",
+                        kind=self._failure_kind(exc),
+                    )
+                if self._is_worker_loss(exc):
+                    residents = self._recover_worker(executor, shard_id)
+                    # Co-residents lost their in-worker state with the
+                    # worker; their round results (gathered or in flight)
+                    # are stale → resubmit at their *current* attempt so
+                    # planned faults still fire at the same coordinates.
+                    for rsid in residents:
+                        if (
+                            rsid == shard_id
+                            or rsid not in chunks
+                            or rsid in self._quarantined
+                        ):
+                            continue
+                        snapshots.pop(rsid, None)
+                        tasks[rsid] = self._submit_supervised(
+                            executor, rsid, chunks[rsid],
+                            round_index, attempts[rsid],
+                        )
+                        if rsid not in pending:
+                            pending.append(rsid)
+                else:
+                    self._rehydrate_shard(executor, shard_id)
+                if attempt >= policy.max_attempts:
+                    self._quarantine(shard_id, exc, attempt)
+                    continue
+                delay = policy.backoff_delay(shard_id, attempt)
+                if delay > 0.0:
+                    time.sleep(delay)
+                attempts[shard_id] = attempt + 1
+                if OBS.enabled:
+                    OBS.inc("service.resilience.retries", shard=shard_id)
+                tasks[shard_id] = self._submit_supervised(
+                    executor, shard_id, chunks[shard_id],
+                    round_index, attempts[shard_id],
+                )
+                pending.append(shard_id)
+        self._record_recovery(
+            {sid: chunk for sid, chunk in chunks.items() if sid in snapshots}
+        )
+        return snapshots
+
+    def _gather_score(self, executor: ShardExecutor, shard_id: str, task):
+        """Gather one supervised scoring result; a failure degrades to
+        "no score this round" (scores are presentation, not model state)
+        after recovering the worker/pipeline for the next round."""
+        policy = self.resilience
+        try:
+            return task.result(
+                timeout=None if policy is None else policy.task_deadline
+            )
+        except Exception as exc:  # noqa: BLE001 — supervisor boundary
+            if OBS.enabled:
+                OBS.inc(
+                    "service.resilience.failures", kind=self._failure_kind(exc)
+                )
+            if self._is_worker_loss(exc):
+                if executor.worker_alive(shard_id):
+                    # Collateral of a respawn already done for a co-resident
+                    # this gather — the new worker is healthy and already
+                    # rehydrated; nothing further to recover.
+                    return None
+                self._recover_worker(executor, shard_id)
+            else:
+                self._rehydrate_shard(executor, shard_id)
+            return None
 
     # ------------------------------------------------------------------ #
     # Asynchronous deep-level refresh (deep_levels="deferred")
@@ -996,9 +1353,7 @@ class FleetMonitor:
             update.extended[spec.shard_id] = change
             final_specs.append(spec)
         for index, spec in enumerate(minted):
-            pipeline = OnlineAnalysisPipeline(
-                dt=self.dt, config=self.config, node_of_row=spec.node_of_row
-            )
+            pipeline = self._make_pipeline(spec)
             if history is not None:
                 # Back-filled rows minting a new shard seed it with their
                 # full history: the shard then spans the fleet timeline
@@ -1043,9 +1398,7 @@ class FleetMonitor:
             int(s.row_indices.max()) for s in (*self.shards, spec)
         ) + 1
         validate_partition([*self.shards, spec], n_rows)
-        pipeline = pipeline or OnlineAnalysisPipeline(
-            dt=self.dt, config=self.config, node_of_row=spec.node_of_row
-        )
+        pipeline = pipeline or self._make_pipeline(spec)
         self.shards = [*self.shards, spec]
         self._pipelines[spec.shard_id] = pipeline
         if self._executor is not None:
@@ -1090,34 +1443,69 @@ class FleetMonitor:
         with OBS.span("service.ingest_and_alert", chunk=stats.chunk_columns):
             executor = self._ensure_executor()
             new_step = self._step + values.shape[1]
-            ingest_tasks = [
-                (spec.shard_id, executor.submit(spec.shard_id, _shard_ingest, spec.take(values)))
-                for spec in self.shards
-            ]
-            score_tasks = []
-            if self.alert_engine is not None and not deferred:
-                # Inline deep levels: a shard's tree is final once its
-                # update ran, so scoring overlaps the other shards'
-                # updates (per-shard FIFO keeps each score behind its own
-                # shard's ingest).
-                score_tasks = self._submit_score_tasks(executor, new_step, window)
-            snapshots = {shard_id: task.result() for shard_id, task in ingest_tasks}
-            snapshot = self._finish_ingest(values, snapshots, stats)
-            self._schedule_deep_refreshes(snapshots)
-            if self.alert_engine is not None and deferred:
-                # Deferred deep levels: scoring must observe the
-                # post-refresh trees — exactly what evaluate_alerts()
-                # after a plain ingest() sees — so the score tasks are
-                # submitted after the refresh tasks and queue behind them.
-                score_tasks = self._submit_score_tasks(executor, new_step, window)
-            if self.alert_engine is None:
-                alerts: list[Alert] = []
+            if self.resilience is not None:
+                snapshots = self._supervised_round(executor, values)
+                snapshot = self._finish_ingest(values, snapshots, stats)
+                self._schedule_deep_refreshes(snapshots)
+                per_shard: dict[str, NodeZScores] = {}
+                if self.alert_engine is not None:
+                    # Supervised rounds submit scoring only after the
+                    # ingest gather: retries, recoveries and quarantines
+                    # must settle (and, under deferred deep levels, the
+                    # refreshes be queued) before a shard's tree is worth
+                    # scoring.
+                    for shard_id, task in self._submit_score_tasks(
+                        executor, new_step, window
+                    ):
+                        scores = self._gather_score(executor, shard_id, task)
+                        if scores is not None:
+                            per_shard[shard_id] = scores
             else:
+                ingest_tasks = [
+                    (spec.shard_id, executor.submit(spec.shard_id, _shard_ingest, spec.take(values)))
+                    for spec in self.shards
+                    if spec.shard_id not in self._quarantined
+                ]
+                score_tasks = []
+                if self.alert_engine is not None and not deferred:
+                    # Inline deep levels: a shard's tree is final once its
+                    # update ran, so scoring overlaps the other shards'
+                    # updates (per-shard FIFO keeps each score behind its own
+                    # shard's ingest).
+                    score_tasks = self._submit_score_tasks(executor, new_step, window)
+                snapshots = {}
+                for shard_id, task in ingest_tasks:
+                    try:
+                        snapshots[shard_id] = task.result()
+                    except ShardTaskError:
+                        raise
+                    except Exception as exc:
+                        # One shard's worker exception must not surface as
+                        # a raw traceback with no fleet context: name the
+                        # shard and keep the original as the cause chain.
+                        raise ShardTaskError(
+                            f"shard {shard_id!r} failed during "
+                            f"ingest_and_alert at step {self._step}: {exc}",
+                            shard_id=shard_id,
+                            attempts=1,
+                            cause=exc,
+                        ) from exc
+                snapshot = self._finish_ingest(values, snapshots, stats)
+                self._schedule_deep_refreshes(snapshots)
+                if self.alert_engine is not None and deferred:
+                    # Deferred deep levels: scoring must observe the
+                    # post-refresh trees — exactly what evaluate_alerts()
+                    # after a plain ingest() sees — so the score tasks are
+                    # submitted after the refresh tasks and queue behind them.
+                    score_tasks = self._submit_score_tasks(executor, new_step, window)
                 per_shard = {
                     shard_id: scores
                     for shard_id, task in score_tasks
                     if (scores := task.result()) is not None
                 }
+            if self.alert_engine is None:
+                alerts: list[Alert] = []
+            else:
                 context = AlertContext(
                     step=self._step,
                     node_zscores=self._merge_node_scores(per_shard, reducer="mean"),
@@ -1125,6 +1513,7 @@ class FleetMonitor:
                     hwlog=hwlog,
                     window=window,
                     deep_stale=self._deep_stale_ages(),
+                    degraded_shards=self.quarantined_shards,
                 )
                 alerts = self.alert_engine.evaluate(context)
         if OBS.enabled:
@@ -1138,6 +1527,8 @@ class FleetMonitor:
         lo = max(0, new_step - window)
         tasks = []
         for spec in self.shards:
+            if spec.shard_id in self._quarantined:
+                continue
             local = self._shard_window(spec, (lo, new_step))
             if local is False:
                 continue
@@ -1209,6 +1600,8 @@ class FleetMonitor:
         """
         args: dict[str, tuple] = {}
         for spec in self.shards:
+            if spec.shard_id in self._quarantined:
+                continue
             local = self._shard_window(spec, time_range)
             if local is False:
                 continue
@@ -1237,7 +1630,12 @@ class FleetMonitor:
         decomposition yet and are omitted.
         """
         results = self._query_map(
-            _shard_spectrum, {spec.shard_id: (spec.shard_id,) for spec in self.shards}
+            _shard_spectrum,
+            {
+                spec.shard_id: (spec.shard_id,)
+                for spec in self.shards
+                if spec.shard_id not in self._quarantined
+            },
         )
         return {
             shard_id: spectrum
@@ -1288,5 +1686,6 @@ class FleetMonitor:
             hwlog=hwlog,
             window=window,
             deep_stale=self._deep_stale_ages(),
+            degraded_shards=self.quarantined_shards,
         )
         return self.alert_engine.evaluate(context)

@@ -25,6 +25,12 @@ Catalog (``SCENARIOS``):
   checkpoint/restore in the middle; the acceptance check is that the
   resumed monitor's next-window rack values match an uninterrupted run
   exactly.
+* ``chaos-fleet`` — the quiet workload under a deterministic
+  :class:`~repro.resilience.FaultPlan`: a worker crash, a hang, a
+  transient exception, a slow task and a NaN-poisoned chunk, supervised
+  by a :class:`~repro.resilience.ResiliencePolicy`.  Recovered shards
+  must converge bit-for-bit with a fault-free run; the poisoned shard
+  must end the run quarantined with the fleet still answering.
 
 Every scenario is laptop-scale (a few hundred snapshots over tens of
 nodes) so tests, examples and benchmarks can run it in seconds.
@@ -41,6 +47,7 @@ from ..core.mrdmd import MrDMDConfig
 from ..hwlog.generator import HardwareErrorModel
 from ..hwlog.events import HardwareLog
 from ..pipeline.config import PipelineConfig
+from ..resilience import FaultKind, FaultPlan, FaultSpec, ResiliencePolicy
 from ..telemetry.anomalies import (
     Anomaly,
     CoolingDegradation,
@@ -68,6 +75,7 @@ __all__ = [
     "sensor_dropout",
     "mid_run_restart",
     "mid_run_add_sensors",
+    "chaos_fleet",
 ]
 
 
@@ -141,6 +149,13 @@ class Scenario:
         onboards the remaining channels mid-run via
         :meth:`FleetMonitor.add_sensors` — no restart, no refit of the
         existing shards — and continues with full-matrix chunks.
+    resilience:
+        When set, the monitor runs supervised: per-task deadlines,
+        retry with deterministic backoff, worker respawn with state
+        rehydration, and quarantine after the retry budget is spent.
+    fault_plan:
+        Deterministic fault injections (requires ``resilience``);
+        faults are addressed by shard id and 1-based ingest round.
     alert_cooldown:
         Engine cooldown in snapshots.
     hw_background_scale / hw_hot_multiplier:
@@ -163,6 +178,8 @@ class Scenario:
     config: PipelineConfig = field(default_factory=_default_config)
     policy: ShardingPolicy = field(default_factory=RackSharding)
     restart_after_chunk: int | None = None
+    resilience: ResiliencePolicy | None = None
+    fault_plan: FaultPlan | None = None
     initial_sensors: tuple[str, ...] | None = None
     grow_after_chunk: int | None = None
     alert_cooldown: int = 120
@@ -170,6 +187,11 @@ class Scenario:
     hw_hot_multiplier: float = 8.0
 
     def __post_init__(self) -> None:
+        if self.fault_plan is not None and self.resilience is None:
+            raise ValueError(
+                "fault_plan requires resilience (injected faults only make "
+                "sense under a supervised monitor)"
+            )
         if self.grow_after_chunk is not None and self.initial_sensors is None:
             raise ValueError("grow_after_chunk requires initial_sensors")
         if self.initial_sensors is not None:
@@ -360,6 +382,8 @@ class ScenarioRunner:
             alert_engine=engine,
             executor=self.executor,
             max_workers=self.max_workers,
+            resilience=self.scenario.resilience,
+            fault_plan=self.scenario.fault_plan,
         )
 
     def run(self) -> ScenarioResult:
@@ -556,6 +580,54 @@ def mid_run_restart() -> Scenario:
     )
 
 
+def chaos_fleet() -> Scenario:
+    """The quiet workload under a deterministic barrage of faults.
+
+    The default machine shards one-per-rack (``rack-0``..``rack-3``) and
+    streams four chunks after the initial fit — ingest rounds 2..5.  The
+    plan hits every failure mode the supervisor handles:
+
+    * round 2 — ``rack-1``'s worker **crashes** mid-task (a real
+      ``os._exit`` on the process backend) and ``rack-3`` runs **slow**
+      but inside the deadline;
+    * round 3 — ``rack-2``'s task **hangs** past the deadline, tripping
+      dead-worker detection and a respawn;
+    * round 4 — ``rack-0`` raises a transient **exception** (retried);
+    * round 5 — ``rack-3``'s chunk arrives **NaN-poisoned**; the data is
+      bad on every attempt, so the shard is quarantined and the final
+      snapshot reports it in ``degraded_shards``.
+
+    Every recovered shard must converge bit-for-bit with a fault-free
+    run; the quarantined shard is excluded from fleet products but the
+    monitor keeps answering (asserted by the chaos tests).
+    """
+    return Scenario(
+        name="chaos-fleet",
+        description=(
+            "Quiet fleet under injected crash/hang/exception/slow/poison "
+            "faults; supervised recovery must converge bit-for-bit and "
+            "quarantine the poisoned shard."
+        ),
+        resilience=ResiliencePolicy(
+            max_attempts=3,
+            task_deadline=5.0,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+            seed=8,
+        ),
+        fault_plan=FaultPlan(
+            faults=(
+                FaultSpec(FaultKind.CRASH, "rack-1", 2),
+                FaultSpec(FaultKind.SLOW, "rack-3", 2, duration=0.05),
+                FaultSpec(FaultKind.HANG, "rack-2", 3, duration=30.0),
+                FaultSpec(FaultKind.EXCEPTION, "rack-0", 4),
+                FaultSpec(FaultKind.NAN_CHUNK, "rack-3", 5),
+            ),
+            seed=8,
+        ),
+    )
+
+
 SCENARIOS: dict[str, Callable[[], Scenario]] = {
     "quiet-fleet": quiet_fleet,
     "rack-cooling-failure": rack_cooling_failure,
@@ -563,6 +635,7 @@ SCENARIOS: dict[str, Callable[[], Scenario]] = {
     "sensor-dropout": sensor_dropout,
     "mid-run-restart": mid_run_restart,
     "mid-run-add-sensors": mid_run_add_sensors,
+    "chaos-fleet": chaos_fleet,
 }
 
 

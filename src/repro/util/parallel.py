@@ -62,6 +62,7 @@ import multiprocessing as mp
 import os
 import queue
 import threading
+import time
 from abc import ABC, abstractmethod
 from multiprocessing import shared_memory
 from typing import Any, Callable, Iterable, Mapping, Sequence, TypeVar
@@ -92,6 +93,7 @@ __all__ = [
     "ProcessShardExecutor",
     "ShardTask",
     "ShardTaskError",
+    "ShardTimeoutError",
     "make_shard_executor",
     "shm_available",
     "SHARD_EXECUTOR_BACKENDS",
@@ -156,7 +158,67 @@ def parallel_map(
 # Persistent shard executors
 # --------------------------------------------------------------------------- #
 class ShardTaskError(RuntimeError):
-    """A shard worker failed (or died) while executing a submitted call."""
+    """A shard worker failed (or died) while executing a submitted call.
+
+    Carries structured context so supervisors can react without parsing
+    messages: ``shard_id`` (when known), ``attempts`` (how many tries the
+    submitting layer has made, 1 for a first failure), ``kind`` (``"error"``
+    for an ordinary task exception, ``"crash"`` for a dead/terminated
+    worker, ``"timeout"`` for a missed deadline) and the original exception
+    as ``__cause__`` / :attr:`cause`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: str | None = None,
+        attempts: int = 1,
+        kind: str = "error",
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.attempts = int(attempts)
+        self.kind = kind
+        if cause is not None:
+            self.__cause__ = cause
+
+    @property
+    def cause(self) -> BaseException | None:
+        """The original worker-side exception, when one exists."""
+        return self.__cause__
+
+    def __reduce__(self):
+        # Default exception pickling replays only positional args and would
+        # drop the structured fields on the trip back from a worker.
+        return (
+            _rebuild_shard_task_error,
+            (type(self), str(self), self.shard_id, self.attempts, self.kind),
+        )
+
+
+def _rebuild_shard_task_error(cls, message, shard_id, attempts, kind):
+    if issubclass(cls, ShardTimeoutError):
+        return cls(message, shard_id=shard_id, attempts=attempts)
+    return cls(message, shard_id=shard_id, attempts=attempts, kind=kind)
+
+
+class ShardTimeoutError(ShardTaskError):
+    """A submitted call missed its deadline (its worker is presumed hung)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: str | None = None,
+        attempts: int = 1,
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(
+            message, shard_id=shard_id, attempts=attempts, kind="timeout",
+            cause=cause,
+        )
 
 
 class ShardTask:
@@ -188,28 +250,41 @@ class ShardTask:
         if self._event is not None:
             self._event.set()
 
-    def result(self) -> Any:
+    def result(self, timeout: float | None = None) -> Any:
+        """Block for the result; ``timeout`` (seconds) turns the wait into
+        a deadline.  A missed deadline raises :class:`ShardTimeoutError`
+        and leaves the task pending — the worker serving it is presumed
+        hung and should be respawned (see ``ShardExecutor.respawn``)."""
         if not self._done:
             obs = _get_obs()
             if obs.enabled:
                 from .timer import now
                 blocked = now()
-                self._wait()
+                self._wait(timeout)
                 obs.observe("executor.wait.seconds", now() - blocked,
                             shard=self.shard_id)
             else:
-                self._wait()
+                self._wait(timeout)
         if not self._done:
-            raise ShardTaskError(f"task for shard {self.shard_id!r} never completed")
+            if timeout is not None:
+                raise ShardTimeoutError(
+                    f"task for shard {self.shard_id!r} missed its "
+                    f"{timeout:.3f}s deadline",
+                    shard_id=self.shard_id,
+                )
+            raise ShardTaskError(
+                f"task for shard {self.shard_id!r} never completed",
+                shard_id=self.shard_id,
+            )
         if self._error is not None:
             raise self._error
         return self._result
 
-    def _wait(self) -> None:
+    def _wait(self, timeout: float | None = None) -> None:
         if self._event is not None:
-            self._event.wait()
+            self._event.wait(timeout)
         elif self._worker is not None:
-            self._worker.wait_for(self)
+            self._worker.wait_for(self, timeout=timeout)
 
 
 class ShardExecutor(ABC):
@@ -356,6 +431,49 @@ class ShardExecutor(ABC):
     def _add_shard(self, shard_id: str, obj: Any) -> None:
         """Backend hook run after the new shard joined ``self._objects``."""
 
+    # -- supervision ------------------------------------------------------ #
+    def worker_shards(self, shard_id: str) -> tuple[str, ...]:
+        """Every shard co-resident with ``shard_id`` (same worker).
+
+        Losing a worker loses *all* of these at once — a supervisor must
+        rehydrate the full set when it respawns (see :meth:`respawn`).
+        The serial backend has no workers, so each shard stands alone.
+        """
+        self._check_ready(shard_id)
+        return (shard_id,)
+
+    def worker_alive(self, shard_id: str) -> bool:
+        """Liveness of the worker serving ``shard_id``.
+
+        Detects *crashed* workers (the process backend checks the child's
+        ``is_alive``); a *hung* worker still reports alive — hangs are
+        detected by task deadlines (``ShardTask.result(timeout=...)``),
+        which together with this probe form the supervision model.
+        """
+        self._check_ready(shard_id)
+        return True
+
+    def respawn(self, shard_id: str, objects: Mapping[str, Any]) -> None:
+        """Replace the worker serving ``shard_id`` with a fresh one and
+        install ``objects`` — rehydrated replacements for every resident
+        shard (see :meth:`worker_shards`).
+
+        The process backend force-terminates the old worker (dead or hung
+        — either way it is not coming back), fails its in-flight tasks
+        with crash-kind :class:`ShardTaskError`\\ s, and spawns a clean
+        replacement.  In-process backends swap the resident objects (and,
+        for threads, the worker loop) — they cannot kill a genuinely hung
+        thread, only abandon it.  Tasks queued on the lost worker are NOT
+        resubmitted; the supervisor retries them.
+        """
+        self._check_ready(shard_id)
+        for sid, obj in objects.items():
+            self._check_ready(sid)
+            self._objects[sid] = obj
+        obs = _get_obs()
+        if obs.enabled:
+            obs.inc("executor.worker.respawned", backend=self.backend)
+
     def pull(self) -> dict[str, Any]:
         """Return the resident shard objects to the parent.
 
@@ -487,6 +605,50 @@ class ThreadShardExecutor(ShardExecutor):
         self._worker_of_shard[shard_id] = (len(self._worker_of_shard)) % len(
             self._queues
         )
+
+    def worker_shards(self, shard_id: str) -> tuple[str, ...]:
+        self._check_ready(shard_id)
+        index = self._worker_of_shard[shard_id]
+        return tuple(
+            sid for sid, widx in self._worker_of_shard.items() if widx == index
+        )
+
+    def respawn(self, shard_id: str, objects: Mapping[str, Any]) -> None:
+        """Swap in a fresh queue + worker thread for ``shard_id``'s slot.
+
+        A hung thread cannot be killed, only abandoned (it is a daemon);
+        tasks still queued behind it are failed with crash-kind errors so
+        no caller blocks on them, and the supervisor resubmits what it
+        still needs against the replacement worker.
+        """
+        self._check_ready(shard_id)
+        index = self._worker_of_shard[shard_id]
+        old_q = self._queues[index]
+        q: queue.Queue = queue.Queue()
+        thread = threading.Thread(
+            target=self._worker_loop, args=(q,),
+            name=f"shard-worker-{index}", daemon=True,
+        )
+        thread.start()
+        self._queues[index] = q
+        self._threads[index] = thread
+        while True:
+            try:
+                item = old_q.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                continue
+            task, _fn, _args, _kwargs = item
+            task._resolve(None, ShardTaskError(
+                f"worker for shard {task.shard_id!r} was respawned; "
+                "queued task abandoned",
+                shard_id=task.shard_id, kind="crash",
+            ))
+        # A *healthy* old worker (respawn after a task exception) exits on
+        # this sentinel; a hung one never reads it and is abandoned.
+        old_q.put(None)
+        super().respawn(shard_id, objects)
 
     def _shutdown(self) -> None:
         for q in self._queues:
@@ -703,7 +865,8 @@ def _process_worker_main(conn) -> None:
         except Exception as exc:
             # Unpicklable result or exception: transport a description.
             conn.send(("result", task_id, None,
-                       ShardTaskError(f"worker could not return result: {exc!r}")))
+                       ShardTaskError(f"worker could not return result: {exc!r}",
+                                      shard_id=shard_id)))
 
     while True:
         try:
@@ -779,7 +942,8 @@ class _ProcessWorker:
             del self._pending[task_id]
             self._release_slabs(task_id)
             raise ShardTaskError(
-                f"could not ship task for shard {task.shard_id!r} to worker: {exc!r}"
+                f"could not ship task for shard {task.shard_id!r} to worker: {exc!r}",
+                shard_id=task.shard_id, kind="crash",
             ) from exc
 
     def send_payload(self, fn: Callable, args, kwargs, uses: int) -> int:
@@ -795,45 +959,114 @@ class _ProcessWorker:
         self._pending[task_id] = task
         self.conn.send(("ptask", task_id, task.shard_id, payload_id))
 
-    def wait_for(self, task: ShardTask) -> None:
-        while not task.done and self._pending:
-            self._receive_one()
+    @property
+    def pending_shards(self) -> tuple[str, ...]:
+        """Shards with in-flight tasks on this worker (submission order)."""
+        return tuple(task.shard_id for task in self._pending.values())
 
-    def drain(self) -> None:
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def wait_for(self, task: ShardTask, timeout: float | None = None) -> None:
+        if timeout is None:
+            while not task.done and self._pending:
+                self._receive_one()
+            return
+        deadline = time.monotonic() + timeout
+        while not task.done and self._pending:
+            remaining = deadline - time.monotonic()
+            # A missed deadline returns with the task still pending; the
+            # caller (ShardTask.result) raises ShardTimeoutError.
+            if remaining <= 0 or not self._receive_one(timeout=remaining):
+                return
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Receive until no task is pending; ``False`` on a missed deadline."""
+        if timeout is None:
+            while self._pending:
+                self._receive_one()
+            return True
+        deadline = time.monotonic() + timeout
         while self._pending:
-            self._receive_one()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self._receive_one(timeout=remaining):
+                return False
+        return True
 
     def _release_slabs(self, task_id: int) -> None:
         for index in self._slab_refs.pop(task_id, ()):
             self._ring.release(index)
 
-    def _receive_one(self) -> None:
+    def _fail_pending(self, reason: str) -> tuple[str, ...]:
+        """Resolve every in-flight task with a crash-kind error."""
+        lost = self.pending_shards
+        for task_id, pending in list(self._pending.items()):
+            pending._resolve(None, ShardTaskError(
+                f"{reason} (in-flight task for shard {pending.shard_id!r} lost)",
+                shard_id=pending.shard_id, kind="crash",
+            ))
+            self._release_slabs(task_id)
+        self._pending.clear()
+        return lost
+
+    def _receive_one(self, timeout: float | None = None) -> bool:
+        """Receive one result; ``False`` only when ``timeout`` expired."""
         try:
+            if timeout is not None and not self.conn.poll(timeout):
+                return False
             message = self.conn.recv()
         except (EOFError, OSError) as exc:
-            error = ShardTaskError(f"shard worker {self.process.name} died: {exc!r}")
-            for task_id, pending in self._pending.items():
-                pending._resolve(None, error)
-                self._release_slabs(task_id)
-            self._pending.clear()
-            return
+            self._fail_pending(f"shard worker {self.process.name} died: {exc!r}")
+            return True
         kind, task_id, result, error = message
         assert kind == "result", message
         self._release_slabs(task_id)
         self._pending.pop(task_id)._resolve(result, error)
+        return True
 
-    def close(self) -> None:
-        self.drain()
+    def kill(self, reason: str) -> tuple[str, ...]:
+        """Force-terminate the worker; returns the shards whose in-flight
+        tasks were lost.  Used for hung workers and respawns — never asks
+        the child to cooperate."""
+        lost = self._fail_pending(reason)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():  # pragma: no cover - defensive
+                self.process.kill()
+                self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+        return lost
+
+    def close(self, timeout: float = 30.0) -> tuple[str, ...]:
+        """Graceful shutdown with a drain/join deadline.
+
+        A worker that cannot drain within ``timeout`` (it hung, or died
+        without the pipe collapsing) is force-terminated; the names of the
+        shards whose in-flight tasks were lost are returned so the
+        executor can raise one clear error instead of blocking forever.
+        """
+        if not self.drain(timeout=timeout):
+            return self.kill(
+                f"shard worker {self.process.name} failed to drain within "
+                f"{timeout:.1f}s at close"
+            )
         try:
             self.conn.send(("close",))
-            self.conn.recv()  # "closed" ack
+            if self.conn.poll(timeout):
+                self.conn.recv()  # "closed" ack
         except (EOFError, OSError, BrokenPipeError):
             pass
-        self.process.join(timeout=30.0)
+        self.process.join(timeout=timeout)
         if self.process.is_alive():  # pragma: no cover - defensive
             self.process.terminate()
             self.process.join(timeout=5.0)
         self.conn.close()
+        return ()
 
 
 class ProcessShardExecutor(ShardExecutor):
@@ -858,14 +1091,17 @@ class ProcessShardExecutor(ShardExecutor):
     backend = "process"
 
     def __init__(self, max_workers: int | None = None, *,
-                 transport: str = "auto") -> None:
+                 transport: str = "auto", close_timeout: float = 30.0) -> None:
         super().__init__()
         if transport not in ("auto", "shm", "pickle"):
             raise ValueError(
                 f"transport must be 'auto', 'shm' or 'pickle', got {transport!r}"
             )
+        if close_timeout <= 0:
+            raise ValueError(f"close_timeout must be positive, got {close_timeout!r}")
         self._max_workers = max_workers
         self._requested_transport = transport
+        self._close_timeout = float(close_timeout)
         self._ring: _SlabRing | None = None
         self._workers: list[_ProcessWorker] = []
         self._worker_of_shard: dict[str, int] = {}
@@ -985,6 +1221,46 @@ class ProcessShardExecutor(ShardExecutor):
         self._worker_of_shard[shard_id] = index
         self._workers[index].install(shard_id, obj)
 
+    def worker_shards(self, shard_id: str) -> tuple[str, ...]:
+        self._check_ready(shard_id)
+        index = self._worker_of_shard[shard_id]
+        return tuple(
+            sid for sid, widx in self._worker_of_shard.items() if widx == index
+        )
+
+    def worker_alive(self, shard_id: str) -> bool:
+        self._check_ready(shard_id)
+        return self._workers[self._worker_of_shard[shard_id]].alive
+
+    def respawn(self, shard_id: str, objects: Mapping[str, Any]) -> None:
+        """Kill the worker serving ``shard_id`` and spawn a replacement.
+
+        ``objects`` must carry a rehydrated object for every shard that
+        was resident on the lost worker (:meth:`worker_shards`) — they are
+        shipped to the fresh process exactly as ``start`` shipped the
+        originals.  Any in-flight tasks on the old worker resolve with
+        crash-kind :class:`ShardTaskError`\\ s; the supervisor resubmits.
+        """
+        self._check_ready(shard_id)
+        index = self._worker_of_shard[shard_id]
+        resident = self.worker_shards(shard_id)
+        missing = sorted(set(resident) - set(objects))
+        if missing:
+            raise ValueError(
+                f"respawn needs a replacement object for every shard resident "
+                f"on the lost worker; missing {missing}"
+            )
+        old = self._workers[index]
+        old.kill(f"respawning shard worker {old.process.name}")
+        worker = _ProcessWorker(mp.get_context("spawn"), index, ring=self._ring)
+        self._workers[index] = worker
+        for sid in resident:
+            worker.install(sid, objects[sid])
+            self._objects[sid] = objects[sid]
+        obs = _get_obs()
+        if obs.enabled:
+            obs.inc("executor.worker.respawned", backend=self.backend)
+
     def pull(self) -> dict[str, Any]:
         if not self.started:
             raise RuntimeError("executor is not started")
@@ -993,14 +1269,23 @@ class ProcessShardExecutor(ShardExecutor):
         return dict(self._objects)
 
     def _shutdown(self) -> None:
+        lost: list[str] = []
         for worker in self._workers:
-            worker.close()
+            lost.extend(worker.close(timeout=self._close_timeout))
         self._workers = []
         if self._ring is not None:
-            # Workers have drained and exited: no outstanding descriptor
-            # can reference a slab, so the ring unlinks safely.
+            # Workers have drained and exited (or were force-terminated):
+            # no live worker can still dereference a slab, so the ring
+            # unlinks safely.
             self._ring.close()
             self._ring = None
+        if lost:
+            raise ShardTaskError(
+                "executor closed with unresponsive workers; in-flight tasks "
+                f"for shards {sorted(set(lost))} were lost (force-terminated "
+                f"after {self._close_timeout:.1f}s)",
+                kind="crash",
+            )
 
 
 def _return_shard_object(obj: Any) -> Any:

@@ -1,0 +1,219 @@
+"""Checkpoint corruption regressions: damaged state must fail *clearly*.
+
+A checkpoint that was truncated mid-write, bit-rotted on disk or edited by
+hand must not surface as a bare ``KeyError``/``zipfile.BadZipFile`` three
+frames deep in NumPy — every corruption mode raises
+:class:`~repro.service.checkpoint.CheckpointError` naming the damaged file
+and pointing at the recovery path (an older rotation entry).  Covered for
+both the single-machine service checkpoint and the federated wrapper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.core import MrDMDConfig
+from repro.federation import (
+    AlertRouter,
+    FederatedMonitor,
+    MachineRegistry,
+    load_federated_checkpoint,
+    read_federated_manifest,
+    save_federated_checkpoint,
+)
+from repro.pipeline import PipelineConfig
+from repro.service import (
+    AlertEngine,
+    CheckpointError,
+    FleetMonitor,
+    RackSharding,
+    default_rules,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.service.checkpoint import MANIFEST_NAME, read_manifest
+from repro.telemetry import MachineDescription, TelemetryGenerator
+from repro.telemetry.sensors import xc40_sensor_suite
+
+CONFIG = PipelineConfig(
+    mrdmd=MrDMDConfig(max_levels=4),
+    baseline_range=(40.0, 75.0),
+    power_quantile=0.0,
+)
+
+
+def small_machine() -> MachineDescription:
+    return MachineDescription(
+        name="xc40",
+        n_rows=1,
+        racks_per_row=2,
+        cabinets_per_rack=1,
+        slots_per_cabinet=2,
+        blades_per_slot=1,
+        nodes_per_blade=4,
+        sensors=xc40_sensor_suite(),
+        dt_seconds=15.0,
+    )
+
+
+def _build_monitor(seed: int) -> FleetMonitor:
+    stream = TelemetryGenerator(
+        small_machine(), seed=seed, utilization_target=0.3
+    ).generate(240, sensors=["cpu_temp"])
+    monitor = FleetMonitor.from_stream(
+        stream,
+        policy=RackSharding(),
+        config=CONFIG,
+        alert_engine=AlertEngine(rules=default_rules(), cooldown=100),
+    )
+    monitor.ingest(stream.values)
+    return monitor
+
+
+@pytest.fixture(scope="module")
+def pristine_checkpoint(tmp_path_factory):
+    """A known-good checkpoint the corruption tests copy and damage."""
+    path = tmp_path_factory.mktemp("ckpt") / "good"
+    save_checkpoint(str(path), _build_monitor(seed=31))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def pristine_federated(tmp_path_factory):
+    registry = MachineRegistry(
+        {"east": _build_monitor(seed=32), "west": _build_monitor(seed=33)}
+    )
+    federated = FederatedMonitor(registry, router=AlertRouter())
+    path = tmp_path_factory.mktemp("fed") / "good"
+    save_federated_checkpoint(str(path), federated)
+    return str(path)
+
+
+def _damaged_copy(source: str, destination) -> str:
+    target = str(destination / "damaged")
+    shutil.copytree(source, target)
+    return target
+
+
+def _shard_files(directory: str) -> list[str]:
+    with open(os.path.join(directory, MANIFEST_NAME), encoding="utf-8") as fh:
+        return json.load(fh)["shard_files"]
+
+
+def _edit_manifest(directory: str, mutate) -> None:
+    path = os.path.join(directory, MANIFEST_NAME)
+    with open(path, encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    mutate(manifest)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh)
+
+
+class TestServiceCheckpointCorruption:
+    def test_error_type_is_a_value_error(self):
+        # Callers that guarded with `except ValueError` keep working.
+        assert issubclass(CheckpointError, ValueError)
+
+    def test_truncated_shard_npz(self, pristine_checkpoint, tmp_path):
+        target = _damaged_copy(pristine_checkpoint, tmp_path)
+        name = _shard_files(target)[0]
+        path = os.path.join(target, name)
+        with open(path, "rb") as fh:
+            payload = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(payload[: len(payload) // 3])
+        with pytest.raises(CheckpointError, match="corrupt or unreadable") as err:
+            load_checkpoint(target, rules=default_rules())
+        assert name in str(err.value)
+        assert "older rotation entry" in str(err.value)
+
+    def test_garbage_shard_npz(self, pristine_checkpoint, tmp_path):
+        target = _damaged_copy(pristine_checkpoint, tmp_path)
+        name = _shard_files(target)[1]
+        with open(os.path.join(target, name), "wb") as fh:
+            fh.write(b"this was never a zip archive" * 64)
+        with pytest.raises(CheckpointError, match="corrupt or unreadable"):
+            load_checkpoint(target, rules=default_rules())
+
+    def test_missing_shard_file(self, pristine_checkpoint, tmp_path):
+        target = _damaged_copy(pristine_checkpoint, tmp_path)
+        name = _shard_files(target)[0]
+        os.remove(os.path.join(target, name))
+        with pytest.raises(CheckpointError, match="missing") as err:
+            load_checkpoint(target, rules=default_rules())
+        assert name in str(err.value)
+
+    @pytest.mark.parametrize("key", ["shards", "shard_files", "dt", "step"])
+    def test_missing_manifest_entry(self, pristine_checkpoint, tmp_path, key):
+        target = _damaged_copy(pristine_checkpoint, tmp_path)
+        _edit_manifest(target, lambda m: m.pop(key))
+        with pytest.raises(CheckpointError, match=key):
+            load_checkpoint(target, rules=default_rules())
+
+    def test_shard_file_count_mismatch(self, pristine_checkpoint, tmp_path):
+        target = _damaged_copy(pristine_checkpoint, tmp_path)
+        _edit_manifest(target, lambda m: m["shard_files"].pop())
+        with pytest.raises(CheckpointError, match="shard files"):
+            load_checkpoint(target, rules=default_rules())
+
+    def test_manifest_not_json(self, pristine_checkpoint, tmp_path):
+        target = _damaged_copy(pristine_checkpoint, tmp_path)
+        with open(os.path.join(target, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+            fh.write("{ truncated mid-wri")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            read_manifest(target)
+
+    def test_manifest_not_an_object(self, pristine_checkpoint, tmp_path):
+        target = _damaged_copy(pristine_checkpoint, tmp_path)
+        with open(os.path.join(target, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+            json.dump(["not", "a", "manifest"], fh)
+        with pytest.raises(CheckpointError, match="JSON object"):
+            read_manifest(target)
+
+    def test_pristine_copy_still_loads(self, pristine_checkpoint, tmp_path):
+        # The damage helpers themselves must not be the reason tests pass.
+        target = _damaged_copy(pristine_checkpoint, tmp_path)
+        monitor = load_checkpoint(target, rules=default_rules())
+        assert monitor.step == 240
+
+
+class TestFederatedCheckpointCorruption:
+    def test_federated_manifest_not_json(self, pristine_federated, tmp_path):
+        target = _damaged_copy(pristine_federated, tmp_path)
+        with open(os.path.join(target, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+            fh.write("not json at all")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            read_federated_manifest(target)
+
+    def test_missing_machine_directory(self, pristine_federated, tmp_path):
+        target = _damaged_copy(pristine_federated, tmp_path)
+        shutil.rmtree(os.path.join(target, "machines", "west"))
+        with pytest.raises(CheckpointError, match="'west'") as err:
+            load_federated_checkpoint(target, rules=default_rules())
+        assert "older rotation entry" in str(err.value)
+
+    def test_corrupt_machine_shard(self, pristine_federated, tmp_path):
+        target = _damaged_copy(pristine_federated, tmp_path)
+        machine_dir = os.path.join(target, "machines", "east")
+        name = _shard_files(machine_dir)[0]
+        with open(os.path.join(machine_dir, name), "wb") as fh:
+            fh.write(b"\x00" * 100)
+        with pytest.raises(CheckpointError, match="corrupt or unreadable"):
+            load_federated_checkpoint(target, rules=default_rules())
+
+    def test_machine_manifest_missing_entry(self, pristine_federated, tmp_path):
+        target = _damaged_copy(pristine_federated, tmp_path)
+        _edit_manifest(
+            os.path.join(target, "machines", "west"), lambda m: m.pop("shards")
+        )
+        with pytest.raises(CheckpointError, match="shards"):
+            load_federated_checkpoint(target, rules=default_rules())
+
+    def test_pristine_federated_still_loads(self, pristine_federated, tmp_path):
+        target = _damaged_copy(pristine_federated, tmp_path)
+        federated = load_federated_checkpoint(target, rules=default_rules())
+        assert set(federated.machines) == {"east", "west"}

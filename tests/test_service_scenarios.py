@@ -22,6 +22,7 @@ def test_catalog_names_and_factories():
         "sensor-dropout",
         "mid-run-restart",
         "mid-run-add-sensors",
+        "chaos-fleet",
     }
     for name in SCENARIOS:
         scenario = get_scenario(name)
