@@ -1,0 +1,179 @@
+"""Trace-propagation overhead gate: causal telemetry must ride for free.
+
+PR 9 ships a ``(trace_id, parent span id)`` context with every process-
+backend shard task, calibrates each worker's clock, and records one
+``executor.task`` span per task inside the worker.  That surface sits on
+the per-chunk dispatch path, so it is gated the same way the disabled
+provider is gated in ``bench_obs_overhead.py`` — structurally, because
+wall-clock deltas of this magnitude are CI noise:
+
+1. time the propagation surface directly (context capture + tuple pickle
+   on the coordinator, adopt + span enter/exit on an enabled worker-style
+   provider);
+2. multiply by the tasks one fleet chunk dispatches (with 2x headroom for
+   calibration re-syncs and drains);
+3. bound the product against the measured process-backend chunk time:
+   **< 3 %**.
+
+The enabled-vs-disabled wall clock of the same process-backend workload is
+also measured and reported (not gated — IPC jitter dominates at CI scale).
+Results land in ``BENCH_trace.json`` (machine-readable; CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+from repro import obs
+from repro.core import MrDMDConfig
+from repro.obs import OBS
+from repro.pipeline import PipelineConfig
+from repro.service import FleetMonitor, RackSharding
+from repro.telemetry import MachineDescription, TelemetryGenerator, xc40_sensor_suite
+from repro.util import Timer
+from repro.util.parallel import _current_trace_context
+
+from conftest import SCALE, scaled
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_trace.json"
+)
+
+HISTORY = scaled(1_200, 10_000)
+CHUNK = scaled(300, 2_000)
+N_CHUNKS = 4
+N_SHARDS = 8
+MAX_WORKERS = 2
+CONFIG = PipelineConfig(mrdmd=MrDMDConfig(max_levels=scaled(5, 8)))
+
+#: Propagation surface must stay under this fraction of one chunk.
+PROPAGATION_BOUND = 0.03
+#: Reps when timing the per-task propagation surface.
+SURFACE_REPS = 20_000
+
+
+def _fleet_stream():
+    machine = MachineDescription(
+        name="xc40",
+        n_rows=1,
+        racks_per_row=N_SHARDS,
+        cabinets_per_rack=2,
+        slots_per_cabinet=4,
+        blades_per_slot=1,
+        nodes_per_blade=4,
+        sensors=xc40_sensor_suite(),
+        dt_seconds=15.0,
+    )
+    generator = TelemetryGenerator(machine, seed=311, utilization_target=0.4)
+    return generator.generate(HISTORY + N_CHUNKS * CHUNK, sensors=["cpu_temp"])
+
+
+def _median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def _chunk_seconds(stream, *, enabled: bool) -> list[float]:
+    """Median process-backend chunk time with the provider on or off."""
+    OBS.reset()
+    if enabled:
+        obs.enable()
+    monitor = FleetMonitor.from_stream(
+        stream,
+        policy=RackSharding(),
+        config=CONFIG,
+        executor="process",
+        max_workers=MAX_WORKERS,
+    )
+    samples = []
+    with monitor:
+        monitor.ingest(stream.values[:, :HISTORY])
+        position = HISTORY
+        for _ in range(N_CHUNKS):
+            chunk = stream.values[:, position : position + CHUNK]
+            with Timer() as timer:
+                monitor.ingest(chunk)
+            samples.append(timer.elapsed)
+            position += CHUNK
+    OBS.reset()
+    return samples
+
+
+def _per_task_propagation_seconds() -> float:
+    """Mean cost of the full propagation surface for one task.
+
+    Coordinator side: capture the current context and pickle the tuple it
+    ships as.  Worker side: adopt the context and run the ``executor.task``
+    span against an enabled provider with a ring sink — exactly what
+    ``run_one`` adds per task when tracing is on.
+    """
+    obs.enable()
+    with OBS.span("bench.round"):
+        ctx = _current_trace_context()
+        with Timer() as timer:
+            for _ in range(SURFACE_REPS):
+                shipped = pickle.dumps(tuple(_current_trace_context()))
+                received = pickle.loads(shipped)
+                with OBS.tracer.adopt(received):
+                    with OBS.span("executor.task", shard="rack-0",
+                                  backend="process"):
+                        pass
+        assert ctx is not None
+    OBS.reset()
+    return timer.elapsed / SURFACE_REPS
+
+
+def test_trace_propagation_gate(benchmark):
+    stream = _fleet_stream()
+
+    def measure() -> dict:
+        baseline = _chunk_seconds(stream, enabled=False)
+        enabled = _chunk_seconds(stream, enabled=True)
+        per_task = _per_task_propagation_seconds()
+        return {
+            "baseline_chunk_seconds": _median(baseline),
+            "enabled_chunk_seconds": _median(enabled),
+            "per_task_propagation_seconds": per_task,
+        }
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)
+
+    # One task per shard per chunk; 2x headroom covers calibration
+    # re-syncs, drains and the per-worker enable round trips.
+    tasks_per_chunk = 2.0 * N_SHARDS
+    propagation_fraction = (
+        result["per_task_propagation_seconds"] * tasks_per_chunk
+        / result["baseline_chunk_seconds"]
+    )
+    wallclock_fraction = (
+        result["enabled_chunk_seconds"] / result["baseline_chunk_seconds"] - 1.0
+    )
+
+    report = {
+        "experiment": "trace_propagation_overhead",
+        "scale": SCALE,
+        "backend": "process",
+        "n_shards": N_SHARDS,
+        "max_workers": MAX_WORKERS,
+        "history": HISTORY,
+        "chunk": CHUNK,
+        "n_chunks": N_CHUNKS,
+        "tasks_per_chunk_budget": tasks_per_chunk,
+        "propagation_bound": PROPAGATION_BOUND,
+        "propagation_overhead_fraction": propagation_fraction,
+        "wallclock_overhead_fraction": wallclock_fraction,
+        **result,
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump({"trace_propagation": report}, handle, indent=2)
+    benchmark.extra_info.update(report)
+
+    assert propagation_fraction < PROPAGATION_BOUND, (
+        f"trace propagation costs {propagation_fraction:.2%} of a process-"
+        f"backend chunk ({tasks_per_chunk:.0f} tasks x "
+        f"{result['per_task_propagation_seconds'] * 1e6:.1f} us vs "
+        f"{result['baseline_chunk_seconds'] * 1e3:.1f} ms; bound "
+        f"{PROPAGATION_BOUND:.0%}) — context shipping left the noise floor"
+    )

@@ -8,10 +8,11 @@ Demonstrates the ``repro.obs`` subsystem on a sharded fleet monitor:
    rack-cooling-failure workload on a persistent thread executor; every
    layer reports — ISVD updates, mrDMD phases, shard dispatch/wait,
    chunk latency, alert rules;
-3. the trace file is JSON lines, one span event per line, with
-   ``parent_id`` links that reconstruct the nesting
-   (``service.ingest_and_alert -> executor.task -> pipeline.ingest ->
-   core.*``);
+3. the trace file is JSON lines — a ``schema_version`` header line, then
+   one span event per line — with ``parent_id`` links that reconstruct
+   the nesting (``service.ingest_and_alert -> executor.task ->
+   pipeline.ingest -> core.*``); the same events convert to a Chrome
+   trace-event file loadable in Perfetto / ``chrome://tracing``;
 4. the registry's scheduling-independent totals (counters, gauges,
    histogram counts) are shown to be **identical** on a re-run with the
    serial backend — the same bit-for-bit discipline the analysis
@@ -89,7 +90,8 @@ def main() -> None:
         alerts = _drive(stream, chunks, executor="thread")
         obs.disable()
 
-        events = [json.loads(line) for line in open(trace_path)]
+        header, events = obs.export.read_trace(trace_path)
+        print(f"trace schema_version: {header.get('schema_version')}")
         by_id = {event["span_id"]: event for event in events}
         deepest = max(
             events,
@@ -97,6 +99,18 @@ def main() -> None:
         )
         chain = " -> ".join(reversed(_ancestry(deepest, by_id)))
         print(f"\n{len(events)} span events; deepest nesting:\n  {chain}")
+
+        # The same span events as a Chrome trace — drop this file onto
+        # https://ui.perfetto.dev or chrome://tracing to see the timeline.
+        chrome_path = os.path.join(tmp, "trace.chrome.json")
+        payload = obs.export.write_chrome_trace(
+            events, chrome_path, trace_id=header.get("trace_id")
+        )
+        print(
+            f"chrome trace: {len(payload['traceEvents'])} events in "
+            f"{os.path.basename(chrome_path)} "
+            f"({os.path.getsize(chrome_path)} bytes)"
+        )
 
     totals = obs.OBS.metrics.totals()
     print(f"{len(alerts)} alerts fired; "

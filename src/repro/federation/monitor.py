@@ -31,14 +31,22 @@ Every backend combination produces bit-for-bit identical products
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping
 
 import numpy as np
 
 from ..align.zscore_map import NodeZScores
 from ..hwlog.events import HardwareLog
-from ..obs import OBS, worker_drain_metrics, worker_enable_metrics
+from ..obs import (
+    OBS,
+    worker_drain_metrics,
+    worker_drain_trace,
+    worker_enable_metrics,
+)
+from ..obs.flight import FLIGHT
+from ..obs.health import HealthScore, aggregate, percentile, score_shard
+from ..util.growbuf import RingBuffer
 from ..service.alerts import Alert
 from ..service.monitor import FleetMonitor, FleetSnapshot, FleetSpectrum
 from ..util.parallel import ShardExecutor, make_shard_executor
@@ -57,6 +65,13 @@ class FederatedSnapshot:
     step: int
     n_machines: int
     machine_snapshots: dict[str, FleetSnapshot]
+    #: Per-machine health plus a ``"federation"`` aggregate.  Derived from
+    #: wall-clock round latency, so it is comparison-exempt: federated
+    #: snapshot equality (restart and parity tests) must stay a statement
+    #: about the model state only.
+    health: dict[str, "HealthScore"] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def total_modes(self) -> int:
@@ -257,6 +272,10 @@ class FederatedMonitor:
         self._step = max(
             (monitor.step for monitor in registry.monitors().values()), default=0
         )
+        #: Always-on per-machine round-latency samples feeding the health
+        #: score (bounded; never part of pickled/compared state semantics).
+        self._round_latency: dict[str, RingBuffer] = {}
+        self._last_health: dict[str, HealthScore] | None = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -342,6 +361,9 @@ class FederatedMonitor:
                 # version of the same round trip).
                 for name in self._executor.remote_worker_shards():
                     self._executor.call(name, worker_enable_metrics)
+                # Calibrate each worker's monotonic clock against the
+                # coordinator's so merged trace timelines line up.
+                self._executor.calibrate_clocks()
         return self._executor
 
     def collect_metrics(self):
@@ -355,6 +377,11 @@ class FederatedMonitor:
         ):
             for name in self._executor.remote_worker_shards():
                 OBS.metrics.merge(self._executor.call(name, worker_drain_metrics))
+                events = self._executor.call(name, worker_drain_trace)
+                if events:
+                    # Worker spans re-emit through the parent tracer so one
+                    # JSON-lines file carries the whole federation round.
+                    OBS.tracer.ingest_events(events)
         return OBS.metrics
 
     def _land_and_drop_executor(self) -> None:
@@ -421,6 +448,7 @@ class FederatedMonitor:
             n_machines=len(snapshots),
             machine_snapshots=snapshots,
         )
+        snapshot.health = self._compute_health(snapshots)
         if OBS.enabled:
             # Deterministic degradation accounting (membership only):
             # quarantined shard count across the round's machines.
@@ -428,7 +456,65 @@ class FederatedMonitor:
                 "federation.degraded_shards",
                 float(sum(len(v) for v in snapshot.degraded_shards.values())),
             )
+            for entity, score in snapshot.health.items():
+                if entity == "federation":
+                    OBS.gauge("federation.health.score", score.score)
+                else:
+                    OBS.gauge(
+                        "federation.health.score", score.score, machine=entity
+                    )
         return snapshot
+
+    def _note_round_latency(self, name: str, seconds: float) -> None:
+        """Record one machine's slice of a round (always on: feeds health
+        and the flight recorder even when the obs provider is off)."""
+        ring = self._round_latency.get(name)
+        if ring is None:
+            ring = self._round_latency[name] = RingBuffer(64)
+        ring.append(float(seconds))
+        FLIGHT.record_delta(
+            "federation.machine_round.seconds",
+            seconds,
+            scope=f"machine:{name}",
+            machine=name,
+        )
+
+    def _compute_health(
+        self, snapshots: dict[str, FleetSnapshot]
+    ) -> dict[str, HealthScore]:
+        """Per-machine health plus a ``"federation"`` aggregate.
+
+        A machine that scored itself this round (its
+        :class:`FleetSnapshot` carries a ``health["fleet"]`` aggregate —
+        quarantine roster, shard latency vs. its own resilience budget,
+        deep-level staleness) contributes that score directly; machines
+        whose snapshots predate health scoring are scored here from the
+        federation-side round latency alone (no budget → latency-neutral).
+        """
+        per_machine: dict[str, HealthScore] = {}
+        for name, snap in snapshots.items():
+            fleet_score = None
+            if getattr(snap, "health", None):
+                fleet_score = snap.health.get("fleet")
+            if fleet_score is not None:
+                per_machine[name] = fleet_score
+                continue
+            ring = self._round_latency.get(name)
+            samples = ring.items() if ring is not None else []
+            per_machine[name] = score_shard(
+                p95_seconds=percentile(samples, 0.95) if samples else None,
+                budget_seconds=None,
+            )
+        health = dict(per_machine)
+        health["federation"] = aggregate(per_machine.values())
+        self._last_health = health
+        return health
+
+    @property
+    def health(self) -> dict[str, HealthScore] | None:
+        """Most recent per-machine (plus ``"federation"``) health scores,
+        or ``None`` before the first round."""
+        return self._last_health
 
     def _record_round(
         self,
@@ -461,11 +547,18 @@ class FederatedMonitor:
         """
         chunks = self._validated_chunks(chunks)
         executor = self._ensure_executor()
+        t_round = now()
         with OBS.span("federation.round", n_machines=len(chunks)):
             snapshots = executor.map(
                 _machine_ingest,
                 {name: (chunk,) for name, chunk in chunks.items()},
             )
+        elapsed = now() - t_round
+        for name in chunks:
+            # map() gathers in one barrier, so each machine's sample is the
+            # round time — an upper bound consistent with the overlapped
+            # per-machine samples ingest_and_alert records.
+            self._note_round_latency(name, elapsed)
         self._record_round(chunks, snapshots)
         if OBS.enabled:
             self._record_round_metrics(chunks)
@@ -499,7 +592,7 @@ class FederatedMonitor:
             raise ValueError(f"hwlogs reference unknown machines {unknown_logs}")
         executor = self._ensure_executor()
         with OBS.span("federation.round", n_machines=len(chunks)):
-            t_round = now() if OBS.enabled else 0.0
+            t_round = now()
             tasks = [
                 (
                     name,
@@ -516,13 +609,15 @@ class FederatedMonitor:
             results = {}
             for name, task in tasks:
                 results[name] = task.result()
+                # Latency of machine ``name``'s slice of the round,
+                # measured from dispatch: the fan-out overlaps, so each
+                # sample is "time until this machine's result landed".
+                landed = now() - t_round
+                self._note_round_latency(name, landed)
                 if OBS.enabled:
-                    # Latency of machine ``name``'s slice of the round,
-                    # measured from dispatch: the fan-out overlaps, so each
-                    # sample is "time until this machine's result landed".
                     OBS.observe(
                         "federation.machine_round.seconds",
-                        now() - t_round,
+                        landed,
                         machine=name,
                     )
         snapshots = {name: results[name][0] for name in results}
@@ -545,6 +640,8 @@ class FederatedMonitor:
         routed = self.router.route(
             {name: results[name][1] for name in results}, context
         )
+        for alert in routed:
+            FLIGHT.record_alert(alert)
         return snapshot, routed
 
     # ------------------------------------------------------------------ #

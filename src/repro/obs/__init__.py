@@ -41,11 +41,15 @@ from .metrics import (
     MetricsRegistry,
 )
 from .trace import (
+    SUPPORTED_TRACE_SCHEMAS,
+    TRACE_SCHEMA_VERSION,
     JsonLinesTraceSink,
     RingBufferTraceSink,
     Span,
+    TraceContext,
     Tracer,
     TraceSink,
+    new_trace_id,
 )
 
 __all__ = [
@@ -55,16 +59,21 @@ __all__ = [
     "disable",
     "worker_enable_metrics",
     "worker_drain_metrics",
+    "worker_drain_trace",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
     "Tracer",
+    "TraceContext",
     "Span",
     "TraceSink",
     "RingBufferTraceSink",
     "JsonLinesTraceSink",
+    "TRACE_SCHEMA_VERSION",
+    "SUPPORTED_TRACE_SCHEMAS",
+    "new_trace_id",
 ]
 
 
@@ -92,12 +101,14 @@ class ObsProvider:
     disabled cost is one attribute load and a branch.
     """
 
-    __slots__ = ("enabled", "metrics", "tracer", "ring")
+    __slots__ = ("enabled", "metrics", "tracer", "ring", "trace_id", "clock_offset")
 
     def __init__(self) -> None:
         self.enabled = False
         self.metrics = MetricsRegistry()
         self.ring: RingBufferTraceSink | None = None
+        self.trace_id: str | None = None
+        self.clock_offset = 0.0
         self.tracer = Tracer(metrics=self.metrics)
 
     # -- lifecycle --------------------------------------------------------- #
@@ -117,12 +128,19 @@ class ObsProvider:
         engine uses.
         """
         self.tracer.close_sinks()
+        if self.trace_id is None:
+            self.trace_id = new_trace_id()
         self.ring = RingBufferTraceSink(ring_capacity)
         all_sinks: list[TraceSink] = [self.ring]
         if trace_path is not None:
-            all_sinks.append(JsonLinesTraceSink(trace_path))
+            all_sinks.append(JsonLinesTraceSink(trace_path, trace_id=self.trace_id))
         all_sinks.extend(sinks)
-        self.tracer = Tracer(metrics=self.metrics, sinks=all_sinks)
+        self.tracer = Tracer(
+            metrics=self.metrics,
+            sinks=all_sinks,
+            trace_id=self.trace_id,
+            clock_offset=self.clock_offset,
+        )
         self.enabled = True
         return self
 
@@ -136,7 +154,19 @@ class ObsProvider:
         self.disable()
         self.metrics = MetricsRegistry()
         self.ring = None
+        self.trace_id = None
+        self.clock_offset = 0.0
         self.tracer = Tracer(metrics=self.metrics)
+
+    def set_remote_context(self, trace_id: str | None, clock_offset: float) -> None:
+        """Install the coordinator's trace id and this process's clock
+        offset — the receiving side of the executor calibration handshake.
+        Takes effect immediately on the live tracer and persists across a
+        later :meth:`enable`."""
+        self.trace_id = trace_id
+        self.clock_offset = float(clock_offset)
+        self.tracer.trace_id = trace_id
+        self.tracer.clock_offset = float(clock_offset)
 
     def drain(self) -> MetricsRegistry:
         """Detach and return the accumulated registry, installing a fresh
@@ -153,6 +183,21 @@ class ObsProvider:
         if not self.enabled:
             return _NOOP_SPAN
         return self.tracer.span(name, **attrs)
+
+    def current_context(self) -> TraceContext | None:
+        """The causal context to ship with cross-process work, or ``None``
+        while disabled (or when no span is open — nothing to parent under)."""
+        if not self.enabled:
+            return None
+        ctx = self.tracer.current_context()
+        return ctx if ctx.span_id is not None else None
+
+    def adopt(self, ctx):
+        """Scope this thread's spans under a shipped context (no-op when
+        disabled or when ``ctx`` is ``None``)."""
+        if not self.enabled or ctx is None:
+            return _NOOP_SPAN
+        return self.tracer.adopt(ctx)
 
     def record(self, name: str, seconds: float, **attrs) -> None:
         """An already-measured leaf region (see :meth:`Tracer.record`)."""
@@ -192,15 +237,24 @@ def disable() -> None:
 # ignore the resident object: the target is the *worker interpreter's*
 # module-level provider, reached via any shard resident on that worker.
 # --------------------------------------------------------------------------- #
+#: Span events a worker retains between trace drains.  Old events are
+#: evicted oldest-first once the ring fills — the drained trace is a tail,
+#: the same contract as the in-process ``OBS.ring``.
+WORKER_TRACE_RING_CAPACITY = 8192
+
+
 def worker_enable_metrics(obj=None) -> bool:
     """Enable metrics collection inside a process-backend worker.
 
-    Tracing stays sink-less in workers: span events are dropped but the
-    ``span.*`` duration histograms land in the worker registry, which
-    :func:`worker_drain_metrics` later ships home.
+    Workers trace into their ring sink only: ``span.*`` duration
+    histograms land in the worker registry (shipped home by
+    :func:`worker_drain_metrics`) while the span *events* — calibrated
+    onto the coordinator's timeline and parented through the shipped
+    :class:`TraceContext` — wait in the ring for
+    :func:`worker_drain_trace` to merge them into the coordinator's trace.
     """
     if not OBS.enabled:
-        OBS.enable(ring_capacity=1)
+        OBS.enable(ring_capacity=WORKER_TRACE_RING_CAPACITY)
     return OBS.enabled
 
 
@@ -210,8 +264,25 @@ def worker_drain_metrics(obj=None) -> MetricsRegistry:
     return OBS.drain()
 
 
-# Imported last: ``report`` renders through repro.viz, which must not be a
-# prerequisite for the hot-path classes above.
+def worker_drain_trace(obj=None) -> list[dict]:
+    """Detach and return the worker's buffered span events (oldest first).
+
+    Clears the ring, so repeated drains never duplicate events.  The
+    events already carry calibrated timestamps and globally-unique span
+    ids; the coordinator feeds them to :meth:`Tracer.ingest_events`.
+    """
+    ring = OBS.ring
+    if ring is None:
+        return []
+    events = ring.events
+    ring.clear()
+    return events
+
+
+# Imported after OBS exists: flight/health/export read the provider but
+# must not be prerequisites for the hot-path classes above; ``report``
+# additionally renders through repro.viz.
+from . import export, flight, health  # noqa: E402
 from . import report  # noqa: E402
 
-__all__.append("report")
+__all__.extend(["export", "flight", "health", "report"])

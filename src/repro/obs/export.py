@@ -1,0 +1,248 @@
+"""Standard-format exporters for traces and metrics.
+
+Two targets, both chosen so a session is inspectable with tools an
+operator already has:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace_events`,
+  :func:`write_chrome_trace`) — the ``{"traceEvents": [...]}`` format
+  understood by Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``.  Every span becomes one complete (``"ph": "X"``)
+  event with microsecond timestamps, keeping ``pid``/``tid`` so the
+  coordinator and each worker render as separate tracks on the one
+  calibrated timeline.
+* **OpenMetrics / Prometheus text exposition**
+  (:func:`render_openmetrics`, :func:`write_openmetrics`) — ``# TYPE`` /
+  ``# HELP`` framed samples ending in ``# EOF``, scrape-compatible with
+  Prometheus.  Counters gain the mandated ``_total`` suffix, histograms
+  expand to cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+
+:func:`read_trace` is the loading side of the JSON-lines format: it
+validates the ``schema_version`` header written by
+:class:`~repro.obs.trace.JsonLinesTraceSink` and refuses versions it does
+not know, the same forward-compat contract the checkpoint manifests use.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from .metrics import MetricsRegistry
+from .trace import SUPPORTED_TRACE_SCHEMAS, TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "TraceFormatError",
+    "read_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "render_openmetrics",
+    "write_openmetrics",
+    "OPENMETRICS_CONTENT_TYPE",
+]
+
+#: HTTP content type a scrape endpoint would serve the text with.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+class TraceFormatError(ValueError):
+    """A trace file could not be parsed or declares an unknown schema."""
+
+
+# --------------------------------------------------------------------------- #
+# JSON-lines loading
+# --------------------------------------------------------------------------- #
+def read_trace(path) -> tuple[dict, list[dict]]:
+    """Parse a JSON-lines trace file into ``(header, events)``.
+
+    Raises :class:`TraceFormatError` on corrupt lines or when the header
+    declares a ``schema_version`` outside
+    :data:`~repro.obs.trace.SUPPORTED_TRACE_SCHEMAS`.  Headerless files
+    (written before the header existed) are accepted with an empty header.
+    """
+    header: dict = {}
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{path}: line {lineno} is not valid JSON: {exc}"
+                ) from exc
+            if obj.get("kind") == "trace_header":
+                version = obj.get("schema_version")
+                if version not in SUPPORTED_TRACE_SCHEMAS:
+                    raise TraceFormatError(
+                        f"{path}: unsupported trace schema_version {version!r} "
+                        f"(this build reads {SUPPORTED_TRACE_SCHEMAS})"
+                    )
+                header = obj
+            else:
+                events.append(obj)
+    return header, events
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace-event JSON
+# --------------------------------------------------------------------------- #
+def chrome_trace_events(events, *, trace_id: str | None = None) -> list[dict]:
+    """Convert span event dicts to Chrome trace-event complete events.
+
+    Timestamps convert from seconds to integer microseconds; span
+    identity and causality travel in ``args`` (``span_id``/``parent_id``)
+    since the trace-event format has no native parent link.
+    """
+    out: list[dict] = []
+    for event in events:
+        start = event.get("start")
+        end = event.get("end")
+        if start is None or end is None:
+            continue
+        args = dict(event.get("attrs") or {})
+        args["span_id"] = event.get("span_id")
+        if event.get("parent_id") is not None:
+            args["parent_id"] = event["parent_id"]
+        if event.get("error"):
+            args["error"] = True
+        tid = event.get("trace_id", trace_id)
+        if tid is not None:
+            args["trace_id"] = tid
+        out.append(
+            {
+                "name": str(event.get("name", "<unnamed>")),
+                "ph": "X",
+                "ts": round(start * 1e6),
+                "dur": max(0, round((end - start) * 1e6)),
+                "pid": int(event.get("pid", 0)),
+                "tid": int(event.get("tid", 0)),
+                "cat": "repro",
+                "args": args,
+            }
+        )
+    out.sort(key=lambda e: e["ts"])
+    return out
+
+
+def write_chrome_trace(events, path, *, trace_id: str | None = None) -> dict:
+    """Write span events as a Chrome/Perfetto-loadable JSON object file."""
+    payload = {
+        "traceEvents": chrome_trace_events(events, trace_id=trace_id),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "format": "repro.obs chrome trace",
+            **({"trace_id": trace_id} if trace_id is not None else {}),
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# OpenMetrics text exposition
+# --------------------------------------------------------------------------- #
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitise a dotted registry name into a legal metric name."""
+    clean = _NAME_OK.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _escape_label(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: tuple, extra: tuple = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{_metric_name(str(k))}="{_escape_label(v)}"' for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_openmetrics(registry: MetricsRegistry) -> str:
+    """Render the registry as OpenMetrics text exposition (ends ``# EOF``)."""
+    lines: list[str] = []
+
+    families: dict[str, list[tuple[tuple, object]]] = {}
+    kinds: dict[str, str] = {}
+    for key, counter in registry.counters():
+        name = _metric_name(key[0])
+        families.setdefault(name, []).append((key[1], counter))
+        kinds[name] = "counter"
+    for key, gauge in registry.gauges():
+        name = _metric_name(key[0])
+        families.setdefault(name, []).append((key[1], gauge))
+        kinds[name] = "gauge"
+    for key, hist in registry.histograms():
+        name = _metric_name(key[0])
+        families.setdefault(name, []).append((key[1], hist))
+        kinds[name] = "histogram"
+
+    for name in sorted(families):
+        kind = kinds[name]
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"# HELP {name} repro.obs metric {name}")
+        for labels, metric in sorted(families[name], key=lambda kv: kv[0]):
+            if kind == "counter":
+                lines.append(
+                    f"{name}_total{_label_str(labels)} {_fmt(metric.value)}"
+                )
+            elif kind == "gauge":
+                lines.append(
+                    f"{name}{_label_str(labels)} {_fmt(metric.value)}"
+                )
+            else:
+                cumulative = 0
+                for bound, count in zip(metric.bounds, metric.bucket_counts):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_str(labels, (('le', _fmt(bound)),))} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_label_str(labels, (('le', '+Inf'),))} {metric.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_label_str(labels)} {_fmt(metric.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(labels)} {metric.count}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(registry: MetricsRegistry, path) -> str:
+    """Write the OpenMetrics exposition to ``path`` and return it."""
+    text = render_openmetrics(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,247 @@
+"""Always-on flight recorder: bounded black-box rings plus failure dumps.
+
+Unlike the rest of :mod:`repro.obs` — which is off by default and costs
+one branch per call site when disabled — the flight recorder is *always*
+listening, because post-mortems are most valuable for the runs nobody
+thought to instrument.  It keeps fixed-size rings of recent activity
+(span-like deltas, alerts, free-form notes) per scope — ``shard:<id>``,
+``machine:<name>`` and a fleet-wide ``global`` scope — and on a failure
+event (shard quarantine, worker loss, checkpoint that refuses to load)
+assembles a self-contained JSON bundle: the recent rings, the live trace
+tail (when ``OBS`` is enabled), the resilience digest, the quarantine
+reason and the last snapshot stamps.
+
+Recording is a dict append into a preallocated ring under one lock —
+cheap enough to leave on in production, bounded so an unattended fleet
+can run forever.  Bundles are written to :attr:`FlightRecorder.dump_dir`
+when configured (the CLI's ``--flight-dir``) and always retained in
+memory on :attr:`FlightRecorder.bundles` for embedding tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from ..util.growbuf import RingBuffer
+
+__all__ = [
+    "FLIGHT",
+    "FlightRecorder",
+    "configure",
+    "FLIGHT_SCHEMA_VERSION",
+]
+
+#: Version stamped into every dumped bundle; loaders should refuse
+#: versions they do not know, like checkpoints and trace headers do.
+FLIGHT_SCHEMA_VERSION = 1
+
+#: Scope key for fleet-wide entries (everything also lands here).
+GLOBAL_SCOPE = "global"
+
+#: How many dumped bundles stay resident in memory.
+_BUNDLE_KEEP = 16
+
+#: How many trace-tail events a bundle embeds per view.
+_TRACE_TAIL = 50
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    try:
+        return value.item()  # NumPy scalars
+    except AttributeError:
+        return str(value)
+
+
+class FlightRecorder:
+    """Bounded per-scope black box with post-mortem bundle dumps."""
+
+    def __init__(self, capacity: int = 256, dump_dir: str | None = None) -> None:
+        self.capacity = int(capacity)
+        self.dump_dir = dump_dir
+        self.bundles: list[dict] = []
+        self._rings: dict[tuple[str, str], RingBuffer] = {}
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    # -- configuration ----------------------------------------------------- #
+    def configure(
+        self, *, dump_dir: str | None = None, capacity: int | None = None
+    ) -> "FlightRecorder":
+        """Point dumps at a directory and/or resize future rings."""
+        if dump_dir is not None:
+            os.makedirs(dump_dir, exist_ok=True)
+            self.dump_dir = str(dump_dir)
+        if capacity is not None:
+            self.capacity = int(capacity)
+        return self
+
+    def reset(self) -> None:
+        """Drop every ring, retained bundle and the dump directory."""
+        with self._lock:
+            self._rings.clear()
+            self.bundles = []
+            self._seq = 0
+            self.dump_dir = None
+
+    # -- recording --------------------------------------------------------- #
+    def _ring(self, scope: str, category: str) -> RingBuffer:
+        key = (scope, category)
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = self._rings[key] = RingBuffer(self.capacity)
+        return ring
+
+    def record(self, category: str, entry: dict, *, scope: str | None = None) -> None:
+        """Append one entry to ``scope`` (and the global scope)."""
+        entry = _json_safe(entry)
+        with self._lock:
+            if scope is not None and scope != GLOBAL_SCOPE:
+                self._ring(scope, category).append(entry)
+            self._ring(GLOBAL_SCOPE, category).append(entry)
+
+    def record_delta(
+        self, name: str, value: float, *, scope: str | None = None, **labels
+    ) -> None:
+        """A metric-style observation (chunk latency, round time, ...)."""
+        self.record(
+            "deltas", {"name": name, "value": float(value), **labels}, scope=scope
+        )
+
+    def record_alert(self, alert, *, scope: str | None = None) -> None:
+        """A fired alert (anything dict-like or with ``to_dict``)."""
+        if hasattr(alert, "to_dict"):
+            alert = alert.to_dict()
+        elif not isinstance(alert, dict):
+            alert = {"alert": str(alert)}
+        self.record("alerts", alert, scope=scope)
+
+    def record_note(self, kind: str, *, scope: str | None = None, **data) -> None:
+        """A free-form breadcrumb (recovery step, checkpoint stamp, ...)."""
+        self.record("notes", {"kind": kind, **data}, scope=scope)
+
+    def tail(self, scope: str = GLOBAL_SCOPE, category: str | None = None):
+        """Recent entries for a scope, oldest first."""
+        with self._lock:
+            if category is not None:
+                ring = self._rings.get((scope, category))
+                return ring.items() if ring is not None else []
+            return {
+                cat: ring.items()
+                for (sc, cat), ring in self._rings.items()
+                if sc == scope
+            }
+
+    # -- dumping ----------------------------------------------------------- #
+    def _trace_tail(self, shard_id: str | None) -> list[dict]:
+        from . import OBS  # deferred: flight must not gate provider import
+
+        if not OBS.enabled or OBS.ring is None:
+            return []
+        events = OBS.ring.events
+        if shard_id is not None:
+            shard_events = [
+                e for e in events
+                if (e.get("attrs") or {}).get("shard") == shard_id
+            ]
+            tail = shard_events[-_TRACE_TAIL:]
+            seen = {id(e) for e in tail}
+            for e in events[-_TRACE_TAIL:]:
+                if id(e) not in seen:
+                    tail.append(e)
+            return tail
+        return events[-_TRACE_TAIL:]
+
+    def _resilience_digest(self) -> dict:
+        from . import OBS, report
+
+        if not OBS.enabled:
+            return {}
+        try:
+            return report.summarize(OBS.metrics).get("resilience", {})
+        except Exception:  # pragma: no cover - report must never block a dump
+            return {}
+
+    def dump(
+        self,
+        reason: str,
+        *,
+        shard_id: str | None = None,
+        machine: str | None = None,
+        step: int | None = None,
+        quarantine: dict | None = None,
+        snapshot_stamps: dict | None = None,
+        extra: dict | None = None,
+    ) -> dict:
+        """Assemble (and, when configured, write) one post-mortem bundle.
+
+        Always returns the bundle and retains the most recent
+        ``_BUNDLE_KEEP`` of them on :attr:`bundles`; additionally writes
+        ``flight-<seq>-<reason>[-<scope>].json`` under :attr:`dump_dir`
+        when one is configured.
+        """
+        from . import OBS
+
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        scopes = {GLOBAL_SCOPE: self.tail(GLOBAL_SCOPE)}
+        if shard_id is not None:
+            scopes[f"shard:{shard_id}"] = self.tail(f"shard:{shard_id}")
+        if machine is not None:
+            scopes[f"machine:{machine}"] = self.tail(f"machine:{machine}")
+        bundle = {
+            "schema_version": FLIGHT_SCHEMA_VERSION,
+            "kind": "flight_bundle",
+            "seq": seq,
+            "reason": reason,
+            "shard_id": shard_id,
+            "machine": machine,
+            "step": step,
+            "trace_id": OBS.trace_id,
+            "quarantine": _json_safe(quarantine) if quarantine else None,
+            "snapshot_stamps": _json_safe(snapshot_stamps)
+            if snapshot_stamps
+            else None,
+            "recent": scopes,
+            "trace_tail": self._trace_tail(shard_id),
+            "resilience": self._resilience_digest(),
+        }
+        if extra:
+            bundle["extra"] = _json_safe(extra)
+        if self.dump_dir is not None:
+            label = shard_id or machine or "fleet"
+            safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in label)
+            safe_reason = "".join(
+                c if c.isalnum() or c in "-_" else "_" for c in reason
+            )
+            path = os.path.join(
+                self.dump_dir, f"flight-{seq:03d}-{safe_reason}-{safe}.json"
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(bundle, handle, indent=2, sort_keys=True)
+            bundle["path"] = path
+        with self._lock:
+            self.bundles.append(bundle)
+            if len(self.bundles) > _BUNDLE_KEEP:
+                del self.bundles[: len(self.bundles) - _BUNDLE_KEEP]
+        return bundle
+
+
+#: The process-wide recorder every failure hook talks to.  Each worker
+#: process has its own (module state does not cross the spawn boundary);
+#: dumps happen in the process hosting the monitor, which is where the
+#: supervisor's failure hooks run.
+FLIGHT = FlightRecorder()
+
+
+def configure(**kwargs) -> FlightRecorder:
+    """Configure the module-level recorder (see :meth:`FlightRecorder.configure`)."""
+    return FLIGHT.configure(**kwargs)

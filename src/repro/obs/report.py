@@ -10,8 +10,12 @@ the serialisation behind the CLI's ``--metrics-out``.
 
 from __future__ import annotations
 
+import json
+import os
+
 from ..util.timer import TimingTable
 from ..viz.textreport import TextReport
+from .health import _status as _health_status
 from .metrics import MetricsRegistry
 
 __all__ = [
@@ -20,10 +24,26 @@ __all__ = [
     "render_text",
     "render_markdown",
     "metrics_json",
+    "load_metrics_json",
+    "MetricsFormatError",
+    "METRICS_SCHEMA_VERSION",
+    "SUPPORTED_METRICS_SCHEMAS",
 ]
 
 #: Histograms produced by the tracer are namespaced under this prefix.
 SPAN_PREFIX = "span."
+
+#: Version stamped into ``--metrics-out`` JSON payloads.  Bump when the
+#: payload shape changes; :func:`load_metrics_json` refuses versions it
+#: does not know — the forward-compat contract checkpoints already use.
+METRICS_SCHEMA_VERSION = 1
+
+#: Versions :func:`load_metrics_json` accepts.
+SUPPORTED_METRICS_SCHEMAS = (1,)
+
+
+class MetricsFormatError(ValueError):
+    """A metrics payload could not be loaded (bad shape or unknown version)."""
 
 
 def _label_str(labels: tuple) -> str:
@@ -134,6 +154,7 @@ def summarize(registry: MetricsRegistry) -> dict:
     failures_by_kind: dict[str, float] = {}
     retries = 0.0
     respawns = 0.0
+    lost_registries = 0.0
     for key, counter in registry.counters():
         name, labels = key
         if name == "service.resilience.failures":
@@ -143,11 +164,14 @@ def summarize(registry: MetricsRegistry) -> dict:
             retries += counter.value
         elif name == "executor.worker.respawned":
             respawns += counter.value
+        elif name == "obs.metrics.lost_registries":
+            lost_registries += counter.value
     resilience: dict = {}
     if (
         failures_by_kind
         or retries
         or respawns
+        or lost_registries
         or counters.get("service.resilience.snapshots")
     ):
         resilience = {
@@ -166,7 +190,19 @@ def summarize(registry: MetricsRegistry) -> dict:
                 "service.resilience.replayed_chunks", 0.0
             ),
             "snapshots": counters.get("service.resilience.snapshots", 0.0),
+            "lost_registries": lost_registries,
         }
+
+    # Fleet health gauges published by the monitors each chunk/round.
+    health: dict[str, dict[str, float]] = {}
+    for key, gauge in registry.gauges():
+        name, labels = key
+        if name == "service.health.score":
+            entity = dict(labels).get("shard", "<fleet>")
+            health.setdefault("shards", {})[entity] = gauge.value
+        elif name == "federation.health.score":
+            entity = dict(labels).get("machine", "<federation>")
+            health.setdefault("machines", {})[entity] = gauge.value
 
     return {
         "spans": spans,
@@ -175,6 +211,7 @@ def summarize(registry: MetricsRegistry) -> dict:
         "alerts_by_rule": alerts_by_rule,
         "ingest_path": ingest_path,
         "resilience": resilience,
+        "health": health,
         "counters": counters,
         "gauges": gauges,
     }
@@ -270,6 +307,21 @@ def build_report(
             f"{res['quarantined_shards']:.0f} shard(s) currently out; "
             f"recovery snapshots recorded: {res['snapshots']:.0f}"
         )
+        if res.get("lost_registries"):
+            section.add_line(
+                f"metric registries lost to force-terminated workers: "
+                f"{res['lost_registries']:.0f} (span/counter totals "
+                f"undercount the lost workers' final interval)"
+            )
+
+    if digest["health"]:
+        section = report.section("fleet health")
+        for group, kind in (("machines", "machine"), ("shards", "shard")):
+            for entity, score in sorted(digest["health"].get(group, {}).items()):
+                section.add_kv(
+                    f"{kind} {entity}",
+                    f"{score:.2f} ({_health_status(score)})",
+                )
 
     if digest["counters"]:
         section = report.section("counters")
@@ -301,13 +353,47 @@ def render_markdown(registry: MetricsRegistry, **kwargs) -> str:
 def metrics_json(registry: MetricsRegistry) -> dict:
     """JSON payload for ``--metrics-out``: raw instruments plus the digest."""
     payload = registry.to_dict()
+    payload["schema_version"] = METRICS_SCHEMA_VERSION
     digest = summarize(registry)
     payload["derived"] = {
         "throughput": digest["throughput"],
         "alerts_by_rule": digest["alerts_by_rule"],
         "ingest_path": digest["ingest_path"],
         "resilience": digest["resilience"],
+        "health": digest["health"],
         "spans": digest["spans"],
         "hotspots": digest["hotspots"],
     }
     return payload
+
+
+def load_metrics_json(source) -> MetricsRegistry:
+    """Load a ``--metrics-out`` payload back into a registry.
+
+    ``source`` is a path or an already-parsed dict.  Refuses payloads
+    whose ``schema_version`` is missing or outside
+    :data:`SUPPORTED_METRICS_SCHEMAS` — mirroring how checkpoint
+    manifests refuse versions they do not understand rather than
+    mis-parsing them.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        path = str(source)
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise MetricsFormatError(
+                    f"{path}: not valid JSON: {exc}"
+                ) from exc
+    else:
+        path = "<payload>"
+        payload = source
+    if not isinstance(payload, dict):
+        raise MetricsFormatError(f"{path}: metrics payload is not an object")
+    version = payload.get("schema_version")
+    if version not in SUPPORTED_METRICS_SCHEMAS:
+        raise MetricsFormatError(
+            f"{path}: unsupported metrics schema_version {version!r} "
+            f"(this build reads {SUPPORTED_METRICS_SCHEMAS})"
+        )
+    return MetricsRegistry.from_dict(payload)

@@ -16,26 +16,68 @@ parent through a per-thread span stack.  On exit every span is
 
 Timestamps come from :data:`repro.util.timer.now` — the package-wide
 monotonic clock — so trace events and benchmark timings are directly
-comparable within a process.
+comparable within a process.  Across processes the clocks have arbitrary
+epochs; each tracer therefore carries a ``clock_offset`` (measured by the
+executor's calibration handshake, see
+:meth:`repro.util.parallel.ProcessShardExecutor.calibrate_clocks`) that is
+added to ``start``/``end`` at emission time, putting every process's
+events on the coordinator's timeline.  Causality crosses the process
+boundary through :class:`TraceContext`: the coordinator captures
+``(trace_id, current span id)`` at task-submit time, the worker adopts it
+(:meth:`Tracer.adopt`) so its ``executor.task`` span parents under the
+coordinator's round span, and span ids are made globally unique by basing
+each process's counter on its pid.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import os
 import threading
-from typing import Iterable
+from typing import Iterable, NamedTuple
 
 from ..util.growbuf import RingBuffer
 from ..util.timer import now
 
 __all__ = [
     "Span",
+    "TraceContext",
     "TraceSink",
     "RingBufferTraceSink",
     "JsonLinesTraceSink",
     "Tracer",
+    "new_trace_id",
+    "TRACE_SCHEMA_VERSION",
+    "SUPPORTED_TRACE_SCHEMAS",
 ]
+
+#: Version stamped into the header line of JSON-lines trace files.  Bump it
+#: when the event schema changes shape; loaders refuse versions they do not
+#: know (see :func:`repro.obs.export.read_trace`), the same forward-compat
+#: contract the checkpoint manifests use.
+TRACE_SCHEMA_VERSION = 1
+
+#: Versions :func:`repro.obs.export.read_trace` accepts.
+SUPPORTED_TRACE_SCHEMAS = (1,)
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit-ish random trace id (hex, no dashes)."""
+    return os.urandom(8).hex()
+
+
+class TraceContext(NamedTuple):
+    """The causal context shipped with cross-process work.
+
+    ``trace_id`` names the whole session's trace; ``span_id`` is the span
+    open on the submitting thread at capture time (the remote span's
+    parent).  It pickles as a plain tuple, so it rides inside executor
+    task messages at negligible cost.
+    """
+
+    trace_id: str | None
+    span_id: int | None
 
 
 class TraceSink:
@@ -70,11 +112,26 @@ class RingBufferTraceSink(TraceSink):
 
 
 class JsonLinesTraceSink(TraceSink):
-    """Appends one JSON object per span event to a text file."""
+    """Appends one JSON object per span event to a text file.
 
-    def __init__(self, path: str) -> None:
+    A fresh (empty) file gets a header line first —
+    ``{"kind": "trace_header", "schema_version": ..., "trace_id": ...}`` —
+    so loaders can refuse trace files written by an incompatible version
+    before mis-parsing a single event.
+    """
+
+    def __init__(self, path: str, *, trace_id: str | None = None) -> None:
         self.path = str(path)
         self._handle = open(self.path, "a", encoding="utf-8")
+        if self._handle.tell() == 0:
+            header = {
+                "kind": "trace_header",
+                "schema_version": TRACE_SCHEMA_VERSION,
+            }
+            if trace_id is not None:
+                header["trace_id"] = trace_id
+            self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+            self._handle.flush()
 
     def emit(self, event: dict) -> None:
         if self._handle is None:
@@ -121,24 +178,86 @@ class Span:
         self._tracer._pop(self, error=exc_type is not None)
 
 
+class _RemoteParent:
+    """Stack entry standing in for a span owned by another process.
+
+    Pushed by :meth:`Tracer.adopt`: it carries only the remote parent's
+    ``span_id``, which is all ``_push`` reads when linking children.
+    """
+
+    __slots__ = ("span_id",)
+
+    def __init__(self, span_id: int | None) -> None:
+        self.span_id = span_id
+
+
+class _Adoption:
+    """Context manager scoping an adopted remote parent on the stack."""
+
+    __slots__ = ("_tracer", "_holder")
+
+    def __init__(self, tracer: "Tracer", span_id: int | None) -> None:
+        self._tracer = tracer
+        self._holder = _RemoteParent(span_id)
+
+    def __enter__(self) -> "_Adoption":
+        self._tracer._stack().append(self._holder)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self._holder:
+            stack.pop()
+        elif self._holder in stack:  # pragma: no cover - unbalanced exit
+            stack.remove(self._holder)
+
+
+class _NoopAdoption:
+    """Shared inert adoption for a missing/empty context."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopAdoption":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP_ADOPTION = _NoopAdoption()
+
+
 class Tracer:
     """Builds spans, links parents per thread, fans events out to sinks.
 
-    Span ids increase monotonically within a process.  The per-thread
+    Span ids are globally unique across the fleet: each process counts
+    from ``pid << 32``, so merged traces never collide.  The per-thread
     stacks mean worker-thread spans are recorded concurrently without
     interleaving parents across threads; process-backend workers run their
-    own tracer (events are not shipped home — only the ``span.*``
-    histograms in the registry are, see :mod:`repro.obs.metrics`).
+    own tracer whose ring-buffered events are drained home by the monitors
+    (``span.*`` histograms in the registry merge home independently, see
+    :mod:`repro.obs.metrics`).
+
+    ``trace_id`` stamps every event; ``clock_offset`` (seconds to add to
+    this process's monotonic clock to land on the coordinator's) is
+    applied to ``start``/``end`` at emission time only — metric durations
+    are never shifted.
     """
 
     def __init__(
         self,
         metrics=None,
         sinks: Iterable[TraceSink] = (),
+        *,
+        trace_id: str | None = None,
+        clock_offset: float = 0.0,
     ) -> None:
         self.metrics = metrics
         self.sinks: list[TraceSink] = list(sinks)
-        self._ids = itertools.count(1)
+        self.trace_id = trace_id
+        self.clock_offset = float(clock_offset)
+        self._pid = os.getpid()
+        self._ids = itertools.count((self._pid << 32) + 1)
         self._local = threading.local()
         self._emit_lock = threading.Lock()
 
@@ -152,6 +271,28 @@ class Tracer:
     def current_span_id(self) -> int | None:
         stack = self._stack()
         return stack[-1].span_id if stack else None
+
+    def current_context(self) -> TraceContext:
+        """The ``(trace_id, current span id)`` pair to ship with a task."""
+        return TraceContext(self.trace_id, self.current_span_id())
+
+    def adopt(self, ctx) -> "_Adoption | _NoopAdoption":
+        """Scope spans on this thread under a remote parent.
+
+        ``ctx`` is a :class:`TraceContext` (or the plain tuple it pickles
+        to) captured by the submitting process.  Within the returned
+        context manager, new spans on this thread parent under
+        ``ctx.span_id`` — the cross-process half of the causal chain.
+        A ``None`` context (or one with no open span) is a no-op.
+        """
+        if ctx is None:
+            return _NOOP_ADOPTION
+        trace_id, span_id = ctx
+        if span_id is None:
+            return _NOOP_ADOPTION
+        if trace_id is not None and self.trace_id is None:
+            self.trace_id = trace_id
+        return _Adoption(self, span_id)
 
     def span(self, name: str, **attrs) -> Span:
         """A new (not yet entered) span; use as a context manager."""
@@ -206,20 +347,39 @@ class Tracer:
             self.metrics.observe(f"span.{name}", duration)
         if not self.sinks:
             return
+        offset = self.clock_offset
         event = {
             "name": name,
             "span_id": span_id,
             "parent_id": parent_id,
-            "start": start,
-            "end": end,
+            "start": start + offset if start is not None else None,
+            "end": end + offset,
             "duration": duration,
+            "pid": self._pid,
+            "tid": threading.get_ident(),
             "attrs": {str(k): _json_safe(v) for k, v in attrs.items()},
         }
+        if self.trace_id is not None:
+            event["trace_id"] = self.trace_id
         if error:
             event["error"] = True
         with self._emit_lock:
             for sink in self.sinks:
                 sink.emit(event)
+
+    def ingest_events(self, events: Iterable[dict]) -> None:
+        """Re-emit already-finished events (drained from a worker tracer).
+
+        The events arrive with calibrated timestamps and globally-unique
+        span ids, so they drop straight into this tracer's sinks — the
+        coordinator side of merging one causal trace per session.
+        """
+        if not self.sinks:
+            return
+        with self._emit_lock:
+            for event in events:
+                for sink in self.sinks:
+                    sink.emit(event)
 
     def close_sinks(self) -> None:
         for sink in self.sinks:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 
@@ -107,6 +108,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace file (implies metrics collection)",
     )
     parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="--trace-out format: native JSON-lines span events (default) "
+        "or Chrome trace-event JSON loadable in Perfetto / chrome://tracing",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=("json", "openmetrics"),
+        default="json",
+        help="--metrics-out format: schema-versioned JSON registry dump "
+        "(default) or OpenMetrics/Prometheus text exposition",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="where flight-recorder post-mortem bundles land (quarantines, "
+        "worker losses, refused checkpoint loads); the black box itself is "
+        "always on",
+    )
+    parser.add_argument(
         "--window",
         type=int,
         default=100,
@@ -142,6 +165,16 @@ def _print_alert_trail(alerts, top: int) -> None:
         print(f"  [{alert.severity.name:8s}]{origin} step {alert.step}: {alert.message}")
     if len(alerts) > top:
         print(f"  ... and {len(alerts) - top} more")
+
+
+def _print_health(health: dict | None) -> None:
+    """One line per scored entity from the final round's health dict."""
+    if not health:
+        return
+    print("fleet health:")
+    for entity in sorted(health):
+        score = health[entity]
+        print(f"  {entity:16s} {score.score:.2f} ({score.status})")
 
 
 def _run(args: argparse.Namespace, name: str) -> int:
@@ -198,6 +231,7 @@ def _run(args: argparse.Namespace, name: str) -> int:
                 f"  {shard_id}: step {info['step']}, "
                 f"{info['attempts']} attempt(s) — {info['reason']}"
             )
+    _print_health(result.monitor.health)
 
     # Recent-window rack view: the monitor is closed (state landed
     # in-process), and the windowed query only expands the window's modes.
@@ -255,6 +289,7 @@ def _run_federated(args: argparse.Namespace, name: str) -> int:
     )
     _print_alert_trail(result.alerts, args.top)
     print(f"alerted machines: {sorted(result.alerted_machines()) or 'none'}")
+    _print_health(result.federated.health)
     for machine_name, update in result.topology_updates.items():
         grown = ", ".join(sorted(update.extended)) or "none"
         minted = ", ".join(update.minted) or "none"
@@ -292,19 +327,47 @@ def _run_federated(args: argparse.Namespace, name: str) -> int:
     return 0
 
 
-def _finish_observability(args: argparse.Namespace) -> None:
-    """Write ``--metrics-out`` / close ``--trace-out`` and print the digest."""
+def _finish_observability(
+    args: argparse.Namespace, trace_jsonl: str | None
+) -> None:
+    """Write ``--metrics-out`` / ``--trace-out`` and print the digest."""
     registry = obs.OBS.metrics
     if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            json.dump(obs.report.metrics_json(registry), handle, indent=2)
-            handle.write("\n")
+        if args.metrics_format == "openmetrics":
+            obs.export.write_openmetrics(registry, args.metrics_out)
+        else:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(obs.report.metrics_json(registry), handle, indent=2)
+                handle.write("\n")
+    if args.trace_out and args.trace_format == "chrome":
+        # The span sink streamed JSON-lines to a sidecar file (the chrome
+        # format is one JSON object, not appendable); fold it into a
+        # Perfetto / chrome://tracing loadable trace now the run is over.
+        header, events = obs.export.read_trace(trace_jsonl)
+        obs.export.write_chrome_trace(
+            events, args.trace_out, trace_id=header.get("trace_id")
+        )
     print()
     print(obs.report.render_text(registry))
     if args.metrics_out:
-        print(f"metrics written to {args.metrics_out}")
+        print(f"metrics written to {args.metrics_out} ({args.metrics_format})")
     if args.trace_out:
-        print(f"span trace written to {args.trace_out}")
+        print(f"span trace written to {args.trace_out} ({args.trace_format})")
+
+
+def _finish_flight(args: argparse.Namespace) -> None:
+    """Name the post-mortem bundles the run dropped (if any)."""
+    written = [
+        bundle["path"]
+        for bundle in obs.flight.FLIGHT.bundles
+        if bundle.get("path")
+    ]
+    print(
+        f"flight recorder: {len(written)} post-mortem bundle(s) "
+        f"under {args.flight_dir}"
+    )
+    for path in written:
+        print(f"  {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -318,8 +381,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("a scenario name (or --list) is required")
     name = args.scenario.replace("_", "-")
     observe = bool(args.metrics_out or args.trace_out)
+    if args.flight_dir:
+        obs.flight.configure(dump_dir=args.flight_dir)
+    trace_jsonl = args.trace_out
+    sidecar = None
     if observe:
-        obs.enable(trace_path=args.trace_out)
+        if args.trace_out and args.trace_format == "chrome":
+            fd, sidecar = tempfile.mkstemp(suffix=".trace.jsonl")
+            os.close(fd)
+            trace_jsonl = sidecar
+        obs.enable(trace_path=trace_jsonl)
     try:
         if name in FEDERATED_SCENARIOS:
             code = _run_federated(args, name)
@@ -335,13 +406,22 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  {line}", file=sys.stderr)
             return 2
         if observe:
-            _finish_observability(args)
+            _finish_observability(args, trace_jsonl)
+        if args.flight_dir:
+            _finish_flight(args)
         return code
     finally:
         if observe:
             # Leave the module-level provider pristine for embedders (and
             # repeated ``main()`` calls in tests).
             obs.OBS.reset()
+        # Same discipline for the always-on black box.
+        obs.flight.FLIGHT.reset()
+        if sidecar is not None:
+            try:
+                os.remove(sidecar)
+            except OSError:
+                pass
 
 
 if __name__ == "__main__":

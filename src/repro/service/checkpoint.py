@@ -45,6 +45,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..io.storage import load_state, save_state
 from ..pipeline.config import PipelineConfig
+from ..obs.flight import FLIGHT
 from ..pipeline.online import OnlineAnalysisPipeline
 from .alerts import AlertEngine, AlertRule, AlertSink
 from .monitor import FleetMonitor
@@ -406,8 +407,42 @@ def load_checkpoint(
 
     Damaged checkpoints — truncated or garbage shard files, missing
     manifest entries — raise :class:`CheckpointError` naming the file
-    rather than leaking low-level numpy/zipfile/KeyError noise.
+    rather than leaking low-level numpy/zipfile/KeyError noise; each such
+    failure also drops a flight-recorder bundle (a refused restore is
+    exactly the moment the operator wants the black box).
     """
+    requested = str(directory)
+    try:
+        return _load_checkpoint(
+            directory,
+            rules=rules,
+            sinks=sinks,
+            executor=executor,
+            max_workers=max_workers,
+            resilience=resilience,
+            fault_plan=fault_plan,
+        )
+    except CheckpointError as exc:
+        FLIGHT.record_note(
+            "checkpoint_load_failed", path=requested, error=str(exc)
+        )
+        FLIGHT.dump(
+            "checkpoint_load_failed",
+            extra={"path": requested, "error": str(exc)},
+        )
+        raise
+
+
+def _load_checkpoint(
+    directory: str,
+    *,
+    rules: Sequence[AlertRule] | None = None,
+    sinks: Iterable[AlertSink] = (),
+    executor=None,
+    max_workers: int | None = None,
+    resilience=None,
+    fault_plan=None,
+) -> FleetMonitor:
     directory = resolve_checkpoint_dir(directory)
     manifest = read_manifest(directory)
     shards = [

@@ -39,7 +39,14 @@ from ..core.batchops import ShardBatchPlanner
 from ..core.imrdmd import TopologyChange
 from ..core.spectrum import MrDMDSpectrum
 from ..hwlog.events import HardwareLog
-from ..obs import OBS, worker_drain_metrics, worker_enable_metrics
+from ..obs import (
+    OBS,
+    worker_drain_metrics,
+    worker_drain_trace,
+    worker_enable_metrics,
+)
+from ..obs.flight import FLIGHT
+from ..obs.health import HealthScore, aggregate, percentile, score_shard
 from ..pipeline.config import PipelineConfig
 from ..pipeline.online import OnlineAnalysisPipeline, PipelineSnapshot
 from ..resilience.faults import FaultPlan, PoisonChunkError
@@ -47,6 +54,7 @@ from ..resilience.policy import ResiliencePolicy
 from ..resilience.recovery import ShardRecoveryStore
 from ..telemetry.generator import TelemetryStream
 from ..telemetry.machine import MachineDescription
+from ..util.growbuf import RingBuffer
 from ..util.parallel import (
     ShardExecutor,
     ShardTaskError,
@@ -105,6 +113,13 @@ class FleetSnapshot:
     #: ``shard_snapshots`` and every merged product) — the fleet answers
     #: with visible degradation instead of crashing.
     degraded_shards: tuple[str, ...] = ()
+    #: Derived health per shard plus a ``"fleet"`` aggregate (see
+    #: :mod:`repro.obs.health`).  ``compare=False``: health folds in
+    #: wall-clock latency, which must never break the bit-for-bit snapshot
+    #: parity the backend/restart tests assert.
+    health: dict[str, "HealthScore"] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def deep_pending(self) -> int:
@@ -428,6 +443,12 @@ class FleetMonitor:
         # deep_levels="inline".
         self._refresh_tasks: list = []
         self._chunks_since_refresh: dict[str, int] = {}
+        # Always-on latency rings feeding the derived health score: fleet
+        # chunk latency plus (under supervision) per-shard round latency.
+        # Bounded, timestamps-only, never serialised into checkpoints.
+        self._chunk_latency = RingBuffer(64)
+        self._shard_latency: dict[str, RingBuffer] = {}
+        self._last_health: dict[str, HealthScore] | None = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -509,6 +530,10 @@ class FleetMonitor:
                 # no remote shards and record straight into the parent.
                 for shard_id in self._executor.remote_worker_shards():
                     self._executor.call(shard_id, worker_enable_metrics)
+                # Clock handshake so worker trace events land on this
+                # process's timeline (no-op for in-process backends, and
+                # already done if the executor started while enabled).
+                self._executor.calibrate_clocks()
         return self._executor
 
     @property
@@ -556,6 +581,12 @@ class FleetMonitor:
         ):
             for shard_id in self._executor.remote_worker_shards():
                 OBS.metrics.merge(self._executor.call(shard_id, worker_drain_metrics))
+                # Worker span events (already calibrated and parented via
+                # the shipped TraceContext) merge into this process's
+                # sinks — one causal trace per session.
+                events = self._executor.call(shard_id, worker_drain_trace)
+                if events:
+                    OBS.tracer.ingest_events(events)
         return OBS.metrics
 
     def __enter__(self) -> "FleetMonitor":
@@ -748,7 +779,7 @@ class FleetMonitor:
             # Mirror parallel_map's validation: invalid values must not
             # silently fall back to the serial/executor path.
             raise ValueError(f"processes must be None or >= 1, got {processes!r}")
-        t_start = now() if OBS.enabled else 0.0
+        t_start = now()
         with OBS.span("service.ingest", chunk=stats.chunk_columns):
             if processes is not None and processes > 1:
                 snapshot = self._ingest_pooled(values, processes, stats)
@@ -778,8 +809,7 @@ class FleetMonitor:
                     }
                 )
             self._schedule_deep_refreshes(snapshot.shard_snapshots)
-        if OBS.enabled:
-            self._record_chunk_metrics(stats, now() - t_start)
+        self._finalize_round(snapshot, stats, now() - t_start)
         return snapshot
 
     def _ingest_batched(self, values: np.ndarray) -> dict[str, PipelineSnapshot]:
@@ -877,6 +907,93 @@ class FleetMonitor:
             OBS.gauge("service.rows_per_sec", entries / elapsed)
 
     # ------------------------------------------------------------------ #
+    # Fleet health & flight recording (always on)
+    # ------------------------------------------------------------------ #
+    def _finalize_round(
+        self, snapshot: FleetSnapshot, stats: IngestStats, elapsed: float
+    ) -> None:
+        """Always-on post-round accounting: latency rings, flight-recorder
+        breadcrumbs and the derived health score.  Only the *metrics*
+        emission stays gated on the obs provider — health and the black
+        box are exactly what an uninstrumented run needs after a crash."""
+        self._chunk_latency.append(float(elapsed))
+        FLIGHT.record_delta(
+            "service.chunk.seconds",
+            elapsed,
+            step=snapshot.step,
+            rows=stats.entries_received,
+        )
+        snapshot.health = self._compute_health(snapshot.shard_snapshots)
+        if OBS.enabled:
+            self._record_chunk_metrics(stats, elapsed)
+            for entity, score in snapshot.health.items():
+                if entity == "fleet":
+                    OBS.gauge("service.health.score", score.score)
+                else:
+                    OBS.gauge("service.health.score", score.score, shard=entity)
+
+    def _note_shard_latency(self, shard_id: str, seconds: float) -> None:
+        ring = self._shard_latency.get(shard_id)
+        if ring is None:
+            ring = self._shard_latency[shard_id] = RingBuffer(64)
+        ring.append(float(seconds))
+
+    def _latency_budget(self) -> float | None:
+        """The latency budget health scores against: the supervision
+        deadline when resilience is on, else unbudgeted (neutral)."""
+        if self.resilience is not None:
+            return self.resilience.task_deadline
+        return None
+
+    def _compute_health(
+        self, snapshots: dict[str, PipelineSnapshot]
+    ) -> dict[str, HealthScore]:
+        """Score every shard plus a ``"fleet"`` aggregate.
+
+        Latency uses each shard's own supervised-round p95 when sampled
+        (supervised gathers time per shard), else the fleet-wide chunk
+        p95; staleness comes from the shard's deferred deep-level backlog;
+        availability from the quarantine roster.
+        """
+        budget = self._latency_budget()
+        fleet_p95 = percentile(self._chunk_latency.items(), 0.95)
+        per_shard: dict[str, HealthScore] = {}
+        for spec in self.shards:
+            sid = spec.shard_id
+            ring = self._shard_latency.get(sid)
+            samples = ring.items() if ring is not None else []
+            p95 = percentile(samples, 0.95) if samples else fleet_p95
+            snap = snapshots.get(sid)
+            stale = 0.0 if snap is None else float(snap.deep_stale_snapshots)
+            per_shard[sid] = score_shard(
+                quarantined=sid in self._quarantined,
+                p95_seconds=p95,
+                budget_seconds=budget,
+                deep_stale_snapshots=stale,
+            )
+        health = dict(per_shard)
+        health["fleet"] = aggregate(per_shard.values())
+        self._last_health = health
+        return health
+
+    @property
+    def health(self) -> dict[str, HealthScore] | None:
+        """Most recent per-shard (plus ``"fleet"``) health scores, or
+        ``None`` before the first ingest round."""
+        return self._last_health
+
+    def _snapshot_stamps(self) -> dict:
+        """Recovery-store stamps embedded in flight bundles: which shards
+        hold a state snapshot and how long their replay tails are."""
+        return {
+            sid: {
+                "has_snapshot": bool(self._recovery.has_snapshot(sid)),
+                "replay_tail": int(self._recovery.tail_length(sid)),
+            }
+            for sid in self._recovery.shard_ids
+        }
+
+    # ------------------------------------------------------------------ #
     # Supervision & resilience (resilience=ResiliencePolicy(...))
     # ------------------------------------------------------------------ #
     @property
@@ -970,6 +1087,20 @@ class FleetMonitor:
         executor.respawn(shard_id, objects)
         for rsid, pipeline in objects.items():
             self._pipelines[rsid] = pipeline
+        FLIGHT.record_note(
+            "worker_lost",
+            scope=f"shard:{shard_id}",
+            shard=shard_id,
+            step=int(self._step),
+            residents=list(residents),
+        )
+        FLIGHT.dump(
+            "worker_lost",
+            shard_id=shard_id,
+            step=int(self._step),
+            snapshot_stamps=self._snapshot_stamps(),
+            extra={"residents": list(residents)},
+        )
         if OBS.enabled and executor.backend == "process":
             # The replacement worker is a fresh interpreter whose obs
             # provider starts disabled; mirror the parent's switch so its
@@ -979,11 +1110,25 @@ class FleetMonitor:
 
     def _quarantine(self, shard_id: str, exc: BaseException, attempts: int) -> None:
         """Mark a shard quarantined after it exhausted its retry budget."""
-        self._quarantined[shard_id] = {
+        info = {
             "step": int(self._step),
             "attempts": int(attempts),
             "reason": f"{type(exc).__name__}: {exc}",
         }
+        self._quarantined[shard_id] = info
+        FLIGHT.record_note(
+            "quarantine",
+            scope=f"shard:{shard_id}",
+            shard=shard_id,
+            **info,
+        )
+        FLIGHT.dump(
+            "quarantine",
+            shard_id=shard_id,
+            step=int(self._step),
+            quarantine=info,
+            snapshot_stamps=self._snapshot_stamps(),
+        )
         if OBS.enabled:
             OBS.inc("service.resilience.quarantined")
             OBS.gauge(
@@ -1063,9 +1208,11 @@ class FleetMonitor:
             if shard_id in snapshots or shard_id in self._quarantined:
                 continue  # settled while re-queued after a worker recovery
             try:
+                t_task = now()
                 snapshots[shard_id] = tasks[shard_id].result(
                     timeout=policy.task_deadline
                 )
+                self._note_shard_latency(shard_id, now() - t_task)
                 continue
             except Exception as exc:  # noqa: BLE001 — supervisor boundary
                 attempt = attempts[shard_id]
@@ -1438,7 +1585,7 @@ class FleetMonitor:
         a second query round-trip.
         """
         values, stats = self._validated(values)
-        t_start = now() if OBS.enabled else 0.0
+        t_start = now()
         deferred = self.config.deep_levels == "deferred"
         with OBS.span("service.ingest_and_alert", chunk=stats.chunk_columns):
             executor = self._ensure_executor()
@@ -1516,8 +1663,9 @@ class FleetMonitor:
                     degraded_shards=self.quarantined_shards,
                 )
                 alerts = self.alert_engine.evaluate(context)
-        if OBS.enabled:
-            self._record_chunk_metrics(stats, now() - t_start)
+        for alert in alerts:
+            FLIGHT.record_alert(alert)
+        self._finalize_round(snapshot, stats, now() - t_start)
         return snapshot, alerts
 
     def _submit_score_tasks(

@@ -85,6 +85,37 @@ def _get_obs():
         _OBS = OBS
     return _OBS
 
+
+def _current_trace_context():
+    """The (trace_id, parent span id) pair to ship with a task, or ``None``.
+
+    ``None`` — tracing disabled or no span open — costs the worker nothing:
+    the adopt call on the far side is a no-op.
+    """
+    obs = _get_obs()
+    if not obs.enabled:
+        return None
+    return obs.current_context()
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side trace plumbing (top-level, hence picklable by reference).
+# Executor calling convention: fn(resident_obj, *args) — the resident is
+# ignored; any shard on a worker reaches that interpreter's clock/provider.
+# --------------------------------------------------------------------------- #
+def _worker_clock_probe(obj=None) -> float:
+    """Read the worker interpreter's monotonic clock (calibration probe)."""
+    from .timer import now
+    return now()
+
+
+def _worker_set_trace_context(obj=None, trace_id=None, clock_offset=0.0) -> bool:
+    """Install the coordinator's trace id and the measured clock offset in
+    the worker's provider (see :meth:`ProcessShardExecutor.calibrate_clocks`)."""
+    _get_obs().set_remote_context(trace_id, clock_offset)
+    return True
+
+
 __all__ = [
     "parallel_map",
     "ShardExecutor",
@@ -367,6 +398,18 @@ class ShardExecutor(ABC):
         none."""
         return ()
 
+    def calibrate_clocks(self) -> dict[str, float]:
+        """Align remote worker clocks with this process's (trace timeline).
+
+        In-process backends share the parent's monotonic clock, so there
+        is nothing to align; the process backend overrides this with an
+        NTP-style handshake per worker.  Returns the measured offset in
+        seconds keyed by each calibrated worker's representative shard
+        (empty when nothing needed calibrating).  No-op unless the
+        observability provider is enabled.
+        """
+        return {}
+
     # -- calls ----------------------------------------------------------- #
     def _record_submit(self, shard_id: str, depth: int | None = None) -> None:
         """Submission metrics shared by the backends (no-op when disabled)."""
@@ -518,8 +561,17 @@ class SerialShardExecutor(ShardExecutor):
         self._record_submit(shard_id)
         task = ShardTask(shard_id)
         try:
-            with _get_obs().span("executor.task", shard=shard_id, backend=self.backend):
+            obs = _get_obs()
+            if obs.enabled and obs.tracer.current_span_id() is None:
+                # No enclosing span to parent under (housekeeping outside a
+                # round): keep the event out of the trace — it could never
+                # chain onto the merged timeline — but feed the histogram.
+                t0 = time.perf_counter()
                 result = fn(self._objects[shard_id], *args, **kwargs)
+                obs.observe("span.executor.task", time.perf_counter() - t0)
+            else:
+                with obs.span("executor.task", shard=shard_id, backend=self.backend):
+                    result = fn(self._objects[shard_id], *args, **kwargs)
             task._resolve(result, None)
         except Exception as exc:
             task._resolve(None, exc)
@@ -571,13 +623,28 @@ class ThreadShardExecutor(ShardExecutor):
             item = q.get()
             if item is None:
                 return
-            task, fn, args, kwargs = item
+            task, fn, args, kwargs, ctx = item
             # BaseException included: an unresolved task would leave
             # result() blocked forever on its event.
             try:
-                with _get_obs().span("executor.task", shard=task.shard_id,
-                                     backend=self.backend):
+                obs = _get_obs()
+                # Adopt the submitter's context: worker threads have empty
+                # span stacks, so without it their spans would be orphans.
+                if not obs.enabled:
                     result = fn(self._objects[task.shard_id], *args, **kwargs)
+                elif ctx is not None:
+                    with obs.adopt(ctx):
+                        with obs.span("executor.task", shard=task.shard_id,
+                                      backend=self.backend):
+                            result = fn(self._objects[task.shard_id], *args,
+                                        **kwargs)
+                else:
+                    # Context-free submits (drains, housekeeping) would
+                    # emit unparented events; record the duration only.
+                    t0 = time.perf_counter()
+                    result = fn(self._objects[task.shard_id], *args, **kwargs)
+                    obs.observe("span.executor.task",
+                                time.perf_counter() - t0)
                 task._resolve(result, None)
             except BaseException as exc:
                 task._resolve(None, exc)
@@ -587,7 +654,9 @@ class ThreadShardExecutor(ShardExecutor):
         worker_index = self._worker_of_shard[shard_id]
         self._record_submit(shard_id, depth=self._queues[worker_index].qsize())
         task = ShardTask(shard_id, event=threading.Event())
-        self._queues[worker_index].put((task, fn, args, kwargs))
+        self._queues[worker_index].put(
+            (task, fn, args, kwargs, _current_trace_context())
+        )
         return task
 
     def install(self, shard_id: str, obj: Any) -> None:
@@ -639,7 +708,7 @@ class ThreadShardExecutor(ShardExecutor):
                 break
             if item is None:
                 continue
-            task, _fn, _args, _kwargs = item
+            task = item[0]
             task._resolve(None, ShardTaskError(
                 f"worker for shard {task.shard_id!r} was respawned; "
                 "queued task abandoned",
@@ -845,7 +914,7 @@ def _process_worker_main(conn) -> None:
     payloads: dict[int, list] = {}  # payload_id -> [fn, args, kwargs, uses left]
     shm_cache: dict[str, shared_memory.SharedMemory] = {}
 
-    def run_one(task_id, shard_id, fn, args, kwargs) -> None:
+    def run_one(task_id, shard_id, fn, args, kwargs, ctx=None) -> None:
         try:
             args = tuple(_resolve_shm_value(value, shm_cache) for value in args)
             kwargs = {
@@ -854,9 +923,23 @@ def _process_worker_main(conn) -> None:
             }
             # The worker interpreter's own provider: disabled unless the
             # parent turned it on via repro.obs.worker_enable_metrics.
-            with _get_obs().span("executor.task", shard=shard_id,
-                                 backend="process"):
+            # Adopting the shipped context parents this span under the
+            # coordinator's round span (no-op while disabled).
+            obs = _get_obs()
+            if ctx is not None:
+                with obs.adopt(ctx):
+                    with obs.span("executor.task", shard=shard_id,
+                                  backend="process"):
+                        result = fn(objects[shard_id], *args, **kwargs)
+            else:
+                # No causal context: housekeeping (drains, calibration,
+                # pulls) or work submitted outside any coordinator span.
+                # An event here could never chain to the merged timeline,
+                # so keep it out of the trace but still feed the span
+                # duration histogram the metrics path reports.
+                t0 = time.perf_counter()
                 result = fn(objects[shard_id], *args, **kwargs)
+                obs.observe("span.executor.task", time.perf_counter() - t0)
             payload = ("result", task_id, result, None)
         except Exception as exc:
             payload = ("result", task_id, None, exc)
@@ -879,17 +962,17 @@ def _process_worker_main(conn) -> None:
             objects[shard_id] = obj
             conn.send(("installed", shard_id))
         elif kind == "task":
-            _, task_id, shard_id, fn, args, kwargs = message
-            run_one(task_id, shard_id, fn, args, kwargs)
+            _, task_id, shard_id, fn, args, kwargs, ctx = message
+            run_one(task_id, shard_id, fn, args, kwargs, ctx)
         elif kind == "payload":
             # Broadcast dedup: the (fn, args, kwargs) of a fan-out travels
             # once per worker; the per-shard "ptask" messages reference it.
             _, payload_id, fn, args, kwargs, uses = message
             payloads[payload_id] = [fn, args, kwargs, int(uses)]
         elif kind == "ptask":
-            _, task_id, shard_id, payload_id = message
+            _, task_id, shard_id, payload_id, ctx = message
             entry = payloads[payload_id]
-            run_one(task_id, shard_id, entry[0], entry[1], entry[2])
+            run_one(task_id, shard_id, entry[0], entry[1], entry[2], ctx)
             entry[3] -= 1
             if entry[3] <= 0:
                 payloads.pop(payload_id, None)
@@ -930,14 +1013,14 @@ class _ProcessWorker:
             raise ShardTaskError(f"unexpected install ack {ack!r}")
 
     def submit(self, task: ShardTask, fn: Callable, args, kwargs,
-               slab_indices: tuple[int, ...] = ()) -> None:
+               slab_indices: tuple[int, ...] = (), ctx=None) -> None:
         task_id = self._next_task_id
         self._next_task_id += 1
         self._pending[task_id] = task
         if slab_indices:
             self._slab_refs[task_id] = slab_indices
         try:
-            self.conn.send(("task", task_id, task.shard_id, fn, args, kwargs))
+            self.conn.send(("task", task_id, task.shard_id, fn, args, kwargs, ctx))
         except Exception as exc:
             del self._pending[task_id]
             self._release_slabs(task_id)
@@ -953,11 +1036,11 @@ class _ProcessWorker:
         self.conn.send(("payload", payload_id, fn, args, kwargs, uses))
         return payload_id
 
-    def submit_ptask(self, task: ShardTask, payload_id: int) -> None:
+    def submit_ptask(self, task: ShardTask, payload_id: int, ctx=None) -> None:
         task_id = self._next_task_id
         self._next_task_id += 1
         self._pending[task_id] = task
-        self.conn.send(("ptask", task_id, task.shard_id, payload_id))
+        self.conn.send(("ptask", task_id, task.shard_id, payload_id, ctx))
 
     @property
     def pending_shards(self) -> tuple[str, ...]:
@@ -1133,6 +1216,9 @@ class ProcessShardExecutor(ShardExecutor):
             worker = self._workers[index % n_workers]
             self._worker_of_shard[shard_id] = index % n_workers
             worker.install(shard_id, obj)
+        # Calibration handshake at executor start (re-synced on respawn):
+        # no-op unless the provider is enabled.
+        self.calibrate_clocks()
 
     def _prepare_call(self, args: tuple, kwargs: dict) -> tuple[tuple, dict, tuple]:
         """Swap large ndarray arguments for slab descriptors.
@@ -1180,7 +1266,8 @@ class ProcessShardExecutor(ShardExecutor):
         self._record_submit(shard_id, depth=len(worker._pending))
         args, kwargs, slab_indices = self._prepare_call(args, kwargs)
         task = ShardTask(shard_id, worker=worker)
-        worker.submit(task, fn, args, kwargs, slab_indices=slab_indices)
+        worker.submit(task, fn, args, kwargs, slab_indices=slab_indices,
+                      ctx=_current_trace_context())
         return task
 
     def broadcast(self, fn: Callable, /, *args, **kwargs) -> dict[str, Any]:
@@ -1192,13 +1279,14 @@ class ProcessShardExecutor(ShardExecutor):
         for shard_id in self._objects:
             by_worker.setdefault(self._worker_of_shard[shard_id], []).append(shard_id)
         tasks: dict[str, ShardTask] = {}
+        ctx = _current_trace_context()
         for worker_index, shard_ids in by_worker.items():
             worker = self._workers[worker_index]
             payload_id = worker.send_payload(fn, args, kwargs, uses=len(shard_ids))
             for shard_id in shard_ids:
                 self._record_submit(shard_id, depth=len(worker._pending))
                 task = ShardTask(shard_id, worker=worker)
-                worker.submit_ptask(task, payload_id)
+                worker.submit_ptask(task, payload_id, ctx=ctx)
                 tasks[shard_id] = task
         return {shard_id: tasks[shard_id].result() for shard_id in self._objects}
 
@@ -1211,6 +1299,50 @@ class ProcessShardExecutor(ShardExecutor):
         for shard_id, index in self._worker_of_shard.items():
             representative.setdefault(index, shard_id)
         return tuple(representative[index] for index in sorted(representative))
+
+    # How many round trips a clock handshake makes; the minimum-RTT probe
+    # wins (NTP's trick: the midpoint estimate is tightest when the pipe
+    # was least congested).
+    _CLOCK_PROBES = 5
+
+    def calibrate_clocks(self) -> dict[str, float]:
+        obs = _get_obs()
+        if not obs.enabled or not self.started or not self._workers:
+            return {}
+        offsets: dict[str, float] = {}
+        for shard_id in self.remote_worker_shards():
+            offsets[shard_id] = self._calibrate_worker(shard_id)
+        return offsets
+
+    def _calibrate_worker(self, shard_id: str) -> float:
+        """NTP-style handshake with the worker serving ``shard_id``.
+
+        Each probe brackets the worker's clock read between two parent
+        clock reads; the probe with the smallest round trip gives the
+        tightest midpoint estimate ``offset = (t0 + t1)/2 - t_worker``
+        (seconds to ADD to the worker clock to land on the parent's).
+        The result, plus the session trace id, is installed in the
+        worker's provider so every event it emits is already calibrated.
+        """
+        from .timer import now
+
+        obs = _get_obs()
+        best_rtt = float("inf")
+        offset = 0.0
+        for _ in range(self._CLOCK_PROBES):
+            t0 = now()
+            t_worker = self.call(shard_id, _worker_clock_probe)
+            t1 = now()
+            rtt = t1 - t0
+            if rtt < best_rtt:
+                best_rtt = rtt
+                offset = (t0 + t1) / 2.0 - t_worker
+        self.call(shard_id, _worker_set_trace_context, obs.trace_id, offset)
+        index = self._worker_of_shard[shard_id]
+        obs.inc("executor.clock.calibrations", backend=self.backend)
+        obs.gauge("executor.clock.offset_seconds", offset, worker=str(index))
+        obs.gauge("executor.clock.rtt_seconds", best_rtt, worker=str(index))
+        return offset
 
     def install(self, shard_id: str, obj: Any) -> None:
         super().install(shard_id, obj)
@@ -1260,6 +1392,13 @@ class ProcessShardExecutor(ShardExecutor):
         obs = _get_obs()
         if obs.enabled:
             obs.inc("executor.worker.respawned", backend=self.backend)
+            # The killed worker's undrained registry (and buffered trace
+            # events) die with it — surface the undercount instead of
+            # hiding it.
+            obs.inc("obs.metrics.lost_registries", backend=self.backend)
+            # Re-sync the replacement's clock: a fresh interpreter has a
+            # fresh monotonic epoch.
+            self._calibrate_worker(shard_id)
 
     def pull(self) -> dict[str, Any]:
         if not self.started:
@@ -1270,9 +1409,20 @@ class ProcessShardExecutor(ShardExecutor):
 
     def _shutdown(self) -> None:
         lost: list[str] = []
+        lost_workers = 0
         for worker in self._workers:
-            lost.extend(worker.close(timeout=self._close_timeout))
+            worker_lost = worker.close(timeout=self._close_timeout)
+            if worker_lost:
+                lost.extend(worker_lost)
+                lost_workers += 1
         self._workers = []
+        obs = _get_obs()
+        if lost_workers and obs.enabled:
+            # Each force-terminated worker took its undrained metric
+            # registry with it; record the loss so reports can flag the
+            # undercount rather than silently presenting partial totals.
+            obs.inc("obs.metrics.lost_registries", lost_workers,
+                    backend=self.backend)
         if self._ring is not None:
             # Workers have drained and exited (or were force-terminated):
             # no live worker can still dereference a slab, so the ring

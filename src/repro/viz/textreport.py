@@ -27,6 +27,16 @@ class ReportSection:
         self.blocks.append(str(line))
         return self
 
+    def add_kv(self, key: str, value: object, *, width: int = 24) -> "ReportSection":
+        """Append one aligned ``key: value`` line.
+
+        Keys pad to ``width`` so a run of ``add_kv`` calls forms a
+        readable two-column block in the fixed-width rendering (Markdown
+        renders the same text; alignment simply collapses there).
+        """
+        self.blocks.append(f"{str(key) + ':':<{width + 1}} {value}")
+        return self
+
     def add_table(self, table: TimingTable) -> "ReportSection":
         self.blocks.append(table)
         return self

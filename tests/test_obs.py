@@ -158,9 +158,12 @@ def test_spans_nest_and_feed_histograms(tmp_path):
     for name in ("outer", "inner", "leaf"):
         assert registry.histogram(f"span.{name}").count == 1
 
-    # The JSON-lines file parses to the same events.
+    # The JSON-lines file parses to the same events, after a version header.
     lines = [json.loads(line) for line in path.read_text().splitlines()]
-    assert {event["name"] for event in lines} == {"outer", "inner", "leaf"}
+    assert lines[0]["kind"] == "trace_header"
+    assert lines[0]["schema_version"] == 1
+    parsed = [line for line in lines if line.get("kind") != "trace_header"]
+    assert {event["name"] for event in parsed} == {"outer", "inner", "leaf"}
 
 
 def test_span_marks_errors():
@@ -269,6 +272,12 @@ def test_report_renders_text_and_markdown():
 def test_metrics_json_is_json_safe_and_complete():
     payload = obs.report.metrics_json(_loaded_registry())
     parsed = json.loads(json.dumps(payload))
-    assert set(parsed) == {"counters", "gauges", "histograms", "derived"}
+    assert set(parsed) == {
+        "counters", "gauges", "histograms", "derived", "schema_version",
+    }
+    assert parsed["schema_version"] == obs.report.METRICS_SCHEMA_VERSION
     restored = MetricsRegistry.from_dict(parsed)
     assert restored.counter("service.rows").value == 4_000
+    # The stamped payload loads back through the version-checked loader too.
+    reloaded = obs.report.load_metrics_json(parsed)
+    assert reloaded.counter("service.rows").value == 4_000

@@ -1,0 +1,260 @@
+"""Exporter conformance: Chrome trace-event JSON and OpenMetrics text.
+
+These tests pin the *format contracts* the target tools depend on — the
+required per-event keys Perfetto/``chrome://tracing`` validate, and the
+line grammar a Prometheus/OpenMetrics scraper lints — plus the
+``schema_version`` forward-compat contract shared by trace files and
+``--metrics-out`` payloads.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import OBS
+from repro.obs.export import (
+    TraceFormatError,
+    chrome_trace_events,
+    read_trace,
+    render_openmetrics,
+    write_chrome_trace,
+    write_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    METRICS_SCHEMA_VERSION,
+    MetricsFormatError,
+    load_metrics_json,
+    metrics_json,
+)
+from repro.service.__main__ import main as service_main
+
+
+@pytest.fixture(autouse=True)
+def pristine_provider():
+    OBS.reset()
+    yield
+    OBS.reset()
+
+
+def _span_events():
+    """A small trace recorded through the real tracer."""
+    obs.enable()
+    with OBS.span("outer", shard="rack-0"):
+        with OBS.span("inner"):
+            pass
+    events = list(OBS.ring.events)
+    OBS.reset()
+    return events
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace-event JSON
+# --------------------------------------------------------------------------- #
+class TestChromeTrace:
+    def test_required_keys_and_types(self):
+        events = chrome_trace_events(_span_events())
+        assert events, "span events converted"
+        for event in events:
+            # The keys chrome://tracing / Perfetto validate per event.
+            assert {"ph", "ts", "pid", "tid", "name"} <= set(event)
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert isinstance(event["dur"], int) and event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+
+    def test_sorted_and_causal(self):
+        events = chrome_trace_events(_span_events())
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+        by_id = {e["args"]["span_id"]: e for e in events}
+        inner = next(e for e in events if e["name"] == "inner")
+        assert by_id[inner["args"]["parent_id"]]["name"] == "outer"
+
+    def test_file_round_trips_json(self, tmp_path):
+        path = tmp_path / "trace.chrome.json"
+        # Strip the per-event trace_id so the explicit one is the fallback.
+        events = [
+            {k: v for k, v in event.items() if k != "trace_id"}
+            for event in _span_events()
+        ]
+        write_chrome_trace(events, path, trace_id="abc123")
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["trace_id"] == "abc123"
+        for event in payload["traceEvents"]:
+            assert event["args"]["trace_id"] == "abc123"
+
+    def test_unfinished_events_are_skipped(self):
+        assert chrome_trace_events([{"name": "open", "start": 1.0}]) == []
+
+
+# --------------------------------------------------------------------------- #
+# OpenMetrics text exposition
+# --------------------------------------------------------------------------- #
+def _lint_openmetrics(text: str) -> None:
+    """A minimal line-format lint: framing, sample grammar, EOF."""
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF", "exposition must end with # EOF"
+    typed: set[str] = set()
+    for line in lines[:-1]:
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in ("counter", "gauge", "histogram")
+            typed.add(name)
+        elif line.startswith("# HELP "):
+            assert line.split(" ")[2] in typed, "HELP follows its TYPE"
+        else:
+            name_part, _, value = line.rpartition(" ")
+            float(value)  # every sample value parses as a number
+            bare = name_part.split("{", 1)[0]
+            assert not bare.startswith("#")
+            # sample belongs to a declared family (modulo suffixes)
+            assert any(
+                bare == fam
+                or bare.startswith(fam + "_")
+                for fam in typed
+            ), f"undeclared sample {bare!r}"
+
+
+class TestOpenMetrics:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("service.rows").inc(4000)
+        registry.counter("alerts.fired", rule="zscore").inc(3)
+        registry.gauge("service.health.score", shard="rack-0").set(0.93)
+        hist = registry.histogram("service.chunk.seconds")
+        for value in (0.01, 0.02, 0.5):
+            hist.observe(value)
+        return registry
+
+    def test_lints_and_frames(self):
+        text = render_openmetrics(self._registry())
+        _lint_openmetrics(text)
+        assert "# TYPE service_rows counter" in text
+        assert "# TYPE service_chunk_seconds histogram" in text
+
+    def test_counter_total_suffix_and_labels(self):
+        text = render_openmetrics(self._registry())
+        assert "service_rows_total 4000" in text
+        assert 'alerts_fired_total{rule="zscore"} 3' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_openmetrics(self._registry())
+        buckets = [
+            line for line in text.splitlines()
+            if line.startswith("service_chunk_seconds_bucket")
+        ]
+        counts = [int(line.rpartition(" ")[2]) for line in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert buckets[-1].startswith('service_chunk_seconds_bucket{le="+Inf"}')
+        assert counts[-1] == 3
+        assert "service_chunk_seconds_count 3" in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("weird", path='a"b\\c\nd').inc()
+        text = render_openmetrics(registry)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        _lint_openmetrics(text)
+
+    def test_write_openmetrics(self, tmp_path):
+        path = tmp_path / "metrics.om"
+        text = write_openmetrics(self._registry(), path)
+        assert path.read_text() == text
+
+
+# --------------------------------------------------------------------------- #
+# Schema versioning: trace headers and metrics payloads
+# --------------------------------------------------------------------------- #
+class TestTraceSchema:
+    def test_reads_header_and_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(path))
+        with OBS.span("s"):
+            pass
+        OBS.reset()
+        header, events = read_trace(path)
+        assert header["schema_version"] == 1
+        assert [e["name"] for e in events] == ["s"]
+
+    def test_refuses_unknown_schema(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"kind": "trace_header", "schema_version": 999}) + "\n"
+        )
+        with pytest.raises(TraceFormatError, match="999"):
+            read_trace(path)
+
+    def test_accepts_headerless_legacy_files(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(json.dumps({"name": "s", "span_id": 1}) + "\n")
+        header, events = read_trace(path)
+        assert header == {}
+        assert events[0]["name"] == "s"
+
+    def test_refuses_corrupt_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(TraceFormatError, match="line 1"):
+            read_trace(path)
+
+
+class TestMetricsSchema:
+    def test_payload_is_stamped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        payload = metrics_json(registry)
+        assert payload["schema_version"] == METRICS_SCHEMA_VERSION
+
+    def test_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("service.rows").inc(7)
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(metrics_json(registry)))
+        restored = load_metrics_json(str(path))
+        assert restored.counter("service.rows").value == 7
+
+    def test_refuses_missing_and_unknown_versions(self, tmp_path):
+        with pytest.raises(MetricsFormatError, match="schema_version"):
+            load_metrics_json({"counters": []})
+        with pytest.raises(MetricsFormatError, match="999"):
+            load_metrics_json({"schema_version": 999})
+        path = tmp_path / "bad.json"
+        path.write_text("nope{")
+        with pytest.raises(MetricsFormatError, match="not valid JSON"):
+            load_metrics_json(str(path))
+        with pytest.raises(MetricsFormatError, match="not an object"):
+            load_metrics_json([1, 2, 3])
+
+
+# --------------------------------------------------------------------------- #
+# CLI: both alternate formats end to end
+# --------------------------------------------------------------------------- #
+def test_cli_chrome_and_openmetrics_formats(tmp_path, capsys):
+    trace_path = tmp_path / "trace.chrome.json"
+    metrics_path = tmp_path / "metrics.om"
+    code = service_main(
+        [
+            "quiet-fleet",
+            "--trace-out", str(trace_path),
+            "--trace-format", "chrome",
+            "--metrics-out", str(metrics_path),
+            "--metrics-format", "openmetrics",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(trace_path.read_text())
+    assert payload["traceEvents"], "chrome trace carries the run's spans"
+    for event in payload["traceEvents"]:
+        assert {"ph", "ts", "pid", "tid", "name"} <= set(event)
+    names = {event["name"] for event in payload["traceEvents"]}
+    assert "service.ingest_and_alert" in names
+    _lint_openmetrics(metrics_path.read_text())
+    out = capsys.readouterr().out
+    assert "(chrome)" in out and "(openmetrics)" in out
+    assert not OBS.enabled and len(OBS.metrics) == 0

@@ -1,0 +1,327 @@
+"""Flight recorder and fleet health scoring.
+
+The flight recorder is the always-on black box: bounded per-scope rings
+of recent deltas/alerts/notes that assemble into a self-contained
+post-mortem bundle on quarantine, worker loss or a checkpoint that
+refuses to load.  Health scores fold availability, latency-vs-budget and
+deep-level staleness into one number per shard/machine that rides on
+snapshots as a comparison-exempt field.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import OBS
+from repro.obs.flight import FLIGHT, FlightRecorder
+from repro.obs.health import (
+    HealthScore,
+    STATUS_CRITICAL,
+    STATUS_DEGRADED,
+    STATUS_HEALTHY,
+    aggregate,
+    percentile,
+    score_shard,
+)
+from repro.service import FleetMonitor, SingleShard
+from repro.service.__main__ import main as service_main
+from repro.service.checkpoint import CheckpointError, load_checkpoint
+
+
+@pytest.fixture(autouse=True)
+def pristine_recorders():
+    OBS.reset()
+    FLIGHT.reset()
+    yield
+    OBS.reset()
+    FLIGHT.reset()
+
+
+# --------------------------------------------------------------------------- #
+# Flight recorder units
+# --------------------------------------------------------------------------- #
+class TestFlightRecorder:
+    def test_scoped_entries_also_land_globally(self):
+        recorder = FlightRecorder()
+        recorder.record_delta("chunk.seconds", 0.5, scope="shard:a", step=3)
+        assert recorder.tail("shard:a", "deltas") == [
+            {"name": "chunk.seconds", "value": 0.5, "step": 3}
+        ]
+        assert recorder.tail("global", "deltas") == [
+            {"name": "chunk.seconds", "value": 0.5, "step": 3}
+        ]
+        assert recorder.tail("shard:b", "deltas") == []
+
+    def test_rings_are_bounded_keeping_most_recent(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record_note("tick", i=i)
+        notes = recorder.tail("global", "notes")
+        assert [entry["i"] for entry in notes] == [6, 7, 8, 9]
+
+    def test_alert_objects_are_coerced(self):
+        class FakeAlert:
+            def to_dict(self):
+                return {"rule": "zscore", "shard": "a"}
+
+        recorder = FlightRecorder()
+        recorder.record_alert(FakeAlert())
+        recorder.record_alert("plain string")
+        alerts = recorder.tail("global", "alerts")
+        assert alerts[0] == {"rule": "zscore", "shard": "a"}
+        assert alerts[1] == {"alert": "plain string"}
+
+    def test_entries_are_json_safe(self):
+        recorder = FlightRecorder()
+        recorder.record_note("numpy", value=np.float64(1.5), n=np.int32(2))
+        (note,) = recorder.tail("global", "notes")
+        json.dumps(note)  # must not raise
+        assert note["value"] == 1.5 and note["n"] == 2
+
+    def test_dump_bundle_shape(self):
+        recorder = FlightRecorder()
+        recorder.record_delta("x", 1.0, scope="shard:s1")
+        bundle = recorder.dump(
+            "quarantine",
+            shard_id="s1",
+            step=42,
+            quarantine={"reason": "boom", "attempts": 3},
+            snapshot_stamps={"s1": {"has_snapshot": True, "replay_tail": 2}},
+            extra={"note": "test"},
+        )
+        assert bundle["kind"] == "flight_bundle"
+        assert bundle["schema_version"] == 1
+        assert bundle["reason"] == "quarantine"
+        assert bundle["shard_id"] == "s1"
+        assert bundle["step"] == 42
+        assert bundle["quarantine"]["attempts"] == 3
+        assert bundle["snapshot_stamps"]["s1"]["replay_tail"] == 2
+        assert set(bundle["recent"]) == {"global", "shard:s1"}
+        assert bundle["recent"]["shard:s1"]["deltas"][0]["name"] == "x"
+        assert bundle["extra"] == {"note": "test"}
+        # Not configured with a dump dir: in-memory only.
+        assert "path" not in bundle
+        assert recorder.bundles == [bundle]
+
+    def test_dump_writes_named_file(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.configure(dump_dir=str(tmp_path / "flight"))
+        bundle = recorder.dump("worker_lost", shard_id="rack/1")
+        path = bundle["path"]
+        assert os.path.basename(path) == "flight-001-worker_lost-rack_1.json"
+        on_disk = json.loads(open(path).read())
+        assert on_disk["reason"] == "worker_lost"
+        assert on_disk["shard_id"] == "rack/1"
+
+    def test_bundle_retention_is_bounded(self):
+        recorder = FlightRecorder()
+        for _ in range(20):
+            recorder.dump("tick")
+        assert len(recorder.bundles) == 16
+        assert recorder.bundles[-1]["seq"] == 20
+        assert recorder.bundles[0]["seq"] == 5
+
+    def test_trace_tail_embeds_recent_spans_when_enabled(self):
+        bundle = FLIGHT.dump("cold")  # provider disabled: no tail
+        assert bundle["trace_tail"] == []
+
+        obs.enable()
+        with OBS.span("service.ingest", shard="s1"):
+            pass
+        with OBS.span("unrelated"):
+            pass
+        bundle = FLIGHT.dump("quarantine", shard_id="s1")
+        names = [event["name"] for event in bundle["trace_tail"]]
+        assert "service.ingest" in names
+        assert bundle["trace_id"] == OBS.trace_id
+
+    def test_reset_clears_everything(self, tmp_path):
+        FLIGHT.configure(dump_dir=str(tmp_path))
+        FLIGHT.record_note("x")
+        FLIGHT.dump("r")
+        FLIGHT.reset()
+        assert FLIGHT.bundles == []
+        assert FLIGHT.tail("global") == {}
+        assert FLIGHT.dump_dir is None
+
+
+# --------------------------------------------------------------------------- #
+# Health scoring units
+# --------------------------------------------------------------------------- #
+class TestHealthScore:
+    def test_nominal_shard_is_healthy(self):
+        score = score_shard()
+        assert score.score == 1.0
+        assert score.status == STATUS_HEALTHY
+        assert (score.availability, score.latency, score.staleness) == (
+            1.0, 1.0, 1.0,
+        )
+
+    def test_quarantined_shard_is_critical(self):
+        score = score_shard(quarantined=True)
+        assert score.score == 0.0
+        assert score.status == STATUS_CRITICAL
+        assert score.availability == 0.0
+
+    def test_latency_over_budget_degrades(self):
+        score = score_shard(p95_seconds=2.0, budget_seconds=1.0)
+        assert score.latency == pytest.approx(0.5)
+        assert score.score == pytest.approx(0.5)
+        assert score.status == STATUS_DEGRADED
+
+    def test_latency_under_budget_or_unmeasured_is_neutral(self):
+        assert score_shard(p95_seconds=0.5, budget_seconds=1.0).score == 1.0
+        assert score_shard(p95_seconds=None, budget_seconds=1.0).score == 1.0
+        assert score_shard(p95_seconds=9.0, budget_seconds=None).score == 1.0
+
+    def test_staleness_decays_exponentially(self):
+        assert score_shard(deep_stale_snapshots=0).staleness == 1.0
+        assert score_shard(deep_stale_snapshots=100).staleness == pytest.approx(
+            0.5
+        )
+        assert score_shard(deep_stale_snapshots=200).staleness == pytest.approx(
+            0.25
+        )
+        assert score_shard(
+            deep_stale_snapshots=50, staleness_tolerance=50
+        ).staleness == pytest.approx(0.5)
+
+    def test_status_thresholds(self):
+        assert score_shard(p95_seconds=1.25, budget_seconds=1.0).status == (
+            STATUS_HEALTHY
+        )  # 0.8 exactly
+        assert score_shard(p95_seconds=2.5, budget_seconds=1.0).status == (
+            STATUS_DEGRADED
+        )  # 0.4 exactly
+        assert score_shard(p95_seconds=3.0, budget_seconds=1.0).status == (
+            STATUS_CRITICAL
+        )
+
+    def test_components_multiply(self):
+        score = score_shard(
+            p95_seconds=2.0, budget_seconds=1.0, deep_stale_snapshots=100
+        )
+        assert score.score == pytest.approx(0.25)
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.95) is None
+        assert percentile([3.0], 0.95) == 3.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.95) == 4.0
+
+    def test_aggregate_means_members(self):
+        merged = aggregate(
+            [score_shard(), score_shard(quarantined=True)]
+        )
+        assert merged.score == pytest.approx(0.5)
+        assert merged.availability == pytest.approx(0.5)
+        assert merged.status == STATUS_DEGRADED
+        # Empty roster: neutral, not critical.
+        assert aggregate([]).score == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Health surfaced on snapshots (comparison-exempt)
+# --------------------------------------------------------------------------- #
+def _tiny_monitor() -> FleetMonitor:
+    return FleetMonitor(
+        dt=1.0,
+        shards=SingleShard().partition(
+            np.array(["s0", "s1"], dtype=object), np.array([0, 1])
+        ),
+    )
+
+
+def test_snapshot_carries_health_without_breaking_equality():
+    rng = np.random.default_rng(7)
+    chunk = rng.normal(50.0, 2.0, size=(2, 16))
+    snap_a = _tiny_monitor().ingest(chunk)
+    snap_b = _tiny_monitor().ingest(chunk)
+
+    assert isinstance(snap_a.health, dict)
+    assert set(snap_a.health) == {"fleet", "all"}
+    for score in snap_a.health.values():
+        assert isinstance(score, HealthScore)
+        assert score.status == STATUS_HEALTHY
+
+    # Health is derived from wall-clock latencies and must never factor
+    # into snapshot equality (bit-for-bit parity/restart guarantees).
+    assert snap_a == snap_b
+    snap_b.health = None
+    assert snap_a == snap_b
+
+
+def test_monitor_health_property_tracks_last_snapshot():
+    monitor = _tiny_monitor()
+    assert monitor.health is None
+    rng = np.random.default_rng(7)
+    snapshot = monitor.ingest(rng.normal(50.0, 2.0, size=(2, 16)))
+    assert monitor.health is snapshot.health
+
+
+def test_health_gauges_published_when_enabled():
+    obs.enable()
+    rng = np.random.default_rng(7)
+    _tiny_monitor().ingest(rng.normal(50.0, 2.0, size=(2, 16)))
+    totals = OBS.metrics.totals()
+    assert totals["service.health.score"] == 1.0  # fleet aggregate
+    assert totals["service.health.score{shard=all}"] == 1.0
+    digest = obs.report.summarize(OBS.metrics)
+    assert digest["health"]["shards"]["all"] == 1.0
+    text = obs.report.render_text(OBS.metrics)
+    assert "fleet health" in text
+
+
+# --------------------------------------------------------------------------- #
+# Failure hooks end to end
+# --------------------------------------------------------------------------- #
+def test_checkpoint_load_failure_dumps_a_bundle(tmp_path):
+    bad = tmp_path / "ckpt"
+    bad.mkdir()
+    (bad / "manifest.json").write_text("{definitely not json")
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(bad))
+    assert FLIGHT.bundles, "a flight bundle accompanies the failure"
+    bundle = FLIGHT.bundles[-1]
+    assert bundle["reason"] == "checkpoint_load_failed"
+    assert bundle["extra"]["path"] == str(bad)
+    assert bundle["extra"]["error"]
+
+
+def test_chaos_fleet_cli_dumps_quarantine_bundle(tmp_path, capsys):
+    """Acceptance: the chaos scenario produces a post-mortem naming the
+    quarantined shard, via the CLI's --flight-dir."""
+    flight_dir = tmp_path / "flight"
+    code = service_main(
+        [
+            "chaos-fleet",
+            "--executor", "process",
+            "--workers", "2",
+            "--flight-dir", str(flight_dir),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fleet health" in out
+    assert "flight recorder:" in out
+
+    bundles = []
+    for name in sorted(os.listdir(flight_dir)):
+        with open(flight_dir / name) as handle:
+            bundles.append(json.load(handle))
+    reasons = {bundle["reason"] for bundle in bundles}
+    assert "quarantine" in reasons
+    assert "worker_lost" in reasons
+
+    (quarantine,) = [b for b in bundles if b["reason"] == "quarantine"]
+    assert quarantine["shard_id"] == "rack-3"
+    assert "Poison" in quarantine["quarantine"]["reason"]
+    assert quarantine["snapshot_stamps"], "snapshot stamps embedded"
+    assert "shard:rack-3" in quarantine["recent"]
+    # The CLI resets the recorder afterwards for embedders.
+    assert FLIGHT.bundles == [] and FLIGHT.dump_dir is None

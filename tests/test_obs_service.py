@@ -234,7 +234,10 @@ def test_cli_metrics_and_trace_outputs(tmp_path, capsys):
     assert "span.service.ingest_and_alert" in span_names
     assert "span.core.partial_fit" in span_names
 
-    events = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    assert lines[0]["kind"] == "trace_header", "version header leads the file"
+    assert lines[0]["schema_version"] == 1
+    events = [line for line in lines if line.get("kind") != "trace_header"]
     assert events, "trace file has events"
     by_id = {event["span_id"]: event for event in events}
 
