@@ -22,6 +22,7 @@ monitors into a single queryable, alert-routing system:
 
 from .checkpoint import (
     FederatedCheckpointInfo,
+    compact_federated_checkpoint,
     load_federated_checkpoint,
     read_federated_manifest,
     save_federated_checkpoint,
@@ -57,6 +58,7 @@ __all__ = [
     "FederatedSpectrum",
     "FederatedCheckpointInfo",
     "save_federated_checkpoint",
+    "compact_federated_checkpoint",
     "load_federated_checkpoint",
     "read_federated_manifest",
     "FEDERATED_SCENARIOS",

@@ -27,20 +27,31 @@ memory.  Rules, sinks and routers are code, not data: pass them in.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
+import time
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from ..io.delta import BLOCKS_DIRNAME, AsyncCheckpointWriter
+from ..obs import OBS
 from ..service.alerts import AlertRule, AlertSink
 from ..service.checkpoint import (
     MANIFEST_NAME,
+    STEP_DIR_PREFIX,
     CheckpointError,
+    _capture_delta,
+    _capture_full,
+    _commit_entry,
+    _sweep_blocks,
+    _write_checkpoint,
+    compact_checkpoint,
     load_checkpoint,
     resolve_checkpoint_dir,
     rotate_into,
-    save_checkpoint,
 )
+from ..service.monitor import FleetMonitor
 from ..util.parallel import ShardExecutor
 from .chunklog import ChunkLog
 from .monitor import FederatedMonitor
@@ -51,6 +62,7 @@ __all__ = [
     "FederatedCheckpointInfo",
     "save_federated_checkpoint",
     "load_federated_checkpoint",
+    "compact_federated_checkpoint",
     "read_federated_manifest",
 ]
 
@@ -60,11 +72,19 @@ MACHINES_DIRNAME = "machines"
 
 @dataclass(frozen=True)
 class FederatedCheckpointInfo:
-    """What :func:`save_federated_checkpoint` wrote."""
+    """What :func:`save_federated_checkpoint` wrote.
+
+    For ``mode="async"`` the info is provisional (``directory`` is where
+    the entry will land); ``federated.flush_checkpoints()`` is the
+    barrier that makes it durable and surfaces deferred write errors.
+    """
 
     directory: str
     step: int
     machines: tuple[str, ...]
+    format: str = "full"
+    mode: str = "sync"
+    stall_seconds: float = 0.0
 
     @property
     def n_machines(self) -> int:
@@ -79,43 +99,239 @@ class FederatedCheckpointInfo:
         return total
 
 
+def _machine_write_full(monitor: FleetMonitor, target: str) -> None:
+    """Worker-side: write one machine's full checkpoint straight to disk."""
+    _write_checkpoint(target, monitor)
+
+
+def _machine_write_delta(monitor: FleetMonitor, target: str, blocks_dir: str) -> None:
+    """Worker-side: capture + commit one machine's delta entry in place."""
+    base, blocks, _reused = _capture_delta(monitor, blocks_dir, snapshot=False)
+    _commit_entry(target, base, blocks, blocks_dir)
+
+
+def _machine_capture_full(monitor: FleetMonitor):
+    """Worker-side: capture one machine's full state for a deferred commit."""
+    return _capture_full(monitor, snapshot=True)
+
+
+def _machine_capture_delta(monitor: FleetMonitor, blocks_dir: str):
+    """Worker-side: capture one machine's dirty shards for a deferred commit.
+
+    Digests are computed inline (``defer_digest=False``): the commit runs
+    in the coordinator's writer thread, so a deferred digest cell could
+    never propagate back into the worker-resident monitor's stamp memory
+    on process backends — which would disable block reuse entirely.
+    """
+    base, blocks, _reused = _capture_delta(
+        monitor, blocks_dir, snapshot=True, defer_digest=False
+    )
+    return base, blocks
+
+
+def _save_live_executor(federated: FederatedMonitor) -> ShardExecutor | None:
+    """The federation's fan-out pool, when one is already running.
+
+    Saving never *starts* a pool (a federation that has not ingested yet
+    holds its machines in-process; a serial walk is exact there), but an
+    already-running pool is refreshed against the registry so membership
+    changes since start are honoured.
+    """
+    if federated.executor is None or federated.executor.closed:
+        return None
+    return federated._ensure_executor()
+
+
 def save_federated_checkpoint(
-    directory: str, federated: FederatedMonitor, *, keep_last: int | None = None
+    directory: str,
+    federated: FederatedMonitor,
+    *,
+    keep_last: int | None = None,
+    format: str = "full",
+    mode: str = "sync",
+    writer: AsyncCheckpointWriter | None = None,
 ) -> FederatedCheckpointInfo:
     """Write the federation's full state under ``directory``.
 
-    Machine state is taken from :attr:`FederatedMonitor.machines`, which
-    syncs process-resident monitors back first — a federation on any
-    fan-out backend checkpoints to identical bytes.  With ``keep_last=N``
-    the checkpoint lands in an atomic step-stamped entry under the
-    rotation root and only the newest ``N`` entries survive.
+    Machine checkpoints are written *in parallel* over the federation's
+    fan-out executor when one is running: each worker persists its
+    resident machine straight to disk (no state ships home), falling
+    back to an in-process walk otherwise — every backend produces
+    identical bytes, as the parity tests assert.  The federated manifest
+    is written only after every machine save completed, and the whole
+    entry appears via the same atomic rename as before, so rotation
+    semantics and crash consistency are unchanged.
+
+    ``format="delta"`` / ``mode="async"`` (both require ``keep_last``)
+    behave exactly like :func:`repro.service.checkpoint.save_checkpoint`:
+    per-machine shard blocks dedup into the root's shared ``blocks/``
+    store, and async saves capture synchronously (dirty shards only)
+    then commit on the federation's background writer —
+    ``federated.flush_checkpoints()`` is the durability/error barrier.
     """
-    machines = federated.machines
+    if format not in ("full", "delta"):
+        raise ValueError(f"format must be 'full' or 'delta', got {format!r}")
+    if mode not in ("sync", "async"):
+        raise ValueError(f"mode must be 'sync' or 'async', got {mode!r}")
+    if keep_last is None and (format == "delta" or mode == "async"):
+        raise ValueError(
+            "format='delta' and mode='async' need a rotation root: pass "
+            "keep_last=N"
+        )
     step = federated.step
-
-    def write(target: str) -> None:
-        os.makedirs(os.path.join(target, MACHINES_DIRNAME), exist_ok=True)
-        for name, monitor in machines.items():
-            save_checkpoint(os.path.join(target, MACHINES_DIRNAME, name), monitor)
-        manifest = {
-            "version": FEDERATION_CHECKPOINT_VERSION,
-            "kind": "federation",
-            "step": step,
-            "machines": list(machines),
-            "router": federated.router.state_dict(),
-        }
-        with open(os.path.join(target, MANIFEST_NAME), "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh, indent=2)
-
-    if keep_last is not None:
-        final = rotate_into(directory, step, keep_last, write)
-    else:
-        os.makedirs(directory, exist_ok=True)
-        write(directory)
-        final = directory
-    return FederatedCheckpointInfo(
-        directory=final, step=step, machines=tuple(machines)
+    names = list(federated.machine_names)
+    blocks_dir = (
+        os.path.join(directory, BLOCKS_DIRNAME) if format == "delta" else None
     )
+    start = time.perf_counter()
+    with OBS.span("checkpoint.federated_save", format=format, mode=mode):
+        if mode == "sync":
+            def write(target: str) -> None:
+                machines_root = os.path.join(target, MACHINES_DIRNAME)
+                os.makedirs(machines_root, exist_ok=True)
+                _save_machines(federated, names, machines_root, blocks_dir)
+                _write_federated_manifest(
+                    target, step, names, federated.router.state_dict()
+                )
+
+            if keep_last is not None:
+                final = rotate_into(directory, step, keep_last, write)
+                if blocks_dir is not None:
+                    _sweep_blocks(directory, blocks_dir)
+            else:
+                os.makedirs(directory, exist_ok=True)
+                write(directory)
+                final = directory
+            stall = time.perf_counter() - start
+            _record_federated_save(format, mode, stall)
+            return FederatedCheckpointInfo(
+                directory=final,
+                step=step,
+                machines=tuple(names),
+                format=format,
+                mode=mode,
+                stall_seconds=stall,
+            )
+
+        captures = _capture_machines(federated, names, blocks_dir)
+        router_state = copy.deepcopy(federated.router.state_dict())
+
+        def commit() -> None:
+            def write(target: str) -> None:
+                machines_root = os.path.join(target, MACHINES_DIRNAME)
+                os.makedirs(machines_root, exist_ok=True)
+                for name, (base, blocks) in captures.items():
+                    _commit_entry(
+                        os.path.join(machines_root, name), base, blocks, blocks_dir
+                    )
+                _write_federated_manifest(target, step, names, router_state)
+
+            rotate_into(directory, step, keep_last, write)
+            if blocks_dir is not None:
+                _sweep_blocks(directory, blocks_dir)
+
+        if writer is None:
+            writer = federated._ensure_checkpoint_writer()
+        writer.submit(commit, label=f"federation {format} step {step}")
+        stall = time.perf_counter() - start
+        _record_federated_save(format, mode, stall)
+        return FederatedCheckpointInfo(
+            directory=os.path.join(directory, f"{STEP_DIR_PREFIX}{step:012d}"),
+            step=step,
+            machines=tuple(names),
+            format=format,
+            mode=mode,
+            stall_seconds=stall,
+        )
+
+
+def _record_federated_save(format: str, mode: str, stall: float) -> None:
+    if OBS.enabled:
+        OBS.inc("checkpoint.federated_saves", format=format, mode=mode)
+        OBS.observe("checkpoint.stall_seconds", stall)
+
+
+def _write_federated_manifest(
+    target: str, step: int, names: list[str], router_state: dict
+) -> None:
+    manifest = {
+        "version": FEDERATION_CHECKPOINT_VERSION,
+        "kind": "federation",
+        "step": step,
+        "machines": list(names),
+        "router": router_state,
+    }
+    with open(os.path.join(target, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+
+
+def _save_machines(
+    federated: FederatedMonitor,
+    names: list[str],
+    machines_root: str,
+    blocks_dir: str | None,
+) -> None:
+    """Write every machine checkpoint, in parallel when a pool is live."""
+    executor = _save_live_executor(federated)
+    if executor is not None:
+        if blocks_dir is None:
+            executor.map(
+                _machine_write_full,
+                {name: (os.path.join(machines_root, name),) for name in names},
+            )
+        else:
+            executor.map(
+                _machine_write_delta,
+                {
+                    name: (os.path.join(machines_root, name), blocks_dir)
+                    for name in names
+                },
+            )
+        return
+    monitors = federated.registry.monitors()
+    for name in names:
+        target = os.path.join(machines_root, name)
+        if blocks_dir is None:
+            _machine_write_full(monitors[name], target)
+        else:
+            _machine_write_delta(monitors[name], target, blocks_dir)
+
+
+def _capture_machines(
+    federated: FederatedMonitor, names: list[str], blocks_dir: str | None
+) -> dict:
+    """Capture every machine's (manifest, blocks) for a deferred commit."""
+    executor = _save_live_executor(federated)
+    if executor is not None:
+        if blocks_dir is None:
+            return executor.map(_machine_capture_full, {name: () for name in names})
+        return executor.map(
+            _machine_capture_delta, {name: (blocks_dir,) for name in names}
+        )
+    monitors = federated.registry.monitors()
+    if blocks_dir is None:
+        return {name: _machine_capture_full(monitors[name]) for name in names}
+    return {
+        name: _machine_capture_delta(monitors[name], blocks_dir) for name in names
+    }
+
+
+def compact_federated_checkpoint(directory: str) -> str:
+    """Rewrite a federated delta entry's machines as self-contained full
+    checkpoints (in place, atomically per machine), then sweep dead blocks.
+
+    ``directory`` may be a concrete entry or a rotation root (newest
+    entry).  Machines already in full format are left untouched.  Returns
+    the entry path; after compaction the entry loads on pre-delta code.
+    """
+    entry = resolve_checkpoint_dir(directory)
+    machines_root = os.path.join(entry, MACHINES_DIRNAME)
+    if os.path.isdir(machines_root):
+        for name in sorted(os.listdir(machines_root)):
+            machine_dir = os.path.join(machines_root, name)
+            if os.path.isfile(os.path.join(machine_dir, MANIFEST_NAME)):
+                compact_checkpoint(machine_dir)
+    return entry
 
 
 def read_federated_manifest(directory: str) -> dict:

@@ -276,6 +276,9 @@ class FederatedMonitor:
         #: score (bounded; never part of pickled/compared state semantics).
         self._round_latency: dict[str, RingBuffer] = {}
         self._last_health: dict[str, HealthScore] | None = None
+        #: Lazily created background writer for mode="async" federated
+        #: saves; flush_checkpoints() is the durability/error barrier.
+        self._checkpoint_writer = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -396,19 +399,42 @@ class FederatedMonitor:
             self._executor = None
             self._shipped = {}
 
+    def _ensure_checkpoint_writer(self):
+        """The federation's background checkpoint writer (created lazily)."""
+        if self._checkpoint_writer is None or self._checkpoint_writer.closed:
+            from ..io.delta import AsyncCheckpointWriter
+
+            self._checkpoint_writer = AsyncCheckpointWriter(
+                name="federated-checkpoint-writer"
+            )
+        return self._checkpoint_writer
+
+    def flush_checkpoints(self) -> None:
+        """Barrier: wait for pending asynchronous federated checkpoint
+        commits, re-raising the first deferred write error.  No-op when no
+        async save ever ran."""
+        if self._checkpoint_writer is not None:
+            self._checkpoint_writer.flush()
+
     def close(self) -> None:
         """Shut the fan-out pool down, landing machine state in-process.
 
         Machine monitors themselves stay open (the registry owns them);
-        close those via ``registry.close()``.  Idempotent.
+        close those via ``registry.close()``.  Also drains the background
+        checkpoint writer, surfacing any deferred write error after the
+        pool teardown ran.  Idempotent.
         """
-        if self._executor is None:
-            return
-        self._land_and_drop_executor()
-        if isinstance(self._executor_spec, ShardExecutor):
-            # The instance was consumed by the closed pool; fall back to
-            # its backend name for any later restart.
-            self._executor_spec = self._executor_spec.backend
+        writer, self._checkpoint_writer = self._checkpoint_writer, None
+        try:
+            if writer is not None:
+                writer.close(flush=True)
+        finally:
+            if self._executor is not None:
+                self._land_and_drop_executor()
+                if isinstance(self._executor_spec, ShardExecutor):
+                    # The instance was consumed by the closed pool; fall
+                    # back to its backend name for any later restart.
+                    self._executor_spec = self._executor_spec.backend
 
     def __enter__(self) -> "FederatedMonitor":
         return self

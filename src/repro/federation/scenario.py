@@ -227,6 +227,12 @@ class FederatedScenarioRunner:
     deep_levels:
         When set (``"inline"``/``"deferred"``), overrides every machine
         workload's deep-level mode — the CLI's ``--deep-levels`` switch.
+    checkpoint_mode / checkpoint_format:
+        Forwarded to :func:`save_federated_checkpoint` for the per-chunk
+        rotation saves: ``"async"`` hands the commit to the federation's
+        background writer (flushed before any entry is read back), and
+        ``"delta"`` writes only shards whose revision stamp moved since
+        the previous rotation entry.
     """
 
     def __init__(
@@ -239,6 +245,8 @@ class FederatedScenarioRunner:
         machine_executor: str | None = None,
         max_workers: int | None = None,
         deep_levels: str | None = None,
+        checkpoint_mode: str = "sync",
+        checkpoint_format: str = "full",
     ) -> None:
         if scenario.restart_after_chunk is not None:
             if checkpoint_dir is None:
@@ -282,6 +290,10 @@ class FederatedScenarioRunner:
                     f"{workload.grow_after_chunk} never fires (this machine "
                     f"streams at most {budget} chunk(s))"
                 )
+        if checkpoint_mode not in ("sync", "async"):
+            raise ValueError(f"unknown checkpoint mode {checkpoint_mode!r}")
+        if checkpoint_format not in ("full", "delta"):
+            raise ValueError(f"unknown checkpoint format {checkpoint_format!r}")
         self.scenario = scenario
         self.sinks = list(sinks)
         self.checkpoint_dir = checkpoint_dir
@@ -289,6 +301,8 @@ class FederatedScenarioRunner:
         self.machine_executor = machine_executor
         self.max_workers = max_workers
         self.deep_levels = deep_levels
+        self.checkpoint_mode = checkpoint_mode
+        self.checkpoint_format = checkpoint_format
 
     # ------------------------------------------------------------------ #
     def _build_router(self) -> AlertRouter:
@@ -408,12 +422,18 @@ class FederatedScenarioRunner:
                 alerts.extend(fired)
                 if self.checkpoint_dir is not None:
                     save_federated_checkpoint(
-                        self.checkpoint_dir, federated, keep_last=scenario.keep_last
+                        self.checkpoint_dir,
+                        federated,
+                        keep_last=scenario.keep_last,
+                        format=self.checkpoint_format,
+                        mode=self.checkpoint_mode,
                     )
                 if scenario.restart_after_chunk == index:
                     # Tear the whole federation down and resume from the
                     # newest retained rotation entry; the restored run must
-                    # continue exactly where this one stopped.
+                    # continue exactly where this one stopped.  Async
+                    # commits must land before the entry is read back.
+                    federated.flush_checkpoints()
                     chunk_log = federated.chunk_log
                     federated.close()
                     federated.registry.close()
@@ -431,6 +451,7 @@ class FederatedScenarioRunner:
                     # Machine-local failure: rebuild one machine from the
                     # previous (stale) rotation entry, then replay the
                     # shared chunk log so it rejoins at the stream edge.
+                    federated.flush_checkpoints()
                     entries = list_checkpoints(self.checkpoint_dir)
                     stale_entry = entries[1] if len(entries) > 1 else entries[0]
                     name = scenario.stale_restore_machine

@@ -1,5 +1,12 @@
 """Persistence of logs, telemetry and decomposition results."""
 
+from .delta import (
+    AsyncCheckpointWriter,
+    BlockStore,
+    CheckpointWriteError,
+    MemoryBlockStore,
+    state_digest,
+)
 from .storage import (
     load_hardware_log,
     load_job_log,
@@ -14,6 +21,11 @@ from .storage import (
 )
 
 __all__ = [
+    "AsyncCheckpointWriter",
+    "BlockStore",
+    "CheckpointWriteError",
+    "MemoryBlockStore",
+    "state_digest",
     "load_hardware_log",
     "load_job_log",
     "load_state",

@@ -60,9 +60,13 @@ def summarize(registry: MetricsRegistry) -> dict:
     ``alerts_by_rule`` and ``ingest_path`` (raw-speed mechanics: batched
     shard-kernel grouping rate, shared-memory transport placement, and
     the deferred deep-level refresh backlog, present only when those
-    instruments fired) and ``resilience`` (supervisor activity: task
+    instruments fired), ``resilience`` (supervisor activity: task
     failures by kind, retries, worker respawns, quarantine state and
-    recovery-snapshot cost, present only when a supervised monitor ran).
+    recovery-snapshot cost, present only when a supervised monitor ran)
+    and ``checkpoint`` (persistence cost: saves by format/mode, bytes
+    written vs referenced from earlier entries, shards skipped as
+    unchanged, ingest-side stall percentiles and writer backpressure,
+    present only when checkpoints were saved).
     """
     spans = []
     for (name, labels), hist in registry.histograms():
@@ -190,8 +194,49 @@ def summarize(registry: MetricsRegistry) -> dict:
                 "service.resilience.replayed_chunks", 0.0
             ),
             "snapshots": counters.get("service.resilience.snapshots", 0.0),
+            "snapshots_skipped": counters.get(
+                "service.resilience.snapshots_skipped", 0.0
+            ),
             "lost_registries": lost_registries,
         }
+
+    # Checkpoint digest: the persistence cost model of the delta/async
+    # pipeline — how many saves ran in which format/mode, how many bytes
+    # actually hit disk vs rode along as references to earlier entries,
+    # and how long the ingest loop stalled on writer handoff.
+    checkpoint: dict = {}
+    saves_by_label: dict[str, float] = {}
+    saves_total = 0.0
+    for key, counter in registry.counters():
+        name, labels = key
+        if name in ("checkpoint.saves", "checkpoint.federated_saves"):
+            label = _label_str(labels) or "<unlabelled>"
+            saves_by_label[label] = saves_by_label.get(label, 0.0) + counter.value
+            saves_total += counter.value
+    if saves_total:
+        written = counters.get("checkpoint.bytes_written", 0.0)
+        referenced = counters.get("checkpoint.bytes_referenced", 0.0)
+        checkpoint = {
+            "saves": saves_total,
+            "saves_by_label": dict(sorted(saves_by_label.items())),
+            "bytes_written": written,
+            "bytes_referenced": referenced,
+            "written_frac": (
+                written / (written + referenced) if written + referenced else 1.0
+            ),
+            "shards_reused": counters.get("checkpoint.shards_reused", 0.0),
+            "blocks_written": counters.get("checkpoint.blocks_written", 0.0),
+            "blocks_referenced": counters.get("checkpoint.blocks_referenced", 0.0),
+            "blocks_swept": counters.get("checkpoint.blocks_swept", 0.0),
+            "writer_saturated": counters.get("checkpoint.writer.saturated", 0.0),
+            "writer_errors": counters.get("checkpoint.writer.errors", 0.0),
+            "writer_queue_depth": gauges.get("checkpoint.writer.queue_depth", 0.0),
+        }
+        for (name, labels), hist in registry.histograms():
+            if name == "checkpoint.stall_seconds" and not labels and hist.count:
+                checkpoint["stall_p50"] = hist.quantile(0.50)
+                checkpoint["stall_p95"] = hist.quantile(0.95)
+                checkpoint["stall_total"] = hist.sum
 
     # Fleet health gauges published by the monitors each chunk/round.
     health: dict[str, dict[str, float]] = {}
@@ -211,6 +256,7 @@ def summarize(registry: MetricsRegistry) -> dict:
         "alerts_by_rule": alerts_by_rule,
         "ingest_path": ingest_path,
         "resilience": resilience,
+        "checkpoint": checkpoint,
         "health": health,
         "counters": counters,
         "gauges": gauges,
@@ -305,13 +351,44 @@ def build_report(
         section.add_line(
             f"quarantined: {res['quarantined']:.0f} event(s), "
             f"{res['quarantined_shards']:.0f} shard(s) currently out; "
-            f"recovery snapshots recorded: {res['snapshots']:.0f}"
+            f"recovery snapshots recorded: {res['snapshots']:.0f} "
+            f"(skipped as unchanged: {res.get('snapshots_skipped', 0.0):.0f})"
         )
         if res.get("lost_registries"):
             section.add_line(
                 f"metric registries lost to force-terminated workers: "
                 f"{res['lost_registries']:.0f} (span/counter totals "
                 f"undercount the lost workers' final interval)"
+            )
+
+    if digest["checkpoint"]:
+        section = report.section("checkpointing")
+        ckpt = digest["checkpoint"]
+        labels = ", ".join(
+            f"{label}: {count:.0f}"
+            for label, count in ckpt["saves_by_label"].items()
+        )
+        section.add_line(
+            f"saves: {ckpt['saves']:.0f}" + (f" ({labels})" if labels else "")
+        )
+        section.add_line(
+            f"bytes written: {ckpt['bytes_written']:.3g}; referenced from "
+            f"earlier entries: {ckpt['bytes_referenced']:.3g} "
+            f"(written fraction {ckpt['written_frac']:.0%}); shards reused "
+            f"unchanged: {ckpt['shards_reused']:.0f}"
+        )
+        if "stall_p50" in ckpt:
+            section.add_line(
+                f"ingest-side stall: p50 "
+                f"{report.float_format.format(ckpt['stall_p50'])} s, p95 "
+                f"{report.float_format.format(ckpt['stall_p95'])} s, total "
+                f"{report.float_format.format(ckpt['stall_total'])} s"
+            )
+        if ckpt["writer_saturated"] or ckpt["writer_errors"]:
+            section.add_line(
+                f"async writer backpressure: {ckpt['writer_saturated']:.0f} "
+                f"saturated submit(s), {ckpt['writer_errors']:.0f} deferred "
+                f"error(s)"
             )
 
     if digest["health"]:
@@ -360,6 +437,7 @@ def metrics_json(registry: MetricsRegistry) -> dict:
         "alerts_by_rule": digest["alerts_by_rule"],
         "ingest_path": digest["ingest_path"],
         "resilience": digest["resilience"],
+        "checkpoint": digest["checkpoint"],
         "health": digest["health"],
         "spans": digest["spans"],
         "hotspots": digest["hotspots"],

@@ -18,6 +18,7 @@ the case-study examples — can pull what they need after any update.
 
 from __future__ import annotations
 
+import itertools
 import weakref
 from dataclasses import dataclass
 
@@ -42,6 +43,9 @@ __all__ = ["OnlineAnalysisPipeline", "PipelineSnapshot"]
 #: full timeline for baseline fits); a small LRU keeps the win without
 #: letting week-scale streams accumulate stale windows.
 RECONSTRUCTION_CACHE_SIZE = 8
+
+#: Process-wide source of pipeline stamp tokens (see ``state_stamp``).
+_STAMP_TOKENS = itertools.count(1)
 
 
 @dataclass
@@ -121,6 +125,18 @@ class OnlineAnalysisPipeline:
         # mutation — a rejected ingest leaves the pipeline untouched and
         # therefore retryable / quarantinable without rehydration.
         self.validate_chunks: bool = False
+        # Monotonic count of state-bearing mutations (ingests, deep
+        # refreshes, topology events, baseline fits).  Combined with the
+        # tree revision in state_stamp(), it lets the checkpoint layer
+        # prove "nothing state_dict() captures has changed" without
+        # serialising anything.
+        self._mutations: int = 0
+        # Distinguishes stamps across constructed instances: a pipeline
+        # rebuilt via from_state_dict restarts its counters and must not
+        # collide with a stamp its predecessor issued.  A pickled copy
+        # keeps the token deliberately — the round trip is exact, so its
+        # stamps remain interchangeable with the original's.
+        self._stamp_token: int = next(_STAMP_TOKENS)
 
     # ------------------------------------------------------------------ #
     # Pickling: memoised products and weakrefs are process-local.  A copy
@@ -190,6 +206,7 @@ class OnlineAnalysisPipeline:
             else:
                 with OBS.span("core.partial_fit"):
                     update = self.model.partial_fit(data)
+            self._mutations += 1
             return self._snapshot(update)
 
     def _snapshot(self, update: UpdateRecord | None) -> PipelineSnapshot:
@@ -234,6 +251,7 @@ class OnlineAnalysisPipeline:
         with OBS.span("pipeline.ingest", cols=int(prepared.chunk_size)):
             with OBS.span("core.partial_fit"):
                 update = self.model.finish_partial_fit(prepared)
+            self._mutations += 1
             return self._snapshot(update)
 
     def refresh_deep_levels(self, max_entries: int | None = None) -> int:
@@ -246,7 +264,10 @@ class OnlineAnalysisPipeline:
         baselines) invalidates exactly as an inline ingest would have.
         """
         with OBS.span("pipeline.deep_refresh"):
-            return self.model.refresh_deep_levels(max_entries)
+            refreshed = self.model.refresh_deep_levels(max_entries)
+        if refreshed:
+            self._mutations += 1
+        return refreshed
 
     # ------------------------------------------------------------------ #
     # Elastic topology
@@ -349,6 +370,7 @@ class OnlineAnalysisPipeline:
             # Under "stale" refit the extension only bridges until the
             # next ingest bumps the revision and triggers the full refit.
             self._extend_baseline(n_rows, fresh=extendable)
+        self._mutations += 1
         return change
 
     def _extend_baseline(self, n_new: int, *, fresh: bool) -> None:
@@ -546,6 +568,7 @@ class OnlineAnalysisPipeline:
         else:
             self._baseline_revision = None
             self._baseline_tree_ref = None
+        self._mutations += 1
         return self._baseline
 
     def baseline_is_stale(self) -> bool:
@@ -632,6 +655,28 @@ class OnlineAnalysisPipeline:
     # ------------------------------------------------------------------ #
     # Serialisation (checkpoint / restore)
     # ------------------------------------------------------------------ #
+    def state_stamp(self) -> tuple:
+        """Cheap revision stamp over everything :meth:`state_dict` captures.
+
+        O(1) to compute — no serialisation, no array reads.  Two calls
+        returning the same stamp on the *same live pipeline object*
+        guarantee the state did not change in between (every mutating
+        entry point bumps ``_mutations``); the tree revision and
+        snapshot/pending counts ride along as a cross-check.  Stamps are
+        only comparable within one pipeline instance: a restored or
+        copied pipeline restarts its counter, which at worst costs one
+        redundant re-serialisation, never a stale skip.
+        """
+        if self.model.fitted:
+            tree_stamp = (
+                self.model.tree.revision,
+                self.model.n_snapshots,
+                self.model.deep_pending,
+            )
+        else:
+            tree_stamp = (-1, -1, -1)
+        return (self._stamp_token, self._mutations) + tree_stamp
+
     def state_dict(self) -> dict:
         """Full pipeline state as plain containers.
 

@@ -16,6 +16,15 @@ checkpoint tests) and ingest is deterministic, the rehydrated pipeline is
 indistinguishable from one that never crashed — the chaos tests compare
 final state dicts against a fault-free run and require equality.
 
+Snapshots live in a content-addressed, reference-counted
+:class:`~repro.io.delta.MemoryBlockStore` — the in-memory sibling of the
+delta checkpoint's on-disk block store.  Two shards (or two snapshot
+generations) with identical state share one block, and
+:meth:`ShardRecoveryStore.record_snapshot_if_changed` skips the
+``state_dict()`` pull entirely when the shard's revision stamp has not
+moved since the recorded snapshot (the ``snapshots_skipped`` counter in
+the resilience digest tracks this fast path).
+
 This is the shard-level sibling of the federation
 :class:`~repro.federation.chunklog.ChunkLog` (PR 5): same replay idea, but
 held per shard in the supervising parent rather than shared per machine.
@@ -23,10 +32,12 @@ held per shard in the supervising parent rather than shared per machine.
 
 from __future__ import annotations
 
-import copy
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+from ..io.delta import MemoryBlockStore
+from ..obs import OBS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..pipeline.online import OnlineAnalysisPipeline
@@ -37,11 +48,15 @@ __all__ = ["ShardRecoveryStore"]
 class ShardRecoveryStore:
     """Snapshots + chunk tails from which lost shards are rehydrated."""
 
-    def __init__(self, snapshot_every: int = 8) -> None:
+    def __init__(
+        self, snapshot_every: int = 8, *, block_store: MemoryBlockStore | None = None
+    ) -> None:
         if snapshot_every < 1:
             raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every!r}")
         self.snapshot_every = int(snapshot_every)
-        self._snapshots: dict[str, dict] = {}
+        self._store = block_store if block_store is not None else MemoryBlockStore()
+        self._snapshots: dict[str, str] = {}  # shard -> block digest
+        self._stamps: dict[str, tuple] = {}  # shard -> stamp at snapshot
         self._chunks: dict[str, list[np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
@@ -58,15 +73,56 @@ class ShardRecoveryStore:
             return True
         return len(self._chunks.get(shard_id, ())) >= self.snapshot_every
 
-    def record_snapshot(self, shard_id: str, state: dict) -> None:
+    def record_snapshot(
+        self, shard_id: str, state: dict, *, stamp: tuple | None = None
+    ) -> None:
         """Install a fresh snapshot and drop the now-covered chunk tail.
 
-        The state dict is deep-copied: on in-process backends it can share
-        arrays with the live pipeline, which would silently mutate the
-        snapshot out from under a later rebuild.
+        The state is re-encoded into the content-addressed store (array
+        copies): on in-process backends the incoming dict can share
+        arrays with the live pipeline, which would otherwise silently
+        mutate the snapshot out from under a later rebuild.
         """
-        self._snapshots[shard_id] = copy.deepcopy(state)
+        digest, _ = self._store.put(state)
+        previous = self._snapshots.get(shard_id)
+        if previous is not None:
+            self._store.release(previous)
+        self._snapshots[shard_id] = digest
+        if stamp is not None:
+            self._stamps[shard_id] = stamp
+        else:
+            self._stamps.pop(shard_id, None)
         self._chunks[shard_id] = []
+        if OBS.enabled:
+            OBS.inc("service.resilience.snapshots")
+
+    def snapshot_is_current(self, shard_id: str, stamp: tuple) -> bool:
+        """Whether the recorded snapshot already covers this stamp."""
+        return (
+            shard_id in self._snapshots
+            and self._stamps.get(shard_id) == stamp
+        )
+
+    def record_snapshot_if_changed(
+        self,
+        shard_id: str,
+        stamp: tuple,
+        provider: Callable[[], dict],
+    ) -> bool:
+        """Snapshot from ``provider()`` unless ``stamp`` proves it stale.
+
+        The dirty-tracking fast path: when the shard's state stamp equals
+        the one recorded with its current snapshot, the state pull and
+        re-serialisation are skipped entirely (an unchanged stamp also
+        implies nothing was ingested, so the covered tail stays valid and
+        is *not* cleared).  Returns True when a snapshot was taken.
+        """
+        if self.snapshot_is_current(shard_id, stamp):
+            if OBS.enabled:
+                OBS.inc("service.resilience.snapshots_skipped")
+            return False
+        self.record_snapshot(shard_id, provider(), stamp=stamp)
+        return True
 
     def record_chunk(self, shard_id: str, values: np.ndarray) -> None:
         """Append one successfully ingested chunk to the shard's tail."""
@@ -81,12 +137,24 @@ class ShardRecoveryStore:
     def shard_ids(self) -> tuple[str, ...]:
         return tuple(self._snapshots)
 
+    @property
+    def block_store(self) -> MemoryBlockStore:
+        """The shared content-addressed snapshot store."""
+        return self._store
+
+    def snapshot_digest(self, shard_id: str) -> str | None:
+        """Content digest of the shard's recorded snapshot block."""
+        return self._snapshots.get(shard_id)
+
     def tail_length(self, shard_id: str) -> int:
         return len(self._chunks.get(shard_id, ()))
 
     def forget(self, shard_id: str) -> None:
         """Drop a shard's recovery state (it left the fleet)."""
-        self._snapshots.pop(shard_id, None)
+        digest = self._snapshots.pop(shard_id, None)
+        if digest is not None:
+            self._store.release(digest)
+        self._stamps.pop(shard_id, None)
         self._chunks.pop(shard_id, None)
 
     # ------------------------------------------------------------------ #
@@ -107,7 +175,7 @@ class ShardRecoveryStore:
         from ..pipeline.online import OnlineAnalysisPipeline
 
         pipeline = OnlineAnalysisPipeline.from_state_dict(
-            copy.deepcopy(self._snapshots[shard_id])
+            self._store.get(self._snapshots[shard_id])
         )
         tail = self._chunks.get(shard_id, ())
         for chunk in tail:

@@ -34,6 +34,7 @@ from .checkpoint import (
     CheckpointError,
     CheckpointInfo,
     RotatedCheckpoint,
+    compact_checkpoint,
     list_checkpoints,
     load_checkpoint,
     read_manifest,
@@ -83,6 +84,7 @@ __all__ = [
     "default_rules",
     "CheckpointError",
     "CheckpointInfo",
+    "compact_checkpoint",
     "RotatedCheckpoint",
     "list_checkpoints",
     "load_checkpoint",

@@ -88,6 +88,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: a temporary directory)",
     )
     parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="single-machine scenarios: save a rotated checkpoint every N "
+        "streaming chunks (uses --checkpoint-dir, or a temporary directory)",
+    )
+    parser.add_argument(
+        "--checkpoint-mode",
+        choices=("sync", "async"),
+        default="sync",
+        help="periodic/rotating checkpoint mode: 'async' moves "
+        "serialisation onto a background writer off the chunk loop "
+        "(default sync)",
+    )
+    parser.add_argument(
+        "--checkpoint-format",
+        choices=("full", "delta"),
+        default="full",
+        help="periodic/rotating checkpoint format: 'delta' writes only "
+        "shards whose state changed, sharing unchanged blocks with the "
+        "previous rotation entry (default full)",
+    )
+    parser.add_argument(
+        "--checkpoint-keep-last",
+        type=int,
+        default=3,
+        metavar="K",
+        help="rotation depth for --checkpoint-every entries (default 3)",
+    )
+    parser.add_argument(
         "--alerts-jsonl",
         default=None,
         metavar="PATH",
@@ -190,6 +221,12 @@ def _run(args: argparse.Namespace, name: str) -> int:
         f"{scenario.initial_size}, {scenario.n_chunks} chunks of "
         f"{scenario.chunk_size}); executor={args.executor}"
     )
+    if args.checkpoint_every is not None:
+        print(
+            f"periodic checkpoints: every {args.checkpoint_every} chunk(s), "
+            f"format={args.checkpoint_format}, mode={args.checkpoint_mode}, "
+            f"keep_last={args.checkpoint_keep_last}"
+        )
 
     sinks = [RingBufferSink()]
     if args.alerts_jsonl:
@@ -203,9 +240,17 @@ def _run(args: argparse.Namespace, name: str) -> int:
             executor=args.executor,
             max_workers=args.workers,
             deep_levels=args.deep_levels,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_mode=args.checkpoint_mode,
+            checkpoint_format=args.checkpoint_format,
+            checkpoint_keep_last=args.checkpoint_keep_last,
         ).run()
 
-    if scenario.restart_after_chunk is not None and args.checkpoint_dir is None:
+    needs_dir = (
+        scenario.restart_after_chunk is not None
+        or args.checkpoint_every is not None
+    )
+    if needs_dir and args.checkpoint_dir is None:
         with tempfile.TemporaryDirectory() as checkpoint_dir:
             result = run_with(checkpoint_dir)
     else:
@@ -275,6 +320,8 @@ def _run_federated(args: argparse.Namespace, name: str) -> int:
             machine_executor=args.machine_executor,
             max_workers=args.workers,
             deep_levels=args.deep_levels,
+            checkpoint_mode=args.checkpoint_mode,
+            checkpoint_format=args.checkpoint_format,
         ).run()
 
     if args.checkpoint_dir is None:

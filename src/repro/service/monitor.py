@@ -28,6 +28,7 @@ with bit-for-bit identical products.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 
@@ -290,6 +291,10 @@ def _shard_state_dict(pipeline: OnlineAnalysisPipeline) -> dict:
     return pipeline.state_dict()
 
 
+def _shard_state_stamp(pipeline: OnlineAnalysisPipeline) -> tuple:
+    return pipeline.state_stamp()
+
+
 def _shard_last_update(pipeline: OnlineAnalysisPipeline):
     history = pipeline.model.history if pipeline.model.fitted else []
     return history[-1] if history else None
@@ -427,6 +432,15 @@ class FleetMonitor:
         # Completed ingest rounds (plain or supervised); round N+1's fault
         # coordinates are (shard, _chunk_index + 1, attempt).
         self._chunk_index = 0
+        # Delta-checkpoint dirty tracking: per block-store directory, the
+        # (state stamp, content digest) recorded for each shard at this
+        # monitor's previous save there.  Purely an optimisation cache —
+        # a miss (fresh monitor, swept block) re-serialises, never skips.
+        self._ckpt_stamps: dict[str, dict[str, tuple]] = {}
+        # Lazily created background writer for mode="async" saves; owns a
+        # thread, so it never pickles and is flushed/closed with the
+        # monitor (flush_checkpoints() is the error barrier).
+        self._checkpoint_writer = None
         self._pipelines: dict[str, OnlineAnalysisPipeline] = {
             spec.shard_id: self._make_pipeline(spec) for spec in self.shards
         }
@@ -548,7 +562,19 @@ class FleetMonitor:
         first, so every analysis product (rack values, spectra,
         checkpoints) keeps working after close — subsequent calls simply
         run serially.  Idempotent.
+
+        Also the final barrier for asynchronous checkpointing: pending
+        background commits are drained first, and a deferred write error
+        surfaces here (after the executor teardown still ran).
         """
+        writer, self._checkpoint_writer = self._checkpoint_writer, None
+        try:
+            if writer is not None:
+                writer.close(flush=True)
+        finally:
+            self._close_executor()
+
+    def _close_executor(self) -> None:
         if self._executor is None:
             return
         try:
@@ -617,6 +643,10 @@ class FleetMonitor:
         # Task handles carry events/pipe references and never travel; the
         # drain above guaranteed there is nothing in flight to lose.
         state["_refresh_tasks"] = []
+        # The background checkpoint writer owns a thread; the copy makes
+        # its own lazily.  (Pending commits keep running here — they hold
+        # their own captured state, nothing to flush for the copy.)
+        state["_checkpoint_writer"] = None
         spec = state["_executor_spec"]
         if isinstance(spec, ShardExecutor):
             # A live instance cannot travel; its backend name can.
@@ -715,6 +745,47 @@ class FleetMonitor:
         if self._executor is None:
             return self._pipelines[shard_id].state_dict()
         return self._executor.call(shard_id, _shard_state_dict)
+
+    def shard_state_stamps(self) -> dict[str, tuple]:
+        """Cheap per-shard state stamps (see ``state_stamp``), keyed by id.
+
+        This is the dirty-tracking probe the delta checkpoint writer
+        uses: O(1) per shard, no serialisation — for remote-resident
+        backends only a tuple of ints travels home per shard.
+        """
+        return self._query_all(_shard_state_stamp)
+
+    def shard_state_stamp(self, shard_id: str) -> tuple:
+        """One shard's state stamp (a single executor round trip)."""
+        if shard_id not in self._pipelines:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        if self._executor is None:
+            return self._pipelines[shard_id].state_stamp()
+        return self._executor.call(shard_id, _shard_state_stamp)
+
+    def _delta_stamp_memory(self, blocks_dir: str) -> dict[str, tuple]:
+        """(stamp, digest) recorded per shard at the previous delta save
+        against this block store (keyed by its absolute path)."""
+        return self._ckpt_stamps.setdefault(os.path.abspath(blocks_dir), {})
+
+    def _ensure_checkpoint_writer(self):
+        """The monitor's background checkpoint writer (created lazily)."""
+        if self._checkpoint_writer is None or self._checkpoint_writer.closed:
+            from ..io.delta import AsyncCheckpointWriter
+
+            self._checkpoint_writer = AsyncCheckpointWriter()
+        return self._checkpoint_writer
+
+    def flush_checkpoints(self) -> None:
+        """Barrier: wait for pending asynchronous checkpoint commits.
+
+        Re-raises the first deferred write error
+        (:class:`~repro.io.delta.CheckpointWriteError`); a no-op when no
+        async save ever ran.  Call before reading rotation entries a
+        ``mode="async"`` save may still be writing.
+        """
+        if self._checkpoint_writer is not None:
+            self._checkpoint_writer.flush()
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -1143,11 +1214,15 @@ class FleetMonitor:
         for shard_id, chunk in chunks.items():
             self._recovery.record_chunk(shard_id, chunk)
             if self._recovery.needs_snapshot(shard_id):
-                self._recovery.record_snapshot(
-                    shard_id, self.shard_state_dict(shard_id)
+                # Stamp first: when the shard hasn't mutated since the
+                # recorded snapshot (quarantined, or only replayed
+                # chunks), the store skips the state_dict() pull and
+                # re-serialisation entirely (dirty-tracking fast path).
+                self._recovery.record_snapshot_if_changed(
+                    shard_id,
+                    self.shard_state_stamp(shard_id),
+                    lambda sid=shard_id: self.shard_state_dict(sid),
                 )
-                if OBS.enabled:
-                    OBS.inc("service.resilience.snapshots")
 
     def _submit_supervised(
         self,

@@ -38,6 +38,7 @@ nodes) so tests, examples and benchmarks can run it in seconds.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
@@ -328,6 +329,18 @@ class ScenarioRunner:
         config's deep-level mode — the CLI's ``--deep-levels`` switch for
         trying the asynchronous levels-2..L refresh on any catalog
         workload without editing it.
+    checkpoint_every:
+        When set, the runner additionally saves a rotated checkpoint
+        after every N streaming chunks (requires ``checkpoint_dir``).
+        For scenarios that also restart mid-run, periodic entries live
+        under ``<checkpoint_dir>/periodic`` so they never collide with
+        the restart checkpoint at the root.
+    checkpoint_mode / checkpoint_format / checkpoint_keep_last:
+        Forwarded to :func:`save_checkpoint` for the periodic saves:
+        ``"async"`` moves serialisation off the chunk loop onto the
+        monitor's background writer (flushed at close), ``"delta"``
+        writes only shards whose revision stamp moved, and
+        ``checkpoint_keep_last`` bounds the rotation depth.
     """
 
     def __init__(
@@ -340,6 +353,10 @@ class ScenarioRunner:
         max_workers: int | None = None,
         processes: int | None = None,
         deep_levels: str | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_mode: str = "sync",
+        checkpoint_format: str = "full",
+        checkpoint_keep_last: int = 3,
     ) -> None:
         if scenario.restart_after_chunk is not None:
             if checkpoint_dir is None:
@@ -358,6 +375,21 @@ class ScenarioRunner:
             )
         if processes is not None and executor not in (None, "serial"):
             raise ValueError("pass either executor or processes, not both")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every!r}"
+                )
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
+        if checkpoint_mode not in ("sync", "async"):
+            raise ValueError(f"unknown checkpoint mode {checkpoint_mode!r}")
+        if checkpoint_format not in ("full", "delta"):
+            raise ValueError(f"unknown checkpoint format {checkpoint_format!r}")
+        if checkpoint_keep_last < 1:
+            raise ValueError(
+                f"checkpoint_keep_last must be >= 1, got {checkpoint_keep_last!r}"
+            )
         if deep_levels is not None and scenario.config.deep_levels != deep_levels:
             scenario = replace(
                 scenario, config=replace(scenario.config, deep_levels=deep_levels)
@@ -368,6 +400,23 @@ class ScenarioRunner:
         self.executor = executor
         self.max_workers = max_workers
         self.processes = processes
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_mode = checkpoint_mode
+        self.checkpoint_format = checkpoint_format
+        self.checkpoint_keep_last = checkpoint_keep_last
+
+    def _periodic_dir(self) -> str | None:
+        """Root for periodic rotated entries (None when not configured).
+
+        Kept apart from the restart checkpoint: the restart scenario
+        writes a legacy in-place manifest at ``checkpoint_dir``'s root,
+        which must not be shadowed by rotation entries.
+        """
+        if self.checkpoint_every is None:
+            return None
+        if self.scenario.restart_after_chunk is not None:
+            return os.path.join(self.checkpoint_dir, "periodic")
+        return self.checkpoint_dir
 
     def _build_monitor(self, stream: TelemetryStream) -> FleetMonitor:
         engine = AlertEngine(
@@ -437,6 +486,18 @@ class ScenarioRunner:
                         machine=scenario.machine,
                     )
                     n_live_rows = stream.n_rows
+                periodic_dir = self._periodic_dir()
+                if (
+                    periodic_dir is not None
+                    and index % self.checkpoint_every == 0
+                ):
+                    save_checkpoint(
+                        periodic_dir,
+                        monitor,
+                        keep_last=self.checkpoint_keep_last,
+                        format=self.checkpoint_format,
+                        mode=self.checkpoint_mode,
+                    )
                 if scenario.restart_after_chunk == index:
                     # Persist, tear down, restore: the restored monitor must
                     # continue exactly where this one stopped.

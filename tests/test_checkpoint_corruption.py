@@ -25,6 +25,7 @@ from repro.federation import (
     read_federated_manifest,
     save_federated_checkpoint,
 )
+from repro.io.delta import CheckpointWriteError
 from repro.pipeline import PipelineConfig
 from repro.service import (
     AlertEngine,
@@ -32,6 +33,7 @@ from repro.service import (
     FleetMonitor,
     RackSharding,
     default_rules,
+    list_checkpoints,
     load_checkpoint,
     save_checkpoint,
 )
@@ -179,6 +181,104 @@ class TestServiceCheckpointCorruption:
         target = _damaged_copy(pristine_checkpoint, tmp_path)
         monitor = load_checkpoint(target, rules=default_rules())
         assert monitor.step == 240
+
+
+class TestDeltaCheckpointCorruption:
+    """Delta entries and the async writer under damage and crashes."""
+
+    @staticmethod
+    def _delta_checkpoint(tmp_path, seed: int = 34):
+        monitor = _build_monitor(seed=seed)
+        root = str(tmp_path / "delta")
+        save_checkpoint(root, monitor, keep_last=2, format="delta")
+        return monitor, root
+
+    @staticmethod
+    def _shard_reprs(monitor):
+        return {
+            spec.shard_id: repr(monitor.shard_state_dict(spec.shard_id))
+            for spec in monitor.shards
+        }
+
+    def test_missing_delta_block(self, tmp_path):
+        monitor, root = self._delta_checkpoint(tmp_path)
+        entry = list_checkpoints(root)[0]
+        digest = read_manifest(entry.path)["shard_blocks"][0]
+        os.remove(os.path.join(root, "blocks", f"{digest}.npz"))
+        with pytest.raises(CheckpointError, match="missing") as err:
+            load_checkpoint(root, rules=default_rules())
+        assert digest[:16] in str(err.value)
+        monitor.close()
+
+    def test_corrupt_delta_block(self, tmp_path):
+        monitor, root = self._delta_checkpoint(tmp_path)
+        entry = list_checkpoints(root)[0]
+        digest = read_manifest(entry.path)["shard_blocks"][0]
+        with open(os.path.join(root, "blocks", f"{digest}.npz"), "wb") as fh:
+            fh.write(b"\x00" * 64)
+        with pytest.raises(CheckpointError, match="corrupt or unreadable"):
+            load_checkpoint(root, rules=default_rules())
+        monitor.close()
+
+    def test_crash_mid_async_write_keeps_previous_entry(
+        self, tmp_path, monkeypatch
+    ):
+        """A writer-thread crash surfaces on flush and loses nothing.
+
+        The failed save never publishes a rotation entry (tmp + rename),
+        so the previous entry stays the newest and restores bit-for-bit.
+        """
+        import repro.service.checkpoint as ckpt_module
+
+        monitor, root = self._delta_checkpoint(tmp_path)
+        good = self._shard_reprs(monitor)
+
+        stream = TelemetryGenerator(
+            small_machine(), seed=35, utilization_target=0.3
+        ).generate(80, sensors=["cpu_temp"])
+        monitor.ingest(stream.values)
+
+        real_commit = ckpt_module._commit_rotation
+
+        def crashing_commit(*args, **kwargs):
+            raise OSError("disk full during checkpoint write")
+
+        monkeypatch.setattr(ckpt_module, "_commit_rotation", crashing_commit)
+        save_checkpoint(root, monitor, keep_last=2, format="delta", mode="async")
+        with pytest.raises(CheckpointWriteError, match="disk full"):
+            monitor.flush_checkpoints()
+        monkeypatch.setattr(ckpt_module, "_commit_rotation", real_commit)
+
+        # The rotation still holds exactly the pre-crash entry and it
+        # restores the pre-crash state, bit-for-bit.
+        entries = list_checkpoints(root)
+        assert len(entries) == 1
+        restored = load_checkpoint(root, rules=default_rules())
+        assert self._shard_reprs(restored) == good
+        restored.close()
+
+        # The monitor recovers: the next save goes through and captures
+        # the post-crash state.
+        save_checkpoint(root, monitor, keep_last=2, format="delta", mode="async")
+        monitor.flush_checkpoints()
+        recovered = load_checkpoint(root, rules=default_rules())
+        assert self._shard_reprs(recovered) == self._shard_reprs(monitor)
+        recovered.close()
+        monitor.close()
+
+    def test_interrupted_entry_directory_is_ignored(self, tmp_path):
+        """A half-written tmp entry (crash before rename) is invisible."""
+        monitor, root = self._delta_checkpoint(tmp_path)
+        fake_tmp = os.path.join(root, ".tmp-step_000000999999")
+        os.makedirs(fake_tmp)
+        with open(os.path.join(fake_tmp, MANIFEST_NAME), "w") as fh:
+            fh.write("{ half-writ")
+        entries = list_checkpoints(root)
+        assert len(entries) == 1
+        restored = load_checkpoint(root, rules=default_rules())
+        assert self._shard_reprs(restored) == self._shard_reprs(monitor)
+        restored.close()
+        monitor.close()
 
 
 class TestFederatedCheckpointCorruption:

@@ -1,0 +1,582 @@
+"""Delta + asynchronous checkpointing: lossless by construction.
+
+The delta format only ever *skips* serialisation work — shards whose
+revision stamp has not moved re-reference their content-addressed block
+from the previous rotation entry — so every test here is a parity test
+at heart: whatever combination of delta, async, pruning, rollback and
+compaction a run goes through, the restored monitor must be bit-for-bit
+identical to one saved with the classic sync full path.  Alongside the
+parity suite: block-store garbage collection under ``keep_last``
+pruning, the in-memory refcounted store behind the resilience recovery
+snapshots, stamp-based snapshot skipping, and v1/v2 back-compat.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import MrDMDConfig
+from repro.federation import (
+    AlertRouter,
+    FederatedMonitor,
+    MachineRegistry,
+    compact_federated_checkpoint,
+    load_federated_checkpoint,
+    save_federated_checkpoint,
+)
+from repro.io.delta import (
+    AsyncCheckpointWriter,
+    BlockStore,
+    CheckpointWriteError,
+    MemoryBlockStore,
+    copy_state,
+    state_digest,
+)
+from repro.pipeline import PipelineConfig
+from repro.resilience import ShardRecoveryStore
+from repro.service import (
+    AlertEngine,
+    FleetMonitor,
+    RackSharding,
+    compact_checkpoint,
+    default_rules,
+    list_checkpoints,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.service.checkpoint import read_manifest
+from repro.telemetry import MachineDescription, TelemetryGenerator
+from repro.telemetry.sensors import xc40_sensor_suite
+
+CONFIG = PipelineConfig(
+    mrdmd=MrDMDConfig(max_levels=4),
+    baseline_range=(40.0, 75.0),
+    power_quantile=0.0,
+)
+
+
+def small_machine() -> MachineDescription:
+    return MachineDescription(
+        name="xc40",
+        n_rows=1,
+        racks_per_row=2,
+        cabinets_per_rack=1,
+        slots_per_cabinet=2,
+        blades_per_slot=1,
+        nodes_per_blade=4,
+        sensors=xc40_sensor_suite(),
+        dt_seconds=15.0,
+    )
+
+
+def _stream(seed: int, steps: int = 400):
+    return TelemetryGenerator(
+        small_machine(), seed=seed, utilization_target=0.3
+    ).generate(steps, sensors=["cpu_temp"])
+
+
+def _build_monitor(seed: int, initial: int = 240) -> tuple[FleetMonitor, object]:
+    stream = _stream(seed)
+    monitor = FleetMonitor.from_stream(
+        stream,
+        policy=RackSharding(),
+        config=CONFIG,
+        alert_engine=AlertEngine(rules=default_rules(), cooldown=100),
+    )
+    monitor.ingest(stream.values[:, :initial])
+    return monitor, stream
+
+
+def _shard_reprs(monitor: FleetMonitor) -> dict[str, str]:
+    return {
+        spec.shard_id: repr(monitor.shard_state_dict(spec.shard_id))
+        for spec in monitor.shards
+    }
+
+
+def _dirty_one_shard(monitor: FleetMonitor, stream, lo: int, hi: int) -> str:
+    spec = monitor.shards[0]
+    monitor._pipelines[spec.shard_id].ingest(spec.take(stream.values[:, lo:hi]))
+    return spec.shard_id
+
+
+# --------------------------------------------------------------------------- #
+# Bit-for-bit parity
+# --------------------------------------------------------------------------- #
+def test_delta_restore_matches_sync_full(tmp_path):
+    monitor, stream = _build_monitor(seed=51)
+    monitor.ingest(stream.values[:, 240:320])
+    full_dir, delta_dir = str(tmp_path / "full"), str(tmp_path / "delta")
+    save_checkpoint(full_dir, monitor, keep_last=2, format="full")
+    info = save_checkpoint(delta_dir, monitor, keep_last=2, format="delta")
+    assert info.format == "delta"
+
+    live = _shard_reprs(monitor)
+    restored_full = load_checkpoint(full_dir, rules=default_rules())
+    restored_delta = load_checkpoint(delta_dir, rules=default_rules())
+    assert _shard_reprs(restored_full) == live
+    assert _shard_reprs(restored_delta) == live
+    assert restored_delta.step == monitor.step
+    monitor.close(), restored_full.close(), restored_delta.close()
+
+
+def test_second_delta_save_reuses_unchanged_shards(tmp_path):
+    monitor, stream = _build_monitor(seed=52)
+    root = str(tmp_path / "ckpt")
+    first = save_checkpoint(root, monitor, keep_last=3, format="delta")
+    assert first.shards_reused == 0
+
+    dirty = _dirty_one_shard(monitor, stream, 240, 320)
+    second = save_checkpoint(root, monitor, keep_last=3, format="delta")
+    assert second.shards_reused == monitor.n_shards - 1
+    # The reused shard wrote zero new bytes; only the dirty one did.
+    assert second.bytes_written > 0
+    assert second.bytes_referenced > 0
+
+    restored = load_checkpoint(root, rules=default_rules())
+    assert _shard_reprs(restored) == _shard_reprs(monitor)
+    assert dirty in _shard_reprs(restored)
+    monitor.close(), restored.close()
+
+
+def test_unchanged_fleet_delta_save_writes_nothing(tmp_path):
+    monitor, _stream_ = _build_monitor(seed=53)
+    root = str(tmp_path / "ckpt")
+    save_checkpoint(root, monitor, keep_last=3, format="delta")
+    again = save_checkpoint(root, monitor, keep_last=3, format="delta")
+    assert again.shards_reused == monitor.n_shards
+    assert again.bytes_written == 0
+    monitor.close()
+
+
+def test_async_delta_restore_matches_live(tmp_path):
+    monitor, stream = _build_monitor(seed=54)
+    root = str(tmp_path / "ckpt")
+    for lo in (240, 320):
+        monitor.ingest(stream.values[:, lo : lo + 80])
+        info = save_checkpoint(
+            root, monitor, keep_last=2, format="delta", mode="async"
+        )
+        assert info.mode == "async"
+    monitor.flush_checkpoints()
+
+    restored = load_checkpoint(root, rules=default_rules())
+    assert _shard_reprs(restored) == _shard_reprs(monitor)
+    assert restored.step == monitor.step
+    monitor.close(), restored.close()
+
+
+def test_async_full_restore_matches_live(tmp_path):
+    monitor, stream = _build_monitor(seed=55)
+    root = str(tmp_path / "ckpt")
+    monitor.ingest(stream.values[:, 240:320])
+    save_checkpoint(root, monitor, keep_last=2, format="full", mode="async")
+    monitor.flush_checkpoints()
+    restored = load_checkpoint(root, rules=default_rules())
+    assert _shard_reprs(restored) == _shard_reprs(monitor)
+    monitor.close(), restored.close()
+
+
+def test_monitor_close_flushes_pending_async_saves(tmp_path):
+    monitor, _stream_ = _build_monitor(seed=56)
+    root = str(tmp_path / "ckpt")
+    save_checkpoint(root, monitor, keep_last=2, format="delta", mode="async")
+    live = _shard_reprs(monitor)
+    monitor.close()  # barrier: the entry must be durable afterwards
+    restored = load_checkpoint(root, rules=default_rules())
+    assert _shard_reprs(restored) == live
+    restored.close()
+
+
+def test_delta_and_async_require_keep_last(tmp_path):
+    monitor, _stream_ = _build_monitor(seed=57)
+    with pytest.raises(ValueError, match="keep_last"):
+        save_checkpoint(str(tmp_path / "a"), monitor, format="delta")
+    with pytest.raises(ValueError, match="keep_last"):
+        save_checkpoint(str(tmp_path / "b"), monitor, mode="async")
+    with pytest.raises(ValueError, match="format"):
+        save_checkpoint(
+            str(tmp_path / "c"), monitor, keep_last=2, format="sparse"
+        )
+    monitor.close()
+
+
+def test_mid_run_restart_from_delta_checkpoint(tmp_path):
+    """Resume from a delta entry mid-stream == an uninterrupted run."""
+    baseline, stream = _build_monitor(seed=58)
+    baseline.ingest(stream.values[:, 240:320])
+    baseline.ingest(stream.values[:, 320:400])
+
+    monitor, _ = _build_monitor(seed=58)
+    monitor.ingest(stream.values[:, 240:320])
+    root = str(tmp_path / "ckpt")
+    save_checkpoint(root, monitor, keep_last=2, format="delta")
+    monitor.close()
+    resumed = load_checkpoint(root, rules=default_rules())
+    resumed.ingest(stream.values[:, 320:400])
+    assert _shard_reprs(resumed) == _shard_reprs(baseline)
+    baseline.close(), resumed.close()
+
+
+# --------------------------------------------------------------------------- #
+# Rotation, GC and compaction
+# --------------------------------------------------------------------------- #
+def test_pruned_entries_release_their_blocks(tmp_path):
+    monitor, stream = _build_monitor(seed=59)
+    root = str(tmp_path / "ckpt")
+    store = BlockStore(os.path.join(root, "blocks"))
+    save_checkpoint(root, monitor, keep_last=2, format="delta")
+    first_blocks = store.digests()
+    assert first_blocks
+
+    # Two more saves with every shard dirty: the first entry falls out of
+    # the rotation and its (now unreferenced) blocks must be swept.
+    for lo in (240, 300):
+        monitor.ingest(stream.values[:, lo : lo + 60])
+        save_checkpoint(root, monitor, keep_last=2, format="delta")
+    remaining = store.digests()
+    assert not (first_blocks & remaining), "pruned entry's blocks leaked"
+
+    # Blocks still referenced by retained entries survive.
+    live = set()
+    for entry in list_checkpoints(root):
+        live.update(read_manifest(entry.path)["shard_blocks"])
+    assert live <= remaining
+    monitor.close()
+
+
+def test_shared_blocks_survive_pruning(tmp_path):
+    """A block referenced by old AND new entries outlives the old one."""
+    monitor, stream = _build_monitor(seed=60)
+    root = str(tmp_path / "ckpt")
+    store = BlockStore(os.path.join(root, "blocks"))
+    save_checkpoint(root, monitor, keep_last=2, format="delta")
+    # Only shard 0 changes: the other shards' blocks stay shared across
+    # all three entries while the rotation prunes the oldest.
+    for lo in (240, 300):
+        _dirty_one_shard(monitor, stream, lo, lo + 60)
+        save_checkpoint(root, monitor, keep_last=2, format="delta")
+    restored = load_checkpoint(root, rules=default_rules())
+    assert _shard_reprs(restored) == _shard_reprs(monitor)
+    shared = read_manifest(list_checkpoints(root)[0].path)["shard_blocks"]
+    assert set(shared) <= store.digests()
+    monitor.close(), restored.close()
+
+
+def test_rollback_then_resave_is_consistent(tmp_path):
+    """Deleting the newest entry and saving again must not corrupt GC.
+
+    The resaved state re-references blocks through the self-healing
+    ``store.has`` check, and the sweep keeps everything the retained
+    manifests still name.
+    """
+    monitor, stream = _build_monitor(seed=61)
+    root = str(tmp_path / "ckpt")
+    save_checkpoint(root, monitor, keep_last=3, format="delta")
+    monitor.ingest(stream.values[:, 240:320])
+    save_checkpoint(root, monitor, keep_last=3, format="delta")
+
+    # Operator rollback: drop the newest entry, fall back to the oldest.
+    import shutil
+
+    newest = list_checkpoints(root)[0]
+    shutil.rmtree(newest.path)
+    rolled_back = load_checkpoint(root, rules=default_rules())
+
+    # The rolled-back monitor streams forward again and saves: stamps in
+    # the original monitor's memory now describe blocks the rotation may
+    # sweep, and the rebuilt monitor has no stamp memory at all — both
+    # must converge to a loadable, bit-for-bit rotation.
+    rolled_back.ingest(stream.values[:, 240:320])
+    save_checkpoint(root, rolled_back, keep_last=3, format="delta")
+    restored = load_checkpoint(root, rules=default_rules())
+    assert _shard_reprs(restored) == _shard_reprs(rolled_back)
+    monitor.close(), rolled_back.close(), restored.close()
+
+
+def test_compact_checkpoint_rewrites_self_contained(tmp_path):
+    monitor, stream = _build_monitor(seed=62)
+    root = str(tmp_path / "ckpt")
+    save_checkpoint(root, monitor, keep_last=2, format="delta")
+    monitor.ingest(stream.values[:, 240:320])
+    save_checkpoint(root, monitor, keep_last=2, format="delta")
+    live = _shard_reprs(monitor)
+
+    entry = compact_checkpoint(root)
+    manifest = read_manifest(entry)
+    assert "shard_blocks" not in manifest
+    assert manifest.get("shard_files")
+    restored = load_checkpoint(root, rules=default_rules())
+    assert _shard_reprs(restored) == live
+    monitor.close(), restored.close()
+
+
+# --------------------------------------------------------------------------- #
+# Federated
+# --------------------------------------------------------------------------- #
+def _build_federation(seeds=(63, 64)) -> tuple[FederatedMonitor, list]:
+    monitors, streams = {}, []
+    for name, seed in zip(("east", "west"), seeds):
+        monitor, stream = _build_monitor(seed=seed)
+        monitors[name] = monitor
+        streams.append(stream)
+    federated = FederatedMonitor(
+        MachineRegistry(monitors), router=AlertRouter()
+    )
+    return federated, streams
+
+
+def _federated_reprs(federated: FederatedMonitor) -> dict[str, dict[str, str]]:
+    return {
+        name: _shard_reprs(federated.machine(name))
+        for name in federated.machine_names
+    }
+
+
+def test_federated_delta_round_trip(tmp_path):
+    federated, streams = _build_federation()
+    root = str(tmp_path / "ckpt")
+    save_federated_checkpoint(root, federated, keep_last=2, format="delta")
+    federated.ingest(
+        {
+            "east": streams[0].values[:, 240:320],
+            "west": streams[1].values[:, 240:320],
+        }
+    )
+    info = save_federated_checkpoint(root, federated, keep_last=2, format="delta")
+    assert info.format == "delta"
+
+    restored = load_federated_checkpoint(root)
+    assert _federated_reprs(restored) == _federated_reprs(federated)
+    assert restored.step == federated.step
+    federated.close(), restored.close()
+
+
+def test_federated_async_delta_flush_and_restore(tmp_path):
+    federated, streams = _build_federation(seeds=(65, 66))
+    root = str(tmp_path / "ckpt")
+    save_federated_checkpoint(
+        root, federated, keep_last=2, format="delta", mode="async"
+    )
+    federated.ingest(
+        {
+            "east": streams[0].values[:, 240:320],
+            "west": streams[1].values[:, 240:320],
+        }
+    )
+    save_federated_checkpoint(
+        root, federated, keep_last=2, format="delta", mode="async"
+    )
+    federated.flush_checkpoints()
+    restored = load_federated_checkpoint(root)
+    assert _federated_reprs(restored) == _federated_reprs(federated)
+    federated.close(), restored.close()
+
+
+def test_federated_parallel_save_matches_serial(tmp_path):
+    """The executor-parallel machine fan-out writes the same entries."""
+    federated, streams = _build_federation(seeds=(67, 68))
+    serial_dir, parallel_dir = str(tmp_path / "serial"), str(tmp_path / "par")
+    save_federated_checkpoint(serial_dir, federated, keep_last=2)
+
+    threaded = FederatedMonitor(
+        federated.registry, router=AlertRouter(), executor="thread"
+    )
+    save_federated_checkpoint(parallel_dir, threaded, keep_last=2)
+    a = load_federated_checkpoint(serial_dir)
+    b = load_federated_checkpoint(parallel_dir)
+    assert _federated_reprs(a) == _federated_reprs(b)
+    threaded.close(), a.close(), b.close(), federated.close()
+
+
+def test_compact_federated_checkpoint(tmp_path):
+    federated, streams = _build_federation(seeds=(69, 70))
+    root = str(tmp_path / "ckpt")
+    save_federated_checkpoint(root, federated, keep_last=2, format="delta")
+    live = _federated_reprs(federated)
+    compact_federated_checkpoint(root)
+    restored = load_federated_checkpoint(root)
+    assert _federated_reprs(restored) == live
+    federated.close(), restored.close()
+
+
+# --------------------------------------------------------------------------- #
+# Back-compat: v1/v2 checkpoints keep loading
+# --------------------------------------------------------------------------- #
+def test_legacy_in_place_checkpoint_still_loads(tmp_path):
+    """`save_checkpoint` without keep_last is the pre-delta v1/v2 path."""
+    monitor, _stream_ = _build_monitor(seed=71)
+    root = str(tmp_path / "legacy")
+    info = save_checkpoint(root, monitor)
+    manifest = read_manifest(root)
+    assert manifest["version"] in (1, 2)
+    assert info.format == "full"
+    restored = load_checkpoint(root, rules=default_rules())
+    assert _shard_reprs(restored) == _shard_reprs(monitor)
+    monitor.close(), restored.close()
+
+
+def test_sync_full_rotation_unchanged_by_delta_machinery(tmp_path):
+    monitor, _stream_ = _build_monitor(seed=72)
+    root = str(tmp_path / "full")
+    save_checkpoint(root, monitor, keep_last=2)
+    manifest = read_manifest(list_checkpoints(root)[0].path)
+    assert manifest["version"] in (1, 2)
+    assert "shard_blocks" not in manifest
+    restored = load_checkpoint(root, rules=default_rules())
+    assert _shard_reprs(restored) == _shard_reprs(monitor)
+    monitor.close(), restored.close()
+
+
+# --------------------------------------------------------------------------- #
+# Recovery store: content-addressed snapshots + stamp skipping
+# --------------------------------------------------------------------------- #
+def test_recovery_store_rebuild_bit_for_bit(tmp_path):
+    monitor, stream = _build_monitor(seed=73)
+    store = ShardRecoveryStore(snapshot_every=4)
+    spec = monitor.shards[0]
+    shard_id = spec.shard_id
+    store.record_snapshot(
+        shard_id,
+        monitor.shard_state_dict(shard_id),
+        stamp=monitor.shard_state_stamp(shard_id),
+    )
+    tail = [stream.values[:, 240:280], stream.values[:, 280:320]]
+    for chunk in tail:
+        store.record_chunk(shard_id, spec.take(chunk))
+        monitor._pipelines[shard_id].ingest(spec.take(chunk))
+
+    rebuilt, n_replayed = store.rebuild(shard_id)
+    assert n_replayed == len(tail)
+    assert repr(rebuilt.state_dict()) == repr(
+        monitor.shard_state_dict(shard_id)
+    )
+    monitor.close()
+
+
+def test_recovery_store_skips_unchanged_stamp(tmp_path):
+    monitor, stream = _build_monitor(seed=74)
+    store = ShardRecoveryStore(snapshot_every=4)
+    spec = monitor.shards[0]
+    shard_id = spec.shard_id
+
+    calls = []
+
+    def provider():
+        calls.append(1)
+        return monitor.shard_state_dict(shard_id)
+
+    stamp = monitor.shard_state_stamp(shard_id)
+    assert store.record_snapshot_if_changed(shard_id, stamp, provider)
+    # Unchanged stamp: no state pull, no re-serialisation, tail intact.
+    store.record_chunk(shard_id, spec.take(stream.values[:, 240:280]))
+    assert not store.record_snapshot_if_changed(shard_id, stamp, provider)
+    assert len(calls) == 1
+    assert store.tail_length(shard_id) == 1
+
+    # The stamp moves on ingest: the next call snapshots again and the
+    # newly covered tail is dropped.
+    monitor._pipelines[shard_id].ingest(spec.take(stream.values[:, 240:280]))
+    moved = monitor.shard_state_stamp(shard_id)
+    assert moved != stamp
+    assert store.record_snapshot_if_changed(shard_id, moved, provider)
+    assert len(calls) == 2
+    assert store.tail_length(shard_id) == 0
+    monitor.close()
+
+
+def test_recovery_snapshots_share_blocks_and_refcount():
+    store = ShardRecoveryStore(snapshot_every=4)
+    state = {"x": np.arange(6.0), "nested": {"y": np.ones((2, 3))}}
+    store.record_snapshot("a", state)
+    store.record_snapshot("b", copy_state(state))  # identical content
+    blocks = store.block_store
+    assert len(blocks) == 1  # deduplicated
+    digest = store.snapshot_digest("a")
+    assert digest == store.snapshot_digest("b")
+    assert blocks.refcount(digest) == 2
+
+    store.forget("a")
+    assert blocks.refcount(digest) == 1
+    store.forget("b")
+    assert blocks.refcount(digest) == 0
+    assert len(blocks) == 0
+
+
+def test_memory_block_store_returns_independent_copies():
+    store = MemoryBlockStore()
+    state = {"x": np.arange(4.0)}
+    digest, created = store.put(state)
+    assert created
+    state["x"][0] = 99.0  # caller mutates after put
+    out = store.get(digest)
+    assert out["x"][0] == 0.0  # store kept its own copy
+    out["x"][1] = 77.0  # reader mutates its copy
+    assert store.get(digest)["x"][1] == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Building blocks
+# --------------------------------------------------------------------------- #
+def test_state_digest_content_addressing():
+    a = {"x": np.arange(5.0), "meta": {"k": 3}}
+    b = {"x": np.arange(5.0), "meta": {"k": 3}}
+    assert state_digest(a) == state_digest(b)
+    b["x"][2] = -1.0
+    assert state_digest(a) != state_digest(b)
+    assert state_digest({"x": np.arange(5.0)}) != state_digest(
+        {"x": np.arange(5).astype(np.int64)}
+    )
+
+
+def test_copy_state_decouples_arrays():
+    state = {"x": np.arange(3.0), "t": (np.ones(2), "tag"), "l": [1, 2]}
+    copied = copy_state(state)
+    state["x"][0] = 42.0
+    state["t"][0][0] = 42.0
+    assert copied["x"][0] == 0.0
+    assert copied["t"][0][0] == 1.0
+    assert copied["t"][1] == "tag"
+    assert copied["l"] == [1, 2]
+
+
+def test_block_store_round_trip(tmp_path):
+    store = BlockStore(str(tmp_path / "blocks"))
+    state = {"x": np.arange(8.0).reshape(2, 4), "s": "name"}
+    digest, created, nbytes = store.put(state)
+    assert created and nbytes > 0
+    again, created_again, _ = store.put(state)
+    assert again == digest and not created_again
+    out = store.load(digest)
+    assert repr(out) == repr(state)
+    swept, _bytes = store.sweep(live=set())
+    assert swept == 1
+    assert not store.has(digest)
+
+
+def test_async_writer_deferred_errors_raise_on_flush():
+    writer = AsyncCheckpointWriter(max_pending=2)
+
+    def boom():
+        raise RuntimeError("disk on fire")
+
+    writer.submit(boom, label="failing save")
+    with pytest.raises(CheckpointWriteError, match="disk on fire"):
+        writer.flush()
+    # The writer stays usable after a failure and closes cleanly.
+    done = []
+    writer.submit(lambda: done.append(1), label="ok save")
+    writer.close()
+    assert done == [1]
+
+
+def test_async_writer_preserves_fifo_order():
+    writer = AsyncCheckpointWriter(max_pending=2)
+    order = []
+    for index in range(6):
+        writer.submit(lambda i=index: order.append(i), label=f"save {index}")
+    writer.close()
+    assert order == list(range(6))

@@ -596,7 +596,8 @@ class TestCheckpointVersions:
         manifest_path = os.path.join(info.directory, "manifest.json")
         with open(manifest_path) as handle:
             manifest = json.load(handle)
-        manifest["version"] = 3
+        # Version 3 became the delta format; 99 stays from the future.
+        manifest["version"] = 99
         with open(manifest_path, "w") as handle:
             json.dump(manifest, handle)
         with pytest.raises(ValueError, match="unsupported checkpoint version"):
